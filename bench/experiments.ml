@@ -1,0 +1,923 @@
+(* The experiment harness: one table per claim of the paper.
+
+   The paper is a theory paper with no empirical section, so each experiment
+   regenerates the quantitative content of one theorem / lemma /
+   observation; EXPERIMENTS.md records the paper-claim vs the measured
+   outcome.  Every experiment is deterministic given the seed below. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_core
+open Mspar_distsim
+open Mspar_dynamic
+
+let seed = 20200715 (* SPAA'20 started July 15, 2020 *)
+
+(* optional CSV sink: when [csv_dir] is set, every printed table is also
+   written to <dir>/<experiment-id>.csv *)
+let csv_dir : string option ref = ref None
+
+let emit t =
+  Table.print t;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let title = Table.title t in
+      let first_token =
+        match String.index_opt title ' ' with
+        | Some i -> String.sub title 0 i
+        | None -> title
+      in
+      let slug =
+        String.to_seq first_token
+        |> Seq.filter (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '-' || c = '_')
+        |> String.of_seq
+      in
+      let path = Filename.concat dir (slug ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Table.to_csv t);
+      close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Shared instance zoo                                                *)
+(* ------------------------------------------------------------------ *)
+
+type family = {
+  name : string;
+  graph : Graph.t;
+  beta : int; (* known upper bound for the family *)
+}
+
+let families rng =
+  [
+    { name = "complete K300"; graph = Gen.complete 300; beta = 1 };
+    {
+      name = "line graph";
+      graph = Line_graph.random_base rng ~base_n:60 ~p:0.35;
+      beta = 2;
+    };
+    {
+      name = "unit disk";
+      graph = fst (Unit_disk.random rng ~n:500 ~radius:0.15);
+      beta = 5;
+    };
+    {
+      name = "diversity-2";
+      graph = Gen.bounded_diversity rng ~n:400 ~cliques:40 ~memberships:2;
+      beta = 2;
+    };
+    {
+      name = "4 cliques";
+      graph = Gen.disjoint_cliques rng ~n:300 ~k:4;
+      beta = 1;
+    };
+    {
+      name = "proper interval";
+      graph = Geometric.proper_interval rng ~n:300 ~span:12.0;
+      beta = 2;
+    };
+    {
+      name = "quasi unit disk";
+      graph = Geometric.quasi_unit_disk rng ~n:300 ~radius:0.25 ~inner:0.7;
+      beta = 8;
+    };
+    {
+      name = "disk graph";
+      graph = Geometric.disk_graph rng ~n:300 ~rmin:0.06 ~rmax:0.12;
+      beta = 8;
+    };
+  ]
+
+let mcm_of g = Matching.size (Blossom.solve g)
+
+(* ------------------------------------------------------------------ *)
+(* E1 - Theorem 2.1: G_delta is a (1+eps)-sparsifier whp              *)
+(* ------------------------------------------------------------------ *)
+
+let e1_approximation () =
+  let rng = Rng.create seed in
+  let t =
+    Table.create ~title:"E1 (Thm 2.1): approximation ratio of G_delta"
+      ~columns:
+        [ "family"; "n"; "m"; "beta"; "eps"; "delta"; "s-edges"; "ratio"; "<=1+eps" ]
+  in
+  let fams = families rng in
+  List.iter
+    (fun { name; graph = g; beta } ->
+      let opt = mcm_of g in
+      List.iter
+        (fun eps ->
+          let delta = Delta_param.scaled ~multiplier:1.0 ~beta ~eps in
+          (* average over trials; the claim is whp so we report the worst *)
+          let worst = ref 1.0 and edges = ref 0 in
+          for _ = 1 to 3 do
+            let s, st = Gdelta.sparsify rng g ~delta in
+            edges := st.Gdelta.edges;
+            let os = Matching.size (Blossom.solve s) in
+            let r = Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os in
+            if r > !worst then worst := r
+          done;
+          Table.add_row t
+            [
+              name;
+              Table.cell_i (Graph.n g);
+              Table.cell_i (Graph.m g);
+              Table.cell_i beta;
+              Table.cell_f eps;
+              Table.cell_i delta;
+              Table.cell_i !edges;
+              Printf.sprintf "%.4f" !worst;
+              Table.cell_b (!worst <= 1.0 +. eps);
+            ])
+        [ 0.5; 0.2 ];
+      Table.add_rule t)
+    fams;
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E2 - Obs 2.10: |E(G_delta)| <= 2 MCM (delta + beta)                *)
+(* ------------------------------------------------------------------ *)
+
+let e2_size () =
+  let rng = Rng.create (seed + 1) in
+  let t =
+    Table.create ~title:"E2 (Obs 2.10): sparsifier size vs bound"
+      ~columns:[ "family"; "delta"; "edges"; "4*MCM*(d+b)"; "naive 2n*d"; "ok" ]
+  in
+  let fams = families rng in
+  List.iter
+    (fun { name; graph = g; beta } ->
+      let opt = mcm_of g in
+      List.iter
+        (fun delta ->
+          let s, _ = Gdelta.sparsify rng g ~delta in
+          let bound = 4 * opt * (delta + beta) in
+          let naive = 2 * Graph.n g * delta in
+          Table.add_row t
+            [
+              name;
+              Table.cell_i delta;
+              Table.cell_i (Graph.m s);
+              Table.cell_i bound;
+              Table.cell_i naive;
+              Table.cell_b (Graph.m s <= bound);
+            ])
+        [ 4; 16 ])
+    fams;
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E3 - Obs 2.12: arboricity(G_delta) <= 2 delta                      *)
+(* ------------------------------------------------------------------ *)
+
+let e3_arboricity () =
+  let rng = Rng.create (seed + 2) in
+  let t =
+    Table.create ~title:"E3 (Obs 2.12): uniform sparsity of G_delta"
+      ~columns:
+        [ "family"; "delta"; "density-LB"; "degeneracy"; "bound 4d"; "ok" ]
+  in
+  List.iter
+    (fun { name; graph = g; beta = _ } ->
+      List.iter
+        (fun delta ->
+          let s, _ = Gdelta.sparsify rng g ~delta in
+          let dlb = Arboricity.density_lower_bound s in
+          let dg = Arboricity.degeneracy s in
+          Table.add_row t
+            [
+              name;
+              Table.cell_i delta;
+              Table.cell_i dlb;
+              Table.cell_i dg;
+              Table.cell_i (4 * delta);
+              Table.cell_b (dlb <= 4 * delta);
+            ])
+        [ 4; 16 ])
+    (families rng);
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E4 - Lemma 2.13: deterministic marking has ratio ~ n/(2 delta)     *)
+(* ------------------------------------------------------------------ *)
+
+let e4_deterministic_fails () =
+  let rng = Rng.create (seed + 3) in
+  let t =
+    Table.create
+      ~title:"E4 (Lemma 2.13): deterministic first-k marking vs randomized"
+      ~columns:
+        [ "n"; "delta"; "MCM(G)"; "det MCM"; "det ratio"; "n/(2d)"; "rand ratio" ]
+  in
+  List.iter
+    (fun n ->
+      let delta = 5 in
+      let g = Gen.clique_minus_edge ~n ~missing:(n - 1, n - 2) in
+      let opt = Matching.size (Blossom.solve g) in
+      let det = Matching.size (Blossom.solve (Gdelta.deterministic_first_k g ~delta)) in
+      let sr, _ = Gdelta.sparsify rng g ~delta in
+      let rand = Matching.size (Blossom.solve sr) in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i delta;
+          Table.cell_i opt;
+          Table.cell_i det;
+          Printf.sprintf "%.2f" (float_of_int opt /. float_of_int (max 1 det));
+          Printf.sprintf "%.2f" (float_of_int n /. float_of_int (2 * delta));
+          Printf.sprintf "%.3f" (float_of_int opt /. float_of_int (max 1 rand));
+        ])
+    [ 100; 200; 400 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E5 - Obs 2.14: exact preservation needs delta = Omega(n)           *)
+(* ------------------------------------------------------------------ *)
+
+let e5_exactness () =
+  let rng = Rng.create (seed + 4) in
+  let t =
+    Table.create
+      ~title:"E5 (Obs 2.14): probability the bridge edge is marked"
+      ~columns:[ "n"; "delta"; "trials"; "empirical"; "1-(1-2d/n)^2"; "4d/n" ]
+  in
+  List.iter
+    (fun half ->
+      let g, (a, b) = Gen.two_cliques_bridge ~half in
+      let n = 2 * half in
+      List.iter
+        (fun delta ->
+          let trials = 300 in
+          let hits = ref 0 in
+          for _ = 1 to trials do
+            let pairs = Gdelta.marked_pairs rng g ~delta in
+            if
+              List.exists
+                (fun (u, v) -> (u = a && v = b) || (u = b && v = a))
+                pairs
+            then incr hits
+          done;
+          let freq = float_of_int !hits /. float_of_int trials in
+          let q = 1.0 -. (2.0 *. float_of_int delta /. float_of_int n) in
+          Table.add_row t
+            [
+              Table.cell_i n;
+              Table.cell_i delta;
+              Table.cell_i trials;
+              Printf.sprintf "%.3f" freq;
+              Printf.sprintf "%.3f" (1.0 -. (q *. q));
+              Printf.sprintf "%.3f" (4.0 *. float_of_int delta /. float_of_int n);
+            ])
+        [ 2; 5; 10 ])
+    [ 51; 101 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E6 - Theorem 3.1: sublinear sequential time                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6_sequential () =
+  let rng = Rng.create (seed + 5) in
+  let t =
+    Table.create
+      ~title:
+        "E6 (Thm 3.1): sequential pipeline on K_n (beta=1) - probes vs input"
+      ~columns:
+        [
+          "n"; "2m"; "probes"; "probe%"; "size"; "opt"; "pipe ms"; "greedy ms";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let g = Gen.complete n in
+      let opt = n / 2 in
+      let r = Pipeline.run ~multiplier:1.0 rng g ~beta:1 ~eps:0.5 in
+      let _, greedy_ns = Clock.time_ns (fun () -> Greedy.maximal g) in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i (2 * Graph.m g);
+          Table.cell_i r.Pipeline.probes_on_input;
+          Printf.sprintf "%.1f%%" (100.0 *. Pipeline.sublinearity_ratio r);
+          Table.cell_i (Matching.size r.Pipeline.matching);
+          Table.cell_i opt;
+          Printf.sprintf "%.2f"
+            (Clock.ns_to_ms (Int64.add r.Pipeline.sparsify_ns r.Pipeline.match_ns));
+          Printf.sprintf "%.2f" (Clock.ns_to_ms greedy_ns);
+        ])
+    [ 200; 400; 800; 1600 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E7 - Theorem 3.2: distributed rounds                               *)
+(* ------------------------------------------------------------------ *)
+
+let e7_rounds () =
+  let rng = Rng.create (seed + 6) in
+  let t =
+    Table.create
+      ~title:
+        "E7 (Thm 3.2): distributed rounds, sparsified pipeline vs n (should be ~flat)"
+      ~columns:[ "n"; "m"; "rounds"; "baseline rounds"; "size"; "opt"; "ratio" ]
+  in
+  List.iter
+    (fun n ->
+      let g, _ = Unit_disk.random rng ~n ~radius:(0.35 /. sqrt (float_of_int n /. 200.0)) in
+      let r =
+        Pipeline_dist.run ~multiplier:0.5 ~attempts_per_phase:12 (Rng.split rng)
+          g ~beta:5 ~eps:0.5
+      in
+      let _, base_st = Matching_dist.maximal (Rng.split rng) g in
+      let opt = Matching.size (Blossom.solve g) in
+      let got = Matching.size r.Pipeline_dist.matching in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i (Graph.m g);
+          Table.cell_i r.Pipeline_dist.rounds;
+          Table.cell_i base_st.Matching_dist.rounds;
+          Table.cell_i got;
+          Table.cell_i opt;
+          Printf.sprintf "%.3f" (float_of_int opt /. float_of_int (max 1 got));
+        ])
+    [ 200; 400; 800 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E8 - Theorem 3.3: sublinear message complexity                     *)
+(* ------------------------------------------------------------------ *)
+
+let e8_messages () =
+  let rng = Rng.create (seed + 7) in
+  let t =
+    Table.create
+      ~title:"E8 (Thm 3.3): messages, sparsified pipeline vs full-graph baseline"
+      ~columns:
+        [ "n"; "m"; "pipe msgs"; "base msgs"; "pipe/m"; "base/m"; "saving" ]
+  in
+  List.iter
+    (fun n ->
+      let g = Gen.disjoint_cliques (Rng.split rng) ~n ~k:4 in
+      let r =
+        Pipeline_dist.run_maximal_only ~multiplier:0.5 (Rng.split rng) g ~beta:1
+          ~eps:0.5
+      in
+      let _, base_st = Matching_dist.full_graph_baseline (Rng.split rng) g in
+      let m = Graph.m g in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i m;
+          Table.cell_i r.Pipeline_dist.messages;
+          Table.cell_i base_st.Matching_dist.messages;
+          Printf.sprintf "%.2f" (float_of_int r.Pipeline_dist.messages /. float_of_int m);
+          Printf.sprintf "%.2f"
+            (float_of_int base_st.Matching_dist.messages /. float_of_int m);
+          Printf.sprintf "%.1fx"
+            (float_of_int base_st.Matching_dist.messages
+            /. float_of_int (max 1 r.Pipeline_dist.messages));
+        ])
+    [ 200; 400; 800 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E9 - Theorem 3.5: dynamic worst-case update work                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9_dynamic () =
+  let t =
+    Table.create
+      ~title:
+        "E9 (Thm 3.5): dynamic update work (clique stream + adaptive churn)"
+      ~columns:
+        [
+          "n"; "updates"; "ours spread"; "ours ratio"; "base worst"; "base ratio";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (seed + 8) in
+      let dm = Dyn_matching.create ~multiplier:0.5 (Rng.split rng) ~n ~beta:1 ~eps:0.5 in
+      let bl = Baseline_dynamic.create ~n in
+      (* Insert a perfect matching first, then the rest of K_n in random
+         order.  The paper assumes the *stream* stays within the bounded-β
+         family; a row-by-row clique insertion passes through star-shaped
+         intermediates (β ≈ n) whose tiny matchings make every window length
+         1.  Seeding the matching keeps |M| = n/2 throughout, which is the
+         regime the update-time bound speaks about. *)
+      let planted = List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1)) in
+      List.iter
+        (fun (u, v) ->
+          ignore (Dyn_matching.insert dm u v);
+          ignore (Baseline_dynamic.insert bl u v))
+        planted;
+      let rest = ref [] in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if not (List.mem (u, v) planted) then rest := (u, v) :: !rest
+        done
+      done;
+      let rest = Array.of_list !rest in
+      Rng.shuffle_in_place rng rest;
+      Array.iter
+        (fun (u, v) ->
+          ignore (Dyn_matching.insert dm u v);
+          ignore (Baseline_dynamic.insert bl u v))
+        rest;
+      let churn = Rng.create (seed + 9) in
+      for _ = 1 to 500 do
+        let mate v = Matching.mate (Dyn_matching.matching dm) v in
+        match
+          Adversary.next_op Adversary.Adaptive_target_matching churn
+            (Dyn_matching.graph dm) ~current_mate:mate
+        with
+        | Some (Adversary.Delete (u, v)) ->
+            ignore (Dyn_matching.delete dm u v);
+            ignore (Baseline_dynamic.delete bl u v)
+        | Some (Adversary.Insert (u, v)) ->
+            ignore (Dyn_matching.insert dm u v);
+            ignore (Baseline_dynamic.insert bl u v)
+        | None -> ()
+      done;
+      let g = Dyn_graph.snapshot (Dyn_matching.graph dm) in
+      let opt = Matching.size (Blossom.solve g) in
+      let s = Dyn_matching.stats dm in
+      let b = Baseline_dynamic.stats bl in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i s.Dyn_matching.updates;
+          Table.cell_i s.Dyn_matching.max_spread_work;
+          Printf.sprintf "%.3f"
+            (float_of_int opt /. float_of_int (max 1 (Dyn_matching.size dm)));
+          Table.cell_i b.Baseline_dynamic.max_update_work;
+          Printf.sprintf "%.3f"
+            (float_of_int opt /. float_of_int (max 1 (Baseline_dynamic.size bl)));
+        ])
+    [ 100; 200; 400 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E10 - composed bounded-degree sparsifier                           *)
+(* ------------------------------------------------------------------ *)
+
+let e10_composition () =
+  let rng = Rng.create (seed + 10) in
+  let t =
+    Table.create
+      ~title:"E10 (sec 3.2): composed sparsifier degree bound and quality"
+      ~columns:
+        [
+          "family"; "delta"; "d-alpha"; "max deg"; "edges"; "ratio"; "<=1+3eps";
+        ]
+  in
+  List.iter
+    (fun { name; graph = g; beta } ->
+      let eps = 0.5 in
+      let r = Compose.run ~multiplier:1.0 rng g ~beta ~eps in
+      let opt = mcm_of g in
+      let ob = Matching.size (Blossom.solve r.Compose.bounded) in
+      let ratio = Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:ob in
+      Table.add_row t
+        [
+          name;
+          Table.cell_i r.Compose.delta;
+          Table.cell_i r.Compose.delta_alpha;
+          Table.cell_i r.Compose.max_degree;
+          Table.cell_i (Graph.m r.Compose.bounded);
+          Printf.sprintf "%.4f" ratio;
+          Table.cell_b (ratio <= 1.0 +. (3.0 *. eps));
+        ])
+    (families rng);
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E11 - ablations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e11_ablations () =
+  let rng = Rng.create (seed + 11) in
+  let g = Line_graph.random_base rng ~base_n:60 ~p:0.35 in
+  let beta = 2 and eps = 0.5 in
+  let opt = Matching.size (Blossom.solve g) in
+  let t =
+    Table.create
+      ~title:
+        "E11a: Delta-multiplier sweep (line graph, eps=0.5) - the proof's 20 is loose"
+      ~columns:[ "mult"; "delta"; "s-edges"; "edge%"; "worst ratio (5 trials)" ]
+  in
+  List.iter
+    (fun multiplier ->
+      let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+      let worst = ref 1.0 and edges = ref 0 in
+      for _ = 1 to 5 do
+        let s, st = Gdelta.sparsify rng g ~delta in
+        edges := st.Gdelta.edges;
+        let os = Matching.size (Blossom.solve s) in
+        let r = Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os in
+        if r > !worst then worst := r
+      done;
+      Table.add_row t
+        [
+          Table.cell_f multiplier;
+          Table.cell_i delta;
+          Table.cell_i !edges;
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int !edges /. float_of_int (Graph.m g));
+          Printf.sprintf "%.4f" !worst;
+        ])
+    [ 0.0625; 0.125; 0.25; 0.5; 1.0; 2.0 ];
+  emit t;
+  (* marking-rule ablation *)
+  let t2 =
+    Table.create
+      ~title:"E11b: marking rule (mark-all threshold Delta vs 2*Delta)"
+      ~columns:[ "rule"; "delta"; "s-edges"; "worst ratio (5 trials)" ]
+  in
+  List.iter
+    (fun (label, rule) ->
+      let delta = Delta_param.scaled ~multiplier:0.25 ~beta ~eps in
+      let worst = ref 1.0 and edges = ref 0 in
+      for _ = 1 to 5 do
+        let s, st = Gdelta.sparsify ~rule rng g ~delta in
+        edges := st.Gdelta.edges;
+        let os = Matching.size (Blossom.solve s) in
+        let r = Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os in
+        if r > !worst then worst := r
+      done;
+      Table.add_row t2
+        [
+          label;
+          Table.cell_i delta;
+          Table.cell_i !edges;
+          Printf.sprintf "%.4f" !worst;
+        ])
+    [
+      ("<= Delta (sec 2)", Gdelta.Mark_all_at_most_delta);
+      ("<= 2*Delta (sec 3.1)", Gdelta.Mark_all_at_most_two_delta);
+    ];
+  emit t2;
+  (* Lemma 2.2 tightness across families *)
+  (* walker-attempt ablation: the rounds/quality knob of the distributed
+     (1+eps) matcher *)
+  let t_walk =
+    Table.create
+      ~title:"E11d: walker attempts per phase (unit disk n=400, eps=0.5)"
+      ~columns:[ "attempts"; "rounds"; "size"; "opt"; "ratio" ]
+  in
+  let gw, _ = Unit_disk.random rng ~n:400 ~radius:0.12 in
+  let optw = mcm_of gw in
+  List.iter
+    (fun attempts ->
+      let m, st =
+        Matching_dist.one_plus_eps ~attempts_per_phase:attempts
+          (Rng.create (seed + 100 + attempts)) gw ~eps:0.5
+      in
+      Table.add_row t_walk
+        [
+          Table.cell_i attempts;
+          Table.cell_i st.Matching_dist.rounds;
+          Table.cell_i (Matching.size m);
+          Table.cell_i optw;
+          Printf.sprintf "%.4f"
+            (float_of_int optw /. float_of_int (max 1 (Matching.size m)));
+        ])
+    [ 1; 4; 16; 64 ];
+  emit t_walk;
+  let t3 =
+    Table.create ~title:"E11c (Lemma 2.2): MCM >= n'/(beta+2)"
+      ~columns:[ "family"; "n'"; "beta"; "n'/(b+2)"; "MCM"; "ok" ]
+  in
+  List.iter
+    (fun { name; graph = g; beta } ->
+      let opt = mcm_of g in
+      let non_isolated = ref 0 in
+      for v = 0 to Graph.n g - 1 do
+        if Graph.degree g v > 0 then incr non_isolated
+      done;
+      Table.add_row t3
+        [
+          name;
+          Table.cell_i !non_isolated;
+          Table.cell_i beta;
+          Printf.sprintf "%.1f" (float_of_int !non_isolated /. float_of_int (beta + 2));
+          Table.cell_i opt;
+          Table.cell_b (opt * (beta + 2) >= !non_isolated);
+        ])
+    (families rng);
+  emit t3
+
+(* ------------------------------------------------------------------ *)
+(* E12 - semi-streaming extension                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e12_streaming () =
+  let t =
+    Table.create
+      ~title:
+        "E12 (sec 3 extension): one-pass semi-streaming G_delta (K_n, beta=1, eps=0.5)"
+      ~columns:
+        [ "n"; "stream m"; "peak mem"; "mem/m"; "n*2delta"; "size"; "opt" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (seed + 12) in
+      let g = Gen.complete n in
+      let edges = Graph.edges g in
+      Rng.shuffle_in_place rng edges;
+      let delta = Delta_param.scaled ~multiplier:1.0 ~beta:1 ~eps:0.5 in
+      let s, `Stored peak, `Stream_len len =
+        Mspar_stream.Stream_sparsifier.run rng ~n ~delta edges
+      in
+      let got = Matching.size (Blossom.solve s) in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i len;
+          Table.cell_i peak;
+          Printf.sprintf "%.3f" (float_of_int peak /. float_of_int len);
+          Table.cell_i (n * 2 * delta);
+          Table.cell_i got;
+          Table.cell_i (n / 2);
+        ])
+    [ 200; 400; 800 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E13 - MPC: constant rounds, per-machine memory n*Delta not m       *)
+(* ------------------------------------------------------------------ *)
+
+let e13_mpc () =
+  let t =
+    Table.create
+      ~title:
+        "E13 (sec 3 extension): MPC matching - coordinator memory vs m (K_n, 16 machines)"
+      ~columns:
+        [ "n"; "m"; "rounds"; "max load"; "load/m"; "baseline load"; "size"; "opt" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (seed + 13) in
+      let g = Gen.complete n in
+      let cfg = { Mspar_mpc.Mpc.machines = 16; capacity = max_int } in
+      let r = Mspar_mpc.Mpc_matching.run rng cfg g ~beta:1 ~eps:0.5 in
+      let base = Mspar_mpc.Mpc_matching.baseline_gather cfg g in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i (Graph.m g);
+          Table.cell_i r.Mspar_mpc.Mpc_matching.rounds;
+          Table.cell_i r.Mspar_mpc.Mpc_matching.max_load;
+          Printf.sprintf "%.3f"
+            (float_of_int r.Mspar_mpc.Mpc_matching.max_load
+            /. float_of_int (Graph.m g));
+          Table.cell_i base;
+          Table.cell_i (Matching.size r.Mspar_mpc.Mpc_matching.matching);
+          Table.cell_i (n / 2);
+        ])
+    [ 200; 400; 800 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E14 - oblivious dynamic sparsifier: O(Delta) worst-case updates     *)
+(* ------------------------------------------------------------------ *)
+
+let e14_oblivious_dynamic () =
+  let t =
+    Table.create
+      ~title:
+        "E14 (sec 3.3 oblivious case): dynamic G_delta maintenance, O(Delta) updates"
+      ~columns:
+        [ "n"; "delta"; "updates"; "worst work"; "bound 4d+1"; "snapshot ratio" ]
+  in
+  List.iter
+    (fun n ->
+      let delta = 8 in
+      let rng = Rng.create (seed + 14) in
+      let ds = Mspar_dynamic.Dyn_sparsifier.create (Rng.split rng) ~n ~delta in
+      (* oblivious random churn: the adversary fixes the sequence without
+         looking at the algorithm's state *)
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          ignore (Mspar_dynamic.Dyn_sparsifier.insert ds u v)
+        done
+      done;
+      for _ = 1 to 500 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then
+          if Rng.bernoulli rng 0.5 then
+            ignore (Mspar_dynamic.Dyn_sparsifier.delete ds u v)
+          else ignore (Mspar_dynamic.Dyn_sparsifier.insert ds u v)
+      done;
+      let s = Mspar_dynamic.Dyn_sparsifier.sparsifier ds in
+      let g = Mspar_dynamic.Dyn_graph.snapshot (Mspar_dynamic.Dyn_sparsifier.graph ds) in
+      let opt = mcm_of g in
+      let os = mcm_of s in
+      let st = Mspar_dynamic.Dyn_sparsifier.stats ds in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i delta;
+          Table.cell_i st.Mspar_dynamic.Dyn_sparsifier.updates;
+          Table.cell_i st.Mspar_dynamic.Dyn_sparsifier.max_update_work;
+          Table.cell_i ((4 * delta) + 1);
+          Printf.sprintf "%.4f"
+            (Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os);
+        ])
+    [ 100; 200; 400 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E15 - Barenboim-Oren comparison: deterministic (2+eps) vs our (1+eps) *)
+(* ------------------------------------------------------------------ *)
+
+let e15_deterministic_distributed () =
+  let t =
+    Table.create
+      ~title:
+        "E15 (remark after Thm 3.2): deterministic maximal (2+eps, Barenboim-Oren style) vs randomized walkers (1+eps)"
+      ~columns:
+        [
+          "n"; "det rounds"; "det ratio"; "walk rounds"; "walk ratio";
+          "color rounds (log*)";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (seed + 15) in
+      let g, _ =
+        Unit_disk.random rng ~n ~radius:(0.35 /. sqrt (float_of_int n /. 200.0))
+      in
+      let opt = mcm_of g in
+      (* both matchers run on the same composed bounded-degree sparsifier *)
+      let sparsifier, _ =
+        Sparsify_dist.composed (Rng.split rng) g ~beta:5 ~eps:0.5
+          ~multiplier:0.5 ()
+      in
+      let det_m, det_st = Det_matching.maximal sparsifier in
+      let walk_m, walk_st =
+        Matching_dist.one_plus_eps ~attempts_per_phase:12 (Rng.split rng)
+          sparsifier ~eps:0.5
+      in
+      let ratio m = float_of_int opt /. float_of_int (max 1 (Matching.size m)) in
+      Table.add_row t
+        [
+          Table.cell_i n;
+          Table.cell_i det_st.Det_matching.rounds;
+          Printf.sprintf "%.3f" (ratio det_m);
+          Table.cell_i walk_st.Matching_dist.rounds;
+          Printf.sprintf "%.3f" (ratio walk_m);
+          Table.cell_i det_st.Det_matching.coloring_rounds;
+        ])
+    [ 200; 400; 800 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E16 - tightness: cost scales linearly with beta (lower bound side)  *)
+(* ------------------------------------------------------------------ *)
+
+let e16_beta_scaling () =
+  let t =
+    Table.create
+      ~title:
+        "E16 (lower bound of [5,8]): pipeline probes scale linearly in beta (n fixed)"
+      ~columns:
+        [ "beta"; "delta"; "probes"; "probes/beta"; "2m"; "ratio" ]
+  in
+  let n = 420 in
+  List.iter
+    (fun beta ->
+      let rng = Rng.create (seed + 16) in
+      let g = Gen.bounded_diversity rng ~n ~cliques:30 ~memberships:beta in
+      let opt = mcm_of g in
+      let r = Pipeline.run ~multiplier:0.5 (Rng.split rng) g ~beta ~eps:0.5 in
+      Table.add_row t
+        [
+          Table.cell_i beta;
+          Table.cell_i r.Pipeline.delta;
+          Table.cell_i r.Pipeline.probes_on_input;
+          Table.cell_i (r.Pipeline.probes_on_input / beta);
+          Table.cell_i (2 * Graph.m g);
+          Printf.sprintf "%.3f"
+            (float_of_int opt
+            /. float_of_int (max 1 (Matching.size r.Pipeline.matching)));
+        ])
+    [ 1; 2; 4; 8 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E17 - regime map: where the sparsifier wins                         *)
+(* ------------------------------------------------------------------ *)
+
+let e17_regime () =
+  let t =
+    Table.create
+      ~title:
+        "E17 (regime, sec 1.2): density sweep at n=700 unit-disk - crossover where probes << input"
+      ~columns:
+        [
+          "radius"; "m"; "avg deg"; "probe%"; "pipe ms"; "greedy ms"; "exact ms";
+          "ratio";
+        ]
+  in
+  let n = 700 in
+  List.iter
+    (fun radius ->
+      let rng = Rng.create (seed + 17) in
+      let g, _ = Unit_disk.random rng ~n ~radius in
+      let opt, exact_ns = Clock.time_ns (fun () -> Blossom.solve g) in
+      let opt = Matching.size opt in
+      let _, greedy_ns = Clock.time_ns (fun () -> Greedy.maximal g) in
+      let r = Pipeline.run ~multiplier:0.25 (Rng.split rng) g ~beta:5 ~eps:0.5 in
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" radius;
+          Table.cell_i (Graph.m g);
+          Printf.sprintf "%.0f" (float_of_int (2 * Graph.m g) /. float_of_int n);
+          Printf.sprintf "%.1f%%" (100.0 *. Pipeline.sublinearity_ratio r);
+          Printf.sprintf "%.2f"
+            (Clock.ns_to_ms (Int64.add r.Pipeline.sparsify_ns r.Pipeline.match_ns));
+          Printf.sprintf "%.2f" (Clock.ns_to_ms greedy_ns);
+          Printf.sprintf "%.2f" (Clock.ns_to_ms exact_ns);
+          Printf.sprintf "%.3f"
+            (float_of_int opt
+            /. float_of_int (max 1 (Matching.size r.Pipeline.matching)));
+        ])
+    [ 0.05; 0.1; 0.2; 0.4; 0.8 ];
+  emit t
+
+(* ------------------------------------------------------------------ *)
+(* E18 - G_delta vs EDCS: the two sparsifier philosophies              *)
+(* ------------------------------------------------------------------ *)
+
+let e18_edcs_comparison () =
+  let t =
+    Table.create
+      ~title:
+        "E18 (positioning vs [4,6]): G_delta (needs bounded beta, reaches 1+eps) vs EDCS (any graph, 3/2)"
+      ~columns:
+        [
+          "family"; "opt"; "Gd edges"; "Gd ratio"; "EDCS edges"; "EDCS ratio";
+        ]
+  in
+  let rng = Rng.create (seed + 18) in
+  (* the hub gadget has beta = pairs = 200 (each hub sees all l_i's):
+     exactly the high-beta regime Theorem 2.1 excludes.  Sparsifying it with
+     a Delta sized for small claimed beta shows the failure; EDCS, which has
+     no beta assumption (but reads all of m), is unaffected. *)
+  let hub, _ = Gen.hub_gadget ~pairs:200 ~hub_size:20 in
+  let instances =
+    [
+      ("K300 (beta=1)", Gen.complete 300, 1);
+      ("line graph (beta=2)", Line_graph.random_base rng ~base_n:50 ~p:0.35, 2);
+      ("hub gadget, Delta for beta=21", hub, 21);
+      ("hub gadget, Delta for beta=1", hub, 1);
+    ]
+  in
+  List.iter
+    (fun (name, g, beta) ->
+      let opt = mcm_of g in
+      let delta = Delta_param.scaled ~multiplier:0.5 ~beta ~eps:0.5 in
+      let s, _ = Gdelta.sparsify (Rng.split rng) g ~delta in
+      let os = mcm_of s in
+      let h = Edcs.construct g ~bound:(2 * delta) in
+      let oh = mcm_of h in
+      Table.add_row t
+        [
+          name;
+          Table.cell_i opt;
+          Table.cell_i (Graph.m s);
+          Printf.sprintf "%.4f"
+            (Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os);
+          Table.cell_i (Graph.m h);
+          Printf.sprintf "%.4f"
+            (Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:oh);
+        ])
+    instances;
+  emit t
+
+let all =
+  [
+    ("e1_approximation", e1_approximation);
+    ("e2_size", e2_size);
+    ("e3_arboricity", e3_arboricity);
+    ("e4_deterministic_fails", e4_deterministic_fails);
+    ("e5_exactness", e5_exactness);
+    ("e6_sequential", e6_sequential);
+    ("e7_rounds", e7_rounds);
+    ("e8_messages", e8_messages);
+    ("e9_dynamic", e9_dynamic);
+    ("e10_composition", e10_composition);
+    ("e11_ablations", e11_ablations);
+    ("e12_streaming", e12_streaming);
+    ("e13_mpc", e13_mpc);
+    ("e14_oblivious_dynamic", e14_oblivious_dynamic);
+    ("e15_deterministic_distributed", e15_deterministic_distributed);
+    ("e16_beta_scaling", e16_beta_scaling);
+    ("e17_regime", e17_regime);
+    ("e18_edcs_comparison", e18_edcs_comparison);
+  ]

@@ -1,0 +1,50 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe               - all experiments + micro-benches
+     dune exec bench/main.exe -- e6 e9      - only the named experiments
+     dune exec bench/main.exe -- micro      - only the bechamel micro-benches
+
+   Experiment ids correspond to DESIGN.md's experiment index; every table
+   regenerates the quantitative content of one claim of the paper. *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  (* --csv DIR: also write each table as <DIR>/<id>.csv *)
+  let args =
+    match args with
+    | "--csv" :: dir :: rest ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Experiments.csv_dir := Some dir;
+        rest
+    | args -> args
+  in
+  let wants name =
+    (* exact id, or a prefix ending at the id's underscore: "e6" selects
+       e6_sequential but not e11_ablations *)
+    let matches a =
+      a = name
+      || (String.length a < String.length name
+         && String.sub name 0 (String.length a) = a
+         && name.[String.length a] = '_')
+    in
+    args = [] || List.exists matches args
+  in
+  let ran = ref 0 in
+  List.iter
+    (fun (name, f) ->
+      if wants name then begin
+        incr ran;
+        f ()
+      end)
+    Experiments.all;
+  if wants "micro" then begin
+    incr ran;
+    Micro.run ()
+  end;
+  if !ran = 0 then begin
+    prerr_endline "no experiment matched; available:";
+    List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
+    prerr_endline "  micro";
+    exit 1
+  end

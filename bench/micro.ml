@@ -1,0 +1,123 @@
+(* Bechamel micro-benchmarks for the performance-critical kernels.
+
+   One Test.make per kernel; the OLS estimate (ns/run) is printed as a
+   table.  These complement the experiment tables: E-tables measure the
+   complexity *shape* (probes, messages, work units), the micro-benchmarks
+   measure raw constants on this machine. *)
+
+open Bechamel
+open Toolkit
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_core
+
+let make_tests () =
+  let rng = Rng.create 424242 in
+  let k500 = Gen.complete 500 in
+  let udg, _ = Unit_disk.random rng ~n:600 ~radius:0.15 in
+  let lg = Line_graph.random_base rng ~base_n:40 ~p:0.4 in
+  let delta = 8 in
+  let sparsifier, _ = Gdelta.sparsify (Rng.create 7) k500 ~delta in
+  [
+    Test.make ~name:"gdelta/K500-d8"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Gdelta.sparsify (Rng.copy rng) k500 ~delta)));
+    Test.make ~name:"gdelta/udg600-d8"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Gdelta.sparsify (Rng.copy rng) udg ~delta)));
+    Test.make ~name:"greedy/udg600"
+      (Staged.stage (fun () -> Sys.opaque_identity (Greedy.maximal udg)));
+    Test.make ~name:"blossom/linegraph"
+      (Staged.stage (fun () -> Sys.opaque_identity (Blossom.solve lg)));
+    Test.make ~name:"blossom/K500-sparsified"
+      (Staged.stage (fun () -> Sys.opaque_identity (Blossom.solve sparsifier)));
+    Test.make ~name:"approx-eps0.5/K500-sparsified"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Approx.solve_general ~eps:0.5 sparsifier)));
+    Test.make ~name:"sparse-array/create-100k"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Sparse_array.create 100_000 ~default:(-1))));
+    Test.make ~name:"sparse-array/reset-vs-refill"
+      (let a = Sparse_array.create 100_000 ~default:(-1) in
+       Staged.stage (fun () ->
+           for i = 0 to 63 do
+             Sparse_array.set a (i * 1000) i
+           done;
+           Sparse_array.reset a));
+    Test.make ~name:"rng/sample-distinct-16-of-1000"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rng.sample_distinct (Rng.copy rng) ~k:16 ~n:1000)));
+    Test.make
+      ~name:"dyn/insert-delete"
+      (let dg = Mspar_dynamic.Dyn_graph.create 1000 in
+       let i = ref 0 in
+       Staged.stage (fun () ->
+           incr i;
+           let u = !i * 7919 mod 1000 and v = !i * 104729 mod 1000 in
+           if u <> v then begin
+             ignore (Mspar_dynamic.Dyn_graph.insert dg u v);
+             ignore (Mspar_dynamic.Dyn_graph.delete dg u v)
+           end));
+    Test.make ~name:"hopcroft-karp/bipartite-200x200"
+      (let bip =
+         Gen.random_bipartite (Rng.create 5) ~left:200 ~right:200 ~p:0.05
+       in
+       Staged.stage (fun () -> Sys.opaque_identity (Hopcroft_karp.solve bip)));
+    Test.make ~name:"det-matching/udg600-sparsified"
+      (let s8, _ = Gdelta.sparsify (Rng.create 9) udg ~delta:4 in
+       Staged.stage (fun () ->
+           Sys.opaque_identity (Mspar_distsim.Det_matching.maximal s8)));
+    Test.make ~name:"edcs/K500-bound16"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Edcs.construct k500 ~bound:16)));
+    Test.make ~name:"stream/feed-10k-edges"
+      (let edges = Graph.edges (Gen.complete 150) in
+       Staged.stage (fun () ->
+           let t =
+             Mspar_stream.Stream_sparsifier.create (Rng.create 3) ~n:150
+               ~delta:8
+           in
+           Mspar_stream.Stream_sparsifier.feed_all t edges;
+           Sys.opaque_identity t));
+    Test.make ~name:"solomon/K500-d16"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Solomon.sparsify k500 ~delta_alpha:16)));
+    Test.make ~name:"beta/compute-udg600"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Beta.compute ~budget:500_000 udg)));
+    Test.make ~name:"degeneracy/udg600"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Arboricity.degeneracy udg)));
+    Test.make ~name:"tutte-berge/linegraph"
+      (let lm = Blossom.solve lg in
+       Staged.stage (fun () ->
+           Sys.opaque_identity (Blossom.tutte_berge_witness lg lm)));
+  ]
+
+let run () =
+  let tests = Test.make_grouped ~name:"mspar" ~fmt:"%s %s" (make_tests ()) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"micro-benchmarks (bechamel OLS, monotonic clock)"
+      ~columns:[ "kernel"; "ns/run" ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | Some [] | None -> "n/a"
+      in
+      Table.add_row table [ name; est ])
+    (List.sort compare rows);
+  Experiments.emit table

@@ -1,0 +1,365 @@
+(* mspar - command-line driver for the matching-sparsifier library.
+
+   Subcommands:
+     gen       generate a graph family and print its structural parameters
+     sparsify  build G_delta and report size / arboricity / approximation
+     run       the sequential (1+eps) pipeline (Theorem 3.1)
+     dist      the distributed pipeline on the network simulator (Thm 3.2/3.3)
+     dynamic   a dynamic scenario with an adaptive adversary (Theorem 3.5) *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic given the seed)." in
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg =
+  let doc = "Number of vertices (or base-graph vertices for line graphs)." in
+  Arg.(value & opt int 300 & info [ "n" ] ~docv:"N" ~doc)
+
+let family_arg =
+  let doc =
+    "Graph family: complete | clique-minus-edge | two-cliques | line | udg | \
+     diversity | cliques | gnp | interval | hub | file (with --input)."
+  in
+  Arg.(value & opt string "complete" & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+
+let input_arg =
+  let doc = "Edge-list file to load when --family file is selected." in
+  Arg.(value & opt string "" & info [ "i"; "input" ] ~docv:"PATH" ~doc)
+
+let p_arg =
+  let doc = "Edge probability for gnp / line-graph base." in
+  Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc)
+
+let radius_arg =
+  let doc = "Radius for unit-disk graphs." in
+  Arg.(value & opt float 0.15 & info [ "radius" ] ~docv:"R" ~doc)
+
+let eps_arg =
+  let doc = "Approximation parameter eps in (0,1)." in
+  Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc)
+
+let beta_arg =
+  let doc =
+    "Neighborhood independence bound to use (0 = derive from the family)."
+  in
+  Arg.(value & opt int 0 & info [ "beta" ] ~docv:"BETA" ~doc)
+
+let multiplier_arg =
+  let doc =
+    "Multiplier for the Delta formula (the proof uses 20; small values are \
+     empirically sufficient, see bench E11)."
+  in
+  Arg.(value & opt float 1.0 & info [ "multiplier" ] ~docv:"C" ~doc)
+
+(* family name -> graph + known beta bound (0 = unknown, derive) *)
+let build_family ?(input = "") ~family ~n ~p ~radius ~seed () =
+  let rng = Rng.create seed in
+  match family with
+  | "complete" -> (Gen.complete n, 1)
+  | "clique-minus-edge" ->
+      (Gen.clique_minus_edge ~n ~missing:(n - 1, n - 2), 2)
+  | "two-cliques" ->
+      let half = if n / 2 mod 2 = 0 then (n / 2) + 1 else n / 2 in
+      (fst (Gen.two_cliques_bridge ~half:(max 3 half)), 2)
+  | "line" -> (Line_graph.random_base rng ~base_n:n ~p, 2)
+  | "udg" -> (fst (Unit_disk.random rng ~n ~radius), 5)
+  | "diversity" ->
+      (Gen.bounded_diversity rng ~n ~cliques:(max 2 (n / 10)) ~memberships:2, 2)
+  | "cliques" -> (Gen.disjoint_cliques rng ~n ~k:(max 1 (n / 75)), 1)
+  | "gnp" -> (Gen.gnp rng ~n ~p, 0)
+  | "interval" ->
+      (Geometric.proper_interval rng ~n ~span:(float_of_int n /. 25.0), 2)
+  | "hub" -> (fst (Gen.hub_gadget ~pairs:n ~hub_size:(max 1 (n / 10))), 0)
+  | "file" ->
+      if input = "" then begin
+        prerr_endline "mspar: --family file requires --input PATH";
+        exit 2
+      end;
+      (Graph_io.load input, 0)
+  | other ->
+      Printf.eprintf "mspar: unknown family %S\n" other;
+      exit 2
+
+let resolve_beta g ~declared ~family_beta =
+  if declared > 0 then declared
+  else if family_beta > 0 then family_beta
+  else
+    (* unknown family bound: compute (or lower-bound) it *)
+    max 1 (Beta.value (Beta.compute ~budget:2_000_000 g))
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run family n p radius seed input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    Printf.printf "family=%s n=%d m=%d max-degree=%d\n" family (Graph.n g)
+      (Graph.m g) (Graph.max_degree g);
+    let beta = Beta.compute ~budget:5_000_000 g in
+    Printf.printf "beta: %s%d (family bound: %s)\n"
+      (if Beta.is_exact beta then "" else ">=")
+      (Beta.value beta)
+      (if fam_beta > 0 then string_of_int fam_beta else "n/a");
+    Printf.printf "degeneracy=%d density-lower-bound=%d\n"
+      (Arboricity.degeneracy g)
+      (Arboricity.density_lower_bound g);
+    Printf.printf "MCM=%d (exact blossom)\n"
+      (Matching.size (Blossom.solve g))
+  in
+  let term = Term.(const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ input_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a graph family and print its parameters")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sparsify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sparsify_cmd =
+  let run family n p radius seed eps beta multiplier input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+    let rng = Rng.create (seed + 1) in
+    let s, st = Gdelta.sparsify rng g ~delta in
+    Printf.printf "G: n=%d m=%d    G_delta: delta=%d edges=%d (%.1f%%)\n"
+      (Graph.n g) (Graph.m g) delta st.Gdelta.edges
+      (100.0 *. float_of_int st.Gdelta.edges /. float_of_int (max 1 (Graph.m g)));
+    Printf.printf "probes=%d (%.1f%% of 2m)   degeneracy(G_delta)=%d (<= 4*delta=%d)\n"
+      st.Gdelta.probes
+      (100.0 *. float_of_int st.Gdelta.probes /. float_of_int (max 1 (2 * Graph.m g)))
+      (Arboricity.degeneracy s) (4 * delta);
+    let opt = Matching.size (Blossom.solve g) in
+    let os = Matching.size (Blossom.solve s) in
+    Printf.printf "MCM(G)=%d MCM(G_delta)=%d ratio=%.4f (target <= %.2f)\n" opt
+      os
+      (Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os)
+      (1.0 +. eps)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "sparsify" ~doc:"Build the G_delta sparsifier and report its properties")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* run (sequential pipeline)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run family n p radius seed eps beta multiplier input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let rng = Rng.create (seed + 1) in
+    let r = Pipeline.run ~multiplier rng g ~beta ~eps in
+    Printf.printf
+      "matching=%d  delta=%d  sparsifier-edges=%d  probes=%d/%d (%.1f%%)\n"
+      (Matching.size r.Pipeline.matching)
+      r.Pipeline.delta r.Pipeline.sparsifier_edges r.Pipeline.probes_on_input
+      (2 * Graph.m g)
+      (100.0 *. Pipeline.sublinearity_ratio r);
+    Printf.printf "sparsify=%.2fms match=%.2fms\n"
+      (Clock.ns_to_ms r.Pipeline.sparsify_ns)
+      (Clock.ns_to_ms r.Pipeline.match_ns);
+    let opt = Matching.size (Blossom.solve g) in
+    Printf.printf "exact MCM=%d  achieved ratio=%.4f\n" opt
+      (float_of_int opt
+      /. float_of_int (max 1 (Matching.size r.Pipeline.matching)))
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Sequential (1+eps) pipeline: sparsify then match (Theorem 3.1)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dist_cmd =
+  let run family n p radius seed eps beta multiplier input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let open Mspar_distsim in
+    let r = Pipeline_dist.run ~multiplier (Rng.create (seed + 1)) g ~beta ~eps in
+    let _, base =
+      Matching_dist.full_graph_baseline (Rng.create (seed + 2)) g
+    in
+    Printf.printf "pipeline: matching=%d rounds=%d messages=%d bits=%d\n"
+      (Matching.size r.Pipeline_dist.matching)
+      r.Pipeline_dist.rounds r.Pipeline_dist.messages r.Pipeline_dist.bits;
+    Printf.printf "baseline: rounds=%d messages=%d (m=%d)\n"
+      base.Matching_dist.rounds base.Matching_dist.messages (Graph.m g);
+    Printf.printf "message saving: %.2fx\n"
+      (float_of_int base.Matching_dist.messages
+      /. float_of_int (max 1 r.Pipeline_dist.messages))
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:"Distributed pipeline on the simulator (Theorems 3.2/3.3)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dynamic                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dynamic_cmd =
+  let run family n p radius seed eps beta multiplier steps input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let open Mspar_dynamic in
+    let dm =
+      Dyn_matching.create ~multiplier (Rng.create (seed + 1)) ~n:(Graph.n g)
+        ~beta ~eps
+    in
+    (* stream the family's edges in, matchable-first *)
+    let planted = Greedy.maximal g in
+    Matching.iter_edges planted (fun u v -> ignore (Dyn_matching.insert dm u v));
+    let rest = Graph.edges g in
+    Rng.shuffle_in_place (Rng.create (seed + 2)) rest;
+    Array.iter (fun (u, v) -> ignore (Dyn_matching.insert dm u v)) rest;
+    (* adaptive churn *)
+    let churn = Rng.create (seed + 3) in
+    for _ = 1 to steps do
+      let mate v = Matching.mate (Dyn_matching.matching dm) v in
+      match
+        Adversary.next_op Adversary.Adaptive_target_matching churn
+          (Dyn_matching.graph dm) ~current_mate:mate
+      with
+      | Some (Adversary.Delete (u, v)) -> ignore (Dyn_matching.delete dm u v)
+      | Some (Adversary.Insert (u, v)) -> ignore (Dyn_matching.insert dm u v)
+      | None -> ()
+    done;
+    let s = Dyn_matching.stats dm in
+    let final = Dyn_graph.snapshot (Dyn_matching.graph dm) in
+    let opt = Matching.size (Blossom.solve final) in
+    Printf.printf
+      "updates=%d rebuilds=%d worst-spread-work=%d/update total-work=%d\n"
+      s.Dyn_matching.updates s.Dyn_matching.rebuilds
+      s.Dyn_matching.max_spread_work s.Dyn_matching.total_work;
+    Printf.printf "final matching=%d optimum=%d ratio=%.4f\n"
+      (Dyn_matching.size dm) opt
+      (float_of_int opt /. float_of_int (max 1 (Dyn_matching.size dm)))
+  in
+  let steps_arg =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn steps.")
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ steps_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:"Dynamic maintenance under an adaptive adversary (Theorem 3.5)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* stream                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stream_cmd =
+  let run family n p radius seed eps beta multiplier input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+    let rng = Rng.create (seed + 1) in
+    let edges = Graph.edges g in
+    Rng.shuffle_in_place rng edges;
+    let s, `Stored peak, `Stream_len len =
+      Mspar_stream.Stream_sparsifier.run rng ~n:(Graph.n g) ~delta edges
+    in
+    Printf.printf "stream: %d edges, one pass; peak memory %d edges (%.1f%% of stream, cap n*delta=%d)\n"
+      len peak
+      (100.0 *. float_of_int peak /. float_of_int (max 1 len))
+      (Graph.n g * delta);
+    let opt = Matching.size (Blossom.solve g) in
+    let os = Matching.size (Blossom.solve s) in
+    Printf.printf "MCM(G)=%d MCM(streamed G_delta)=%d ratio=%.4f (target <= %.2f)\n"
+      opt os
+      (Properties.approximation_ratio ~mcm_g:opt ~mcm_sparsifier:os)
+      (1.0 +. eps)
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"One-pass semi-streaming G_delta via reservoir sampling")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mpc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mpc_cmd =
+  let run family n p radius seed eps beta multiplier machines input =
+    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+    let cfg = { Mspar_mpc.Mpc.machines; capacity = max_int } in
+    let r =
+      Mspar_mpc.Mpc_matching.run ~multiplier (Rng.create (seed + 1)) cfg g
+        ~beta ~eps
+    in
+    let base = Mspar_mpc.Mpc_matching.baseline_gather cfg g in
+    Printf.printf
+      "mpc: %d machines, %d rounds, max per-machine load %d words (baseline gather: %d)\n"
+      machines r.Mspar_mpc.Mpc_matching.rounds r.Mspar_mpc.Mpc_matching.max_load
+      base;
+    let opt = Matching.size (Blossom.solve g) in
+    Printf.printf "matching=%d optimum=%d ratio=%.4f\n"
+      (Matching.size r.Mspar_mpc.Mpc_matching.matching)
+      opt
+      (float_of_int opt
+      /. float_of_int (max 1 (Matching.size r.Mspar_mpc.Mpc_matching.matching)))
+  in
+  let machines_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "machines" ] ~docv:"M" ~doc:"Number of MPC machines.")
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
+      $ beta_arg $ multiplier_arg $ machines_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "mpc" ~doc:"Two-round MPC matching via the sparsifier")
+    term
+
+let () =
+  let info =
+    Cmd.info "mspar" ~version:"1.0.0"
+      ~doc:"Matching sparsifiers for graphs of bounded neighborhood independence"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; sparsify_cmd; run_cmd; dist_cmd; dynamic_cmd; stream_cmd;
+            mpc_cmd;
+          ]))

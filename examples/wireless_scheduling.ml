@@ -1,0 +1,61 @@
+(* Wireless link scheduling on a unit-disk radio network.
+
+   Devices sit in the plane and can talk to anything within radio range —
+   a unit-disk graph, one of the paper's motivating bounded-neighborhood-
+   independence families (beta <= 5 in the plane).  A transmission schedule
+   for one time slot is a set of point-to-point links in which every device
+   participates at most once: a matching.  Maximizing simultaneous
+   transmissions = maximum matching.
+
+   This example compares three schedulers on the same deployment:
+     greedy    - maximal matching over all links (the classic 2-approx)
+     sparsified - the paper's pipeline: sample Delta links per device, match
+                  on the sample only
+     exact     - Edmonds blossom on the full link graph (ground truth)
+
+   Run with:  dune exec examples/wireless_scheduling.exe *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_core
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 900 in
+  (* dense deployment: each device hears a couple hundred others *)
+  let radius = 0.25 in
+  let g, _points = Unit_disk.random rng ~n ~radius in
+  Printf.printf "deployment: %d devices, %d feasible links, max degree %d\n"
+    (Graph.n g) (Graph.m g) (Graph.max_degree g);
+
+  let beta = 5 (* planar unit-disk bound; exact beta is usually smaller *) in
+  let eps = 0.25 in
+
+  let (exact, exact_ns) = Clock.time_ns (fun () -> Blossom.solve g) in
+  let (greedy, greedy_ns) = Clock.time_ns (fun () -> Greedy.maximal g) in
+  (* multiplier 0.25: the proof constant is far from tight (bench E11) *)
+  let r = Pipeline.run ~multiplier:0.25 rng g ~beta ~eps in
+  let sparsified = r.Pipeline.matching in
+  let spars_ns = Int64.add r.Pipeline.sparsify_ns r.Pipeline.match_ns in
+
+  let opt = Matching.size exact in
+  let report name m ns =
+    Printf.printf "%-11s %4d links scheduled  (ratio %.4f)  %8.2f ms\n" name
+      (Matching.size m)
+      (float_of_int opt /. float_of_int (max 1 (Matching.size m)))
+      (Clock.ns_to_ms ns)
+  in
+  Printf.printf "\nscheduler    slots                         time\n";
+  report "exact" exact exact_ns;
+  report "greedy" greedy greedy_ns;
+  report "sparsified" sparsified spars_ns;
+  Printf.printf
+    "\nsparsified read %d adjacency entries of %d (%.1f%%) and matched on %d links\n"
+    r.Pipeline.probes_on_input (2 * Graph.m g)
+    (100.0 *. Pipeline.sublinearity_ratio r)
+    r.Pipeline.sparsifier_edges;
+  assert (Matching.is_valid g sparsified);
+  assert (float_of_int opt
+          <= (1.0 +. eps) *. (1.0 +. eps)
+             *. float_of_int (max 1 (Matching.size sparsified)))

@@ -1,0 +1,22 @@
+open Mspar_graph
+
+type result = {
+  gdelta : Graph.t;
+  bounded : Graph.t;
+  delta : int;
+  delta_alpha : int;
+  max_degree : int;
+}
+
+let run ?(multiplier = 2.0) rng g ~beta ~eps =
+  let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+  let gdelta, _ = Gdelta.sparsify rng g ~delta in
+  let delta_alpha = Solomon.delta_alpha ~alpha:(2 * delta) ~eps in
+  let bounded = Solomon.sparsify gdelta ~delta_alpha in
+  {
+    gdelta;
+    bounded;
+    delta;
+    delta_alpha;
+    max_degree = Graph.max_degree bounded;
+  }

@@ -1,0 +1,24 @@
+(** Two-round composed sparsifier: G_Δ followed by Solomon'18 (paper §3.2).
+
+    Round 1 builds G_Δ (arboricity ≤ 2Δ, Obs 2.12); round 2 applies the
+    bounded-degree sparsifier with Δ_α = Θ(2Δ/ε) on top.  The composition
+    is a (1+ε)² ≤ (1+3ε)-matching sparsifier with maximum degree
+    O((β/ε²)·log(1/ε)), which is what lets a bounded-degree distributed
+    matching algorithm run on graphs of unbounded degree. *)
+
+open Mspar_prelude
+open Mspar_graph
+
+type result = {
+  gdelta : Graph.t;  (** after round 1 *)
+  bounded : Graph.t;  (** after round 2 — the output sparsifier *)
+  delta : int;
+  delta_alpha : int;
+  max_degree : int;  (** of [bounded]; ≤ [delta_alpha] by construction *)
+}
+
+val run :
+  ?multiplier:float -> Rng.t -> Graph.t -> beta:int -> eps:float -> result
+(** [run rng g ~beta ~eps] performs both rounds with
+    Δ = {!Delta_param.scaled} (default multiplier 2.0) and
+    Δ_α = {!Solomon.delta_alpha} for α = 2Δ. *)

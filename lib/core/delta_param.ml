@@ -1,0 +1,16 @@
+let check ~beta ~eps =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Delta_param: eps must lie in (0, 1)";
+  if beta < 1 then invalid_arg "Delta_param: beta must be >= 1"
+
+let scaled ~multiplier ~beta ~eps =
+  check ~beta ~eps;
+  if multiplier <= 0.0 then invalid_arg "Delta_param: multiplier must be positive";
+  let v = multiplier *. (float_of_int beta /. eps) *. log (24.0 /. eps) in
+  max 1 (int_of_float (ceil v))
+
+let paper ~beta ~eps = scaled ~multiplier:20.0 ~beta ~eps
+let practical ~beta ~eps = scaled ~multiplier:2.0 ~beta ~eps
+
+let regime_ok ~n ~beta ~eps =
+  n < 3 || float_of_int beta <= eps *. float_of_int n /. log (float_of_int n)

@@ -1,0 +1,23 @@
+(** The Δ parameter of the sparsifier.
+
+    Theorem 2.1 proves the `(1+ε)` guarantee for
+    [Δ = 20·(β/ε)·ln(24/ε)].  That constant is chosen for proof convenience,
+    not tightness; empirically far smaller multipliers already achieve the
+    target ratio (experiment E11 sweeps the multiplier).  All constructors
+    return at least 1. *)
+
+val paper : beta:int -> eps:float -> int
+(** The proof's value: ⌈20·(β/ε)·ln(24/ε)⌉.
+    @raise Invalid_argument unless [0 < eps < 1] and [beta >= 1]. *)
+
+val scaled : multiplier:float -> beta:int -> eps:float -> int
+(** ⌈multiplier·(β/ε)·ln(24/ε)⌉ — the knob for the ablation study. *)
+
+val practical : beta:int -> eps:float -> int
+(** A default for experiments: multiplier 2.0.  The test-suite validates
+    that the `(1+ε)` ratio empirically holds at this setting on the paper's
+    graph families. *)
+
+val regime_ok : n:int -> beta:int -> eps:float -> bool
+(** The theorem's regime condition β = O(εn / log n), instantiated with
+    constant 1: [beta <= eps * n / ln n] (true for n < 3). *)

@@ -1,0 +1,56 @@
+open Mspar_graph
+
+(* The fix-point loop maintains H as a hash set of normalised edges plus a
+   degree table, sweeping all edges until a full sweep makes no change.
+   Termination: deletions strictly decrease the potential
+   Φ = (bound - 1/2)·Σ deg_H(v) − Σ_{(u,v)∈H}(deg_H u + deg_H v) ... the
+   classic argument; empirically a handful of sweeps suffice. *)
+let construct g ~bound =
+  if bound < 2 then invalid_arg "Edcs.construct: bound >= 2";
+  let nv = Graph.n g in
+  let deg = Array.make nv 0 in
+  let in_h = Hashtbl.create 256 in
+  let edges = Graph.edges g in
+  let add u v =
+    Hashtbl.replace in_h (u, v) ();
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  in
+  let remove u v =
+    Hashtbl.remove in_h (u, v);
+    deg.(u) <- deg.(u) - 1;
+    deg.(v) <- deg.(v) - 1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (u, v) ->
+        let present = Hashtbl.mem in_h (u, v) in
+        let sum = deg.(u) + deg.(v) in
+        if present && sum > bound then begin
+          remove u v;
+          changed := true
+        end
+        else if (not present) && sum < bound - 1 then begin
+          add u v;
+          changed := true
+        end)
+      edges
+  done;
+  Graph.of_edges ~n:nv (Hashtbl.fold (fun e () acc -> e :: acc) in_h [])
+
+let check_p1 _g ~edcs ~bound =
+  let ok = ref true in
+  Graph.iter_edges edcs (fun u v ->
+      if Graph.degree edcs u + Graph.degree edcs v > bound then ok := false);
+  !ok
+
+let check_p2 g ~edcs ~bound =
+  let ok = ref true in
+  Graph.iter_edges g (fun u v ->
+      if
+        (not (Graph.has_edge edcs u v))
+        && Graph.degree edcs u + Graph.degree edcs v < bound - 1
+      then ok := false);
+  !ok

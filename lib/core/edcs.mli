@@ -1,0 +1,32 @@
+(** Edge-degree constrained subgraphs (EDCS) — the comparison sparsifier.
+
+    The EDCS (Bernstein–Stein; used by the paper's references [4, 6] for
+    massive-graph matching) is the other canonical matching sparsifier: a
+    subgraph H of G such that
+
+    {ul
+    {- (P1) every edge (u,v) of H has [deg_H u + deg_H v <= bound];}
+    {- (P2) every edge (u,v) of G \ H has [deg_H u + deg_H v >= bound - 1].}}
+
+    An EDCS has O(n·bound) edges and preserves the maximum matching within a
+    factor 3/2 + O(1/bound) in {e general} graphs — no neighborhood-
+    independence assumption.  The trade against G_Δ is exactly the paper's
+    positioning: G_Δ reaches (1+ε) but needs bounded β; the EDCS works
+    everywhere but cannot beat 3/2.  Experiment E18 measures both sides.
+
+    The constructor is the classic local-fixing loop: repeatedly delete
+    (P1)-violating edges and insert (P2)-violating ones; a standard
+    potential argument bounds the number of fixes by O(m·bound²)
+    [Assadi–Bernstein]. *)
+
+open Mspar_graph
+
+val construct : Graph.t -> bound:int -> Graph.t
+(** An EDCS of [g] with parameter [bound >= 2].  Deterministic (scans edges
+    in a fixed order). *)
+
+val check_p1 : Graph.t -> edcs:Graph.t -> bound:int -> bool
+(** Property (P1) holds. *)
+
+val check_p2 : Graph.t -> edcs:Graph.t -> bound:int -> bool
+(** Property (P2) holds. *)

@@ -1,0 +1,68 @@
+open Mspar_prelude
+open Mspar_graph
+
+type stats = {
+  delta : int;
+  marks : int;
+  edges : int;
+  probes : int;
+  build_ns : int64;
+}
+
+type mark_rule = Mark_all_at_most_delta | Mark_all_at_most_two_delta
+
+let threshold rule delta =
+  match rule with
+  | Mark_all_at_most_delta -> delta
+  | Mark_all_at_most_two_delta -> 2 * delta
+
+let collect_marks ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
+  let nv = Graph.n g in
+  let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
+  let pairs = ref [] in
+  let marks = ref 0 in
+  let keep = threshold rule delta in
+  for v = 0 to nv - 1 do
+    let d = Graph.degree g v in
+    if d <= keep then
+      (* low degree: the whole neighborhood enters the sparsifier *)
+      Graph.iter_neighbors g v (fun u ->
+          pairs := (v, u) :: !pairs;
+          incr marks)
+    else
+      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+          let u = Graph.neighbor g v i in
+          pairs := (v, u) :: !pairs;
+          incr marks)
+  done;
+  (!pairs, !marks)
+
+let marked_pairs ?rule rng g ~delta = fst (collect_marks ?rule rng g ~delta)
+
+let sparsify ?rule rng g ~delta =
+  Graph.reset_probes g;
+  let t0 = Clock.now_ns () in
+  let pairs, marks = collect_marks ?rule rng g ~delta in
+  let probes = Graph.probes g in
+  let sparsifier = Graph.of_edges ~n:(Graph.n g) pairs in
+  let t1 = Clock.now_ns () in
+  ( sparsifier,
+    {
+      delta;
+      marks;
+      edges = Graph.m sparsifier;
+      probes;
+      build_ns = Int64.sub t1 t0;
+    } )
+
+let deterministic_first_k g ~delta =
+  if delta < 1 then invalid_arg "Gdelta.deterministic_first_k: delta >= 1";
+  let pairs = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    let d = min delta (Graph.degree g v) in
+    for i = 0 to d - 1 do
+      pairs := (v, Graph.neighbor g v i) :: !pairs
+    done
+  done;
+  Graph.of_edges ~n:(Graph.n g) !pairs

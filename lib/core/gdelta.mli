@@ -1,0 +1,50 @@
+(** The random matching sparsifier G_Δ (Section 2 of the paper).
+
+    Every vertex marks Δ of its incident edges uniformly at random without
+    replacement (all of them if its degree is at most the threshold); the
+    sparsifier is the union of marked edges.  Marking uses the read-only
+    emulated-swap sampler ({!Mspar_prelude.Sampling}), so construction costs
+    a deterministic O(Δ) adjacency probes per vertex — the measured probe
+    count is returned so sublinearity can be verified against m.
+
+    Two threshold conventions appear in the paper:
+    {ul
+    {- §2: mark all neighbors when deg(v) ≤ Δ;}
+    {- §3.1 ("the tweak"): mark all neighbors when deg(v) ≤ 2Δ, which keeps
+       per-vertex sampling O(Δ) with the simple rejection-free sampler at
+       the cost of a factor ≤ 2 in size/arboricity.}}
+
+    Both are available via [mark_all_threshold]; the default is the §3.1
+    convention. *)
+
+open Mspar_prelude
+open Mspar_graph
+
+type stats = {
+  delta : int;  (** the Δ used *)
+  marks : int;  (** total (vertex, edge) marking events *)
+  edges : int;  (** edges in the sparsifier (marks minus duplicates) *)
+  probes : int;  (** adjacency-array reads consumed by the construction *)
+  build_ns : int64;  (** wall-clock construction time *)
+}
+
+type mark_rule =
+  | Mark_all_at_most_delta  (** §2 convention: full neighborhood iff deg ≤ Δ *)
+  | Mark_all_at_most_two_delta  (** §3.1 tweak: full neighborhood iff deg ≤ 2Δ *)
+
+val sparsify :
+  ?rule:mark_rule -> Rng.t -> Graph.t -> delta:int -> Graph.t * stats
+(** [sparsify rng g ~delta] builds G_Δ.  Probes counted on [g] are reset
+    and measured across the call.  Default rule:
+    {!Mark_all_at_most_two_delta}. *)
+
+val marked_pairs :
+  ?rule:mark_rule -> Rng.t -> Graph.t -> delta:int -> (int * int) list
+(** The raw marked pairs (possibly containing an edge twice, once per
+    marking endpoint) without building the subgraph — used by the
+    distributed layer, where each marking event is one 1-bit message. *)
+
+val deterministic_first_k : Graph.t -> delta:int -> Graph.t
+(** The strawman of Lemma 2.13: every vertex deterministically marks its
+    first Δ adjacency-array entries.  Exhibits approximation ratio n/(2Δ)
+    on the clique-minus-edge family. *)

@@ -1,0 +1,62 @@
+open Mspar_graph
+open Mspar_matching
+
+type oracle = {
+  probe : int -> int;
+  n : int;
+  delta : int;
+  decoys : int array;
+}
+
+type outcome = Small_matching of int | Infeasible of (int * int)
+
+let play algo ~n ~delta =
+  if n < 4 || n mod 2 <> 0 then invalid_arg "Lower_bound.play: need even n >= 4";
+  if delta < 1 || delta >= n / 2 then
+    invalid_arg "Lower_bound.play: need 1 <= delta < n/2";
+  let decoys = Array.init delta (fun i -> i) in
+  let in_decoys v = v < delta in
+  let probes_used = Array.make n 0 in
+  let probe v =
+    if v < 0 || v >= n then invalid_arg "Lower_bound: probe out of range";
+    let k = probes_used.(v) in
+    if k >= delta then
+      invalid_arg "Lower_bound: probe budget exceeded";
+    probes_used.(v) <- k + 1;
+    if in_decoys v then
+      (* k-th vertex of V \ {v} in increasing order *)
+      if k < v then k else k + 1
+    else
+      (* answers to outsiders always point into D *)
+      decoys.(k)
+  in
+  let output = algo { probe; n; delta; decoys } in
+  (* validate the output's form: items are (chooser, neighbor) marks, at
+     most delta marks per chooser (the lemma's "includes up to Δ adjacent
+     edges for each vertex") *)
+  let marks = Array.make n 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || v < 0 || u >= n || v >= n || u = v then
+        invalid_arg "Lower_bound: malformed output edge";
+      marks.(u) <- marks.(u) + 1;
+      if marks.(u) > delta then
+        invalid_arg "Lower_bound: output exceeds delta edges per vertex";
+      Hashtbl.replace seen (min u v, max u v) ())
+    output;
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) seen [] in
+  (* An edge with both endpoints outside D can never have been validated:
+     probes from outside-D vertices are always answered inside D.  The
+     adversary declares the first such edge to be the instance's missing
+     edge, so the output is not a subgraph of the instance. *)
+  match
+    List.find_opt (fun (u, v) -> (not (in_decoys u)) && not (in_decoys v)) edges
+  with
+  | Some e -> Infeasible e
+  | None ->
+      (* every output edge touches D, so the matching is at most |D| = Δ,
+         while the instance (K_n minus one unprobed outside pair) has a
+         matching of at least n/2 - 1 *)
+      let out_graph = Graph.of_edges ~n edges in
+      Small_matching (Matching.size (Blossom.solve out_graph))

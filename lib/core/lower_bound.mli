@@ -1,0 +1,48 @@
+(** The adversary game of Lemma 2.13, executable.
+
+    The lemma: fix n and Δ < n/2.  Any {e deterministic} procedure that (a)
+    probes at most Δ adjacency-array entries per vertex and (b) outputs at
+    most Δ incident edges per vertex achieves approximation no better than
+    n/(2Δ) on some clique-minus-one-edge instance with β = 2.
+
+    This module implements the proof's adversary: it fixes a decoy set D of
+    Δ vertices, answers every probe with a vertex of D (or, for probes from
+    inside D, with anything), and — if the algorithm dares to output an edge
+    with both endpoints outside D — declares that edge to be the missing
+    one, making the output infeasible.  Since a matching larger than Δ must
+    contain an edge avoiding D, every deterministic algorithm loses:
+
+    {ul
+    {- [`Small_matching s] with s ≤ Δ (ratio ≥ (n/2)/Δ), or}
+    {- [`Infeasible e]: the output contains the non-edge e of a consistent
+       instance.}}
+
+    The test-suite plays the game against the first-k marking strategy and
+    against a cheating strategy, confirming both outcomes; the randomized
+    construction is outside the game's hypothesis (its choices are not a
+    deterministic function of the answers), which is the content of the
+    paper's "randomization is necessary" discussion. *)
+
+type oracle = {
+  probe : int -> int;
+      (** [probe v] reveals one more neighbor of [v]; at most Δ probes per
+          vertex.  @raise Invalid_argument beyond the budget. *)
+  n : int;
+  delta : int;
+  decoys : int array;  (** the set D, known to the algorithm (as in the proof) *)
+}
+
+type outcome =
+  | Small_matching of int
+      (** every output edge touches D, so the output is consistent but its
+          MCM is at most Δ — ratio at least (n/2 − 1)/Δ on the
+          (near-)perfectly-matchable instance *)
+  | Infeasible of (int * int)
+      (** the output contains this edge with both endpoints outside D; such
+          an edge can never be probe-validated, so the adversary declares it
+          the instance's missing edge — the output is not a subgraph *)
+
+val play : (oracle -> (int * int) list) -> n:int -> delta:int -> outcome
+(** Run a deterministic marking algorithm against the adversary.
+    @raise Invalid_argument if n is odd, Δ ≥ n/2, the algorithm exceeds the
+    probe budget, or its output exceeds Δ edges per vertex. *)

@@ -1,0 +1,24 @@
+open Mspar_graph
+
+let size_bound_obs_2_10 ~sparsifier ~mcm_size ~delta ~beta =
+  Graph.m sparsifier <= 4 * mcm_size * (delta + beta)
+
+let arboricity_bound_obs_2_12 ~sparsifier ~delta =
+  Arboricity.density_lower_bound sparsifier <= 4 * delta
+
+let degeneracy_within ~sparsifier ~delta =
+  Arboricity.degeneracy sparsifier <= (2 * 4 * delta) - 1
+
+let mcm_lower_bound_lemma_2_2 g ~mcm_size ~beta =
+  let non_isolated = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > 0 then incr non_isolated
+  done;
+  (* |MCM| >= n' / (beta + 2), i.e. |MCM| * (beta + 2) >= n' *)
+  mcm_size * (beta + 2) >= !non_isolated
+
+let approximation_ratio ~mcm_g ~mcm_sparsifier =
+  if mcm_g = 0 then 1.0
+  else if mcm_sparsifier = 0 then infinity
+  else float_of_int mcm_g /. float_of_int mcm_sparsifier
+

@@ -1,0 +1,24 @@
+(** Executable checks for the paper's structural results. *)
+
+open Mspar_graph
+
+val size_bound_obs_2_10 :
+  sparsifier:Graph.t -> mcm_size:int -> delta:int -> beta:int -> bool
+(** Obs 2.10: |E(G_Δ)| ≤ 2·|MCM(G)|·(Δ+β).  With the §3.1 mark-all-below-2Δ
+    tweak the bound doubles; this check uses the conservative factor-2
+    version 4·|MCM|·(Δ+β), matching the paper's remark. *)
+
+val arboricity_bound_obs_2_12 : sparsifier:Graph.t -> delta:int -> bool
+(** Obs 2.12: arboricity(G_Δ) ≤ 2Δ (4Δ under the §3.1 tweak).  Verified via
+    the density lower bound (a true lower bound on arboricity must not
+    exceed 4Δ) — a failure here refutes the observation outright. *)
+
+val degeneracy_within : sparsifier:Graph.t -> delta:int -> bool
+(** Secondary check: degeneracy ≤ 2·(4Δ) − 1 (degeneracy ≤ 2α−1). *)
+
+val mcm_lower_bound_lemma_2_2 : Graph.t -> mcm_size:int -> beta:int -> bool
+(** Lemma 2.2: |MCM| ≥ n'/(β+2) where n' counts non-isolated vertices. *)
+
+val approximation_ratio : mcm_g:int -> mcm_sparsifier:int -> float
+(** |MCM(G)| / |MCM(G_Δ)| (∞ if the sparsifier has an empty matching while
+    G does not, 1.0 if both are empty). *)

@@ -1,0 +1,208 @@
+open Mspar_graph
+open Mspar_matching
+
+type msg =
+  | Colors of int array  (** the sender's per-forest colors *)
+  | Propose
+  | Accept
+
+type stats = {
+  rounds : int;
+  messages : int;
+  coloring_rounds : int;
+  stage_rounds : int;
+}
+
+(* per-forest parent table: parent.(v).(i) is v's out-neighbor in forest i,
+   or -1.  Out-edges go to strictly larger ids, so forests are acyclic and
+   rooted at local maxima. *)
+let forests_of g =
+  let nv = Graph.n g in
+  Array.init nv (fun v ->
+      let outs = ref [] in
+      Graph.iter_neighbors g v (fun u -> if u > v then outs := u :: !outs);
+      Array.of_list (List.rev !outs))
+
+(* one Cole-Vishkin step: new = 2*i + bit, where i is the lowest bit index
+   at which [own] and [parent] differ *)
+let cv_step ~own ~parent =
+  let diff = own lxor parent in
+  let rec lowest i = if diff land (1 lsl i) <> 0 then i else lowest (i + 1) in
+  let i = lowest 0 in
+  (2 * i) + ((own lsr i) land 1)
+
+(* a fake parent color for roots: any value differing from [own] works *)
+let root_parent own = own lxor 1
+
+let maximal g =
+  let nv = Graph.n g in
+  let net = Network.create ~bit_size:(fun _ -> 64) g in
+  let parents = forests_of g in
+  let nforests = Array.fold_left (fun acc p -> max acc (Array.length p)) 0 parents in
+  let matching = Matching.create nv in
+  if nforests = 0 then
+    ( matching,
+      { rounds = 0; messages = 0; coloring_rounds = 0; stage_rounds = 0 } )
+  else begin
+    (* colors.(v).(i): v's color in forest i; initially the id *)
+    let colors = Array.init nv (fun v -> Array.make nforests v) in
+    let coloring_start = Network.rounds net in
+    (* --- Cole-Vishkin reduction to < 8 colors (3 bits) --- *)
+    let max_color () =
+      Array.fold_left (fun acc cs -> Array.fold_left max acc cs) 0 colors
+    in
+    (* reduce until every color is in {0..5}: from 3-bit colors one step
+       yields 2i+b with i <= 2, i.e. < 6, so the loop terminates *)
+    while max_color () >= 6 do
+      (* everyone broadcasts its color vector; each vertex updates every
+         forest using its parent's vector *)
+      for v = 0 to nv - 1 do
+        Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
+      done;
+      Network.deliver net;
+      let received = Array.make nv [] in
+      for v = 0 to nv - 1 do
+        received.(v) <- Network.inbox net v
+      done;
+      for v = 0 to nv - 1 do
+        let vec_of u =
+          let rec find = function
+            | [] -> None
+            | (src, Colors c) :: _ when src = u -> Some c
+            | _ :: rest -> find rest
+          in
+          find received.(v)
+        in
+        for i = 0 to Array.length parents.(v) - 1 do
+          let own = colors.(v).(i) in
+          let parent_color =
+            match vec_of parents.(v).(i) with
+            | Some c when i < Array.length c -> c.(i)
+            | Some _ | None -> root_parent own
+          in
+          colors.(v).(i) <- cv_step ~own ~parent:parent_color
+        done;
+        (* forests where v is a root also step, against the fake parent *)
+        for i = Array.length parents.(v) to nforests - 1 do
+          let own = colors.(v).(i) in
+          colors.(v).(i) <- cv_step ~own ~parent:(root_parent own)
+        done
+      done
+    done;
+    (* --- eliminate colors 5, 4, 3 by shift-down + recolor --- *)
+    let exchange_vectors () =
+      for v = 0 to nv - 1 do
+        Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
+      done;
+      Network.deliver net;
+      Array.init nv (fun v -> Network.inbox net v)
+    in
+    for kill = 5 downto 3 do
+      (* shift down: every vertex adopts its parent's color (root: rotate),
+         making all children of a vertex share a color *)
+      let received = exchange_vectors () in
+      let next = Array.map Array.copy colors in
+      for v = 0 to nv - 1 do
+        let vec_of u =
+          let rec find = function
+            | [] -> None
+            | (src, Colors c) :: _ when src = u -> Some c
+            | _ :: rest -> find rest
+          in
+          find received.(v)
+        in
+        for i = 0 to nforests - 1 do
+          if i < Array.length parents.(v) then begin
+            match vec_of parents.(v).(i) with
+            | Some c when i < Array.length c -> next.(v).(i) <- c.(i)
+            | Some _ | None -> ()
+          end
+          else
+            (* root: rotate within {0,1,2,...} keeping properness *)
+            next.(v).(i) <- (colors.(v).(i) + 1) mod 3
+        done
+      done;
+      Array.iteri (fun v c -> colors.(v) <- c) next;
+      (* recolor the vertices currently holding [kill]: their children all
+         share one color and their parent has one color, so some color in
+         {0,1,2} is available *)
+      let received = exchange_vectors () in
+      for v = 0 to nv - 1 do
+        let vec_of u =
+          let rec find = function
+            | [] -> None
+            | (src, Colors c) :: _ when src = u -> Some c
+            | _ :: rest -> find rest
+          in
+          find received.(v)
+        in
+        for i = 0 to nforests - 1 do
+          if colors.(v).(i) = kill then begin
+            let blocked = Array.make 6 false in
+            (if i < Array.length parents.(v) then
+               match vec_of parents.(v).(i) with
+               | Some c when i < Array.length c ->
+                   if c.(i) < 6 then blocked.(c.(i)) <- true
+               | Some _ | None -> ());
+            (* children of v in forest i = neighbors u < v whose i-th
+               out-edge is v *)
+            Graph.iter_neighbors g v (fun u ->
+                if u < v then
+                  match vec_of u with
+                  | Some c
+                    when i < Array.length parents.(u)
+                         && parents.(u).(i) = v && i < Array.length c ->
+                      if c.(i) < 6 then blocked.(c.(i)) <- true
+                  | Some _ | None -> ());
+            let rec pick c = if blocked.(c) then pick (c + 1) else c in
+            colors.(v).(i) <- pick 0
+          end
+        done
+      done
+    done;
+    let coloring_rounds = Network.rounds net - coloring_start in
+    (* --- staged proposals --- *)
+    let stage_start = Network.rounds net in
+    for i = 0 to nforests - 1 do
+      for c = 0 to 2 do
+        (* proposal round *)
+        for v = 0 to nv - 1 do
+          if
+            (not (Matching.is_matched matching v))
+            && i < Array.length parents.(v)
+            && colors.(v).(i) = c
+          then Network.send net ~src:v ~dst:parents.(v).(i) Propose
+        done;
+        Network.deliver net;
+        (* acceptance round: a free parent takes its smallest proposer *)
+        for v = 0 to nv - 1 do
+          if not (Matching.is_matched matching v) then begin
+            let best = ref (-1) in
+            List.iter
+              (fun (src, m) ->
+                match m with
+                | Propose ->
+                    if
+                      (not (Matching.is_matched matching src))
+                      && (!best = -1 || src < !best)
+                    then best := src
+                | Colors _ | Accept -> ())
+              (Network.inbox net v);
+            if !best >= 0 then begin
+              Network.send net ~src:v ~dst:!best Accept;
+              Matching.add matching v !best
+            end
+          end
+        done;
+        Network.deliver net
+      done
+    done;
+    let stage_rounds = Network.rounds net - stage_start in
+    ( matching,
+      {
+        rounds = Network.rounds net;
+        messages = Network.messages net;
+        coloring_rounds;
+        stage_rounds;
+      } )
+  end

@@ -1,0 +1,45 @@
+(** Deterministic distributed maximal matching in O(Δ + log* n) rounds.
+
+    This is the deterministic bounded-degree counterpart that the paper's
+    distributed section is measured against (Barenboim–Oren's deterministic
+    algorithm achieves a (2+ε)-approximation in O(log* n) rounds for
+    constant β; a maximal matching is a 2-approximation).  The classic
+    recipe implemented here:
+
+    {ol
+    {- {b Forest decomposition} (0 rounds, local): orient every edge from
+       lower to higher id; the i-th out-edge of each vertex goes to forest
+       i.  Out-degree ≤ 1 per forest and the orientation is acyclic, so
+       every forest is a genuine rooted forest (parent = the out-neighbor).}
+    {- {b Cole–Vishkin 3-coloring} of all forests in parallel
+       (O(log* n) rounds): iterated bit-index color reduction down to 6
+       colors, then shift-down + three reduction rounds to 3 colors.
+       Messages carry one color per forest (LOCAL-size; CONGEST would
+       pipeline them).}
+    {- {b Staged proposals} (O(Δ) rounds): for each forest and each of the
+       3 colors, every still-free vertex of that color proposes along its
+       parent edge in that forest; a free parent accepts its smallest
+       proposer.  A proper coloring guarantees proposers never receive
+       proposals in the same stage, and every edge gets a stage in which
+       both endpoints were offered it — hence maximality.}}
+
+    Completely deterministic: same graph, same matching, every time. *)
+
+open Mspar_graph
+open Mspar_matching
+
+type stats = {
+  rounds : int;
+  messages : int;
+  coloring_rounds : int;  (** the log*-n part *)
+  stage_rounds : int;  (** the O(Δ) part *)
+}
+
+val maximal : Graph.t -> Matching.t * stats
+(** Deterministic distributed maximal matching of the communication
+    graph. *)
+
+val forests_of : Graph.t -> int array array
+(** The forest decomposition: [forests_of g].(v) lists v's parents, one per
+    forest index (entry -1 when v has no out-edge in that forest).  Exposed
+    for tests. *)

@@ -1,0 +1,256 @@
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+type walker = { priority : int; path : int list (* head first, initiator last *) }
+
+type msg =
+  | Propose of int  (* proposer's priority *)
+  | Accept
+  | Matched  (* "I am now matched": prune me from your free-neighbor set *)
+  | Walk of walker  (* request to extend an alternating path onto you *)
+
+let word_bits n = max 1 (int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)))
+
+let bit_size_for n = function
+  | Propose _ -> word_bits n
+  | Accept | Matched -> 1
+  | Walk w -> word_bits n * (1 + List.length w.path)
+
+type stats = { rounds : int; messages : int; bits : int; iterations : int }
+
+let stats_of net ~iterations =
+  {
+    rounds = Network.rounds net;
+    messages = Network.messages net;
+    bits = Network.bits net;
+    iterations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Proposal-based maximal matching                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared engine: runs the proposal protocol on [net], mutating [mate] and
+   the per-vertex free-neighbor knowledge.  Returns the iteration count. *)
+let run_proposal_protocol rng net mate =
+  let nv = Network.n net in
+  let local_rng = Array.init nv (fun _ -> Rng.split rng) in
+  (* free_nbrs.(v): neighbors v still believes to be free *)
+  let free_nbrs =
+    Array.init nv (fun v ->
+        let h = Hashtbl.create 16 in
+        Array.iter (fun u -> Hashtbl.replace h u ()) (Network.neighbors net v);
+        h)
+  in
+  let is_free v = mate.(v) < 0 in
+  let announced = Array.make nv false in
+  let iterations = ref 0 in
+  let progress_possible () =
+    let possible = ref false in
+    for v = 0 to nv - 1 do
+      if is_free v && Hashtbl.length free_nbrs.(v) > 0 then possible := true
+    done;
+    !possible
+  in
+  while progress_possible () do
+    incr iterations;
+    (* coin flips: proposers vs responders *)
+    let proposer = Array.init nv (fun v -> is_free v && Rng.bool local_rng.(v)) in
+    (* round 1: proposals *)
+    for v = 0 to nv - 1 do
+      if proposer.(v) && Hashtbl.length free_nbrs.(v) > 0 then begin
+        let candidates =
+          Hashtbl.fold (fun u () acc -> u :: acc) free_nbrs.(v) []
+        in
+        let pick =
+          List.nth candidates (Rng.int local_rng.(v) (List.length candidates))
+        in
+        Network.send net ~src:v ~dst:pick
+          (Propose (Rng.int local_rng.(v) (1 lsl 30)))
+      end
+    done;
+    Network.deliver net;
+    (* round 2: responders accept the best proposal *)
+    for v = 0 to nv - 1 do
+      if is_free v && not proposer.(v) then begin
+        let best = ref None in
+        List.iter
+          (fun (src, m) ->
+            match m with
+            | Propose prio -> (
+                match !best with
+                | Some (_, bp) when bp >= prio -> ()
+                | _ -> best := Some (src, prio))
+            | Accept | Matched | Walk _ -> ())
+          (Network.inbox net v);
+        match !best with
+        | Some (src, _) when mate.(src) < 0 ->
+            Network.send net ~src:v ~dst:src Accept;
+            mate.(v) <- src;
+            mate.(src) <- v
+        | Some _ | None -> ()
+      end
+    done;
+    Network.deliver net;
+    (* round 3: newly matched vertices announce themselves, once *)
+    for v = 0 to nv - 1 do
+      if mate.(v) >= 0 && not announced.(v) then begin
+        announced.(v) <- true;
+        Network.broadcast net ~src:v Matched
+      end
+    done;
+    Network.deliver net;
+    for v = 0 to nv - 1 do
+      List.iter
+        (fun (src, m) ->
+          match m with
+          | Matched -> Hashtbl.remove free_nbrs.(v) src
+          | Propose _ | Accept | Walk _ -> ())
+        (Network.inbox net v)
+    done
+  done;
+  !iterations
+
+let maximal_on_net rng net =
+  let nv = Network.n net in
+  let mate = Array.make nv (-1) in
+  let iterations = run_proposal_protocol rng net mate in
+  let m = Matching.create nv in
+  Array.iteri (fun v u -> if u > v then Matching.add m v u) mate;
+  (m, mate, iterations)
+
+let maximal rng g =
+  let net = Network.create ~bit_size:(bit_size_for (Graph.n g)) g in
+  let m, _, iterations = maximal_on_net rng net in
+  (m, stats_of net ~iterations)
+
+let full_graph_baseline = maximal
+
+(* ------------------------------------------------------------------ *)
+(* Walker-based short-augmenting-path elimination                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip the alternating path carried by a finished walker.  [path] runs
+   free-endpoint first, initiator last; odd-indexed gaps are matched
+   edges.  Vertex-disjointness between concurrent walkers is guaranteed by
+   the locks, so the flips commute. *)
+let flip_path mate path =
+  let arr = Array.of_list path in
+  let len = Array.length arr in
+  (* unmatch the matched pairs (arr.(i), arr.(i+1)) at odd i *)
+  let i = ref 1 in
+  while !i + 1 < len do
+    mate.(arr.(!i)) <- -1;
+    mate.(arr.(!i + 1)) <- -1;
+    i := !i + 2
+  done;
+  (* match pairs at even i *)
+  let i = ref 0 in
+  while !i + 1 < len do
+    mate.(arr.(!i)) <- arr.(!i + 1);
+    mate.(arr.(!i + 1)) <- arr.(!i);
+    i := !i + 2
+  done
+
+let one_plus_eps ?attempts_per_phase rng g ~eps =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Matching_dist.one_plus_eps: eps in (0,1)";
+  let nv = Graph.n g in
+  let net = Network.create ~bit_size:(bit_size_for nv) g in
+  let mate = Array.make nv (-1) in
+  let base_iterations = run_proposal_protocol rng net mate in
+  let k = int_of_float (ceil (1.0 /. eps)) in
+  let attempts = match attempts_per_phase with Some a -> a | None -> 32 * (k + 1) in
+  let local_rng = Array.init nv (fun _ -> Rng.split rng) in
+  let locked = Array.make nv false in
+  let total_attempts = ref 0 in
+  for phase = 1 to k do
+    (* a walker of t steps carries a path of 2t-1 edges; phase p eliminates
+       paths of up to 2p+1 edges, shortest phases first *)
+    let max_steps = phase + 1 in
+    for _ = 1 to attempts do
+      incr total_attempts;
+      Array.fill locked 0 nv false;
+      (* initiation: free vertices start walkers with probability 1/2 *)
+      let walkers = ref [] in
+      for v = 0 to nv - 1 do
+        if mate.(v) < 0 && Rng.bool local_rng.(v) then begin
+          locked.(v) <- true;
+          walkers :=
+            (v, { priority = Rng.int local_rng.(v) (1 lsl 30); path = [ v ] })
+            :: !walkers
+        end
+      done;
+      Network.skip_rounds net 1;
+      let step = ref 0 in
+      while !walkers <> [] && !step < max_steps do
+        incr step;
+        (* each walker head picks a random eligible unmatched edge *)
+        List.iter
+          (fun (head, w) ->
+            let nbrs = Network.neighbors net head in
+            let eligible =
+              Array.to_list nbrs
+              |> List.filter (fun u ->
+                     mate.(head) <> u && not (List.mem u w.path))
+            in
+            match eligible with
+            | [] -> ()
+            | _ ->
+                let u =
+                  List.nth eligible
+                    (Rng.int local_rng.(head) (List.length eligible))
+                in
+                Network.send net ~src:head ~dst:u (Walk w))
+          !walkers;
+        Network.deliver net;
+        (* receivers arbitrate; reply round charged in aggregate *)
+        let survivors = ref [] in
+        for u = 0 to nv - 1 do
+          let incoming =
+            List.filter_map
+              (fun (src, m) ->
+                match m with
+                | Walk w -> Some (src, w)
+                | Propose _ | Accept | Matched -> None)
+              (Network.inbox net u)
+          in
+          if incoming <> [] && not locked.(u) then begin
+            let best =
+              List.fold_left
+                (fun acc ((_, w) as cand) ->
+                  match acc with
+                  | Some (_, bw) when bw.priority >= w.priority -> acc
+                  | Some _ | None -> Some cand)
+                None incoming
+            in
+            match best with
+            | None -> ()
+            | Some (_src, w) ->
+                if mate.(u) < 0 then begin
+                  (* free endpoint reached: augment *)
+                  locked.(u) <- true;
+                  let full_path = u :: w.path in
+                  flip_path mate full_path;
+                  (* flip messages travel back along the path *)
+                  Network.skip_rounds net (List.length full_path - 1)
+                end
+                else begin
+                  let mu = mate.(u) in
+                  if (not locked.(mu)) && not (List.mem mu w.path) then begin
+                    locked.(u) <- true;
+                    locked.(mu) <- true;
+                    survivors := (mu, { w with path = mu :: u :: w.path }) :: !survivors
+                  end
+                end
+          end
+        done;
+        Network.skip_rounds net 1;
+        walkers := !survivors
+      done
+    done
+  done;
+  let m = Matching.create nv in
+  Array.iteri (fun v u -> if u > v then Matching.add m v u) mate;
+  (m, stats_of net ~iterations:(base_iterations + !total_attempts))

@@ -1,0 +1,46 @@
+(** Distributed matching algorithms over the network simulator.
+
+    {!maximal} is the classic randomized proposal algorithm (Israeli–Itai
+    style): in each iteration every free vertex flips a coin; proposers send
+    one proposal to a random free neighbor, responders accept their highest-
+    priority proposal, and newly matched vertices notify their neighbors.
+    O(log n) iterations with high probability, 3 rounds each.
+
+    {!one_plus_eps} upgrades a maximal matching to a (1+ε)-approximation by
+    distributed elimination of short augmenting paths — the stand-in for
+    Even–Medina–Ron on bounded-degree graphs (see DESIGN.md §4).  Free
+    vertices launch random alternating walkers of length ≤ 2k+1; walkers
+    lock the vertices they traverse (conflicts resolved by random priority)
+    and flip their path when they reach a free vertex.  Round cost per phase
+    is independent of n for fixed degree and ε, matching the
+    Δ^O(1/ε)-rounds shape of the substituted algorithm. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+type stats = {
+  rounds : int;
+  messages : int;
+  bits : int;
+  iterations : int;  (** proposal iterations or walker attempts *)
+}
+
+val maximal : Rng.t -> Graph.t -> Matching.t * stats
+(** Randomized distributed maximal matching on the given communication
+    graph. *)
+
+val one_plus_eps :
+  ?attempts_per_phase:int ->
+  Rng.t ->
+  Graph.t ->
+  eps:float ->
+  Matching.t * stats
+(** Distributed (1+ε)-approximate matching: maximal matching followed by
+    k = ⌈1/ε⌉ phases of walker-based augmenting-path elimination with path
+    length cap 2k+1.  [attempts_per_phase] defaults to [32·(k+1)]. *)
+
+val full_graph_baseline : Rng.t -> Graph.t -> Matching.t * stats
+(** The Ω(m)-message baseline for Theorem 3.3: the same maximal-matching
+    protocol run on the whole input graph, with matched-notifications along
+    every incident edge. *)

@@ -1,0 +1,79 @@
+open Mspar_graph
+
+type 'msg t = {
+  g : Graph.t;
+  adj : int array array;
+  neighbor_set : (int, unit) Hashtbl.t array;
+  mutable inboxes : (int * 'msg) list array;
+  mutable outboxes : (int * 'msg) list array; (* indexed by destination *)
+  mutable rounds : int;
+  mutable messages : int;
+  mutable bits : int;
+  mutable max_bits : int;
+  bit_size : 'msg -> int;
+}
+
+let create ?(bit_size = fun _ -> 1) g =
+  let nv = Graph.n g in
+  let adj =
+    Array.init nv (fun v ->
+        let acc = ref [] in
+        Graph.iter_neighbors g v (fun u -> acc := u :: !acc);
+        Array.of_list (List.rev !acc))
+  in
+  let neighbor_set =
+    Array.map
+      (fun nbrs ->
+        let h = Hashtbl.create (2 * Array.length nbrs) in
+        Array.iter (fun u -> Hashtbl.replace h u ()) nbrs;
+        h)
+      adj
+  in
+  {
+    g;
+    adj;
+    neighbor_set;
+    inboxes = Array.make nv [];
+    outboxes = Array.make nv [];
+    rounds = 0;
+    messages = 0;
+    bits = 0;
+    max_bits = 0;
+    bit_size;
+  }
+
+let graph t = t.g
+let n t = Graph.n t.g
+let neighbors t v = t.adj.(v)
+
+let send t ~src ~dst msg =
+  if not (Hashtbl.mem t.neighbor_set.(src) dst) then
+    invalid_arg "Network.send: dst is not a neighbor of src";
+  let cost = t.bit_size msg in
+  t.messages <- t.messages + 1;
+  t.bits <- t.bits + cost;
+  if cost > t.max_bits then t.max_bits <- cost;
+  t.outboxes.(dst) <- (src, msg) :: t.outboxes.(dst)
+
+let broadcast t ~src msg =
+  Array.iter (fun dst -> send t ~src ~dst msg) t.adj.(src)
+
+let deliver t =
+  let nv = n t in
+  (* preserve arrival order: outboxes were built by consing *)
+  for v = 0 to nv - 1 do
+    t.inboxes.(v) <- List.rev t.outboxes.(v);
+    t.outboxes.(v) <- []
+  done;
+  t.rounds <- t.rounds + 1
+
+let inbox t v = t.inboxes.(v)
+let skip_rounds t k = t.rounds <- t.rounds + max 0 k
+let rounds t = t.rounds
+let messages t = t.messages
+let bits t = t.bits
+let max_message_bits t = t.max_bits
+
+let congest_word t =
+  let nv = max 2 (n t) in
+  int_of_float (ceil (log (float_of_int nv) /. log 2.0))

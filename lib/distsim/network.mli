@@ -1,0 +1,59 @@
+(** Synchronous message-passing network simulator (LOCAL / CONGEST).
+
+    Processors are the vertices of a communication graph; computation
+    proceeds in fault-free synchronous rounds.  During a round every
+    processor may send messages to any subset of its neighbors (unicast);
+    {!deliver} ends the round and makes the messages readable at their
+    destinations.  The simulator meters the two standard distributed
+    complexity measures — rounds and messages — plus total message bits, so
+    that CONGEST (O(log n)-bit messages) versus LOCAL (unbounded) behaviour
+    and the paper's sublinear-message claims (Theorem 3.3) are observable.
+
+    The message type is a parameter; callers provide a [bit_size] costing
+    function at creation (default: 1 bit per message, the unit used by the
+    paper's 1-bit marking round). *)
+
+open Mspar_graph
+
+type 'msg t
+
+val create : ?bit_size:('msg -> int) -> Graph.t -> 'msg t
+(** A quiescent network over the given communication graph. *)
+
+val graph : 'msg t -> Graph.t
+val n : 'msg t -> int
+
+val neighbors : 'msg t -> int -> int array
+(** Local knowledge of processor [v]: the ids of its neighbors (fixed port
+    order). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queue a unicast message for delivery at the end of the round.
+    @raise Invalid_argument if [dst] is not a neighbor of [src]. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** Send to every neighbor (costs one message per neighbor). *)
+
+val deliver : 'msg t -> unit
+(** End the round: queued messages become readable via {!inbox}; the round
+    counter increments.  Undelivered older inbox contents are discarded. *)
+
+val inbox : 'msg t -> int -> (int * 'msg) list
+(** Messages received by [v] in the round that just ended, as
+    [(sender, payload)] pairs in arrival order. *)
+
+val skip_rounds : 'msg t -> int -> unit
+(** Account for rounds in which the simulated algorithm exchanges messages
+    we apply in aggregate (e.g. path flips); increments the round counter
+    without touching mailboxes. *)
+
+val rounds : 'msg t -> int
+val messages : 'msg t -> int
+val bits : 'msg t -> int
+
+val max_message_bits : 'msg t -> int
+(** Largest single message cost seen so far — compare against
+    ⌈log₂ n⌉·O(1) to classify an execution as CONGEST-compatible. *)
+
+val congest_word : 'msg t -> int
+(** ⌈log₂ n⌉, the CONGEST word size for this network. *)

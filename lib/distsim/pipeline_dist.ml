@@ -1,0 +1,32 @@
+open Mspar_graph
+open Mspar_matching
+
+type result = {
+  matching : Matching.t;
+  rounds : int;
+  messages : int;
+  bits : int;
+  sparsifier_edges : int;
+  max_degree : int;
+}
+
+let run_generic ~matcher ?(multiplier = 2.0) rng g ~beta ~eps =
+  let sparsifier, s_stats =
+    Sparsify_dist.composed rng g ~beta ~eps ~multiplier ()
+  in
+  let matching, m_stats = matcher rng sparsifier in
+  {
+    matching;
+    rounds = s_stats.Sparsify_dist.rounds + m_stats.Matching_dist.rounds;
+    messages = s_stats.Sparsify_dist.messages + m_stats.Matching_dist.messages;
+    bits = s_stats.Sparsify_dist.bits + m_stats.Matching_dist.bits;
+    sparsifier_edges = Graph.m sparsifier;
+    max_degree = Graph.max_degree sparsifier;
+  }
+
+let run ?multiplier ?attempts_per_phase rng g ~beta ~eps =
+  run_generic ?multiplier rng g ~beta ~eps ~matcher:(fun rng s ->
+      Matching_dist.one_plus_eps ?attempts_per_phase rng s ~eps)
+
+let run_maximal_only ?multiplier rng g ~beta ~eps =
+  run_generic ?multiplier rng g ~beta ~eps ~matcher:Matching_dist.maximal

@@ -1,0 +1,36 @@
+(** End-to-end distributed pipeline (Theorems 3.2 and 3.3).
+
+    Round 1: distributed G_Δ (1-bit messages).  Round 2: Solomon marking on
+    the sparsifier.  Then a matching algorithm runs on the bounded-degree
+    sparsifier only, so its message complexity is proportional to the
+    sparsifier size rather than to m. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+type result = {
+  matching : Matching.t;
+  rounds : int;  (** total rounds across sparsification and matching *)
+  messages : int;
+  bits : int;
+  sparsifier_edges : int;
+  max_degree : int;  (** of the composed sparsifier *)
+}
+
+val run :
+  ?multiplier:float ->
+  ?attempts_per_phase:int ->
+  Rng.t ->
+  Graph.t ->
+  beta:int ->
+  eps:float ->
+  result
+(** (1+O(ε))-approximate distributed matching on a graph of neighborhood
+    independence ≤ beta, with message complexity O(n·poly(β,1/ε)) —
+    sublinear in m for dense inputs. *)
+
+val run_maximal_only :
+  ?multiplier:float -> Rng.t -> Graph.t -> beta:int -> eps:float -> result
+(** Sparsify, then only the maximal-matching stage (2(1+ε)-approximation) —
+    the cheaper variant used for message-complexity comparisons. *)

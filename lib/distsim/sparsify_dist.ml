@@ -1,0 +1,84 @@
+open Mspar_prelude
+open Mspar_graph
+open Mspar_core
+
+type stats = { rounds : int; messages : int; bits : int }
+
+let stats_of net =
+  {
+    rounds = Network.rounds net;
+    messages = Network.messages net;
+    bits = Network.bits net;
+  }
+
+let gdelta rng g ~delta =
+  if delta < 1 then invalid_arg "Sparsify_dist.gdelta: delta >= 1";
+  let net = Network.create g in
+  let nv = Network.n net in
+  (* each processor has its own generator — marking choices are mutually
+     independent *)
+  let local_rng = Array.init nv (fun _ -> Rng.split rng) in
+  for v = 0 to nv - 1 do
+    let nbrs = Network.neighbors net v in
+    let d = Array.length nbrs in
+    if d <= 2 * delta then
+      Array.iter (fun u -> Network.send net ~src:v ~dst:u ()) nbrs
+    else begin
+      let picks = Rng.sample_distinct local_rng.(v) ~k:delta ~n:d in
+      Array.iter (fun i -> Network.send net ~src:v ~dst:nbrs.(i) ()) picks
+    end
+  done;
+  Network.deliver net;
+  (* an edge is in the sparsifier iff either endpoint received a mark on it;
+     locally, each vertex's incident sparsifier edges are those it marked
+     plus those in its inbox *)
+  let pairs = ref [] in
+  for v = 0 to nv - 1 do
+    List.iter (fun (u, ()) -> pairs := (u, v) :: !pairs) (Network.inbox net v)
+  done;
+  (Graph.of_edges ~n:nv !pairs, stats_of net)
+
+let solomon g ~delta_alpha =
+  if delta_alpha < 1 then invalid_arg "Sparsify_dist.solomon: delta_alpha >= 1";
+  let net = Network.create g in
+  let nv = Network.n net in
+  for v = 0 to nv - 1 do
+    let nbrs = Network.neighbors net v in
+    let d = min delta_alpha (Array.length nbrs) in
+    for i = 0 to d - 1 do
+      Network.send net ~src:v ~dst:nbrs.(i) ()
+    done
+  done;
+  Network.deliver net;
+  (* keep an edge iff v marked u AND u marked v: v knows the first from its
+     own choice and the second from its inbox *)
+  let marked = Hashtbl.create (4 * nv) in
+  for v = 0 to nv - 1 do
+    let nbrs = Network.neighbors net v in
+    let d = min delta_alpha (Array.length nbrs) in
+    for i = 0 to d - 1 do
+      let u = nbrs.(i) in
+      Hashtbl.replace marked (v, u) ()
+    done
+  done;
+  let pairs = ref [] in
+  for v = 0 to nv - 1 do
+    List.iter
+      (fun (u, ()) ->
+        (* v received u's mark; the edge survives if v also marked u *)
+        if Hashtbl.mem marked (v, u) && v < u then pairs := (v, u) :: !pairs)
+      (Network.inbox net v)
+  done;
+  (Graph.of_edges ~n:nv !pairs, stats_of net)
+
+let composed rng g ~beta ~eps ?(multiplier = 2.0) () =
+  let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+  let s1, st1 = gdelta rng g ~delta in
+  let delta_alpha = Solomon.delta_alpha ~alpha:(2 * delta) ~eps in
+  let s2, st2 = solomon s1 ~delta_alpha in
+  ( s2,
+    {
+      rounds = st1.rounds + st2.rounds;
+      messages = st1.messages + st2.messages;
+      bits = st1.bits + st2.bits;
+    } )

@@ -1,0 +1,28 @@
+(** One-round distributed sparsifier constructions (paper §3.2).
+
+    G_Δ: each processor locally marks Δ random incident edges and sends a
+    1-bit message along each — a single round, message count equal to the
+    number of marks (≈ nΔ ≪ m).  The Solomon bounded-degree sparsifier is
+    likewise one round: mark the first Δ_α ports, keep edges marked by both
+    endpoints (each endpoint observes the intersection locally). *)
+
+open Mspar_prelude
+open Mspar_graph
+
+type stats = { rounds : int; messages : int; bits : int }
+
+val gdelta : Rng.t -> Graph.t -> delta:int -> Graph.t * stats
+(** Distributed G_Δ over a fresh 1-bit network on [g].  Every vertex's
+    randomness comes from an {!Rng.split} of the supplied generator, so the
+    processors are genuinely independent (the independence that the proof of
+    Theorem 2.1 relies on) while the whole execution stays reproducible. *)
+
+val solomon : Graph.t -> delta_alpha:int -> Graph.t * stats
+(** Distributed Solomon'18 marking round. *)
+
+val composed :
+  Rng.t -> Graph.t -> beta:int -> eps:float -> ?multiplier:float -> unit ->
+  Graph.t * stats
+(** Two rounds: G_Δ then Solomon on top, with parameters as in
+    {!Mspar_core.Compose}. Returns the bounded-degree sparsifier and the
+    combined message accounting. *)

@@ -1,0 +1,84 @@
+open Mspar_matching
+
+type stats = { updates : int; total_work : int; max_update_work : int }
+
+type t = {
+  dg : Dyn_graph.t;
+  mate : int array;
+  mutable msize : int;
+  mutable updates : int;
+  mutable total_work : int;
+  mutable max_update_work : int;
+}
+
+let create ~n =
+  {
+    dg = Dyn_graph.create n;
+    mate = Array.make n (-1);
+    msize = 0;
+    updates = 0;
+    total_work = 0;
+    max_update_work = 0;
+  }
+
+let graph t = t.dg
+let size t = t.msize
+
+let matching t =
+  let m = Matching.create (Dyn_graph.n t.dg) in
+  Array.iteri (fun v u -> if u > v then Matching.add m v u) t.mate;
+  m
+
+let stats t =
+  {
+    updates = t.updates;
+    total_work = t.total_work;
+    max_update_work = t.max_update_work;
+  }
+
+let account t work =
+  t.updates <- t.updates + 1;
+  t.total_work <- t.total_work + work;
+  if work > t.max_update_work then t.max_update_work <- work
+
+(* scan v's adjacency for a free partner; returns scanned count *)
+let try_rematch t v =
+  let work = ref 0 in
+  let found = ref false in
+  Dyn_graph.iter_neighbors t.dg v (fun u ->
+      incr work;
+      if (not !found) && t.mate.(u) < 0 && t.mate.(v) < 0 && u <> v then begin
+        t.mate.(v) <- u;
+        t.mate.(u) <- v;
+        t.msize <- t.msize + 1;
+        found := true
+      end);
+  !work
+
+let insert t u v =
+  let changed = Dyn_graph.insert t.dg u v in
+  if changed then begin
+    let work = ref 1 in
+    if t.mate.(u) < 0 && t.mate.(v) < 0 then begin
+      t.mate.(u) <- v;
+      t.mate.(v) <- u;
+      t.msize <- t.msize + 1
+    end;
+    account t !work
+  end;
+  changed
+
+let delete t u v =
+  let changed = Dyn_graph.delete t.dg u v in
+  if changed then begin
+    let work = ref 1 in
+    if t.mate.(u) = v then begin
+      t.mate.(u) <- -1;
+      t.mate.(v) <- -1;
+      t.msize <- t.msize - 1;
+      work := !work + try_rematch t u;
+      work := !work + try_rematch t v
+    end;
+    account t !work
+  end;
+  changed

@@ -1,0 +1,28 @@
+(** Dynamic maximal-matching baseline (the comparator of Theorem 3.5).
+
+    Maintains a {e maximal} matching (hence a 2-approximate MCM) under edge
+    updates by local repair: on inserting an edge with both endpoints free,
+    match it; on deleting a matched edge, each freed endpoint scans its
+    adjacency for a free neighbor.  The repair scan costs Θ(deg) in the
+    worst case — this is the growth-with-n behaviour the paper contrasts
+    with its O(β/ε³·log(1/ε)) update (Barenboim–Maimon reduce the scan to
+    O(√(βn)) with bucketing; the measured quantity here still exhibits the
+    √n-versus-constant separation the paper claims, see DESIGN.md §4). *)
+
+open Mspar_matching
+
+type t
+
+type stats = {
+  updates : int;
+  total_work : int;  (** neighbors scanned during repairs *)
+  max_update_work : int;
+}
+
+val create : n:int -> t
+val insert : t -> int -> int -> bool
+val delete : t -> int -> int -> bool
+val matching : t -> Matching.t
+val size : t -> int
+val graph : t -> Dyn_graph.t
+val stats : t -> stats

@@ -1,0 +1,106 @@
+open Mspar_prelude
+
+type t = {
+  nv : int;
+  adj : int Vec.t array; (* adjacency as swap-remove vectors *)
+  index : (int, int) Hashtbl.t array; (* neighbor -> position in adj vec *)
+  active : (int, unit) Hashtbl.t; (* vertices of positive degree *)
+  mutable m : int;
+  mutable probe_count : int;
+}
+
+let create nv =
+  if nv < 0 then invalid_arg "Dyn_graph.create: negative n";
+  {
+    nv;
+    adj = Array.init nv (fun _ -> Vec.create ~dummy:(-1) ());
+    index = Array.init nv (fun _ -> Hashtbl.create 8);
+    active = Hashtbl.create 16;
+    m = 0;
+    probe_count = 0;
+  }
+
+let n t = t.nv
+let m t = t.m
+let degree t v = Vec.length t.adj.(v)
+
+let check t u v =
+  if u < 0 || v < 0 || u >= t.nv || v >= t.nv then
+    invalid_arg "Dyn_graph: endpoint out of range"
+
+let has_edge t u v = u <> v && Hashtbl.mem t.index.(u) v
+
+let add_arc t u v =
+  Hashtbl.replace t.index.(u) v (Vec.length t.adj.(u));
+  Vec.push t.adj.(u) v
+
+let remove_arc t u v =
+  let pos = Hashtbl.find t.index.(u) v in
+  Hashtbl.remove t.index.(u) v;
+  let last = Vec.length t.adj.(u) - 1 in
+  if pos <> last then begin
+    let moved = Vec.get t.adj.(u) last in
+    Vec.set t.adj.(u) pos moved;
+    Hashtbl.replace t.index.(u) moved pos
+  end;
+  ignore (Vec.pop t.adj.(u))
+
+let insert t u v =
+  check t u v;
+  if u = v || has_edge t u v then false
+  else begin
+    add_arc t u v;
+    add_arc t v u;
+    Hashtbl.replace t.active u ();
+    Hashtbl.replace t.active v ();
+    t.m <- t.m + 1;
+    true
+  end
+
+let delete t u v =
+  check t u v;
+  if not (has_edge t u v) then false
+  else begin
+    remove_arc t u v;
+    remove_arc t v u;
+    if Vec.length t.adj.(u) = 0 then Hashtbl.remove t.active u;
+    if Vec.length t.adj.(v) = 0 then Hashtbl.remove t.active v;
+    t.m <- t.m - 1;
+    true
+  end
+
+let neighbor t v i =
+  t.probe_count <- t.probe_count + 1;
+  Vec.get t.adj.(v) i
+
+let iter_neighbors t v f =
+  t.probe_count <- t.probe_count + Vec.length t.adj.(v);
+  Vec.iter f t.adj.(v)
+
+let random_neighbor t rng v =
+  let d = Vec.length t.adj.(v) in
+  if d = 0 then None
+  else begin
+    t.probe_count <- t.probe_count + 1;
+    Some (Vec.get t.adj.(v) (Rng.int rng d))
+  end
+
+let sample_neighbors t rng v ~k =
+  let d = Vec.length t.adj.(v) in
+  let picks = Rng.sample_distinct rng ~k ~n:d in
+  t.probe_count <- t.probe_count + Array.length picks;
+  Array.to_list (Array.map (Vec.get t.adj.(v)) picks)
+
+let probes t = t.probe_count
+let reset_probes t = t.probe_count <- 0
+let non_isolated_count t = Hashtbl.length t.active
+let iter_non_isolated t f = Hashtbl.iter (fun v () -> f v) t.active
+
+let edges t =
+  let acc = ref [] in
+  for v = 0 to t.nv - 1 do
+    Vec.iter (fun u -> if v < u then acc := (v, u) :: !acc) t.adj.(v)
+  done;
+  List.sort compare !acc
+
+let snapshot t = Mspar_graph.Graph.of_edges ~n:t.nv (edges t)

@@ -1,0 +1,60 @@
+(** Fully dynamic undirected graph (fixed vertex set).
+
+    Supports O(1)-expected edge insertion and deletion (hash-indexed
+    swap-remove adjacency vectors) and O(1) uniform sampling of an incident
+    edge — the primitive the dynamic sparsifier needs.  All adjacency reads
+    are counted in a probe counter, mirroring {!Mspar_graph.Graph}. *)
+
+open Mspar_prelude
+
+type t
+
+val create : int -> t
+(** Edgeless dynamic graph on [n] vertices. *)
+
+val n : t -> int
+val m : t -> int
+val degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+(** O(1) expected; not counted as a probe. *)
+
+val insert : t -> int -> int -> bool
+(** [insert t u v] adds the edge; returns [false] (and changes nothing) if
+    it was already present or [u = v].
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val delete : t -> int -> int -> bool
+(** [delete t u v] removes the edge; returns [false] if absent. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t v i] is the [i]-th neighbor of [v] in the current internal
+    order (which changes under deletion).  Counts one probe. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Counts [degree t v] probes. *)
+
+val random_neighbor : t -> Rng.t -> int -> int option
+(** Uniform incident neighbor, O(1); counts one probe. *)
+
+val sample_neighbors : t -> Rng.t -> int -> k:int -> int list
+(** [min k deg] distinct uniform neighbors of a vertex, O(k) expected;
+    counts that many probes. *)
+
+val probes : t -> int
+val reset_probes : t -> unit
+
+val non_isolated_count : t -> int
+(** Number of vertices of positive degree; O(1). *)
+
+val iter_non_isolated : t -> (int -> unit) -> unit
+(** Iterate the vertices of positive degree in O(#non-isolated) — this is
+    what lets a rebuild cost O(|MCM|·β·Δ) instead of O(n·Δ)
+    (Lemma 2.2 + Obs 2.10). *)
+
+val snapshot : t -> Mspar_graph.Graph.t
+(** Immutable copy as a static graph; costs O(n + m) (test/diagnostic use —
+    the sublinear algorithms never call it). *)
+
+val edges : t -> (int * int) list
+(** Current edges, normalised and sorted. *)

@@ -1,0 +1,186 @@
+open Mspar_prelude
+
+type result = Exact of int | Lower_bound of int
+
+let value = function Exact v | Lower_bound v -> v
+let is_exact = function Exact _ -> true | Lower_bound _ -> false
+
+exception Budget_exhausted
+
+(* Maximum independent set by branch-and-bound over bitsets.
+   MIS(active) = max( MIS(active \ {v}),  1 + MIS(active \ N[v]) )
+   branching on a maximum-degree vertex v; when every active vertex has
+   active-degree <= 1 the remainder is a disjoint union of edges and isolated
+   vertices and the answer is counted directly. *)
+let mis_with_witness ~budget adjacency nverts =
+  let nodes = ref 0 in
+  let best_set = ref [] in
+  let rec go active chosen =
+    incr nodes;
+    if !nodes > budget then raise Budget_exhausted;
+    let card = Bitset.cardinal active in
+    if card = 0 then begin
+      if List.length chosen > List.length !best_set then best_set := chosen;
+      0
+    end
+    else begin
+      (* locate a max-degree vertex within [active] *)
+      let best_v = ref (-1) and best_d = ref (-1) in
+      Bitset.iter
+        (fun v ->
+          let d = Bitset.inter_cardinal adjacency.(v) active in
+          if d > !best_d then begin
+            best_d := d;
+            best_v := v
+          end)
+        active;
+      if !best_d <= 1 then begin
+        (* disjoint edges + isolated vertices: take one endpoint per edge and
+           every isolated vertex *)
+        let taken = ref chosen and count = ref 0 in
+        let seen = Bitset.create nverts in
+        Bitset.iter
+          (fun v ->
+            if not (Bitset.mem seen v) then begin
+              Bitset.add seen v;
+              taken := v :: !taken;
+              incr count;
+              (* skip v's (unique, if any) active neighbor *)
+              let nb = Bitset.inter adjacency.(v) active in
+              Bitset.iter (fun u -> Bitset.add seen u) nb
+            end)
+          active;
+        if List.length !taken > List.length !best_set then best_set := !taken;
+        !count
+      end
+      else begin
+        let v = !best_v in
+        let without = Bitset.copy active in
+        Bitset.remove without v;
+        let excluded = go without chosen in
+        let included_active = Bitset.diff without adjacency.(v) in
+        let included = 1 + go included_active (v :: chosen) in
+        max excluded included
+      end
+    end
+  in
+  let all = Bitset.create nverts in
+  for v = 0 to nverts - 1 do
+    Bitset.add all v
+  done;
+  let size = go all [] in
+  (size, !best_set)
+
+let greedy_mis_size adjacency nverts order =
+  let chosen = Bitset.create nverts in
+  let blocked = Bitset.create nverts in
+  let count = ref 0 in
+  Array.iter
+    (fun v ->
+      if not (Bitset.mem blocked v) then begin
+        Bitset.add chosen v;
+        incr count;
+        Bitset.add blocked v;
+        Bitset.iter (fun u -> Bitset.add blocked u) adjacency.(v)
+      end)
+    order;
+  !count
+
+(* Adjacency bitsets of the subgraph of [g] induced by N(v). *)
+let neighborhood_adjacency g v =
+  let nbrs = ref [] in
+  Graph.iter_neighbors g v (fun u -> nbrs := u :: !nbrs);
+  let nbrs = Array.of_list (List.rev !nbrs) in
+  let k = Array.length nbrs in
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri (fun i u -> Hashtbl.replace index u i) nbrs;
+  let adjacency = Array.init k (fun _ -> Bitset.create k) in
+  Array.iteri
+    (fun i u ->
+      Graph.iter_neighbors g u (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when j <> i -> Bitset.add adjacency.(i) j
+          | Some _ | None -> ()))
+    nbrs;
+  (adjacency, nbrs)
+
+let neighborhood_mis ?(budget = 10_000_000) g v =
+  let adjacency, nbrs = neighborhood_adjacency g v in
+  let k = Array.length nbrs in
+  if k = 0 then Exact 0
+  else
+    try
+      let size, _ = mis_with_witness ~budget adjacency k in
+      Exact size
+    with Budget_exhausted ->
+      let order = Array.init k (fun i -> i) in
+      Lower_bound (greedy_mis_size adjacency k order)
+
+let compute ?(budget = 10_000_000) g =
+  let remaining = ref budget in
+  let best = ref 0 and exact = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > !best then begin
+      (* a neighborhood smaller than the best so far cannot improve it *)
+      match neighborhood_mis ~budget:(max 1 !remaining) g v with
+      | Exact s ->
+          remaining := max 0 (!remaining - Graph.degree g v);
+          if s > !best then best := s
+      | Lower_bound s ->
+          exact := false;
+          if s > !best then best := s
+    end
+  done;
+  if !exact then Exact !best else Lower_bound !best
+
+let sampled_lower rng ?(samples = 32) ?(budget = 1_000_000) g =
+  let nv = Graph.n g in
+  if nv = 0 then 0
+  else begin
+    let best = ref 0 in
+    for _ = 1 to samples do
+      let v = Rng.int rng nv in
+      if Graph.degree g v > !best then begin
+        let s = value (neighborhood_mis ~budget g v) in
+        if s > !best then best := s
+      end
+    done;
+    !best
+  end
+
+let greedy_lower rng ?(tries = 3) g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > !best then begin
+      let adjacency, nbrs = neighborhood_adjacency g v in
+      let k = Array.length nbrs in
+      for _ = 1 to tries do
+        let order = Rng.perm rng k in
+        let s = greedy_mis_size adjacency k order in
+        if s > !best then best := s
+      done
+    end
+  done;
+  !best
+
+let check_claw_free g ~beta =
+  let witness = ref None in
+  (try
+     for v = 0 to Graph.n g - 1 do
+       if Graph.degree g v > beta then begin
+         let adjacency, nbrs = neighborhood_adjacency g v in
+         let k = Array.length nbrs in
+         let size, members = mis_with_witness ~budget:max_int adjacency k in
+         if size > beta then begin
+           let leaves =
+             Array.of_list (List.map (fun i -> nbrs.(i)) members)
+           in
+           (* trim the witness to exactly beta+1 leaves *)
+           let leaves = Array.sub leaves 0 (min (beta + 1) (Array.length leaves)) in
+           witness := Some (v, leaves);
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !witness

@@ -1,0 +1,46 @@
+(** Neighborhood independence number β(G).
+
+    β(G) is the size of the largest independent set contained in the
+    neighborhood N(v) of any single vertex v.  Graphs with β(G) ≤ β are
+    exactly the (β+1)-claw-free graphs (no induced K_{1,β+1}).
+
+    Computing β exactly requires a maximum-independent-set computation
+    inside each neighborhood; this is NP-hard in general but fast in
+    practice for the neighborhood sizes in our experiments, via
+    branch-and-bound with a work budget. *)
+
+open Mspar_prelude
+
+type result =
+  | Exact of int  (** β computed exactly. *)
+  | Lower_bound of int
+      (** The branch-and-bound budget was exhausted; the value is the best
+          independent set found, hence a lower bound on β. *)
+
+val value : result -> int
+val is_exact : result -> bool
+
+val compute : ?budget:int -> Graph.t -> result
+(** [compute ?budget g] is β(g).  [budget] caps the total number of
+    branch-and-bound nodes explored across all neighborhoods (default
+    [10_000_000]); when exhausted the result degrades to a lower bound. *)
+
+val neighborhood_mis : ?budget:int -> Graph.t -> int -> result
+(** Independence number of the subgraph induced by N(v) (v excluded). *)
+
+val sampled_lower : Rng.t -> ?samples:int -> ?budget:int -> Graph.t -> int
+(** Lower-bound estimate for graphs too large for {!compute}: exact
+    neighborhood independence of [samples] uniformly random vertices
+    (default 32), each under the branch-and-bound [budget].  Since β is a
+    maximum over vertices, any sample yields a valid lower bound; high-β
+    witnesses concentrated on few vertices can be missed. *)
+
+val greedy_lower : Rng.t -> ?tries:int -> Graph.t -> int
+(** Randomized greedy lower bound on β: for each vertex, grow an independent
+    set in its neighborhood greedily under random orders. Cheap and useful
+    on graphs too large for {!compute}. *)
+
+val check_claw_free : Graph.t -> beta:int -> (int * int array) option
+(** [check_claw_free g ~beta] is [None] if no induced K_{1,beta+1} exists
+    (so β(g) ≤ beta), or [Some (center, leaves)] exhibiting a violating
+    claw.  Exhaustive; cost grows as deg^ (beta+1), intended for tests. *)

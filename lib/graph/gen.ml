@@ -1,0 +1,160 @@
+open Mspar_prelude
+
+let empty n = Graph.of_edges ~n []
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid: need positive dims";
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (id r c, id r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (id r c, id (r + 1) c) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !acc
+
+let perfect_matching n =
+  if n mod 2 <> 0 then invalid_arg "Gen.perfect_matching: need even n";
+  Graph.of_edges ~n (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1)))
+
+let gnp rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.gnp: p out of range";
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let gnm rng ~n ~m =
+  let total = n * (n - 1) / 2 in
+  if m < 0 || m > total then invalid_arg "Gen.gnm: m out of range";
+  (* Map a flat index in [0, n(n-1)/2) to the corresponding pair (u, v). *)
+  let pair_of_index idx =
+    (* row lengths are n-1, n-2, ...; walk rows (fine for the sizes used) *)
+    let rec go u idx =
+      let row = n - 1 - u in
+      if idx < row then (u, u + 1 + idx) else go (u + 1) (idx - row)
+    in
+    go 0 idx
+  in
+  let chosen = Rng.sample_distinct rng ~k:m ~n:total in
+  Graph.of_edges ~n (Array.to_list (Array.map pair_of_index chosen))
+
+let random_bipartite rng ~left ~right ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.random_bipartite: p out of range";
+  let acc = ref [] in
+  for u = 0 to left - 1 do
+    for v = 0 to right - 1 do
+      if Rng.bernoulli rng p then acc := (u, left + v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(left + right) !acc
+
+let clique_minus_edge ~n ~missing:(a, b) =
+  if a = b || a < 0 || b < 0 || a >= n || b >= n then
+    invalid_arg "Gen.clique_minus_edge: bad missing edge";
+  let a, b = if a < b then (a, b) else (b, a) in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (u = a && v = b) then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let two_cliques_bridge ~half =
+  if half < 3 || half mod 2 = 0 then
+    invalid_arg "Gen.two_cliques_bridge: need odd half >= 3";
+  let n = 2 * half in
+  let acc = ref [] in
+  for u = 0 to half - 1 do
+    for v = u + 1 to half - 1 do
+      acc := (u, v) :: !acc;
+      acc := (half + u, half + v) :: !acc
+    done
+  done;
+  let bridge = (0, half) in
+  acc := bridge :: !acc;
+  (Graph.of_edges ~n !acc, bridge)
+
+let disjoint_cliques rng ~n ~k =
+  if k < 1 then invalid_arg "Gen.disjoint_cliques: need k >= 1";
+  let cluster = Array.init n (fun _ -> Rng.int rng k) in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if cluster.(u) = cluster.(v) then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let bounded_diversity rng ~n ~cliques ~memberships =
+  if memberships < 1 || memberships > cliques then
+    invalid_arg "Gen.bounded_diversity: bad memberships";
+  let member = Array.init n (fun _ -> Rng.sample_distinct rng ~k:memberships ~n:cliques) in
+  let in_clique = Array.make cliques [] in
+  Array.iteri
+    (fun v cs -> Array.iter (fun c -> in_clique.(c) <- v :: in_clique.(c)) cs)
+    member;
+  let acc = ref [] in
+  Array.iter
+    (fun vs ->
+      let vs = Array.of_list vs in
+      for i = 0 to Array.length vs - 1 do
+        for j = i + 1 to Array.length vs - 1 do
+          acc := (vs.(i), vs.(j)) :: !acc
+        done
+      done)
+    in_clique;
+  Graph.of_edges ~n !acc
+
+let hub_gadget ~pairs ~hub_size =
+  if pairs < 1 || hub_size < 1 then
+    invalid_arg "Gen.hub_gadget: need positive pairs and hub_size";
+  let l i = i in
+  let r i = pairs + i in
+  let hl j = (2 * pairs) + j in
+  let hr j = (2 * pairs) + hub_size + j in
+  let n = (2 * pairs) + (2 * hub_size) in
+  let acc = ref [] in
+  for i = 0 to pairs - 1 do
+    acc := (l i, r i) :: !acc;
+    for j = 0 to hub_size - 1 do
+      acc := (l i, hr j) :: !acc;
+      acc := (r i, hl j) :: !acc
+    done
+  done;
+  (Graph.of_edges ~n !acc, pairs + min hub_size pairs)
+
+let random_graph_with_planted_matching rng ~n ~extra =
+  if n mod 2 <> 0 then
+    invalid_arg "Gen.random_graph_with_planted_matching: need even n";
+  let acc = ref (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1))) in
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then acc := (u, v) :: !acc
+  done;
+  Graph.of_edges ~n !acc

@@ -1,0 +1,71 @@
+(** Graph generators for every family the paper discusses.
+
+    All randomized generators take an explicit {!Mspar_prelude.Rng.t} and are
+    deterministic given the generator state. *)
+
+open Mspar_prelude
+
+val empty : int -> Graph.t
+val complete : int -> Graph.t
+val path : int -> Graph.t
+val cycle : int -> Graph.t
+
+val star : int -> Graph.t
+(** [star n] has center [0] and [n-1] leaves; its neighborhood independence
+    number is [n-1] — the standard witness that β can be as large as the max
+    degree. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+
+val perfect_matching : int -> Graph.t
+(** [perfect_matching n] pairs [2i] with [2i+1]. Requires even [n]. *)
+
+val gnp : Rng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n, p). *)
+
+val gnm : Rng.t -> n:int -> m:int -> Graph.t
+(** Uniform graph with exactly [m] edges (requires [m <= n(n-1)/2]). *)
+
+val random_bipartite : Rng.t -> left:int -> right:int -> p:float -> Graph.t
+(** Bipartite G(left, right, p); vertices [0..left-1] on one side. *)
+
+val clique_minus_edge : n:int -> missing:int * int -> Graph.t
+(** The family [𝒢_n] of Lemma 2.13: K_n with one edge removed.  β = 2 and
+    the MCM has size ⌊n/2⌋ for even n (a perfect matching avoiding the
+    missing edge exists whenever n ≥ 4). *)
+
+val two_cliques_bridge : half:int -> Graph.t * (int * int)
+(** The instance of Obs 2.14: two disjoint cliques K_half (with [half] odd)
+    joined by a single bridge edge [(a, b)].  Every maximum matching must use
+    the bridge; returns the graph and the bridge. Requires odd [half ≥ 3]. *)
+
+val disjoint_cliques : Rng.t -> n:int -> k:int -> Graph.t
+(** [n] vertices partitioned uniformly into [k] cliques.  β = 1 within each
+    component; a canonical bounded-diversity instance. *)
+
+val bounded_diversity :
+  Rng.t -> n:int -> cliques:int -> memberships:int -> Graph.t
+(** Each vertex joins [memberships] distinct cliques out of [cliques]; two
+    vertices are adjacent iff they share a clique.  The diversity of every
+    vertex is at most [memberships · cliques]-trivially and in practice close
+    to [memberships], so β stays small while the graph is dense. *)
+
+val hub_gadget : pairs:int -> hub_size:int -> Graph.t * int
+(** The high-β instance on which small-Δ sampling fails: [pairs] private
+    pairs (l_i, r_i) — the bulk of the maximum matching — where every l_i is
+    additionally connected to a shared set of [hub_size] right-hubs and
+    every r_i to [hub_size] left-hubs.  A sparsifier built with
+    Δ ≪ hub_size loses most private edges while the hubs can rescue only
+    O(hub_size) of them.  β(G) = max(pairs, hub_size + 1): each hub sees all
+    [pairs] mutually non-adjacent l_i's — as Theorem 2.1 predicts, any
+    instance that defeats random marking must have large β, and this one
+    does.  Returns the graph and its maximum matching size
+    [pairs + min(hub_size, pairs)].
+
+    Layout: l_i = i, r_i = pairs + i, left-hubs next, right-hubs last. *)
+
+val random_graph_with_planted_matching :
+  Rng.t -> n:int -> extra:int -> Graph.t
+(** A perfect matching on [n] vertices (even [n]) plus [extra] random
+    additional edges — guarantees [MCM = n/2] so approximation ratios can be
+    computed without an exact solver on large instances. *)

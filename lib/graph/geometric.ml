@@ -1,0 +1,46 @@
+open Mspar_prelude
+
+let proper_interval rng ~n ~span =
+  if span < 0.0 then invalid_arg "Geometric.proper_interval: negative span";
+  let left = Array.init n (fun _ -> Rng.float rng span) in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Float.abs (left.(u) -. left.(v)) <= 1.0 then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let quasi_unit_disk rng ~n ~radius ~inner =
+  if inner <= 0.0 || inner > 1.0 then
+    invalid_arg "Geometric.quasi_unit_disk: inner in (0, 1]";
+  let pts =
+    Array.init n (fun _ ->
+        Unit_disk.{ x = Rng.float rng 1.0; y = Rng.float rng 1.0 })
+  in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Unit_disk.distance pts.(u) pts.(v) in
+      if d <= inner *. radius then acc := (u, v) :: !acc
+      else if d <= radius && Rng.bool rng then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let disk_graph rng ~n ~rmin ~rmax =
+  if rmin <= 0.0 || rmax < rmin then
+    invalid_arg "Geometric.disk_graph: need 0 < rmin <= rmax";
+  let pts =
+    Array.init n (fun _ ->
+        Unit_disk.{ x = Rng.float rng 1.0; y = Rng.float rng 1.0 })
+  in
+  let radii = Array.init n (fun _ -> rmin +. Rng.float rng (rmax -. rmin)) in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Unit_disk.distance pts.(u) pts.(v) <= radii.(u) +. radii.(v) then
+        acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc

@@ -1,0 +1,36 @@
+(** Geometric bounded-growth families beyond plain unit disks (§1.1).
+
+    The paper lists proper interval graphs, quasi-unit-disk graphs and
+    general disk graphs as bounded-growth (hence bounded neighborhood
+    independence) families.  These generators make the whole list
+    available to the experiment zoo:
+
+    {ul
+    {- {!proper_interval}: unit intervals on a line; unit interval graphs
+       are claw-free, so β ≤ 2;}
+    {- {!quasi_unit_disk}: edges certain within distance q·r, decided by a
+       coin between q·r and r (the Kuhn–Wattenhofer–Zollinger model); β ≤ 5
+       still holds because any independent set in a neighborhood is
+       contained in a disk of radius r with pairwise distances > q·r — for
+       the default q close to 1 the unit-disk packing argument carries
+       over with a constant depending on q;}
+    {- {!disk_graph}: disks of varying radii in [rmin, rmax]; β is bounded
+       by a packing constant depending on rmax/rmin.}} *)
+
+open Mspar_prelude
+
+val proper_interval : Rng.t -> n:int -> span:float -> Graph.t
+(** [proper_interval rng ~n ~span] drops [n] unit intervals with left
+    endpoints uniform in [\[0, span\]]; two vertices are adjacent iff their
+    intervals overlap.  Smaller [span] is denser. *)
+
+val quasi_unit_disk :
+  Rng.t -> n:int -> radius:float -> inner:float -> Graph.t
+(** [quasi_unit_disk rng ~n ~radius ~inner] with [0 < inner <= 1]: points
+    uniform in the unit square; distance ≤ inner·radius ⇒ edge; distance in
+    (inner·radius, radius\] ⇒ edge with probability 1/2; farther ⇒ no
+    edge. *)
+
+val disk_graph : Rng.t -> n:int -> rmin:float -> rmax:float -> Graph.t
+(** Disks with centers uniform in the unit square and radii uniform in
+    [\[rmin, rmax\]]; vertices adjacent iff the disks intersect. *)

@@ -1,0 +1,156 @@
+type edge = int * int
+
+type t = {
+  n : int;
+  offsets : int array; (* length n+1 *)
+  adj : int array; (* length 2m, sorted within each vertex block *)
+  mutable probe_count : int;
+}
+
+let n t = t.n
+let m t = Array.length t.adj / 2
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    if degree t v > !best then best := degree t v
+  done;
+  !best
+
+let normalize (u, v) = if u <= v then (u, v) else (v, u)
+
+let build n edges =
+  (* [edges] arrives deduplicated and normalised (u < v). *)
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let block = Array.sub adj lo (hi - lo) in
+    Array.sort compare block;
+    Array.blit block 0 adj lo (hi - lo)
+  done;
+  { n; offsets; adj; probe_count = 0 }
+
+let of_edges ~n:nv edges =
+  if nv < 0 then invalid_arg "Graph.of_edges: negative n";
+  let check (u, v) =
+    if u < 0 || u >= nv || v < 0 || v >= nv then
+      invalid_arg "Graph.of_edges: endpoint out of range"
+  in
+  List.iter check edges;
+  let cleaned =
+    List.filter_map
+      (fun (u, v) -> if u = v then None else Some (normalize (u, v)))
+      edges
+  in
+  let sorted = List.sort_uniq compare cleaned in
+  build nv sorted
+
+let of_edge_array ~n edges = of_edges ~n (Array.to_list edges)
+
+let neighbor t v i =
+  if i < 0 || i >= degree t v then invalid_arg "Graph.neighbor: index out of range";
+  t.probe_count <- t.probe_count + 1;
+  t.adj.(t.offsets.(v) + i)
+
+let iter_neighbors t v f =
+  let lo = t.offsets.(v) and hi = t.offsets.(v + 1) in
+  t.probe_count <- t.probe_count + (hi - lo);
+  for i = lo to hi - 1 do
+    f t.adj.(i)
+  done
+
+let fold_neighbors t v ~init ~f =
+  let acc = ref init in
+  iter_neighbors t v (fun u -> acc := f !acc u);
+  !acc
+
+let has_edge t u v =
+  if u = v then false
+  else begin
+    (* search for v in the (sorted) smaller adjacency block *)
+    let u, v = if degree t u <= degree t v then (u, v) else (v, u) in
+    let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      t.probe_count <- t.probe_count + 1;
+      let w = t.adj.(mid) in
+      if w = v then found := true
+      else if w < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
+
+let iter_edges t f =
+  for v = 0 to t.n - 1 do
+    for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+      let u = t.adj.(i) in
+      if v < u then f v u
+    done
+  done
+
+let edges t =
+  let acc = ref [] in
+  iter_edges t (fun u v -> acc := (u, v) :: !acc);
+  let arr = Array.of_list !acc in
+  Array.sort compare arr;
+  arr
+
+let probes t = t.probe_count
+let reset_probes t = t.probe_count <- 0
+
+let induced t vs =
+  let distinct = Array.of_list (List.sort_uniq compare (Array.to_list vs)) in
+  let old_to_new = Hashtbl.create (Array.length distinct) in
+  Array.iteri (fun i v -> Hashtbl.replace old_to_new v i) distinct;
+  let acc = ref [] in
+  Array.iteri
+    (fun i v ->
+      for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+        let u = t.adj.(k) in
+        match Hashtbl.find_opt old_to_new u with
+        | Some j when i < j -> acc := (i, j) :: !acc
+        | Some _ | None -> ()
+      done)
+    distinct;
+  (of_edges ~n:(Array.length distinct) !acc, distinct)
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: vertex counts differ";
+  let acc = ref [] in
+  iter_edges a (fun u v -> acc := (u, v) :: !acc);
+  iter_edges b (fun u v -> acc := (u, v) :: !acc);
+  of_edges ~n:a.n !acc
+
+let is_subgraph ~sub ~super =
+  sub.n = super.n
+  &&
+  let ok = ref true in
+  iter_edges sub (fun u v -> if not (has_edge super u v) then ok := false);
+  !ok
+
+let complement_degree_sum t = Array.length t.adj
+
+let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n (m t)
+
+let equal a b = a.n = b.n && edges a = edges b

@@ -1,0 +1,83 @@
+(** Static undirected graphs in the adjacency-array model.
+
+    The representation mirrors the input model of the paper's sequential
+    algorithm (§3.1): for every vertex [v] we can read [degree g v] in O(1)
+    and the [i]-th neighbor of [v] in O(1), and the adjacency arrays are
+    read-only.  Every neighbor read is counted in a probe counter so that
+    sublinearity claims ("the algorithm reads o(m) of the input") are
+    measurable rather than asserted.
+
+    Internally the graph is a compressed sparse row (CSR) structure with
+    sorted neighbor lists.  Vertices are integers [0 .. n-1]; graphs are
+    simple (no self-loops, no parallel edges). *)
+
+type t
+
+type edge = int * int
+(** Undirected edge, normalised so the first endpoint is smaller. *)
+
+val of_edges : n:int -> edge list -> t
+(** [of_edges ~n edges] builds a graph on [n] vertices.  Self-loops are
+    dropped and duplicate/reversed edges are merged.
+    @raise Invalid_argument if an endpoint is outside [\[0, n)]. *)
+
+val of_edge_array : n:int -> edge array -> t
+(** Same as {!of_edges} on an array. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+(** O(1); part of the model's free metadata, not counted as a probe. *)
+
+val max_degree : t -> int
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g v i] is the [i]-th neighbor of [v] (0-based, sorted order).
+    Counts one probe.
+    @raise Invalid_argument if [i >= degree g v]. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbor of [v]; counts
+    [degree g v] probes. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val has_edge : t -> int -> int -> bool
+(** Binary search over the smaller adjacency list; counts O(log deg)
+    probes. *)
+
+val edges : t -> edge array
+(** All edges, each once, normalised and sorted; not counted as probes
+    (intended for test oracles and output, not for sublinear algorithms). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate all edges (u < v) without materialising; not counted. *)
+
+val probes : t -> int
+(** Number of adjacency-array reads since the last {!reset_probes}. *)
+
+val reset_probes : t -> unit
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced by the distinct vertices [vs],
+    relabelled [0 .. |vs|-1], together with the map from new to old labels. *)
+
+val union : t -> t -> t
+(** Edge union of two graphs on the same vertex set.
+    @raise Invalid_argument if vertex counts differ. *)
+
+val is_subgraph : sub:t -> super:t -> bool
+(** True iff every edge of [sub] is an edge of [super] (same vertex set). *)
+
+val complement_degree_sum : t -> int
+(** [2m] — handy sanity value: sum of all degrees. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short description: ["graph(n=…, m=…)"]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same vertex count and edge set). *)

@@ -1,0 +1,60 @@
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 2)) in
+  Buffer.add_string buf
+    (Printf.sprintf "# mspar edge list\n%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let fail lineno msg = failwith (Printf.sprintf "Graph_io: line %d: %s" lineno msg) in
+  let parse_two lineno line =
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun t -> t <> "")
+    with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some x, Some y -> (x, y)
+        | _ -> fail lineno "expected two integers")
+    | _ -> fail lineno "expected two integers"
+  in
+  let rec skip_comments lineno = function
+    | [] -> fail lineno "missing header"
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then skip_comments (lineno + 1) rest
+        else (lineno, line, rest)
+  in
+  let lineno, header, rest = skip_comments 1 lines in
+  let n, m = parse_two lineno header in
+  if n < 0 || m < 0 then fail lineno "negative header values";
+  let edges = ref [] in
+  let count = ref 0 in
+  List.iteri
+    (fun i line ->
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> '#' then begin
+        let u, v = parse_two (lineno + 1 + i) line in
+        if u < 0 || u >= n || v < 0 || v >= n then
+          fail (lineno + 1 + i) "endpoint out of range";
+        edges := (u, v) :: !edges;
+        incr count
+      end)
+    rest;
+  if !count <> m then
+    failwith
+      (Printf.sprintf "Graph_io: header declares %d edges but found %d" m !count);
+  Graph.of_edges ~n !edges
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s

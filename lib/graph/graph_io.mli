@@ -1,0 +1,17 @@
+(** Plain-text edge-list serialization.
+
+    Format: [#]-prefixed comment lines, then a header line ["n m"], then
+    [m] lines ["u v"] with 0-based endpoints.  Duplicate edges and
+    self-loops are tolerated on input (merged/dropped by the graph
+    constructor), so files from external sources load as simple graphs. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Failure on malformed input (with a line number). *)
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes the graph to a file. *)
+
+val load : string -> Graph.t
+(** @raise Sys_error if the file cannot be read; [Failure] if malformed. *)

@@ -1,0 +1,26 @@
+
+let of_graph g =
+  let edge_list = Graph.edges g in
+  let nl = Array.length edge_list in
+  (* group line-vertices by the base endpoint they touch *)
+  let touching = Array.make (Graph.n g) [] in
+  Array.iteri
+    (fun i (u, v) ->
+      touching.(u) <- i :: touching.(u);
+      touching.(v) <- i :: touching.(v))
+    edge_list;
+  let acc = ref [] in
+  Array.iter
+    (fun is ->
+      let is = Array.of_list is in
+      for a = 0 to Array.length is - 1 do
+        for b = a + 1 to Array.length is - 1 do
+          acc := (is.(a), is.(b)) :: !acc
+        done
+      done)
+    touching;
+  (Graph.of_edges ~n:nl !acc, edge_list)
+
+let random_base rng ~base_n ~p =
+  let base = Gen.gnp rng ~n:base_n ~p in
+  fst (of_graph base)

@@ -1,0 +1,20 @@
+(** Line graphs — the canonical β ≤ 2 family.
+
+    The line graph L(G) has one vertex per edge of G, two of them adjacent
+    iff the edges share an endpoint.  A matching in L(G) is a set of
+    edge-disjoint paths of length 2 in G; the neighborhood independence
+    number of any line graph is at most 2 (an independent set in the
+    neighborhood of edge (u,v) consists of edges meeting only u and edges
+    meeting only v — at most one of each can be pairwise non-adjacent...
+    more precisely, among edges incident on u any two are adjacent, and
+    likewise for v). *)
+
+open Mspar_prelude
+
+val of_graph : Graph.t -> Graph.t * (int * int) array
+(** [of_graph g] is the line graph of [g] plus the array mapping each line
+    vertex back to the edge of [g] it represents. *)
+
+val random_base : Rng.t -> base_n:int -> p:float -> Graph.t
+(** Line graph of a random G(base_n, p) base graph — a convenient dense
+    family with β ≤ 2. *)

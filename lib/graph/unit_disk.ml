@@ -1,0 +1,52 @@
+open Mspar_prelude
+
+type point = { x : float; y : float }
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let of_points points ~radius =
+  if radius < 0.0 then invalid_arg "Unit_disk.of_points: negative radius";
+  let n = Array.length points in
+  (* Grid bucketing with cells of side [radius]: only neighboring cells can
+     contain adjacent points, giving near-linear construction for sparse
+     radii. *)
+  let cells = max 1 (int_of_float (1.0 /. max radius 1e-9)) in
+  let cells = min cells 4096 in
+  let bucket = Hashtbl.create (2 * n) in
+  let cell_of p =
+    let cx = min (cells - 1) (int_of_float (p.x *. float_of_int cells)) in
+    let cy = min (cells - 1) (int_of_float (p.y *. float_of_int cells)) in
+    (max 0 cx, max 0 cy)
+  in
+  Array.iteri
+    (fun i p ->
+      let c = cell_of p in
+      let cur = try Hashtbl.find bucket c with Not_found -> [] in
+      Hashtbl.replace bucket c (i :: cur))
+    points;
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      let cx, cy = cell_of p in
+      for dx = -1 to 1 do
+        for dy = -1 to 1 do
+          match Hashtbl.find_opt bucket (cx + dx, cy + dy) with
+          | None -> ()
+          | Some js ->
+              List.iter
+                (fun j ->
+                  if i < j && distance p points.(j) <= radius then
+                    acc := (i, j) :: !acc)
+                js
+        done
+      done)
+    points;
+  Graph.of_edges ~n !acc
+
+let random rng ~n ~radius =
+  let points =
+    Array.init n (fun _ -> { x = Rng.float rng 1.0; y = Rng.float rng 1.0 })
+  in
+  (of_points points ~radius, points)

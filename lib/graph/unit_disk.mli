@@ -1,0 +1,19 @@
+(** Unit-disk graphs — bounded-growth geometric family (β ≤ 5 in the plane).
+
+    Vertices are points in the unit square; two are adjacent iff their
+    Euclidean distance is at most the radius.  An independent set in a
+    neighborhood corresponds to points inside a disk of radius r that are
+    pairwise more than r apart — at most 5 such points fit, so the
+    neighborhood independence number of any unit-disk graph is at most 5. *)
+
+open Mspar_prelude
+
+type point = { x : float; y : float }
+
+val random : Rng.t -> n:int -> radius:float -> Graph.t * point array
+(** [random rng ~n ~radius] samples [n] points uniformly in the unit square
+    and connects points at distance ≤ [radius]. *)
+
+val of_points : point array -> radius:float -> Graph.t
+
+val distance : point -> point -> float

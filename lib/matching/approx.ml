@@ -1,0 +1,15 @@
+
+let phases_for eps =
+  if eps <= 0.0 then invalid_arg "Approx.phases_for: eps must be positive";
+  int_of_float (ceil (1.0 /. eps))
+
+let solve_general ~eps g =
+  let k = phases_for eps in
+  let init = Greedy.maximal g in
+  Blossom.solve_bounded ~init ~max_len:((2 * k) + 1) g
+
+let solve ~eps g =
+  let k = phases_for eps in
+  match Hopcroft_karp.bipartition g with
+  | Some side -> Hopcroft_karp.solve_with_sides ~max_phases:k g side
+  | None -> solve_general ~eps g

@@ -1,0 +1,28 @@
+(** (1+ε)-approximate maximum matching — the paper's black-box matcher.
+
+    The paper invokes the Hopcroft–Karp/Micali–Vazirani result that a
+    matching free of augmenting paths shorter than [2k+1] is a
+    [(1 + 1/k)]-approximation of the MCM, computable in O(m/ε).  This module
+    packages that black box:
+
+    {ul
+    {- bipartite inputs take the genuine phase-limited Hopcroft–Karp path;}
+    {- general inputs take the depth-limited blossom search (see
+       {!Blossom.solve_bounded}).}}
+
+    Both start from a greedy maximal matching (already 2-approximate). *)
+
+open Mspar_graph
+
+val phases_for : float -> int
+(** [phases_for eps = ⌈1/eps⌉]; the phase/length parameter k such that a
+    matching with no augmenting path of ≤ 2k−1 edges is
+    (1+1/k) ≤ (1+eps)-approximate. *)
+
+val solve : eps:float -> Graph.t -> Matching.t
+(** [(1+eps)]-approximate MCM.  Auto-detects bipartiteness.
+    @raise Invalid_argument unless [0 < eps]. *)
+
+val solve_general : eps:float -> Graph.t -> Matching.t
+(** Forces the general-graph (blossom-based) path even on bipartite
+    inputs. *)

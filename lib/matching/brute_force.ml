@@ -1,0 +1,84 @@
+open Mspar_graph
+
+let mcm_size g =
+  let nv = Graph.n g in
+  if nv > 30 then invalid_arg "Brute_force.mcm_size: graph too large";
+  (* neighbor masks *)
+  let nbr = Array.make nv 0 in
+  Graph.iter_edges g (fun u v ->
+      nbr.(u) <- nbr.(u) lor (1 lsl v);
+      nbr.(v) <- nbr.(v) lor (1 lsl u));
+  let memo = Hashtbl.create 4096 in
+  let rec go mask =
+    if mask = 0 then 0
+    else
+      match Hashtbl.find_opt memo mask with
+      | Some r -> r
+      | None ->
+          (* lowest set bit = lowest available vertex *)
+          let v =
+            let rec find i = if mask land (1 lsl i) <> 0 then i else find (i + 1) in
+            find 0
+          in
+          let without = mask land lnot (1 lsl v) in
+          let best = ref (go without) in
+          let candidates = nbr.(v) land without in
+          for u = v + 1 to nv - 1 do
+            if candidates land (1 lsl u) <> 0 then begin
+              let rest = without land lnot (1 lsl u) in
+              let r = 1 + go rest in
+              if r > !best then best := r
+            end
+          done;
+          Hashtbl.replace memo mask !best;
+          !best
+  in
+  go ((1 lsl nv) - 1)
+
+let has_augmenting_path_up_to g matching ~max_len =
+  let nv = Graph.n g in
+  let on_path = Array.make nv false in
+  (* DFS over alternating simple paths starting at a free vertex; [steps]
+     counts edges used so far, the next edge must be unmatched iff the last
+     one was matched. *)
+  let rec extend v steps need_matched =
+    if steps >= max_len then false
+    else begin
+      let found = ref false in
+      let d = Graph.degree g v in
+      let i = ref 0 in
+      while (not !found) && !i < d do
+        let u = Graph.neighbor g v !i in
+        incr i;
+        if not on_path.(u) then begin
+          if need_matched then begin
+            if Matching.mate matching v = u then begin
+              on_path.(u) <- true;
+              if extend u (steps + 1) false then found := true;
+              on_path.(u) <- false
+            end
+          end
+          else if Matching.mate matching v <> u then begin
+            if not (Matching.is_matched matching u) then found := true
+            else begin
+              on_path.(u) <- true;
+              if extend u (steps + 1) true then found := true;
+              on_path.(u) <- false
+            end
+          end
+        end
+      done;
+      !found
+    end
+  in
+  let exists = ref false in
+  let v = ref 0 in
+  while (not !exists) && !v < nv do
+    if not (Matching.is_matched matching !v) then begin
+      on_path.(!v) <- true;
+      if extend !v 0 false then exists := true;
+      on_path.(!v) <- false
+    end;
+    incr v
+  done;
+  !exists

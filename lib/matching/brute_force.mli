@@ -1,0 +1,17 @@
+(** Exponential-time exact matching — the test oracle.
+
+    Memoized recursion over vertex subsets: the maximum matching of the
+    graph induced by a vertex mask either leaves the lowest vertex free or
+    matches it to one of its neighbors.  Practical up to ~24 vertices; used
+    only to validate the polynomial algorithms on small random graphs. *)
+
+open Mspar_graph
+
+val mcm_size : Graph.t -> int
+(** Exact maximum matching size.
+    @raise Invalid_argument for graphs with more than 30 vertices. *)
+
+val has_augmenting_path_up_to : Graph.t -> Matching.t -> max_len:int -> bool
+(** True iff an augmenting path of at most [max_len] edges exists for the
+    matching — by exhaustive alternating-path enumeration.  Exponential in
+    [max_len]; for test graphs only. *)

@@ -1,0 +1,23 @@
+open Mspar_prelude
+open Mspar_graph
+
+let maximal_on_edges ~n edges =
+  let m = Matching.create n in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v && (not (Matching.is_matched m u)) && not (Matching.is_matched m v)
+      then Matching.add m u v)
+    edges;
+  m
+
+let maximal g =
+  let m = Matching.create (Graph.n g) in
+  Graph.iter_edges g (fun u v ->
+      if (not (Matching.is_matched m u)) && not (Matching.is_matched m v) then
+        Matching.add m u v);
+  m
+
+let maximal_random rng g =
+  let edges = Graph.edges g in
+  Rng.shuffle_in_place rng edges;
+  maximal_on_edges ~n:(Graph.n g) edges

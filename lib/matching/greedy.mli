@@ -1,0 +1,21 @@
+(** Greedy maximal matching — the 2-approximate baseline.
+
+    A maximal matching is a 2-approximation of the maximum matching, and the
+    naive greedy scan computes one in O(m).  Both a deterministic edge-order
+    scan and a randomized-order variant are provided; the random variant is
+    the standard baseline the paper's sequential result is compared
+    against. *)
+
+open Mspar_prelude
+open Mspar_graph
+
+val maximal : Graph.t -> Matching.t
+(** Scan edges in sorted order, adding every edge with both endpoints
+    free. O(m) probes. *)
+
+val maximal_random : Rng.t -> Graph.t -> Matching.t
+(** Same, over a uniformly random edge order. *)
+
+val maximal_on_edges : n:int -> (int * int) array -> Matching.t
+(** Greedy over an explicit edge sequence (no graph needed); used by the
+    distributed and dynamic layers. *)

@@ -1,0 +1,148 @@
+open Mspar_graph
+
+let bipartition g =
+  let nv = Graph.n g in
+  let color = Array.make nv (-1) in
+  let ok = ref true in
+  let queue = Queue.create () in
+  for s = 0 to nv - 1 do
+    if color.(s) < 0 then begin
+      color.(s) <- 0;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Graph.iter_neighbors g v (fun u ->
+            if color.(u) < 0 then begin
+              color.(u) <- 1 - color.(v);
+              Queue.add u queue
+            end
+            else if color.(u) = color.(v) then ok := false)
+      done
+    end
+  done;
+  if !ok then Some (Array.map (fun c -> c = 0) color) else None
+
+let infinity_dist = max_int
+
+let solve_with_sides ?(max_phases = max_int) g side =
+  let nv = Graph.n g in
+  if Array.length side <> nv then
+    invalid_arg "Hopcroft_karp.solve_with_sides: bad side array";
+  Graph.iter_edges g (fun u v ->
+      if side.(u) = side.(v) then
+        invalid_arg "Hopcroft_karp: edge inside one side");
+  let matching = Matching.create nv in
+  (* dist over left vertices; dist_nil plays the role of the NIL sentinel of
+     the classic formulation, so DFS only completes along *shortest*
+     augmenting paths — required for the phase-count approximation bound. *)
+  let dist = Array.make nv infinity_dist in
+  let dist_nil = ref infinity_dist in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    dist_nil := infinity_dist;
+    Array.fill dist 0 nv infinity_dist;
+    for v = 0 to nv - 1 do
+      if side.(v) && not (Matching.is_matched matching v) then begin
+        dist.(v) <- 0;
+        Queue.add v queue
+      end
+    done;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if dist.(v) < !dist_nil then
+        Graph.iter_neighbors g v (fun u ->
+            let w = Matching.mate matching u in
+            if w < 0 then begin
+              if dist.(v) + 1 < !dist_nil then dist_nil := dist.(v) + 1
+            end
+            else if dist.(w) = infinity_dist then begin
+              dist.(w) <- dist.(v) + 1;
+              Queue.add w queue
+            end)
+    done;
+    !dist_nil <> infinity_dist
+  in
+  let rec dfs v =
+    let found = ref false in
+    let d = Graph.degree g v in
+    let i = ref 0 in
+    while (not !found) && !i < d do
+      let u = Graph.neighbor g v !i in
+      incr i;
+      let w = Matching.mate matching u in
+      if w < 0 then begin
+        if dist.(v) + 1 = !dist_nil then begin
+          Matching.remove_vertex matching v;
+          Matching.add matching v u;
+          found := true
+        end
+      end
+      else if dist.(w) = dist.(v) + 1 && dfs w then begin
+        (* the recursive call freed u; relink v to u *)
+        Matching.remove_vertex matching v;
+        Matching.add matching v u;
+        found := true
+      end
+    done;
+    if not !found then dist.(v) <- infinity_dist;
+    !found
+  in
+  let phase = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !phase < max_phases do
+    if bfs () then begin
+      for v = 0 to nv - 1 do
+        if side.(v) && not (Matching.is_matched matching v) then
+          ignore (dfs v)
+      done;
+      incr phase
+    end
+    else continue_ := false
+  done;
+  matching
+
+let solve ?max_phases g =
+  match bipartition g with
+  | None -> invalid_arg "Hopcroft_karp.solve: graph is not bipartite"
+  | Some side -> solve_with_sides ?max_phases g side
+
+(* König: Z = vertices reachable from free left vertices by alternating
+   paths (unmatched edge left->right, matched edge right->left); the cover
+   is (L \ Z) ∪ (R ∩ Z). *)
+let min_vertex_cover g =
+  match bipartition g with
+  | None -> invalid_arg "Hopcroft_karp.min_vertex_cover: graph is not bipartite"
+  | Some side ->
+      let matching = solve_with_sides g side in
+      let nv = Graph.n g in
+      let in_z = Array.make nv false in
+      let queue = Queue.create () in
+      for v = 0 to nv - 1 do
+        if side.(v) && not (Matching.is_matched matching v) then begin
+          in_z.(v) <- true;
+          Queue.add v queue
+        end
+      done;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        if side.(v) then
+          (* travel unmatched edges to the right side *)
+          Graph.iter_neighbors g v (fun u ->
+              if Matching.mate matching v <> u && not in_z.(u) then begin
+                in_z.(u) <- true;
+                Queue.add u queue
+              end)
+        else begin
+          (* travel the matched edge back to the left side *)
+          let w = Matching.mate matching v in
+          if w >= 0 && not in_z.(w) then begin
+            in_z.(w) <- true;
+            Queue.add w queue
+          end
+        end
+      done;
+      let cover =
+        Array.init nv (fun v -> if side.(v) then not in_z.(v) else in_z.(v))
+      in
+      (matching, cover)

@@ -1,0 +1,29 @@
+(** Hopcroft–Karp maximum matching for bipartite graphs.
+
+    This is the `O(m√n)` algorithm the paper cites ([51, 52]) as the
+    black-box matcher: each phase finds a maximal set of vertex-disjoint
+    shortest augmenting paths by BFS + DFS.  Stopping after `⌈1/ε⌉` phases
+    yields a `(1+ε)`-approximate matching in `O(m/ε)` — the exact mode runs
+    phases until none remain. *)
+
+open Mspar_graph
+
+val bipartition : Graph.t -> (bool array) option
+(** 2-coloring of the graph, or [None] if an odd cycle exists.  Isolated
+    vertices are colored [false]. *)
+
+val solve : ?max_phases:int -> Graph.t -> Matching.t
+(** Maximum matching of a bipartite graph.  With [max_phases = k] the
+    result has no augmenting path shorter than [2k+1], hence is a
+    [(1 + 1/k)]-approximation.
+    @raise Invalid_argument if the graph is not bipartite. *)
+
+val solve_with_sides : ?max_phases:int -> Graph.t -> bool array -> Matching.t
+(** Same, with a caller-supplied 2-coloring ([true] = left side). *)
+
+val min_vertex_cover : Graph.t -> Matching.t * bool array
+(** König's construction: a maximum matching together with a minimum vertex
+    cover of the same cardinality (cover.(v) iff v is in the cover).  The
+    returned cover certifies the matching's optimality: every edge is
+    covered and |cover| = |matching|.
+    @raise Invalid_argument if the graph is not bipartite. *)

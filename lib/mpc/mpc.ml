@@ -1,0 +1,41 @@
+type config = { machines : int; capacity : int }
+
+type stats = {
+  mutable rounds : int;
+  mutable total_items : int;
+  mutable max_load : int;
+}
+
+exception Capacity_exceeded of { machine : int; load : int; capacity : int }
+
+let fresh_stats () = { rounds = 0; total_items = 0; max_load = 0 }
+
+let exchange cfg stats ?(weight = fun _ -> 1) outgoing =
+  if Array.length outgoing <> cfg.machines then
+    invalid_arg "Mpc.exchange: outgoing arity mismatch";
+  let incoming = Array.make cfg.machines [] in
+  let load = Array.make cfg.machines 0 in
+  Array.iter
+    (List.iter (fun (dst, item) ->
+         if dst < 0 || dst >= cfg.machines then
+           invalid_arg "Mpc.exchange: destination out of range";
+         incoming.(dst) <- item :: incoming.(dst);
+         load.(dst) <- load.(dst) + weight item))
+    outgoing;
+  Array.iteri
+    (fun machine l ->
+      if l > cfg.capacity then
+        raise (Capacity_exceeded { machine; load = l; capacity = cfg.capacity }))
+    load;
+  stats.rounds <- stats.rounds + 1;
+  Array.iteri
+    (fun m l ->
+      stats.total_items <- stats.total_items + List.length incoming.(m);
+      if l > stats.max_load then stats.max_load <- l)
+    load;
+  Array.map List.rev incoming
+
+let scatter cfg input =
+  let out = Array.make cfg.machines [] in
+  Array.iteri (fun i x -> out.(i mod cfg.machines) <- x :: out.(i mod cfg.machines)) input;
+  Array.map List.rev out

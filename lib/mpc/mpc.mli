@@ -1,0 +1,38 @@
+(** Massively-parallel-computation (MPC) simulator.
+
+    The MPC model (the abstraction of MapReduce-style frameworks the paper
+    cites in §3): M machines, each with a local memory of [capacity] words;
+    input partitioned across machines; computation proceeds in synchronous
+    rounds where every machine computes locally and then exchanges data,
+    subject to each machine {e receiving} at most [capacity] words per
+    round.  Round count and the maximum per-machine load are the two
+    complexity measures.
+
+    The simulator is a single combinator, {!exchange}: machines emit
+    [(destination, item)] pairs and receive their incoming items, with the
+    capacity constraint enforced and metering updated. *)
+
+type config = { machines : int; capacity : int }
+
+type stats = {
+  mutable rounds : int;
+  mutable total_items : int;  (** items shuffled across all rounds *)
+  mutable max_load : int;  (** max items received by one machine in a round *)
+}
+
+exception Capacity_exceeded of { machine : int; load : int; capacity : int }
+
+val fresh_stats : unit -> stats
+
+val exchange :
+  config -> stats -> ?weight:('b -> int) -> (int * 'b) list array -> 'b list array
+(** [exchange cfg stats outgoing] delivers the per-machine outgoing lists:
+    the result's element [i] holds everything addressed to machine [i].
+    [weight] gives each item's size in words (default 1).
+    @raise Capacity_exceeded if a machine receives more than
+    [cfg.capacity] words.
+    @raise Invalid_argument on a destination outside [0, machines). *)
+
+val scatter : config -> 'b array -> 'b list array
+(** Deal an input array round-robin onto the machines (free initial
+    distribution, not a communication round). *)

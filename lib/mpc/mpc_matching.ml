@@ -1,0 +1,87 @@
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_core
+
+type result = {
+  matching : Matching.t;
+  rounds : int;
+  max_load : int;
+  sparsifier_edges : int;
+}
+
+(* keep the [k] smallest-priority entries of each vertex's candidate list *)
+let select_per_vertex ~k candidates =
+  let by_vertex : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (v, u, prio) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_vertex v) in
+      Hashtbl.replace by_vertex v ((prio, u) :: cur))
+    candidates;
+  Hashtbl.fold
+    (fun v entries acc ->
+      let sorted = List.sort compare entries in
+      let rec take i = function
+        | [] -> []
+        | _ when i = k -> []
+        | (prio, u) :: rest -> (v, u, prio) :: take (i + 1) rest
+      in
+      take 0 sorted @ acc)
+    by_vertex []
+
+let run ?(multiplier = 1.0) rng cfg g ~beta ~eps =
+  let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+  let stats = Mpc.fresh_stats () in
+  let edges = Graph.edges g in
+  let stored = Mpc.scatter cfg edges in
+  let machine_rng = Array.init cfg.Mpc.machines (fun _ -> Rng.split rng) in
+  let owner v = v mod cfg.Mpc.machines in
+  (* round 1: per-machine marking candidates, pre-selected to delta per
+     vertex per machine, shuffled to the vertex owners *)
+  let outgoing =
+    Array.mapi
+      (fun i edge_list ->
+        let rng_i = machine_rng.(i) in
+        let arcs =
+          List.concat_map
+            (fun (u, v) ->
+              [
+                (u, v, Rng.int rng_i (1 lsl 30));
+                (v, u, Rng.int rng_i (1 lsl 30));
+              ])
+            edge_list
+        in
+        let chosen = select_per_vertex ~k:delta arcs in
+        List.map (fun ((v, _, _) as item) -> (owner v, item)) chosen)
+      stored
+  in
+  let at_owners = Mpc.exchange cfg stats outgoing in
+  (* local select: delta globally-smallest per owned vertex *)
+  let marked_per_machine =
+    Array.map
+      (fun candidates ->
+        select_per_vertex ~k:delta candidates
+        |> List.map (fun (v, u, _) -> (v, u)))
+      at_owners
+  in
+  (* round 2: gather the sparsifier on machine 0 *)
+  let to_coordinator =
+    Array.map (fun pairs -> List.map (fun pair -> (0, pair)) pairs)
+      marked_per_machine
+  in
+  let gathered = Mpc.exchange cfg stats to_coordinator in
+  let sparsifier = Graph.of_edges ~n:(Graph.n g) gathered.(0) in
+  let matching = Approx.solve_general ~eps sparsifier in
+  {
+    matching;
+    rounds = stats.Mpc.rounds;
+    max_load = stats.Mpc.max_load;
+    sparsifier_edges = Graph.m sparsifier;
+  }
+
+let baseline_gather cfg g =
+  let stats = Mpc.fresh_stats () in
+  let stored = Mpc.scatter cfg (Graph.edges g) in
+  let outgoing = Array.map (List.map (fun e -> (0, e))) stored in
+  let gathered = Mpc.exchange cfg stats outgoing in
+  List.length gathered.(0)

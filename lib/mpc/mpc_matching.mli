@@ -1,0 +1,49 @@
+(** Constant-round MPC matching via the sparsifier (paper §3, MPC remark).
+
+    The recipe:
+
+    {ol
+    {- {b Mark} (1 round): every machine attaches an independent uniform
+       priority to each (endpoint, edge) pair it holds and pre-selects, per
+       vertex, its Δ smallest; the pre-selections are shuffled to each
+       vertex's owner machine (hash partition).  Pre-selection is lossless:
+       the Δ globally smallest priorities of a vertex are contained in the
+       union of per-machine Δ smallest.}
+    {- {b Select} (local): each owner keeps the Δ smallest priorities per
+       vertex — a uniform Δ-subset of incident edges, i.e. exactly the
+       G_Δ marking distribution, so Theorem 2.1 applies.}
+    {- {b Gather} (1 round): marked edges are shipped to machine 0, which
+       now holds only O(n·Δ) ≪ m edges and solves (1+ε)-MCM locally.}}
+
+    Total: 2 communication rounds, per-machine memory
+    O(input share + n·Δ).  The baseline without sparsification must gather
+    all m edges on the coordinator, so its memory is Ω(m). *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+type result = {
+  matching : Matching.t;
+  rounds : int;
+  max_load : int;  (** maximum words received by a machine in one round *)
+  sparsifier_edges : int;
+}
+
+val run :
+  ?multiplier:float ->
+  Rng.t ->
+  Mpc.config ->
+  Graph.t ->
+  beta:int ->
+  eps:float ->
+  result
+(** Distribute the edges of [g] over the machines, run the two-round
+    sparsify-and-gather algorithm, and match on the coordinator.
+    @raise Mpc.Capacity_exceeded if [config.capacity] cannot hold the
+    shuffles (capacity must be Ω(m/M + n·Δ)). *)
+
+val baseline_gather : Mpc.config -> Graph.t -> int
+(** Words the coordinator receives when the whole graph is gathered without
+    sparsification (the Ω(m) comparison point); raises
+    {!Mpc.Capacity_exceeded} if it does not fit. *)

@@ -1,0 +1,69 @@
+open Mspar_prelude
+open Mspar_graph
+
+(* splitmix64-style finalizer over (seed, v): cheap, well-mixed, and
+   independent streams per vertex *)
+let vertex_rng ~seed v =
+  let mix =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.mul (Int64.of_int (v + 1)) 0xBF58476D1CE4E5B9L)
+  in
+  Rng.create (Int64.to_int mix)
+
+(* mark one vertex into [push]; the §3.1 rule (keep everything at degree
+   <= 2*delta) *)
+let mark_vertex g ~seed ~delta ~sampler v push =
+  let d = Graph.degree g v in
+  if d <= 2 * delta then Graph.iter_neighbors g v (fun u -> push (v, u))
+  else begin
+    let rng = vertex_rng ~seed v in
+    Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+        push (v, Graph.neighbor g v i))
+  end
+
+let collect_range g ~seed ~delta lo hi =
+  let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
+  let acc = ref [] in
+  for v = lo to hi - 1 do
+    mark_vertex g ~seed ~delta ~sampler v (fun pair -> acc := pair :: !acc)
+  done;
+  !acc
+
+let sequential ~seed g ~delta =
+  if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
+  Graph.of_edges ~n:(Graph.n g) (collect_range g ~seed ~delta 0 (Graph.n g))
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let sparsify ?num_domains ~seed g ~delta =
+  if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
+  let nd = max 1 (match num_domains with Some d -> d | None -> default_domains ()) in
+  let nv = Graph.n g in
+  if nd = 1 || nv < 2 * nd then sequential ~seed g ~delta
+  else begin
+    (* NOTE: workers only read the CSR arrays and the probe counter; the
+       counter is a plain int field, so parallel increments may race and the
+       probe total can under-count in parallel mode.  The sparsifier content
+       itself depends only on (seed, v) and is race-free. *)
+    let chunk = (nv + nd - 1) / nd in
+    let worker i () =
+      let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
+      if lo >= hi then [] else collect_range g ~seed ~delta lo hi
+    in
+    let domains =
+      List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    let first = worker 0 () in
+    let rest = List.map Domain.join domains in
+    Graph.of_edges ~n:nv (List.concat (first :: rest))
+  end
+
+let time_comparison ~seed g ~delta ~domains =
+  List.map
+    (fun d ->
+      let _, ns =
+        Clock.time_ns (fun () -> ignore (sparsify ~num_domains:d ~seed g ~delta))
+      in
+      (d, Clock.ns_to_ms ns))
+    domains

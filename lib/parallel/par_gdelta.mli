@@ -1,0 +1,33 @@
+(** Multicore construction of G_Δ (OCaml 5 domains).
+
+    The sparsifier construction is embarrassingly parallel: each vertex's
+    marking is independent of every other vertex's (the very independence the
+    proof of Theorem 2.1 exploits).  This module partitions the vertex set
+    across domains, each marking its vertices into a private buffer; buffers
+    are concatenated at the end.
+
+    Determinism across schedules: every vertex derives its own generator
+    from [(seed, v)] by a splitmix-style hash, so the output is a pure
+    function of [(seed, g, delta)] — identical for any number of domains,
+    and identical to the sequential reference {!sequential}.  (This is the
+    standard counter-based-RNG recipe for reproducible parallel Monte
+    Carlo.) *)
+
+open Mspar_graph
+
+val vertex_rng : seed:int -> int -> Mspar_prelude.Rng.t
+(** The per-vertex generator; exposed so tests can pin the contract. *)
+
+val sequential : seed:int -> Graph.t -> delta:int -> Graph.t
+(** Single-domain reference with the per-vertex seeding discipline.  Uses
+    the §3.1 mark-all-at-most-2Δ rule, like {!Mspar_core.Gdelta}. *)
+
+val sparsify : ?num_domains:int -> seed:int -> Graph.t -> delta:int -> Graph.t
+(** Parallel construction over [num_domains] domains (default:
+    [Domain.recommended_domain_count ()], capped at 8).  Output is equal to
+    {!sequential} with the same seed. *)
+
+val time_comparison :
+  seed:int -> Graph.t -> delta:int -> domains:int list -> (int * float) list
+(** [(d, milliseconds)] per domain count — the speedup curve for the
+    benchmark harness. *)

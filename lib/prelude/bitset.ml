@@ -1,0 +1,85 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0 }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let inter_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let diff a b =
+  check_same a b;
+  { n = a.n; words = Array.mapi (fun i w -> w land lnot b.words.(i)) a.words }
+
+let inter a b =
+  check_same a b;
+  { n = a.n; words = Array.mapi (fun i w -> w land b.words.(i)) a.words }
+
+let first_mem t =
+  let res = ref None in
+  (try
+     for w = 0 to Array.length t.words - 1 do
+       let word = t.words.(w) in
+       if word <> 0 then
+         for b = 0 to bits_per_word - 1 do
+           if word land (1 lsl b) <> 0 then begin
+             res := Some ((w * bits_per_word) + b);
+             raise Exit
+           end
+         done
+     done
+   with Exit -> ());
+  !res

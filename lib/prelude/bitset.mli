@@ -1,0 +1,35 @@
+(** Fixed-capacity bitsets over [0 .. n-1], packed 63 bits per word. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. *)
+
+val length : t -> int
+(** Universe size. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+val cardinal : t -> int
+(** Population count; O(n/63). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates members in increasing order. *)
+
+val to_list : t -> int list
+val copy : t -> t
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection. Universes must match. *)
+
+val diff : t -> t -> t
+(** [diff a b] is a fresh set [a \ b]. Universes must match. *)
+
+val inter : t -> t -> t
+(** Fresh intersection. Universes must match. *)
+
+val first_mem : t -> int option
+(** Smallest member, if any. *)

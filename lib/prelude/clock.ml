@@ -1,0 +1,9 @@
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.sub t1 t0)
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,12 @@
+(** Wall-clock timing for the experiment harness. *)
+
+val now_ns : unit -> int64
+(** Current wall-clock time in nanoseconds (gettimeofday-based; adequate for
+    the millisecond-scale measurements in the harness — bechamel is used for
+    micro-benchmarks). *)
+
+val time_ns : (unit -> 'a) -> 'a * int64
+(** [time_ns f] runs [f] and returns its result with the elapsed
+    nanoseconds. *)
+
+val ns_to_ms : int64 -> float

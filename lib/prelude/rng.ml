@@ -1,0 +1,106 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand a seed into the 256-bit xoshiro state and
+   to derive split streams. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  (* xoshiro must not start at the all-zero state; splitmix64 outputs are
+     zero only for specific inputs, and never four in a row. *)
+  { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+(* Non-negative 62-bit value, convenient for OCaml's 63-bit ints. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
+  else begin
+    (* rejection sampling on 62-bit values *)
+    let max62 = (1 lsl 62) - 1 in
+    let limit = max62 - (max62 mod bound) in
+    let rec draw () =
+      let v = bits62 t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (float_of_int x *. (1.0 /. 9007199254740992.0))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t ~k ~n =
+  if n < 0 then invalid_arg "Rng.sample_distinct: n < 0";
+  let k = min k n in
+  if k <= 0 then [||]
+  else begin
+    (* Virtual Fisher–Yates: positions that have been swapped are recorded in
+       a hashtable, everything else is implicitly at its own index. *)
+    let moved = Hashtbl.create (2 * k) in
+    let value_at i = match Hashtbl.find_opt moved i with Some v -> v | None -> i in
+    let out = Array.make k 0 in
+    for step = 0 to k - 1 do
+      let last = n - 1 - step in
+      let j = int t (last + 1) in
+      let vj = value_at j in
+      let vlast = value_at last in
+      Hashtbl.replace moved j vlast;
+      Hashtbl.replace moved last vj;
+      out.(step) <- vj
+    done;
+    out
+  end
+
+let perm t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a

@@ -1,0 +1,32 @@
+type t = { pos : int Sparse_array.t; mutable steps : int }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Sampling.create: negative capacity";
+  { pos = Sparse_array.create capacity ~default:(-1); steps = 0 }
+
+let capacity t = Sparse_array.length t.pos
+
+(* Emulated Fisher–Yates: pos.(i) = -1 means "element i is still at its own
+   position".  At step s we draw j <= last = n-1-s, output the element
+   currently at position j, and move the element at position [last] into
+   position j.  Positions > last are never consulted again, so only the
+   single write to j is needed. *)
+let sample_indices t rng ~n ~k ~f =
+  if n > Sparse_array.length t.pos then
+    invalid_arg "Sampling.sample_indices: population exceeds capacity";
+  if n < 0 then invalid_arg "Sampling.sample_indices: negative population";
+  let k = min k n in
+  Sparse_array.reset t.pos;
+  let value_at i =
+    let v = Sparse_array.get t.pos i in
+    if v = -1 then i else v
+  in
+  for step = 0 to k - 1 do
+    let last = n - 1 - step in
+    let j = Rng.int rng (last + 1) in
+    f (value_at j);
+    Sparse_array.set t.pos j (value_at last)
+  done;
+  t.steps <- k
+
+let steps_last_call t = t.steps

@@ -1,0 +1,29 @@
+(** Without-replacement sampling over read-only arrays (paper §3.1).
+
+    To mark [Δ] random incident edges of a vertex [v] in O(Δ) deterministic
+    time, the paper emulates Fisher–Yates swaps on the read-only adjacency
+    array through an auxiliary positions array [pos_v] that supports O(1)
+    initialisation.  A single {!t} owns one such scratch {!Sparse_array} and
+    is reused across all vertices; {!sample_indices} performs the
+    emulation. *)
+
+type t
+(** Reusable sampling scratch space. *)
+
+val create : capacity:int -> t
+(** [create ~capacity] allocates scratch space usable for any population of
+    size at most [capacity] (for graphs: the maximum degree, or [n]). *)
+
+val capacity : t -> int
+
+val sample_indices : t -> Rng.t -> n:int -> k:int -> f:(int -> unit) -> unit
+(** [sample_indices t rng ~n ~k ~f] calls [f] on [min k n] distinct indices
+    drawn uniformly at random from [\[0, n)], in draw order.  Runs in
+    O(min k n) time independent of [n]; requires [n <= capacity t].
+    The scratch space is reset (O(1)) before use, so consecutive calls are
+    independent. *)
+
+val steps_last_call : t -> int
+(** Number of sampling steps performed by the most recent
+    {!sample_indices} call (equals [min k n]); exposed so callers can
+    account for the deterministic O(Δ)-per-vertex work bound. *)

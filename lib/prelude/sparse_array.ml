@@ -1,0 +1,38 @@
+type 'a t = {
+  default : 'a;
+  values : 'a array;
+  (* back.(i) is the stack slot claiming that index i is live. *)
+  back : int array;
+  (* stack.(0 .. top-1) are the indices written since the last reset. *)
+  stack : int array;
+  mutable top : int;
+}
+
+let create n ~default =
+  if n < 0 then invalid_arg "Sparse_array.create: negative length";
+  {
+    default;
+    values = Array.make n default;
+    back = Array.make n 0;
+    stack = Array.make n 0;
+    top = 0;
+  }
+
+let length t = Array.length t.values
+
+let is_set t i =
+  let b = t.back.(i) in
+  b < t.top && t.stack.(b) = i
+
+let get t i = if is_set t i then t.values.(i) else t.default
+
+let set t i v =
+  if not (is_set t i) then begin
+    t.back.(i) <- t.top;
+    t.stack.(t.top) <- i;
+    t.top <- t.top + 1
+  end;
+  t.values.(i) <- v
+
+let reset t = t.top <- 0
+let live_count t = t.top

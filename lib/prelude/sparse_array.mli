@@ -1,0 +1,39 @@
+(** Array with O(1) initialisation (Aho–Hopcroft–Ullman "sparse array").
+
+    Section 3.1 of the paper needs, for every vertex [v], a positions array
+    [pos_v] that can be (re-)initialised to a uniform default in constant
+    time, so that building the sparsifier costs O(Δ) per vertex rather than
+    O(deg v).  The classic trick keeps a stack of initialised indices and a
+    back-pointer array; a slot is live iff its back pointer addresses a stack
+    entry that points back at it.
+
+    The constructor {!create} still allocates O(n) words (unavoidable in
+    OCaml, which zero-initialises arrays), but {!reset} is O(1) no matter how
+    many slots were written — this is the operation the paper's amortisation
+    relies on when the same scratch array is reused across vertices. *)
+
+type 'a t
+
+val create : int -> default:'a -> 'a t
+(** [create n ~default] is a length-[n] sparse array whose every slot reads
+    as [default]. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the value at slot [i], or the default if the slot was never
+    written since the last {!reset}. O(1). *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i v] writes slot [i]. O(1). *)
+
+val is_set : 'a t -> int -> bool
+(** [is_set t i] is [true] iff slot [i] was written since the last
+    {!reset}. *)
+
+val reset : 'a t -> unit
+(** Constant-time reinitialisation: after [reset t], every slot reads as the
+    default again. *)
+
+val live_count : 'a t -> int
+(** Number of slots written since the last reset. *)

@@ -1,0 +1,72 @@
+type row = Cells of string list | Rule
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x' || c = '%')
+       s
+
+let print ?(oc = stdout) t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let pad i s =
+    let w = widths.(i) in
+    let padding = String.make (w - String.length s) ' ' in
+    if is_numeric s then padding ^ s else s ^ padding
+  in
+  let total = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  let line = String.make total '-' in
+  Printf.fprintf oc "\n== %s ==\n" t.title;
+  Printf.fprintf oc "%s\n" (String.concat " | " (List.mapi pad t.columns));
+  Printf.fprintf oc "%s\n" line;
+  List.iter
+    (function
+      | Rule -> Printf.fprintf oc "%s\n" line
+      | Cells cells ->
+          Printf.fprintf oc "%s\n" (String.concat " | " (List.mapi pad cells)))
+    rows;
+  flush oc
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.columns;
+  List.iter (function Rule -> () | Cells cells -> row cells) (List.rev t.rows);
+  Buffer.contents buf
+
+let title t = t.title
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%d" (int_of_float x)
+  else if Float.abs x >= 0.01 && Float.abs x < 1e6 then Printf.sprintf "%.3f" x
+  else Printf.sprintf "%.3g" x
+
+let cell_i = string_of_int
+let cell_b b = if b then "yes" else "no"

@@ -1,0 +1,30 @@
+(** Fixed-width text tables for the benchmark harness output.
+
+    Columns are sized to their widest cell; numbers are right-aligned, text
+    left-aligned.  The harness prints one table per experiment, mirroring how
+    the paper's claims would appear as evaluation tables. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row length differs from the header. *)
+
+val add_rule : t -> unit
+(** Horizontal separator between row groups. *)
+
+val print : ?oc:out_channel -> t -> unit
+
+val to_csv : t -> string
+(** The table as CSV (header row + data rows; rules are skipped; cells
+    containing commas or quotes are quoted). *)
+
+val title : t -> string
+
+val cell_f : float -> string
+(** Compact float formatting ("%.3g" with fixed-point for moderate
+    magnitudes). *)
+
+val cell_i : int -> string
+val cell_b : bool -> string

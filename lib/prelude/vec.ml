@@ -1,0 +1,70 @@
+type 'a t = { dummy : 'a; mutable data : 'a array; mutable len : int }
+
+let create ?(initial_capacity = 8) ~dummy () =
+  let cap = max initial_capacity 1 in
+  { dummy; data = Array.make cap dummy; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  let v = t.data.(t.len) in
+  t.data.(t.len) <- t.dummy;
+  v
+
+let clear t =
+  (* Overwrite with the dummy so stale boxed values can be collected. *)
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let of_array ~dummy a =
+  let t = create ~initial_capacity:(max 1 (Array.length a)) ~dummy () in
+  Array.iter (push t) a;
+  t

@@ -1,0 +1,30 @@
+(** Growable arrays with amortised O(1) push.
+
+    Used throughout the library for edge accumulation and work queues.  A
+    dummy element is required at creation so the backing store can be a plain
+    (monomorphic-friendly) [array]. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. @raise Invalid_argument on an
+    empty vector. *)
+
+val clear : 'a t -> unit
+(** Logical clear; capacity is retained. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array copy of the live contents. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val of_array : dummy:'a -> 'a array -> 'a t

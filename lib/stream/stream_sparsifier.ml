@@ -1,0 +1,66 @@
+open Mspar_prelude
+open Mspar_graph
+
+type t = {
+  rng : Rng.t;
+  nv : int;
+  delta : int;
+  reservoirs : int Vec.t array; (* reservoirs.(v) holds v's sampled neighbors *)
+  seen : int array; (* number of incident edges seen so far per vertex *)
+  mutable processed : int;
+  mutable peak : int;
+  mutable stored : int;
+}
+
+let create rng ~n ~delta =
+  if n < 0 then invalid_arg "Stream_sparsifier.create: negative n";
+  if delta < 1 then invalid_arg "Stream_sparsifier.create: delta >= 1";
+  {
+    rng;
+    nv = n;
+    delta;
+    reservoirs = Array.init n (fun _ -> Vec.create ~dummy:(-1) ());
+    seen = Array.make n 0;
+    processed = 0;
+    peak = 0;
+    stored = 0;
+  }
+
+(* classic reservoir step for one endpoint *)
+let offer t v u =
+  t.seen.(v) <- t.seen.(v) + 1;
+  let r = t.reservoirs.(v) in
+  if Vec.length r < t.delta then begin
+    Vec.push r u;
+    t.stored <- t.stored + 1
+  end
+  else begin
+    let j = Rng.int t.rng t.seen.(v) in
+    if j < t.delta then Vec.set r j u
+  end
+
+let feed t u v =
+  if u = v then invalid_arg "Stream_sparsifier.feed: self-loop";
+  if u < 0 || v < 0 || u >= t.nv || v >= t.nv then
+    invalid_arg "Stream_sparsifier.feed: endpoint out of range";
+  offer t u v;
+  offer t v u;
+  t.processed <- t.processed + 1;
+  if t.stored > t.peak then t.peak <- t.stored
+
+let feed_all t edges = Array.iter (fun (u, v) -> feed t u v) edges
+let edges_processed t = t.processed
+let stored_edges t = t.stored
+let peak_stored t = t.peak
+
+let sparsifier t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun v r -> Vec.iter (fun u -> pairs := (v, u) :: !pairs) r)
+    t.reservoirs;
+  Graph.of_edges ~n:t.nv !pairs
+
+let run rng ~n ~delta edges =
+  let t = create rng ~n ~delta in
+  feed_all t edges;
+  (sparsifier t, `Stored (peak_stored t), `Stream_len (edges_processed t))

@@ -1,0 +1,47 @@
+(** Semi-streaming construction of G_Δ (paper §3, "broad applicability").
+
+    The paper notes that the sparsifier applies in memory-constrained models
+    such as streaming.  This module makes that concrete for the
+    insertion-only semi-streaming model: edges arrive one at a time, the
+    algorithm may keep only O(n·Δ) words, and at the end of the pass it must
+    hold a (1+ε)-matching sparsifier.
+
+    The construction is per-vertex {e reservoir sampling}: each vertex keeps
+    a reservoir of at most Δ incident edges; the t-th edge incident on v
+    enters v's reservoir with probability Δ/t, evicting a uniformly random
+    occupant.  A standard induction shows each reservoir is a uniformly
+    random min(Δ, deg v)-subset of v's incident edges — exactly the marking
+    distribution of {!Mspar_core.Gdelta} — so Theorem 2.1 applies verbatim
+    to the union of reservoirs. *)
+
+open Mspar_prelude
+open Mspar_graph
+
+type t
+
+val create : Rng.t -> n:int -> delta:int -> t
+(** Empty one-pass state over [n] vertices. *)
+
+val feed : t -> int -> int -> unit
+(** Process the next stream edge (u, v).  O(1) expected.
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val feed_all : t -> (int * int) array -> unit
+
+val edges_processed : t -> int
+val stored_edges : t -> int
+(** Current memory footprint in edges: sum of reservoir sizes, ≤ n·Δ and
+    also ≤ 2·(edges processed). *)
+
+val peak_stored : t -> int
+
+val sparsifier : t -> Graph.t
+(** Materialise the union of reservoirs. *)
+
+val run :
+  Rng.t ->
+  n:int ->
+  delta:int ->
+  (int * int) array ->
+  Graph.t * [ `Stored of int ] * [ `Stream_len of int ]
+(** One-shot convenience wrapper. *)

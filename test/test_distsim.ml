@@ -1,0 +1,377 @@
+(* Tests for mspar_distsim: the synchronous network simulator, the one-round
+   distributed sparsifiers, the proposal-based maximal matching, the
+   walker-based (1+eps) algorithm, and the message-complexity comparison
+   behind Theorem 3.3. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_distsim
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Network semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_basic () =
+  let g = Gen.path 3 in
+  let net = Network.create g in
+  check "no rounds yet" 0 (Network.rounds net);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:2 ~dst:1 ();
+  check "messages counted at send" 2 (Network.messages net);
+  check_bool "inbox empty before deliver" true (Network.inbox net 1 = []);
+  Network.deliver net;
+  check "one round" 1 (Network.rounds net);
+  let senders = List.map fst (Network.inbox net 1) |> List.sort compare in
+  check_bool "both messages arrived" true (senders = [ 0; 2 ]);
+  Network.deliver net;
+  check_bool "inbox cleared next round" true (Network.inbox net 1 = [])
+
+let test_network_rejects_non_neighbor () =
+  let g = Gen.path 3 in
+  let net = Network.create g in
+  Alcotest.check_raises "non-neighbor send"
+    (Invalid_argument "Network.send: dst is not a neighbor of src") (fun () ->
+      Network.send net ~src:0 ~dst:2 ())
+
+let test_network_broadcast_and_bits () =
+  let g = Gen.star 5 in
+  let net = Network.create ~bit_size:(fun words -> 8 * words) g in
+  Network.broadcast net ~src:0 3;
+  check "four messages" 4 (Network.messages net);
+  check "bits" (4 * 24) (Network.bits net);
+  check "max message bits" 24 (Network.max_message_bits net);
+  check_bool "congest word positive" true (Network.congest_word net >= 2)
+
+let test_network_skip_rounds () =
+  let net = Network.create (Gen.path 2) in
+  Network.skip_rounds net 5;
+  check "skipped" 5 (Network.rounds net)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed sparsifiers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_dist_gdelta_single_round () =
+  let rng = Rng.create 1 in
+  let g = Gen.complete 40 in
+  let s, st = Sparsify_dist.gdelta rng g ~delta:4 in
+  check "one round" 1 st.Sparsify_dist.rounds;
+  check_bool "subgraph" true (Graph.is_subgraph ~sub:s ~super:g);
+  (* message count = marking events <= n * 2delta, sublinear vs 2m *)
+  check_bool "messages sublinear" true
+    (st.Sparsify_dist.messages <= Graph.n g * 8);
+  check_bool "messages below input size" true
+    (st.Sparsify_dist.messages < 2 * Graph.m g);
+  (* 1-bit messages *)
+  check "bits equal messages" st.Sparsify_dist.messages st.Sparsify_dist.bits;
+  (* min-degree guarantee as in the sequential construction *)
+  for v = 0 to Graph.n g - 1 do
+    check_bool "degree floor" true
+      (Graph.degree s v >= min (Graph.degree g v) 4)
+  done
+
+let test_dist_gdelta_matches_quality () =
+  let rng = Rng.create 2 in
+  let g = Gen.complete 60 in
+  let s, _ = Sparsify_dist.gdelta rng g ~delta:8 in
+  let opt = Matching.size (Blossom.solve g) in
+  let opt_s = Matching.size (Blossom.solve s) in
+  check_bool
+    (Printf.sprintf "distributed sparsifier quality %d vs %d" opt_s opt)
+    true
+    (float_of_int opt <= 1.5 *. float_of_int opt_s)
+
+let test_dist_solomon () =
+  let rng = Rng.create 3 in
+  let g = Gen.gnp rng ~n:50 ~p:0.3 in
+  let s, st = Sparsify_dist.solomon g ~delta_alpha:5 in
+  check "one round" 1 st.Sparsify_dist.rounds;
+  check_bool "subgraph" true (Graph.is_subgraph ~sub:s ~super:g);
+  check_bool "degree bound" true (Graph.max_degree s <= 5);
+  (* must agree with the sequential implementation (same arbitrary rule) *)
+  let seq = Mspar_core.Solomon.sparsify g ~delta_alpha:5 in
+  check_bool "agrees with sequential" true (Graph.equal s seq)
+
+let test_dist_composed () =
+  let rng = Rng.create 4 in
+  let g = Gen.complete 50 in
+  let s, st = Sparsify_dist.composed rng g ~beta:1 ~eps:0.5 ~multiplier:1.0 () in
+  check "two rounds" 2 st.Sparsify_dist.rounds;
+  check_bool "subgraph" true (Graph.is_subgraph ~sub:s ~super:g)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed maximal matching                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dist_maximal () =
+  let rng = Rng.create 5 in
+  for _ = 0 to 9 do
+    let g = Gen.gnp rng ~n:40 ~p:0.2 in
+    let m, st = Matching_dist.maximal rng g in
+    check_bool "valid" true (Matching.is_valid g m);
+    check_bool "maximal" true (Matching.is_maximal g m);
+    check_bool "rounds logarithmic-ish" true (st.Matching_dist.rounds <= 200)
+  done
+
+let test_dist_maximal_empty_and_tiny () =
+  let rng = Rng.create 6 in
+  let m, st = Matching_dist.maximal rng (Gen.empty 5) in
+  check "empty graph" 0 (Matching.size m);
+  check "no rounds needed" 0 (st.Matching_dist.rounds);
+  let m, _ = Matching_dist.maximal rng (Gen.path 2) in
+  check "single edge matched" 1 (Matching.size m)
+
+(* ------------------------------------------------------------------ *)
+(* Walker-based (1+eps)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dist_one_plus_eps_quality () =
+  let rng = Rng.create 7 in
+  for trial = 0 to 4 do
+    let g = Gen.gnp rng ~n:40 ~p:0.15 in
+    let m, _ = Matching_dist.one_plus_eps rng g ~eps:0.34 in
+    check_bool "valid" true (Matching.is_valid g m);
+    check_bool "maximal" true (Matching.is_maximal g m);
+    let opt = Matching.size (Blossom.solve g) in
+    check_bool
+      (Printf.sprintf "quality trial %d: %d vs opt %d" trial (Matching.size m)
+         opt)
+      true
+      (float_of_int opt <= 1.34 *. float_of_int (Matching.size m))
+  done
+
+let test_dist_one_plus_eps_on_paths () =
+  (* long paths are the classic hard case for local augmentation *)
+  let rng = Rng.create 8 in
+  let g = Gen.path 30 in
+  let m, _ = Matching_dist.one_plus_eps rng g ~eps:0.25 in
+  let opt = Matching.size (Blossom.solve g) in
+  check_bool
+    (Printf.sprintf "path quality %d vs %d" (Matching.size m) opt)
+    true
+    (float_of_int opt <= 1.25 *. float_of_int (Matching.size m))
+
+let test_dist_rounds_independent_of_n () =
+  (* fixed degree and eps: rounds should not grow with n (the log* n term
+     is invisible at these scales; we check near-constancy) *)
+  let rounds_for n =
+    let rng = Rng.create 9 in
+    let g = Gen.cycle n in
+    let _, st = Matching_dist.one_plus_eps ~attempts_per_phase:8 rng g ~eps:0.5 in
+    st.Matching_dist.rounds
+  in
+  let r1 = rounds_for 50 and r2 = rounds_for 400 in
+  check_bool
+    (Printf.sprintf "rounds %d (n=50) vs %d (n=400)" r1 r2)
+    true
+    (float_of_int r2 <= 3.0 *. float_of_int (max r1 1))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic maximal matching (Cole-Vishkin based)                *)
+(* ------------------------------------------------------------------ *)
+
+let test_det_forest_decomposition () =
+  let rng = Rng.create 41 in
+  let g = Gen.gnp rng ~n:30 ~p:0.3 in
+  let forests = Det_matching.forests_of g in
+  (* every out-edge goes to a larger id and each edge appears exactly once *)
+  let total = ref 0 in
+  Array.iteri
+    (fun v outs ->
+      Array.iter
+        (fun u ->
+          check_bool "oriented upward" true (u > v);
+          check_bool "is an edge" true (Graph.has_edge g v u);
+          incr total)
+        outs)
+    forests;
+  check "every edge in exactly one forest slot" (Graph.m g) !total
+
+let test_det_maximal_correct () =
+  let rng = Rng.create 42 in
+  for _ = 0 to 14 do
+    let g = Gen.gnp rng ~n:35 ~p:0.2 in
+    let m, _ = Det_matching.maximal g in
+    check_bool "valid" true (Matching.is_valid g m);
+    check_bool "maximal" true (Matching.is_maximal g m)
+  done;
+  (* structured instances *)
+  List.iter
+    (fun g ->
+      let m, _ = Det_matching.maximal g in
+      check_bool "valid structured" true (Matching.is_valid g m);
+      check_bool "maximal structured" true (Matching.is_maximal g m))
+    [
+      Gen.path 20; Gen.cycle 21; Gen.star 15; Gen.complete 12;
+      Gen.grid ~rows:5 ~cols:6; Gen.empty 5; Gen.perfect_matching 10;
+    ]
+
+let test_det_is_deterministic () =
+  let g = Gen.gnp (Rng.create 43) ~n:40 ~p:0.25 in
+  let m1, s1 = Det_matching.maximal g in
+  let m2, s2 = Det_matching.maximal g in
+  check_bool "identical matchings" true (Matching.edges m1 = Matching.edges m2);
+  check "identical rounds" s1.Det_matching.rounds s2.Det_matching.rounds
+
+let test_det_round_structure () =
+  (* coloring rounds grow like log* (i.e. are essentially flat in n);
+     stage rounds are 6 * #forests *)
+  let rounds_for n =
+    let g = Gen.cycle n in
+    let _, s = Det_matching.maximal g in
+    s
+  in
+  let s1 = rounds_for 50 and s2 = rounds_for 800 in
+  check_bool
+    (Printf.sprintf "coloring flat-ish: %d vs %d" s1.Det_matching.coloring_rounds
+       s2.Det_matching.coloring_rounds)
+    true
+    (s2.Det_matching.coloring_rounds <= s1.Det_matching.coloring_rounds + 3);
+  (* cycles have max out-degree <= 2: stage rounds <= 2 forests * 3 colors * 2 *)
+  check_bool "stage rounds bounded by structure" true
+    (s2.Det_matching.stage_rounds <= 12)
+
+let qcheck_det_maximal =
+  QCheck.Test.make ~name:"deterministic matching is valid and maximal"
+    ~count:50
+    QCheck.(pair (int_range 2 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
+      let m, _ = Det_matching.maximal g in
+      Matching.is_valid g m && Matching.is_maximal g m)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.3: sublinear message complexity                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_message_complexity_vs_baseline () =
+  let rng = Rng.create 10 in
+  let g = Gen.complete 120 in
+  let r = Pipeline_dist.run_maximal_only ~multiplier:1.0 rng g ~beta:1 ~eps:0.5 in
+  let _, base_st = Matching_dist.full_graph_baseline rng g in
+  check_bool "pipeline matching valid" true (Matching.is_valid g r.Pipeline_dist.matching);
+  check_bool
+    (Printf.sprintf "messages %d < baseline %d" r.Pipeline_dist.messages
+       base_st.Matching_dist.messages)
+    true
+    (r.Pipeline_dist.messages < base_st.Matching_dist.messages);
+  (* baseline must touch Omega(m) edges; the pipeline stays near n * poly *)
+  check_bool "baseline is Omega(m)" true
+    (base_st.Matching_dist.messages >= Graph.m g);
+  check_bool "pipeline sublinear in m" true
+    (r.Pipeline_dist.messages < Graph.m g)
+
+let test_full_pipeline_quality () =
+  let rng = Rng.create 11 in
+  let g = Gen.complete 60 in
+  let r = Pipeline_dist.run ~multiplier:1.0 rng g ~beta:1 ~eps:0.5 in
+  let opt = Matching.size (Blossom.solve g) in
+  let got = Matching.size r.Pipeline_dist.matching in
+  (* two sparsifier factors (1+eps)^2 and the matcher factor (1+eps) *)
+  check_bool
+    (Printf.sprintf "full pipeline: %d vs opt %d" got opt)
+    true
+    (float_of_int opt <= 1.5 *. 1.5 *. float_of_int got)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_maximal_always =
+  QCheck.Test.make ~name:"distributed maximal matching is valid and maximal"
+    ~count:40
+    QCheck.(pair (int_range 2 35) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.3 in
+      let m, _ = Matching_dist.maximal rng g in
+      Matching.is_valid g m && Matching.is_maximal g m)
+
+let qcheck_walker_never_invalid =
+  QCheck.Test.make ~name:"walker algorithm always returns a valid matching"
+    ~count:25
+    QCheck.(pair (int_range 2 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.25 in
+      let m, _ =
+        Matching_dist.one_plus_eps ~attempts_per_phase:6 rng g ~eps:0.5
+      in
+      Matching.is_valid g m)
+
+let qcheck_walker_improves_or_equals_maximal =
+  QCheck.Test.make
+    ~name:"walker phase never shrinks the matching below maximal size" ~count:25
+    QCheck.(pair (int_range 4 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
+      let m_max, _ = Matching_dist.maximal (Rng.create seed) g in
+      let m_eps, _ =
+        Matching_dist.one_plus_eps ~attempts_per_phase:6 (Rng.create seed) g
+          ~eps:0.5
+      in
+      Matching.size m_eps >= Matching.size m_max)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_maximal_always;
+        qcheck_walker_never_invalid;
+        qcheck_walker_improves_or_equals_maximal;
+        qcheck_det_maximal;
+      ]
+  in
+  Alcotest.run "mspar_distsim"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basic rounds" `Quick test_network_basic;
+          Alcotest.test_case "non-neighbor rejected" `Quick
+            test_network_rejects_non_neighbor;
+          Alcotest.test_case "broadcast and bits" `Quick
+            test_network_broadcast_and_bits;
+          Alcotest.test_case "skip rounds" `Quick test_network_skip_rounds;
+        ] );
+      ( "sparsify",
+        [
+          Alcotest.test_case "gdelta single round" `Quick
+            test_dist_gdelta_single_round;
+          Alcotest.test_case "gdelta quality" `Quick
+            test_dist_gdelta_matches_quality;
+          Alcotest.test_case "solomon" `Quick test_dist_solomon;
+          Alcotest.test_case "composed" `Quick test_dist_composed;
+        ] );
+      ( "maximal",
+        [
+          Alcotest.test_case "valid and maximal" `Quick test_dist_maximal;
+          Alcotest.test_case "edge cases" `Quick test_dist_maximal_empty_and_tiny;
+        ] );
+      ( "one-plus-eps",
+        [
+          Alcotest.test_case "quality" `Quick test_dist_one_plus_eps_quality;
+          Alcotest.test_case "paths" `Quick test_dist_one_plus_eps_on_paths;
+          Alcotest.test_case "rounds independent of n" `Quick
+            test_dist_rounds_independent_of_n;
+        ] );
+      ( "deterministic",
+        [
+          Alcotest.test_case "forest decomposition" `Quick
+            test_det_forest_decomposition;
+          Alcotest.test_case "maximal correct" `Quick test_det_maximal_correct;
+          Alcotest.test_case "deterministic" `Quick test_det_is_deterministic;
+          Alcotest.test_case "round structure" `Quick test_det_round_structure;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "sublinear vs baseline" `Quick
+            test_message_complexity_vs_baseline;
+          Alcotest.test_case "full pipeline quality" `Quick
+            test_full_pipeline_quality;
+        ] );
+      ("properties", qsuite);
+    ]

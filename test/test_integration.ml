@@ -1,0 +1,276 @@
+(* Cross-layer integration tests: the same sparsifier built through every
+   computational model, end-to-end pipelines compared on one instance set,
+   and a direct check of the stability lemma (Lemma 3.4) that underpins the
+   dynamic result. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* One sparsifier, five constructions                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* every construction must produce a subgraph with the per-vertex degree
+   floor and near-lossless matching on K_n *)
+let constructions =
+  [
+    ( "sequential",
+      fun rng g delta ->
+        fst (Mspar_core.Gdelta.sparsify rng g ~delta) );
+    ( "distributed",
+      fun rng g delta ->
+        fst (Mspar_distsim.Sparsify_dist.gdelta rng g ~delta) );
+    ( "streamed",
+      fun rng g delta ->
+        let edges = Graph.edges g in
+        Rng.shuffle_in_place rng edges;
+        let s, _, _ =
+          Mspar_stream.Stream_sparsifier.run rng ~n:(Graph.n g) ~delta edges
+        in
+        s );
+    ( "dynamic-snapshot",
+      fun rng g delta ->
+        let ds =
+          Mspar_dynamic.Dyn_sparsifier.create rng ~n:(Graph.n g) ~delta
+        in
+        Graph.iter_edges g (fun u v ->
+            ignore (Mspar_dynamic.Dyn_sparsifier.insert ds u v));
+        Mspar_dynamic.Dyn_sparsifier.sparsifier ds );
+  ]
+
+let test_all_constructions_agree_structurally () =
+  let g = Gen.complete 80 in
+  let delta = 8 in
+  List.iter
+    (fun (name, construct) ->
+      let rng = Rng.create 7 in
+      let s = construct rng g delta in
+      check_bool (name ^ ": subgraph") true (Graph.is_subgraph ~sub:s ~super:g);
+      for v = 0 to Graph.n g - 1 do
+        if Graph.degree s v < min (Graph.degree g v) delta then
+          Alcotest.fail (name ^ ": degree floor violated")
+      done;
+      let os = Matching.size (Blossom.solve s) in
+      check_bool
+        (Printf.sprintf "%s: quality %d vs 40" name os)
+        true
+        (float_of_int 40 <= 1.5 *. float_of_int os))
+    constructions
+
+let test_all_constructions_size_bound () =
+  (* Obs 2.10 must hold no matter how the sparsifier was built *)
+  let g = Gen.disjoint_cliques (Rng.create 3) ~n:90 ~k:3 in
+  let delta = 6 in
+  let mcm = Matching.size (Blossom.solve g) in
+  List.iter
+    (fun (name, construct) ->
+      let s = construct (Rng.create 11) g delta in
+      check_bool (name ^ ": obs 2.10") true
+        (Mspar_core.Properties.size_bound_obs_2_10 ~sparsifier:s ~mcm_size:mcm
+           ~delta ~beta:1))
+    constructions
+
+let test_constructions_same_distribution () =
+  (* The four constructions implement the same random object: each vertex's
+     marks are a uniform min(delta, deg)-subset of its incident edges.  On a
+     fixed small graph, the inclusion frequency of every edge must therefore
+     agree across constructions (up to sampling noise). *)
+  let g = Gen.complete 7 in
+  let delta = 2 in
+  let trials = 2500 in
+  let edges = Graph.edges g in
+  let freq_of construct =
+    let counts = Hashtbl.create 32 in
+    for t = 0 to trials - 1 do
+      let s = construct (Rng.create (1000 + t)) g delta in
+      Array.iter
+        (fun e ->
+          if Graph.has_edge s (fst e) (snd e) then
+            Hashtbl.replace counts e
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+        edges
+    done;
+    Array.map
+      (fun e ->
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts e))
+        /. float_of_int trials)
+      edges
+  in
+  let all = List.map (fun (name, c) -> (name, freq_of c)) constructions in
+  (* theoretical inclusion probability on K_7 at delta=2:
+     1 - (1 - 2/6)^2 = 5/9 *)
+  let expected = 5.0 /. 9.0 in
+  List.iter
+    (fun (name, freqs) ->
+      Array.iter
+        (fun f ->
+          if Float.abs (f -. expected) > 0.05 then
+            Alcotest.fail
+              (Printf.sprintf "%s: edge frequency %.3f far from %.3f" name f
+                 expected))
+        freqs)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end pipelines on a shared instance set                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipelines_end_to_end () =
+  let rng = Rng.create 21 in
+  let instances =
+    [
+      ("K80", Gen.complete 80, 1);
+      ("line", Line_graph.random_base rng ~base_n:26 ~p:0.4, 2);
+      ("udg", fst (Unit_disk.random rng ~n:150 ~radius:0.25), 5);
+    ]
+  in
+  let eps = 0.5 in
+  List.iter
+    (fun (name, g, beta) ->
+      let opt = Matching.size (Blossom.solve g) in
+      let tolerance = (1.0 +. eps) *. (1.0 +. eps) *. (1.0 +. eps) in
+      (* sequential *)
+      let r = Mspar_core.Pipeline.run ~multiplier:1.0 (Rng.split rng) g ~beta ~eps in
+      check_bool (name ^ ": seq valid") true
+        (Matching.is_valid g r.Mspar_core.Pipeline.matching);
+      check_bool (name ^ ": seq quality") true
+        (float_of_int opt
+        <= tolerance
+           *. float_of_int (max 1 (Matching.size r.Mspar_core.Pipeline.matching)));
+      (* distributed *)
+      let d =
+        Mspar_distsim.Pipeline_dist.run ~multiplier:1.0 ~attempts_per_phase:12
+          (Rng.split rng) g ~beta ~eps
+      in
+      check_bool (name ^ ": dist valid") true
+        (Matching.is_valid g d.Mspar_distsim.Pipeline_dist.matching);
+      check_bool (name ^ ": dist quality") true
+        (float_of_int opt
+        <= tolerance
+           *. float_of_int
+                (max 1 (Matching.size d.Mspar_distsim.Pipeline_dist.matching)));
+      (* MPC *)
+      let cfg = { Mspar_mpc.Mpc.machines = 8; capacity = max_int } in
+      let m =
+        Mspar_mpc.Mpc_matching.run ~multiplier:1.0 (Rng.split rng) cfg g ~beta
+          ~eps
+      in
+      check_bool (name ^ ": mpc valid") true
+        (Matching.is_valid g m.Mspar_mpc.Mpc_matching.matching);
+      check_bool (name ^ ": mpc quality") true
+        (float_of_int opt
+        <= tolerance
+           *. float_of_int
+                (max 1 (Matching.size m.Mspar_mpc.Mpc_matching.matching))))
+    instances
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.4 (Gupta-Peng stability)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stability_lemma_3_4 () =
+  (* Start from a (1+eps)-approximate matching M_i of G_i.  Delete
+     j <= eps' * |M_i| edges; let M_i^(j) be M_i minus deleted edges.  Then
+     M_i^(j) is a (1 + 2eps + 2eps')-approximate matching of G_j. *)
+  let rng = Rng.create 31 in
+  let eps = 0.25 and eps' = 0.25 in
+  for _trial = 0 to 9 do
+    let n = 40 in
+    let g0 = Gen.gnp rng ~n ~p:0.3 in
+    let m = Blossom.solve g0 in
+    (* exact, hence certainly (1+eps)-approximate *)
+    let budget = int_of_float (eps' *. float_of_int (Matching.size m)) in
+    let edges = Graph.edges g0 in
+    Rng.shuffle_in_place rng edges;
+    let deleted = Array.sub edges 0 (min budget (Array.length edges)) in
+    let current = Matching.copy m in
+    Array.iter
+      (fun (u, v) ->
+        if Matching.mate current u = v then Matching.remove_edge current u v)
+      deleted;
+    (* the remaining graph *)
+    let deleted_set = Hashtbl.create 16 in
+    Array.iter (fun e -> Hashtbl.replace deleted_set e ()) deleted;
+    let remaining =
+      Array.to_list edges
+      |> List.filter (fun e -> not (Hashtbl.mem deleted_set e))
+    in
+    let gj = Graph.of_edges ~n remaining in
+    check_bool "pruned matching valid on G_j" true
+      (Matching.is_valid gj current);
+    let opt_j = Matching.size (Blossom.solve gj) in
+    let bound = 1.0 +. (2.0 *. eps) +. (2.0 *. eps') in
+    check_bool
+      (Printf.sprintf "lemma 3.4: |M^(j)|=%d vs opt %d (bound %.2f)"
+         (Matching.size current) opt_j bound)
+      true
+      (float_of_int opt_j <= bound *. float_of_int (max 1 (Matching.size current)))
+  done
+
+let test_stability_size_drop_bounded () =
+  (* each deletion removes at most one matched edge, so after j deletions
+     the matching lost at most j edges (the mechanism behind Lemma 3.4) *)
+  let rng = Rng.create 32 in
+  let g = Gen.complete 30 in
+  let m = Blossom.solve g in
+  let before = Matching.size m in
+  let edges = Graph.edges g in
+  Rng.shuffle_in_place rng edges;
+  let j = 7 in
+  Array.iteri
+    (fun i (u, v) ->
+      if i < j && Matching.mate m u = v then Matching.remove_edge m u v)
+    edges;
+  check_bool "drop bounded by j" true (before - Matching.size m <= j)
+
+(* ------------------------------------------------------------------ *)
+(* Randomness hygiene                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_whole_stack_deterministic_from_seed () =
+  let run () =
+    let rng = Rng.create 12345 in
+    let g = Gen.gnp rng ~n:60 ~p:0.3 in
+    let r = Mspar_core.Pipeline.run (Rng.split rng) g ~beta:5 ~eps:0.5 in
+    let d =
+      Mspar_distsim.Pipeline_dist.run ~attempts_per_phase:6 (Rng.split rng) g
+        ~beta:5 ~eps:0.5
+    in
+    ( Matching.edges r.Mspar_core.Pipeline.matching,
+      Matching.edges d.Mspar_distsim.Pipeline_dist.matching,
+      d.Mspar_distsim.Pipeline_dist.messages )
+  in
+  let a = run () and b = run () in
+  check_bool "identical full-stack runs" true (a = b)
+
+let () =
+  Alcotest.run "mspar_integration"
+    [
+      ( "constructions",
+        [
+          Alcotest.test_case "structural agreement" `Quick
+            test_all_constructions_agree_structurally;
+          Alcotest.test_case "size bound everywhere" `Quick
+            test_all_constructions_size_bound;
+          Alcotest.test_case "identical marking distribution" `Quick
+            test_constructions_same_distribution;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "end to end" `Quick test_pipelines_end_to_end;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "lemma 3.4" `Quick test_stability_lemma_3_4;
+          Alcotest.test_case "size drop bounded" `Quick
+            test_stability_size_drop_bounded;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "whole stack from seed" `Quick
+            test_whole_stack_deterministic_from_seed;
+        ] );
+    ]

@@ -1,0 +1,597 @@
+(* Tests for mspar_matching: representation invariants, greedy, Hopcroft-
+   Karp, Edmonds blossom (validated against a brute-force oracle), the
+   depth-limited approximation mode, and the augmenting-path oracle. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Matching representation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_matching_basic () =
+  let m = Matching.create 6 in
+  check "empty size" 0 (Matching.size m);
+  Matching.add m 0 1;
+  Matching.add m 2 5;
+  check "size" 2 (Matching.size m);
+  check "mate 0" 1 (Matching.mate m 0);
+  check "mate 5" 2 (Matching.mate m 5);
+  check_bool "3 free" false (Matching.is_matched m 3);
+  Matching.remove_edge m 0 1;
+  check "size after remove" 1 (Matching.size m);
+  check "mate 0 free" (-1) (Matching.mate m 0);
+  Matching.remove_vertex m 2;
+  check "size after remove_vertex" 0 (Matching.size m)
+
+let test_matching_add_conflicts () =
+  let m = Matching.create 4 in
+  Matching.add m 0 1;
+  Alcotest.check_raises "rematch endpoint" (Invalid_argument "Matching.add: endpoint already matched")
+    (fun () -> Matching.add m 1 2);
+  Alcotest.check_raises "self loop" (Invalid_argument "Matching.add: self-loop")
+    (fun () -> Matching.add m 3 3)
+
+let test_matching_utilities () =
+  (* is_perfect *)
+  let m = Matching.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "perfect" true (Matching.is_perfect m);
+  Matching.remove_edge m 2 3;
+  check_bool "not perfect" false (Matching.is_perfect m);
+  (* restrict_to prunes non-edges *)
+  let g = Gen.path 4 in
+  let m = Matching.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check "nothing to prune" 0 (Matching.restrict_to g m);
+  let m2 = Matching.create 4 in
+  Matching.add m2 0 2;
+  (* 0-2 is not a path edge *)
+  check "pruned one" 1 (Matching.restrict_to g m2);
+  check "empty after prune" 0 (Matching.size m2);
+  (* augment_along *)
+  let m = Matching.of_edges ~n:4 [ (1, 2) ] in
+  Matching.augment_along m [ 0; 1; 2; 3 ];
+  check "augmented size" 2 (Matching.size m);
+  check "mate flipped" 1 (Matching.mate m 0);
+  check "mate flipped 2" 3 (Matching.mate m 2);
+  Alcotest.check_raises "non-alternating rejected"
+    (Invalid_argument "Matching.augment_along: path does not alternate")
+    (fun () ->
+      let m = Matching.create 4 in
+      Matching.augment_along m [ 0; 1; 2; 3 ]);
+  Alcotest.check_raises "matched endpoint rejected"
+    (Invalid_argument "Matching.augment_along: endpoints must be free")
+    (fun () ->
+      let m = Matching.of_edges ~n:4 [ (0, 1) ] in
+      Matching.augment_along m [ 0; 2 ])
+
+let test_matching_validity () =
+  let g = Gen.path 4 in
+  let m = Matching.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "valid" true (Matching.is_valid g m);
+  check_bool "maximal" true (Matching.is_maximal g m);
+  let m2 = Matching.of_edges ~n:4 [ (1, 2) ] in
+  check_bool "valid2" true (Matching.is_valid g m2);
+  check_bool "maximal2" true (Matching.is_maximal g m2);
+  let m3 = Matching.of_edges ~n:4 [ (0, 2) ] in
+  check_bool "invalid non-edge" false (Matching.is_valid g m3)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_maximal () =
+  let rng = Rng.create 42 in
+  for trial = 0 to 19 do
+    let n = 4 + Rng.int rng 12 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    let m = Greedy.maximal g in
+    check_bool
+      (Printf.sprintf "greedy valid (trial %d)" trial)
+      true (Matching.is_valid g m);
+    check_bool
+      (Printf.sprintf "greedy maximal (trial %d)" trial)
+      true (Matching.is_maximal g m);
+    let m2 = Greedy.maximal_random rng g in
+    check_bool "random greedy valid" true (Matching.is_valid g m2);
+    check_bool "random greedy maximal" true (Matching.is_maximal g m2)
+  done
+
+let test_greedy_two_approx () =
+  let rng = Rng.create 7 in
+  for _ = 0 to 19 do
+    let n = 4 + Rng.int rng 10 in
+    let g = Gen.gnp rng ~n ~p:0.5 in
+    let opt = Brute_force.mcm_size g in
+    let m = Greedy.maximal g in
+    check_bool "2-approximation" true (2 * Matching.size m >= opt)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hopcroft-Karp                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bipartition () =
+  check_bool "path bipartite" true (Hopcroft_karp.bipartition (Gen.path 5) <> None);
+  check_bool "even cycle bipartite" true
+    (Hopcroft_karp.bipartition (Gen.cycle 6) <> None);
+  check_bool "odd cycle not bipartite" true
+    (Hopcroft_karp.bipartition (Gen.cycle 5) = None);
+  check_bool "triangle not bipartite" true
+    (Hopcroft_karp.bipartition (Gen.complete 3) = None)
+
+let test_hopcroft_karp_exact () =
+  let rng = Rng.create 11 in
+  for _ = 0 to 29 do
+    let left = 2 + Rng.int rng 8 and right = 2 + Rng.int rng 8 in
+    let g = Gen.random_bipartite rng ~left ~right ~p:0.4 in
+    let opt = Brute_force.mcm_size g in
+    let m = Hopcroft_karp.solve g in
+    check_bool "hk valid" true (Matching.is_valid g m);
+    check "hk optimal" opt (Matching.size m)
+  done
+
+let test_hopcroft_karp_phase_limit () =
+  let rng = Rng.create 13 in
+  for _ = 0 to 19 do
+    let left = 4 + Rng.int rng 10 and right = 4 + Rng.int rng 10 in
+    let g = Gen.random_bipartite rng ~left ~right ~p:0.3 in
+    let opt = Brute_force.mcm_size g in
+    (* k phases leave no augmenting path of length <= 2k-1, giving a
+       (1+1/k)-approximation *)
+    List.iter
+      (fun k ->
+        let m = Hopcroft_karp.solve ~max_phases:k g in
+        check_bool "phase-limited valid" true (Matching.is_valid g m);
+        let lhs = (k + 1) * Matching.size m in
+        check_bool
+          (Printf.sprintf "(1+1/%d)-approx: %d vs opt %d" k (Matching.size m) opt)
+          true
+          (lhs >= k * opt))
+      [ 1; 2; 3 ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Blossom                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_blossom_small_known () =
+  (* triangle: MCM = 1 *)
+  check "triangle" 1 (Matching.size (Blossom.solve (Gen.complete 3)));
+  (* C5: MCM = 2, needs odd-cycle handling *)
+  check "C5" 2 (Matching.size (Blossom.solve (Gen.cycle 5)));
+  (* C9: MCM = 4 *)
+  check "C9" 4 (Matching.size (Blossom.solve (Gen.cycle 9)));
+  (* K4: perfect *)
+  check "K4" 2 (Matching.size (Blossom.solve (Gen.complete 4)));
+  (* Petersen graph: perfect matching of size 5 *)
+  let petersen =
+    Graph.of_edges ~n:10
+      [
+        (0, 1); (1, 2); (2, 3); (3, 4); (4, 0);
+        (5, 7); (7, 9); (9, 6); (6, 8); (8, 5);
+        (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+      ]
+  in
+  check "petersen" 5 (Matching.size (Blossom.solve petersen))
+
+let test_blossom_vs_brute_force () =
+  let rng = Rng.create 99 in
+  for trial = 0 to 59 do
+    let n = 3 + Rng.int rng 14 in
+    let p = 0.1 +. Rng.float rng 0.6 in
+    let g = Gen.gnp rng ~n ~p in
+    let opt = Brute_force.mcm_size g in
+    let m = Blossom.solve g in
+    check_bool "blossom valid" true (Matching.is_valid g m);
+    check (Printf.sprintf "blossom optimal (trial %d, n=%d)" trial n) opt
+      (Matching.size m)
+  done
+
+let test_blossom_structured_families () =
+  let rng = Rng.create 123 in
+  (* line graphs force many triangles/blossoms *)
+  for _ = 0 to 9 do
+    let g = Line_graph.random_base rng ~base_n:7 ~p:0.5 in
+    if Graph.n g <= 24 && Graph.n g > 0 then begin
+      let opt = Brute_force.mcm_size g in
+      check "line graph optimal" opt (Matching.size (Blossom.solve g))
+    end
+  done;
+  (* disjoint odd cliques *)
+  let g = Gen.disjoint_cliques rng ~n:15 ~k:3 in
+  check "cliques optimal" (Brute_force.mcm_size g)
+    (Matching.size (Blossom.solve g))
+
+let test_blossom_with_init () =
+  let rng = Rng.create 5 in
+  for _ = 0 to 19 do
+    let n = 4 + Rng.int rng 12 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    let init = Greedy.maximal_random rng g in
+    let m = Blossom.solve ~init g in
+    check "seeded blossom optimal" (Brute_force.mcm_size g) (Matching.size m)
+  done
+
+let test_augment_once () =
+  let g = Gen.path 4 in
+  (* matching {1-2} admits augmenting path 0-1-2-3 *)
+  let m = Matching.of_edges ~n:4 [ (1, 2) ] in
+  check_bool "augments" true (Blossom.augment_once g m);
+  check "augmented size" 2 (Matching.size m);
+  check_bool "valid after" true (Matching.is_valid g m);
+  check_bool "no more" false (Blossom.augment_once g m)
+
+(* ------------------------------------------------------------------ *)
+(* Depth-limited blossom / Approx                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounded_no_short_paths () =
+  let rng = Rng.create 31 in
+  for _ = 0 to 29 do
+    let n = 4 + Rng.int rng 10 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    List.iter
+      (fun max_len ->
+        let m = Blossom.solve_bounded ~max_len g in
+        check_bool "bounded valid" true (Matching.is_valid g m);
+        (* the certificate we rely on in benches: no augmenting path of
+           length 1 ever remains (that would mean not even maximal) *)
+        check_bool "bounded maximal" true (Matching.is_maximal g m))
+      [ 1; 3; 5 ]
+  done
+
+let test_bounded_approximation_quality () =
+  let rng = Rng.create 37 in
+  for _ = 0 to 29 do
+    let n = 6 + Rng.int rng 12 in
+    let g = Gen.gnp rng ~n ~p:0.35 in
+    let opt = Brute_force.mcm_size g in
+    (* max_len = 2k+1 should give at least k/(k+1) * opt *)
+    List.iter
+      (fun k ->
+        let m = Blossom.solve_bounded ~max_len:((2 * k) + 1) g in
+        check_bool
+          (Printf.sprintf "bounded (k=%d) ratio: got %d, opt %d" k
+             (Matching.size m) opt)
+          true
+          ((k + 1) * Matching.size m >= k * opt))
+      [ 1; 2; 3 ]
+  done
+
+let test_bounded_large_cap_is_exact () =
+  let rng = Rng.create 41 in
+  for _ = 0 to 19 do
+    let n = 4 + Rng.int rng 12 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    let m = Blossom.solve_bounded ~max_len:n g in
+    check "large cap exact" (Brute_force.mcm_size g) (Matching.size m)
+  done
+
+let test_approx_solver () =
+  let rng = Rng.create 43 in
+  for _ = 0 to 19 do
+    let n = 6 + Rng.int rng 10 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    let opt = Brute_force.mcm_size g in
+    List.iter
+      (fun eps ->
+        let m = Approx.solve ~eps g in
+        check_bool "approx valid" true (Matching.is_valid g m);
+        let bound = float_of_int opt /. (1.0 +. eps) in
+        check_bool
+          (Printf.sprintf "approx eps=%.2f: got %d, opt %d" eps
+             (Matching.size m) opt)
+          true
+          (float_of_int (Matching.size m) >= bound -. 1e-9))
+      [ 0.5; 0.25; 0.1 ]
+  done;
+  (* bipartite path uses Hopcroft-Karp *)
+  let g = Gen.random_bipartite rng ~left:8 ~right:8 ~p:0.3 in
+  let m = Approx.solve ~eps:0.2 g in
+  check_bool "bipartite approx valid" true (Matching.is_valid g m)
+
+(* ------------------------------------------------------------------ *)
+(* Optimality certificates                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_konig_vertex_cover () =
+  let rng = Rng.create 61 in
+  for _ = 0 to 29 do
+    let left = 2 + Rng.int rng 10 and right = 2 + Rng.int rng 10 in
+    let g = Gen.random_bipartite rng ~left ~right ~p:0.35 in
+    let m, cover = Hopcroft_karp.min_vertex_cover g in
+    (* cover size equals matching size (Konig) *)
+    let cover_size =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 cover
+    in
+    check "Konig: |cover| = |matching|" (Matching.size m) cover_size;
+    (* every edge is covered *)
+    Graph.iter_edges g (fun u v ->
+        if not (cover.(u) || cover.(v)) then Alcotest.fail "uncovered edge")
+  done
+
+let test_tutte_berge_known () =
+  (* star K_{1,5}: MCM = 1; A = {center}: G - A has 5 odd components;
+     deficiency 5 - 1 = 4 = 6 - 2*1 *)
+  let g = Gen.star 6 in
+  let m = Blossom.solve g in
+  let a = Blossom.tutte_berge_witness g m in
+  check "star deficiency" (6 - (2 * Matching.size m))
+    (Blossom.deficiency_formula g ~a);
+  (* triangle: MCM = 1, deficiency 1; A = {} works (one odd component) *)
+  let g = Gen.complete 3 in
+  let m = Blossom.solve g in
+  let a = Blossom.tutte_berge_witness g m in
+  check "triangle deficiency" 1 (Blossom.deficiency_formula g ~a);
+  (* perfect matching graph: deficiency 0 *)
+  let g = Gen.complete 8 in
+  let m = Blossom.solve g in
+  let a = Blossom.tutte_berge_witness g m in
+  check "K8 deficiency" 0 (Blossom.deficiency_formula g ~a)
+
+let test_tutte_berge_random () =
+  let rng = Rng.create 67 in
+  for trial = 0 to 39 do
+    let n = 3 + Rng.int rng 16 in
+    let p = 0.1 +. Rng.float rng 0.5 in
+    let g = Gen.gnp rng ~n ~p in
+    let m = Blossom.solve g in
+    let a = Blossom.tutte_berge_witness g m in
+    check
+      (Printf.sprintf "tutte-berge tight (trial %d, n=%d)" trial n)
+      (n - (2 * Matching.size m))
+      (Blossom.deficiency_formula g ~a)
+  done
+
+(* connected components of the subgraph induced by a vertex mask *)
+let components_of g mask =
+  let nv = Graph.n g in
+  let comp = Array.make nv (-1) in
+  let count = ref 0 in
+  for s = 0 to nv - 1 do
+    if mask.(s) && comp.(s) < 0 then begin
+      let id = !count in
+      incr count;
+      let stack = ref [ s ] in
+      comp.(s) <- id;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            Graph.iter_neighbors g v (fun u ->
+                if mask.(u) && comp.(u) < 0 then begin
+                  comp.(u) <- id;
+                  stack := u :: !stack
+                end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let test_gallai_edmonds_structure () =
+  let rng = Rng.create 68 in
+  for _trial = 0 to 19 do
+    let n = 4 + Rng.int rng 14 in
+    let g = Gen.gnp rng ~n ~p:0.3 in
+    let m = Blossom.solve g in
+    let ge = Blossom.gallai_edmonds g m in
+    (* partition *)
+    for v = 0 to n - 1 do
+      let flags =
+        [ ge.Blossom.d.(v); ge.Blossom.a.(v); ge.Blossom.c.(v) ]
+        |> List.filter (fun b -> b)
+      in
+      check "exactly one part" 1 (List.length flags)
+    done;
+    (* C has a perfect matching inside itself *)
+    let c_vertices =
+      Array.to_list (Array.init n (fun v -> v))
+      |> List.filter (fun v -> ge.Blossom.c.(v))
+    in
+    let gc, _ = Graph.induced g (Array.of_list c_vertices) in
+    check "C perfectly matched" (Graph.n gc / 2)
+      (Matching.size (Blossom.solve gc));
+    check_bool "C even" true (Graph.n gc mod 2 = 0);
+    (* every component of D is factor-critical: deleting any vertex leaves a
+       perfect matching *)
+    let comp, ncomp = components_of g ge.Blossom.d in
+    for id = 0 to ncomp - 1 do
+      let members =
+        Array.to_list (Array.init n (fun v -> v))
+        |> List.filter (fun v -> comp.(v) = id)
+      in
+      let gd, _ = Graph.induced g (Array.of_list members) in
+      let k = Graph.n gd in
+      check_bool "D component odd" true (k mod 2 = 1);
+      for drop = 0 to k - 1 do
+        let rest =
+          Array.of_list
+            (List.filter (fun v -> v <> drop) (List.init k (fun i -> i)))
+        in
+        let gd', _ = Graph.induced gd rest in
+        check "factor-critical" ((k - 1) / 2)
+          (Matching.size (Blossom.solve gd'))
+      done
+    done;
+    (* the maximum matching matches every A vertex (to somewhere in D) *)
+    for v = 0 to n - 1 do
+      if ge.Blossom.a.(v) then begin
+        check_bool "A vertex matched" true (Matching.is_matched m v);
+        check_bool "A matched into D" true (ge.Blossom.d.(Matching.mate m v))
+      end
+    done
+  done
+
+let test_tutte_berge_rejects_non_maximum () =
+  let g = Gen.path 4 in
+  let not_max = Matching.of_edges ~n:4 [ (1, 2) ] in
+  Alcotest.check_raises "non-maximum rejected"
+    (Invalid_argument "Blossom.tutte_berge_witness: matching is not maximum")
+    (fun () -> ignore (Blossom.tutte_berge_witness g not_max))
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle self-checks                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_brute_force_known () =
+  check "path4" 2 (Brute_force.mcm_size (Gen.path 4));
+  check "path5" 2 (Brute_force.mcm_size (Gen.path 5));
+  check "C6" 3 (Brute_force.mcm_size (Gen.cycle 6));
+  check "K5" 2 (Brute_force.mcm_size (Gen.complete 5));
+  check "star" 1 (Brute_force.mcm_size (Gen.star 6));
+  check "empty" 0 (Brute_force.mcm_size (Gen.empty 5))
+
+let test_augmenting_path_oracle () =
+  let g = Gen.path 4 in
+  let m = Matching.of_edges ~n:4 [ (1, 2) ] in
+  check_bool "finds length-3 path" true
+    (Brute_force.has_augmenting_path_up_to g m ~max_len:3);
+  check_bool "not within length 1" false
+    (Brute_force.has_augmenting_path_up_to g m ~max_len:1);
+  let perfect = Matching.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "perfect has none" false
+    (Brute_force.has_augmenting_path_up_to g perfect ~max_len:10)
+
+let test_exact_leaves_no_augmenting_path () =
+  let rng = Rng.create 53 in
+  for _ = 0 to 19 do
+    let n = 4 + Rng.int rng 9 in
+    let g = Gen.gnp rng ~n ~p:0.4 in
+    let m = Blossom.solve g in
+    check_bool "no augmenting path after exact solve" false
+      (Brute_force.has_augmenting_path_up_to g m ~max_len:n)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_blossom_optimal =
+  QCheck.Test.make ~name:"blossom matches brute force on random graphs"
+    ~count:100
+    QCheck.(pair (int_range 2 13) (int_range 0 100))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.4 in
+      Matching.size (Blossom.solve g) = Brute_force.mcm_size g)
+
+let qcheck_greedy_half =
+  QCheck.Test.make ~name:"greedy maximal is a 2-approximation" ~count:100
+    QCheck.(pair (int_range 2 13) (int_range 0 100))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.5 in
+      2 * Matching.size (Greedy.maximal g) >= Brute_force.mcm_size g)
+
+let qcheck_hk_equals_blossom =
+  QCheck.Test.make ~name:"hopcroft-karp agrees with blossom on bipartite"
+    ~count:100
+    QCheck.(triple (int_range 2 8) (int_range 2 8) (int_range 0 100))
+    (fun (l, r, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.random_bipartite rng ~left:l ~right:r ~p:0.4 in
+      Matching.size (Hopcroft_karp.solve g) = Matching.size (Blossom.solve g))
+
+let qcheck_bounded_certificate =
+  QCheck.Test.make
+    ~name:"depth-limited blossom leaves no short augmenting path" ~count:60
+    QCheck.(triple (int_range 3 10) (int_range 1 3) (int_range 0 100))
+    (fun (n, k, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.4 in
+      let max_len = (2 * k) + 1 in
+      let m = Blossom.solve_bounded ~max_len g in
+      (* the duality argument only needs: no augmenting path of <= 2k-1
+         edges remains. Our search explores up to max_len = 2k+1, so this
+         should always hold. *)
+      not (Brute_force.has_augmenting_path_up_to g m ~max_len:(2 * k - 1)))
+
+let qcheck_sym_diff =
+  QCheck.Test.make
+    ~name:"symmetric difference: optimal vs maximal has >= opt - maximal aug paths"
+    ~count:60
+    QCheck.(pair (int_range 3 12) (int_range 0 100))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.4 in
+      let maximal = Greedy.maximal g in
+      let optimal = Blossom.solve g in
+      Matching.symmetric_difference_paths maximal optimal
+      >= Matching.size optimal - Matching.size maximal)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_blossom_optimal;
+        qcheck_greedy_half;
+        qcheck_hk_equals_blossom;
+        qcheck_bounded_certificate;
+        qcheck_sym_diff;
+      ]
+  in
+  Alcotest.run "mspar_matching"
+    [
+      ( "matching",
+        [
+          Alcotest.test_case "basic ops" `Quick test_matching_basic;
+          Alcotest.test_case "add conflicts" `Quick test_matching_add_conflicts;
+          Alcotest.test_case "utilities" `Quick test_matching_utilities;
+          Alcotest.test_case "validity" `Quick test_matching_validity;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "maximal" `Quick test_greedy_maximal;
+          Alcotest.test_case "2-approx" `Quick test_greedy_two_approx;
+        ] );
+      ( "hopcroft-karp",
+        [
+          Alcotest.test_case "bipartition" `Quick test_bipartition;
+          Alcotest.test_case "exact" `Quick test_hopcroft_karp_exact;
+          Alcotest.test_case "phase limit" `Quick test_hopcroft_karp_phase_limit;
+        ] );
+      ( "blossom",
+        [
+          Alcotest.test_case "known instances" `Quick test_blossom_small_known;
+          Alcotest.test_case "vs brute force" `Quick test_blossom_vs_brute_force;
+          Alcotest.test_case "structured families" `Quick
+            test_blossom_structured_families;
+          Alcotest.test_case "with init" `Quick test_blossom_with_init;
+          Alcotest.test_case "augment once" `Quick test_augment_once;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "no short paths" `Quick test_bounded_no_short_paths;
+          Alcotest.test_case "approximation quality" `Quick
+            test_bounded_approximation_quality;
+          Alcotest.test_case "large cap exact" `Quick
+            test_bounded_large_cap_is_exact;
+          Alcotest.test_case "approx solver" `Quick test_approx_solver;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "konig vertex cover" `Quick
+            test_konig_vertex_cover;
+          Alcotest.test_case "tutte-berge known" `Quick test_tutte_berge_known;
+          Alcotest.test_case "tutte-berge random" `Quick
+            test_tutte_berge_random;
+          Alcotest.test_case "tutte-berge rejects non-maximum" `Quick
+            test_tutte_berge_rejects_non_maximum;
+          Alcotest.test_case "gallai-edmonds structure" `Quick
+            test_gallai_edmonds_structure;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "brute force known" `Quick test_brute_force_known;
+          Alcotest.test_case "augmenting path oracle" `Quick
+            test_augmenting_path_oracle;
+          Alcotest.test_case "exact leaves none" `Quick
+            test_exact_leaves_no_augmenting_path;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,142 @@
+(* Tests for mspar_mpc: the MPC shuffle simulator and the two-round
+   sparsifier-based matching algorithm. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_mpc
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exchange_basic () =
+  let cfg = { Mpc.machines = 3; capacity = 10 } in
+  let stats = Mpc.fresh_stats () in
+  let outgoing = [| [ (1, "a"); (2, "b") ]; [ (0, "c") ]; [] |] in
+  let incoming = Mpc.exchange cfg stats outgoing in
+  check_bool "machine 0 got c" true (incoming.(0) = [ "c" ]);
+  check_bool "machine 1 got a" true (incoming.(1) = [ "a" ]);
+  check_bool "machine 2 got b" true (incoming.(2) = [ "b" ]);
+  check "one round" 1 stats.Mpc.rounds;
+  check "three items" 3 stats.Mpc.total_items;
+  check "max load one" 1 stats.Mpc.max_load
+
+let test_exchange_capacity () =
+  let cfg = { Mpc.machines = 2; capacity = 2 } in
+  let stats = Mpc.fresh_stats () in
+  let outgoing = [| [ (0, 1); (0, 2); (0, 3) ]; [] |] in
+  (match Mpc.exchange cfg stats outgoing with
+  | _ -> Alcotest.fail "expected capacity failure"
+  | exception Mpc.Capacity_exceeded { machine = 0; load = 3; capacity = 2 } ->
+      ());
+  (* weighted items count by weight *)
+  let stats = Mpc.fresh_stats () in
+  let outgoing = [| [ (0, 5) ]; [] |] in
+  match Mpc.exchange cfg stats ~weight:(fun w -> w) outgoing with
+  | _ -> Alcotest.fail "expected weighted capacity failure"
+  | exception Mpc.Capacity_exceeded { load = 5; _ } -> ()
+
+let test_exchange_bad_destination () =
+  let cfg = { Mpc.machines = 2; capacity = 10 } in
+  Alcotest.check_raises "dest range"
+    (Invalid_argument "Mpc.exchange: destination out of range") (fun () ->
+      ignore (Mpc.exchange cfg (Mpc.fresh_stats ()) [| [ (7, ()) ]; [] |]))
+
+let test_scatter () =
+  let cfg = { Mpc.machines = 3; capacity = 100 } in
+  let parts = Mpc.scatter cfg [| 0; 1; 2; 3; 4; 5; 6 |] in
+  check "machine 0 share" 3 (List.length parts.(0));
+  check "machine 1 share" 2 (List.length parts.(1));
+  check "machine 2 share" 2 (List.length parts.(2));
+  check_bool "round robin" true (parts.(0) = [ 0; 3; 6 ])
+
+(* ------------------------------------------------------------------ *)
+(* Sparsifier-based MPC matching                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mpc_matching_quality () =
+  let rng = Rng.create 1 in
+  let g = Gen.complete 120 in
+  let cfg = { Mpc.machines = 8; capacity = 20_000 } in
+  let r = Mpc_matching.run rng cfg g ~beta:1 ~eps:0.5 in
+  check "two rounds" 2 r.Mpc_matching.rounds;
+  check_bool "valid on g" true (Matching.is_valid g r.Mpc_matching.matching);
+  let got = Matching.size r.Mpc_matching.matching in
+  check_bool
+    (Printf.sprintf "quality %d vs %d" got 60)
+    true
+    (float_of_int 60 <= 1.5 *. 1.5 *. float_of_int got)
+
+let test_mpc_memory_beats_baseline () =
+  let rng = Rng.create 2 in
+  let g = Gen.complete 200 in
+  (* capacity comfortably above n*delta but far below m *)
+  let cfg = { Mpc.machines = 16; capacity = 8_000 } in
+  let r = Mpc_matching.run rng cfg g ~beta:1 ~eps:0.5 in
+  check_bool "fits in sub-m capacity" true (r.Mpc_matching.max_load <= 8_000);
+  check_bool "sparsifier far below m" true
+    (r.Mpc_matching.sparsifier_edges * 4 < Graph.m g);
+  (* the unsparsified gather blows the same budget *)
+  (match Mpc_matching.baseline_gather cfg g with
+  | _ -> Alcotest.fail "baseline should exceed capacity"
+  | exception Mpc.Capacity_exceeded _ -> ());
+  (* with capacity m it fits, showing the baseline needs Omega(m) *)
+  let big = { cfg with Mpc.capacity = 2 * Graph.m g } in
+  check "baseline coordinator load is m" (Graph.m g)
+    (Mpc_matching.baseline_gather big g)
+
+let test_mpc_single_machine_degenerate () =
+  let rng = Rng.create 3 in
+  let g = Gen.gnp rng ~n:40 ~p:0.3 in
+  let cfg = { Mpc.machines = 1; capacity = 100_000 } in
+  let r = Mpc_matching.run rng cfg g ~beta:6 ~eps:0.5 in
+  check_bool "valid" true (Matching.is_valid g r.Mpc_matching.matching);
+  check_bool "nonempty" true (Matching.size r.Mpc_matching.matching > 0)
+
+let test_mpc_deterministic () =
+  let g = Gen.complete 60 in
+  let cfg = { Mpc.machines = 4; capacity = 50_000 } in
+  let r1 = Mpc_matching.run (Rng.create 9) cfg g ~beta:1 ~eps:0.5 in
+  let r2 = Mpc_matching.run (Rng.create 9) cfg g ~beta:1 ~eps:0.5 in
+  check "same matching size" (Matching.size r1.Mpc_matching.matching)
+    (Matching.size r2.Mpc_matching.matching);
+  check "same sparsifier" r1.Mpc_matching.sparsifier_edges
+    r2.Mpc_matching.sparsifier_edges
+
+let qcheck_mpc_valid =
+  QCheck.Test.make ~name:"mpc matching is always valid" ~count:30
+    QCheck.(triple (int_range 4 40) (int_range 1 8) (int_range 0 1000))
+    (fun (n, machines, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p:0.4 in
+      let cfg = { Mpc.machines; capacity = 1_000_000 } in
+      let r = Mpc_matching.run rng cfg g ~beta:8 ~eps:0.5 in
+      Matching.is_valid g r.Mpc_matching.matching
+      && r.Mpc_matching.rounds = 2)
+
+let () =
+  Alcotest.run "mspar_mpc"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "exchange" `Quick test_exchange_basic;
+          Alcotest.test_case "capacity" `Quick test_exchange_capacity;
+          Alcotest.test_case "bad destination" `Quick
+            test_exchange_bad_destination;
+          Alcotest.test_case "scatter" `Quick test_scatter;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "quality" `Quick test_mpc_matching_quality;
+          Alcotest.test_case "memory beats baseline" `Quick
+            test_mpc_memory_beats_baseline;
+          Alcotest.test_case "single machine" `Quick
+            test_mpc_single_machine_degenerate;
+          Alcotest.test_case "deterministic" `Quick test_mpc_deterministic;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_mpc_valid ]);
+    ]

@@ -1,0 +1,94 @@
+(* Tests for mspar_parallel: the multicore G_delta construction must be a
+   pure function of (seed, graph, delta) — identical output for any domain
+   count, identical to the sequential reference. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_parallel
+
+let check_bool = Alcotest.(check bool)
+
+let test_vertex_rng_independent () =
+  (* different vertices get different streams; same vertex, same stream *)
+  let a = Par_gdelta.vertex_rng ~seed:1 0 in
+  let b = Par_gdelta.vertex_rng ~seed:1 0 in
+  check_bool "same vertex same stream" true (Rng.bits64 a = Rng.bits64 b);
+  let c = Par_gdelta.vertex_rng ~seed:1 1 in
+  let d = Par_gdelta.vertex_rng ~seed:2 0 in
+  let a = Par_gdelta.vertex_rng ~seed:1 0 in
+  check_bool "different vertex differs" false (Rng.bits64 a = Rng.bits64 c);
+  let a = Par_gdelta.vertex_rng ~seed:1 0 in
+  check_bool "different seed differs" false (Rng.bits64 a = Rng.bits64 d)
+
+let test_parallel_equals_sequential () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun (g, delta) ->
+      let reference = Par_gdelta.sequential ~seed:99 g ~delta in
+      List.iter
+        (fun nd ->
+          let s = Par_gdelta.sparsify ~num_domains:nd ~seed:99 g ~delta in
+          check_bool
+            (Printf.sprintf "domains=%d equals sequential" nd)
+            true (Graph.equal s reference))
+        [ 1; 2; 3; 4; 7 ])
+    [
+      (Gen.complete 60, 4);
+      (Gen.gnp rng ~n:80 ~p:0.3, 3);
+      (fst (Unit_disk.random rng ~n:100 ~radius:0.3), 6);
+      (Gen.empty 10, 2);
+      (Gen.path 9, 2);
+    ]
+
+let test_parallel_structure () =
+  let g = Gen.complete 70 in
+  let delta = 5 in
+  let s = Par_gdelta.sparsify ~num_domains:4 ~seed:3 g ~delta in
+  check_bool "subgraph" true (Graph.is_subgraph ~sub:s ~super:g);
+  for v = 0 to Graph.n g - 1 do
+    check_bool "degree floor" true
+      (Graph.degree s v >= min (Graph.degree g v) delta)
+  done;
+  check_bool "naive size bound" true (Graph.m s <= Graph.n g * 2 * delta)
+
+let test_parallel_quality () =
+  let g = Gen.complete 80 in
+  let s = Par_gdelta.sparsify ~num_domains:4 ~seed:7 g ~delta:8 in
+  let os = Mspar_matching.Matching.size (Mspar_matching.Blossom.solve s) in
+  check_bool
+    (Printf.sprintf "quality %d vs 40" os)
+    true
+    (float_of_int 40 <= 1.5 *. float_of_int os)
+
+let test_time_comparison_runs () =
+  let g = Gen.complete 120 in
+  let times = Par_gdelta.time_comparison ~seed:1 g ~delta:4 ~domains:[ 1; 2 ] in
+  check_bool "two measurements" true (List.length times = 2);
+  List.iter (fun (_, ms) -> check_bool "non-negative" true (ms >= 0.0)) times
+
+let qcheck_parallel_pure =
+  QCheck.Test.make
+    ~name:"parallel output is a pure function of (seed, graph, delta)"
+    ~count:30
+    QCheck.(
+      quad (int_range 2 40) (int_range 1 6) (int_range 0 1000) (int_range 1 5))
+    (fun (n, delta, seed, domains) ->
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.35 in
+      let a = Par_gdelta.sparsify ~num_domains:domains ~seed g ~delta in
+      let b = Par_gdelta.sequential ~seed g ~delta in
+      Graph.equal a b)
+
+let () =
+  Alcotest.run "mspar_parallel"
+    [
+      ( "par-gdelta",
+        [
+          Alcotest.test_case "vertex rng" `Quick test_vertex_rng_independent;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_equals_sequential;
+          Alcotest.test_case "structure" `Quick test_parallel_structure;
+          Alcotest.test_case "quality" `Quick test_parallel_quality;
+          Alcotest.test_case "timing runs" `Quick test_time_comparison_runs;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_parallel_pure ]);
+    ]
