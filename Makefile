@@ -1,0 +1,30 @@
+# Developer entry points.  `make check` is the CI gate: build, formatting
+# (when ocamlformat is installed — skipped with a notice otherwise, so the
+# gate still runs on minimal toolchains), and the test suite, which
+# includes the construction-path micro-bench smoke run (see bench/dune).
+
+.PHONY: all build fmt test check bench bench-construction
+
+all: build
+
+build:
+	dune build
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping dune build @fmt"; \
+	fi
+
+test:
+	dune runtest
+
+check: build fmt test
+
+bench:
+	dune exec bench/main.exe -- --csv bench_csv
+
+# full-size construction-path rows (100k vertices, ~5M edges)
+bench-construction:
+	dune exec bench/main.exe -- --csv bench_csv construction

@@ -3,7 +3,13 @@
    Usage:
      dune exec bench/main.exe               - all experiments + micro-benches
      dune exec bench/main.exe -- e6 e9      - only the named experiments
-     dune exec bench/main.exe -- micro      - only the bechamel micro-benches
+     dune exec bench/main.exe -- micro      - micro-benches (smoke-size
+                                              construction rows)
+     dune exec bench/main.exe -- construction - micro-benches with the full
+                                              100k-vertex / ~5M-edge
+                                              construction-path rows
+     dune exec bench/main.exe -- smoke      - construction rows only, tiny
+                                              sizes (the dune runtest hook)
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -42,9 +48,22 @@ let () =
     incr ran;
     Micro.run ()
   end;
+  (* the heavy full-size construction rows and the tiny smoke run must be
+     asked for by name — they are not part of the default sweep *)
+  let explicit name = List.mem name args in
+  if explicit "construction" then begin
+    incr ran;
+    Micro.run ~construction:`Full ()
+  end;
+  if explicit "smoke" then begin
+    incr ran;
+    Micro.smoke ()
+  end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
     List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
     prerr_endline "  micro";
+    prerr_endline "  construction";
+    prerr_endline "  smoke";
     exit 1
   end

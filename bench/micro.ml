@@ -1,9 +1,17 @@
-(* Bechamel micro-benchmarks for the performance-critical kernels.
+(* Bechamel micro-benchmarks for the performance-critical kernels, plus a
+   wall-clock suite for the sparsifier construction path itself.
 
    One Test.make per kernel; the OLS estimate (ns/run) is printed as a
    table.  These complement the experiment tables: E-tables measure the
    complexity *shape* (probes, messages, work units), the micro-benchmarks
-   measure raw constants on this machine. *)
+   measure raw constants on this machine.
+
+   The construction rows compare the seed's boxed pipeline (cons an
+   (int * int) list, List.sort_uniq compare, per-block Array.sort compare)
+   against the packed-int Edgebuf/counting-sort pipeline, sequential and
+   multi-domain.  They are best-of-N wall times, not OLS estimates: the
+   interesting configuration (100k vertices, ~5M edges) is too large to
+   iterate under bechamel's sampling loop. *)
 
 open Bechamel
 open Toolkit
@@ -95,7 +103,95 @@ let make_tests () =
            Sys.opaque_identity (Blossom.tutte_berge_witness lg lm)));
   ]
 
-let run () =
+(* ------------------------------------------------------------------ *)
+(* Construction path: list vs packed, sequential vs domains           *)
+(* ------------------------------------------------------------------ *)
+
+(* the seed's boxed mark collector, reproduced verbatim as the baseline *)
+let seed_collect_marks rng g ~delta =
+  let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
+  let pairs = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    if d <= 2 * delta then
+      Graph.iter_neighbors g v (fun u -> pairs := (v, u) :: !pairs)
+    else
+      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+          pairs := (v, Graph.neighbor g v i) :: !pairs)
+  done;
+  !pairs
+
+let random_edge_array rng ~n ~m =
+  Array.init m (fun _ ->
+      let u = Rng.int rng n in
+      let v = ref (Rng.int rng n) in
+      while !v = u do
+        v := Rng.int rng n
+      done;
+      (u, !v))
+
+let best_of ~repeats f =
+  let best = ref Int64.max_int in
+  for _ = 1 to repeats do
+    let _, ns = Clock.time_ns f in
+    if ns < !best then best := ns
+  done;
+  !best
+
+(* One (kernel, ns) row per configuration; also cross-checks that every
+   builder variant produces the identical graph, so the smoke run doubles
+   as a correctness guard for the perf harness. *)
+let construction_rows ~full =
+  let n, m, delta, repeats =
+    if full then (100_000, 5_000_000, 32, 2) else (2_000, 40_000, 8, 3)
+  in
+  let rng = Rng.create 20200715 in
+  let pairs = random_edge_array rng ~n ~m in
+  let pair_list = Array.to_list pairs in
+  let g = Graph.of_edge_array ~n pairs in
+  let require name cond = if not cond then failwith ("micro-bench: " ^ name) in
+  require "packed of_edges mismatches reference"
+    (Graph.equal g (Graph.of_edges_reference ~n pair_list));
+  let seq = Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta in
+  require "4-domain sparsifier mismatches sequential"
+    (Graph.equal seq
+       (Mspar_parallel.Par_gdelta.sparsify ~num_domains:4 ~seed:7 g ~delta));
+  let tag name =
+    Printf.sprintf "construction/%s/n%d-m%d-d%d" name n (Graph.m g) delta
+  in
+  let row name f = (tag name, best_of ~repeats f) in
+  [
+    row "of-edges-list-seed" (fun () ->
+        Sys.opaque_identity (Graph.of_edges_reference ~n pair_list));
+    row "of-edges-packed" (fun () ->
+        Sys.opaque_identity (Graph.of_edge_array ~n pairs));
+    row "gdelta-list-seed" (fun () ->
+        let marks = seed_collect_marks (Rng.create 7) g ~delta in
+        Sys.opaque_identity (Graph.of_edges_reference ~n marks));
+    row "gdelta-packed" (fun () ->
+        Sys.opaque_identity (Gdelta.sparsify (Rng.create 7) g ~delta));
+    row "par-gdelta-seq" (fun () ->
+        Sys.opaque_identity
+          (Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta));
+    row "par-gdelta-2dom" (fun () ->
+        Sys.opaque_identity
+          (Mspar_parallel.Par_gdelta.sparsify ~num_domains:2 ~seed:7 g ~delta));
+    row "par-gdelta-4dom" (fun () ->
+        Sys.opaque_identity
+          (Mspar_parallel.Par_gdelta.sparsify ~num_domains:4 ~seed:7 g ~delta));
+  ]
+
+let smoke () =
+  let table =
+    Table.create ~title:"micro-smoke (construction path, tiny sizes)"
+      ~columns:[ "kernel"; "ns/run" ]
+  in
+  List.iter
+    (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
+    (construction_rows ~full:false);
+  Table.print table
+
+let run ?(construction = `Smoke) () =
   let tests = Test.make_grouped ~name:"mspar" ~fmt:"%s %s" (make_tests ()) in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -120,4 +216,7 @@ let run () =
       in
       Table.add_row table [ name; est ])
     (List.sort compare rows);
+  List.iter
+    (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
+    (construction_rows ~full:(construction = `Full));
   Experiments.emit table

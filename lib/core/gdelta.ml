@@ -16,36 +16,88 @@ let threshold rule delta =
   | Mark_all_at_most_delta -> delta
   | Mark_all_at_most_two_delta -> 2 * delta
 
-let collect_marks ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+(* Upper bound on the marks a range of vertices will emit — lets the packed
+   collector allocate its buffer once instead of growing by doubling. *)
+let marks_bound rule g ~delta lo hi =
+  let keep = threshold rule delta in
+  let total = ref 0 in
+  for v = lo to hi - 1 do
+    let d = Graph.degree g v in
+    total := !total + (if d <= keep then d else delta)
+  done;
+  !total
+
+(* Packed hot path: marks go straight into a flat int buffer as
+   [v lsl shift lor u] codes; sampled reads are accounted in one batched
+   probe update per vertex. *)
+let collect_packed ~rule rng g ~delta ~shift =
+  if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
+  let nv = Graph.n g in
+  let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
+  let buf =
+    Edgebuf.create
+      ~initial_capacity:(max 16 (marks_bound rule g ~delta 0 nv))
+      ()
+  in
+  let keep = threshold rule delta in
+  for v = 0 to nv - 1 do
+    let d = Graph.degree g v in
+    let base = v lsl shift in
+    if d <= keep then
+      (* low degree: the whole neighborhood enters the sparsifier *)
+      Graph.iter_neighbors g v (fun u -> Edgebuf.push buf (base lor u))
+    else begin
+      (* d > keep >= delta, so exactly delta reads happen below *)
+      Graph.add_probes g delta;
+      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i))
+    end
+  done;
+  buf
+
+(* Boxed fallback for vertex counts beyond the packable range. *)
+let collect_list ~rule rng g ~delta =
   if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
   let nv = Graph.n g in
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let pairs = ref [] in
-  let marks = ref 0 in
   let keep = threshold rule delta in
   for v = 0 to nv - 1 do
     let d = Graph.degree g v in
     if d <= keep then
-      (* low degree: the whole neighborhood enters the sparsifier *)
-      Graph.iter_neighbors g v (fun u ->
-          pairs := (v, u) :: !pairs;
-          incr marks)
+      Graph.iter_neighbors g v (fun u -> pairs := (v, u) :: !pairs)
     else
       Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
-          let u = Graph.neighbor g v i in
-          pairs := (v, u) :: !pairs;
-          incr marks)
+          pairs := (v, Graph.neighbor g v i) :: !pairs)
   done;
-  (!pairs, !marks)
+  !pairs
 
-let marked_pairs ?rule rng g ~delta = fst (collect_marks ?rule rng g ~delta)
+let marked_pairs ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  match Graph.pack_shift ~n:(Graph.n g) with
+  | Some shift ->
+      let buf = collect_packed ~rule rng g ~delta ~shift in
+      List.rev
+        (Edgebuf.fold_left
+           (fun acc c ->
+             (Graph.unpack_u ~shift c, Graph.unpack_v ~shift c) :: acc)
+           [] buf)
+  | None -> collect_list ~rule rng g ~delta
 
-let sparsify ?rule rng g ~delta =
+let sparsify ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
   Graph.reset_probes g;
   let t0 = Clock.now_ns () in
-  let pairs, marks = collect_marks ?rule rng g ~delta in
+  let nv = Graph.n g in
+  let sparsifier, marks =
+    match Graph.pack_shift ~n:nv with
+    | Some shift ->
+        let buf = collect_packed ~rule rng g ~delta ~shift in
+        let marks = Edgebuf.length buf in
+        (Graph.of_edgebuf ~n:nv buf, marks)
+    | None ->
+        let pairs = collect_list ~rule rng g ~delta in
+        (Graph.of_edges ~n:nv pairs, List.length pairs)
+  in
   let probes = Graph.probes g in
-  let sparsifier = Graph.of_edges ~n:(Graph.n g) pairs in
   let t1 = Clock.now_ns () in
   ( sparsifier,
     {
@@ -58,11 +110,25 @@ let sparsify ?rule rng g ~delta =
 
 let deterministic_first_k g ~delta =
   if delta < 1 then invalid_arg "Gdelta.deterministic_first_k: delta >= 1";
-  let pairs = ref [] in
-  for v = 0 to Graph.n g - 1 do
-    let d = min delta (Graph.degree g v) in
-    for i = 0 to d - 1 do
-      pairs := (v, Graph.neighbor g v i) :: !pairs
-    done
-  done;
-  Graph.of_edges ~n:(Graph.n g) !pairs
+  let nv = Graph.n g in
+  match Graph.pack_shift ~n:nv with
+  | Some shift ->
+      let buf = Edgebuf.create () in
+      for v = 0 to nv - 1 do
+        let d = min delta (Graph.degree g v) in
+        let base = v lsl shift in
+        Graph.add_probes g d;
+        for i = 0 to d - 1 do
+          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i)
+        done
+      done;
+      Graph.of_edgebuf ~n:nv buf
+  | None ->
+      let pairs = ref [] in
+      for v = 0 to nv - 1 do
+        let d = min delta (Graph.degree g v) in
+        for i = 0 to d - 1 do
+          pairs := (v, Graph.neighbor g v i) :: !pairs
+        done
+      done;
+      Graph.of_edges ~n:nv !pairs

@@ -15,7 +15,12 @@
        the cost of a factor ≤ 2 in size/arboricity.}}
 
     Both are available via [mark_all_threshold]; the default is the §3.1
-    convention. *)
+    convention.
+
+    Marks are collected as packed ints in a flat {!Mspar_prelude.Edgebuf}
+    and turned into a CSR graph by counting sort ({!Graph.of_edgebuf}) —
+    the boxed-list pipeline survives only as the overflow-guard fallback
+    for vertex counts beyond {!Graph.pack_shift}'s packable range. *)
 
 open Mspar_prelude
 open Mspar_graph

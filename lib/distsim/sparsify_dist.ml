@@ -31,12 +31,14 @@ let gdelta rng g ~delta =
   Network.deliver net;
   (* an edge is in the sparsifier iff either endpoint received a mark on it;
      locally, each vertex's incident sparsifier edges are those it marked
-     plus those in its inbox *)
-  let pairs = ref [] in
-  for v = 0 to nv - 1 do
-    List.iter (fun (u, ()) -> pairs := (u, v) :: !pairs) (Network.inbox net v)
-  done;
-  (Graph.of_edges ~n:nv !pairs, stats_of net)
+     plus those in its inbox — pushed straight into the packed CSR builder *)
+  let sparsifier =
+    Graph.of_edges_iter ~n:nv (fun push ->
+        for v = 0 to nv - 1 do
+          List.iter (fun (u, ()) -> push u v) (Network.inbox net v)
+        done)
+  in
+  (sparsifier, stats_of net)
 
 let solomon g ~delta_alpha =
   if delta_alpha < 1 then invalid_arg "Sparsify_dist.solomon: delta_alpha >= 1";
@@ -61,15 +63,17 @@ let solomon g ~delta_alpha =
       Hashtbl.replace marked (v, u) ()
     done
   done;
-  let pairs = ref [] in
-  for v = 0 to nv - 1 do
-    List.iter
-      (fun (u, ()) ->
-        (* v received u's mark; the edge survives if v also marked u *)
-        if Hashtbl.mem marked (v, u) && v < u then pairs := (v, u) :: !pairs)
-      (Network.inbox net v)
-  done;
-  (Graph.of_edges ~n:nv !pairs, stats_of net)
+  let sparsifier =
+    Graph.of_edges_iter ~n:nv (fun push ->
+        for v = 0 to nv - 1 do
+          List.iter
+            (fun (u, ()) ->
+              (* v received u's mark; the edge survives if v also marked u *)
+              if Hashtbl.mem marked (v, u) && v < u then push v u)
+            (Network.inbox net v)
+        done)
+  in
+  (sparsifier, stats_of net)
 
 let composed rng g ~beta ~eps ?(multiplier = 2.0) () =
   let delta = Delta_param.scaled ~multiplier ~beta ~eps in

@@ -83,8 +83,10 @@ let delete t u v =
 let graph t = t.dg
 
 let sparsifier t =
-  let pairs = Hashtbl.fold (fun k _count acc -> k :: acc) t.multiplicity [] in
-  Graph.of_edges ~n:(Dyn_graph.n t.dg) pairs
+  (* push the marked edges straight into the packed CSR builder — no
+     intermediate list of boxed pairs *)
+  Graph.of_edges_iter ~n:(Dyn_graph.n t.dg) (fun push ->
+      Hashtbl.iter (fun (u, v) _count -> push u v) t.multiplicity)
 
 let sparsifier_edge_count t = t.distinct
 

@@ -1,26 +1,148 @@
+module Edgebuf = Mspar_prelude.Edgebuf
+module Isort = Mspar_prelude.Isort
+
 type edge = int * int
 
 type t = {
   n : int;
   offsets : int array; (* length n+1 *)
   adj : int array; (* length 2m, sorted within each vertex block *)
-  mutable probe_count : int;
+  maxdeg : int; (* cached at build time; max_degree is O(1) *)
+  probe_count : int Atomic.t; (* atomic so parallel probe totals are exact *)
 }
 
 let n t = t.n
 let m t = Array.length t.adj / 2
 let degree t v = t.offsets.(v + 1) - t.offsets.(v)
-
-let max_degree t =
-  let best = ref 0 in
-  for v = 0 to t.n - 1 do
-    if degree t v > !best then best := degree t v
-  done;
-  !best
-
+let max_degree t = t.maxdeg
 let normalize (u, v) = if u <= v then (u, v) else (v, u)
 
-let build n edges =
+(* ------------------------------------------------------------------ *)
+(* Packed-edge pipeline                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* An edge is carried as a single int [u lsl shift lor v] with
+   [shift = max 1 (bits of (n-1))].  The guard rejects vertex counts whose
+   codes could overflow the native int (n beyond 2^30 on 64-bit hosts);
+   callers fall back to the boxed-list path in that case. *)
+let pack_shift ~n =
+  if n < 0 then None
+  else begin
+    let s = ref 1 in
+    while 1 lsl !s < n do
+      incr s
+    done;
+    if 2 * !s <= Sys.int_size - 2 then Some !s else None
+  end
+
+let pack ~shift u v = (u lsl shift) lor v
+let unpack_u ~shift c = c lsr shift
+let unpack_v ~shift c = c land ((1 lsl shift) - 1)
+
+(* The CSR builder over a packed prefix [codes.(0 .. len-1)]: marks may
+   contain self-loops, duplicates and reversed duplicates.  Everything is
+   flat int arrays — no tuples, no polymorphic compare, no per-block sort.
+   The prefix of [codes] is mutated (normalised, sorted, deduplicated). *)
+let build_packed ~n ~shift codes len =
+  let mask = (1 lsl shift) - 1 in
+  (* 1. drop self-loops, orient u < v, compact in place *)
+  let w = ref 0 in
+  for i = 0 to len - 1 do
+    let c = Array.unsafe_get codes i in
+    let u = c lsr shift and v = c land mask in
+    if u <> v then begin
+      Array.unsafe_set codes !w (if u < v then c else (v lsl shift) lor u);
+      incr w
+    end
+  done;
+  let len = !w in
+  (* 2. sort the codes ascending — lexicographic on (u, v).  When the mark
+     count is at least ~n/4 a two-pass stable counting sort (minor key v,
+     then major key u) is O(len + n); for very sparse inputs the O(n)
+     counting passes would dominate, so fall back to comparison sort. *)
+  let counts = Array.make (n + 1) 0 in
+  if len >= n / 4 then begin
+    let aux = Array.make (max len 1) 0 in
+    let counting_pass ~key src dst =
+      Array.fill counts 0 (n + 1) 0;
+      for i = 0 to len - 1 do
+        let k = key (Array.unsafe_get src i) in
+        Array.unsafe_set counts k (Array.unsafe_get counts k + 1)
+      done;
+      let run = ref 0 in
+      for v = 0 to n - 1 do
+        let c = Array.unsafe_get counts v in
+        Array.unsafe_set counts v !run;
+        run := !run + c
+      done;
+      for i = 0 to len - 1 do
+        let c = Array.unsafe_get src i in
+        let k = key c in
+        Array.unsafe_set dst (Array.unsafe_get counts k) c;
+        Array.unsafe_set counts k (Array.unsafe_get counts k + 1)
+      done
+    in
+    counting_pass ~key:(fun c -> c land mask) codes aux;
+    counting_pass ~key:(fun c -> c lsr shift) aux codes
+  end
+  else Isort.sort_range codes ~pos:0 ~len;
+  (* 3. dedup the sorted prefix in place *)
+  let uniq = ref 0 in
+  if len > 0 then begin
+    uniq := 1;
+    for i = 1 to len - 1 do
+      let c = Array.unsafe_get codes i in
+      if c <> Array.unsafe_get codes (!uniq - 1) then begin
+        Array.unsafe_set codes !uniq c;
+        incr uniq
+      end
+    done
+  end;
+  let medges = !uniq in
+  (* 4. degrees, offsets, cached max degree *)
+  Array.fill counts 0 (n + 1) 0;
+  for i = 0 to medges - 1 do
+    let c = Array.unsafe_get codes i in
+    let u = c lsr shift and v = c land mask in
+    Array.unsafe_set counts u (Array.unsafe_get counts u + 1);
+    Array.unsafe_set counts v (Array.unsafe_get counts v + 1)
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  let maxdeg = ref 0 in
+  for v = 0 to n - 1 do
+    let d = counts.(v) in
+    if d > !maxdeg then maxdeg := d;
+    offsets.(v + 1) <- offsets.(v) + d
+  done;
+  (* 5. fill adjacency in two passes over the sorted codes.  Pass one
+     writes the smaller endpoint into the larger endpoint's block: for a
+     fixed block x these arrive ordered by the major sort key, so x's
+     neighbors below x land in increasing order.  Pass two writes the
+     larger endpoint into the smaller endpoint's block, appending x's
+     neighbors above x in increasing order.  Every block is born sorted —
+     no Array.sub / Array.sort compare. *)
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = counts in
+  Array.blit offsets 0 cursor 0 (n + 1);
+  for i = 0 to medges - 1 do
+    let c = Array.unsafe_get codes i in
+    let u = c lsr shift and v = c land mask in
+    Array.unsafe_set adj (Array.unsafe_get cursor v) u;
+    Array.unsafe_set cursor v (Array.unsafe_get cursor v + 1)
+  done;
+  for i = 0 to medges - 1 do
+    let c = Array.unsafe_get codes i in
+    let u = c lsr shift and v = c land mask in
+    Array.unsafe_set adj (Array.unsafe_get cursor u) v;
+    Array.unsafe_set cursor u (Array.unsafe_get cursor u + 1)
+  done;
+  { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Reference (seed) list-based builder                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_reference n edges =
   (* [edges] arrives deduplicated and normalised (u < v). *)
   let deg = Array.make n 0 in
   List.iter
@@ -29,7 +151,9 @@ let build n edges =
       deg.(v) <- deg.(v) + 1)
     edges;
   let offsets = Array.make (n + 1) 0 in
+  let maxdeg = ref 0 in
   for v = 0 to n - 1 do
+    if deg.(v) > !maxdeg then maxdeg := deg.(v);
     offsets.(v + 1) <- offsets.(v) + deg.(v)
   done;
   let adj = Array.make offsets.(n) 0 in
@@ -47,33 +171,85 @@ let build n edges =
     Array.sort compare block;
     Array.blit block 0 adj lo (hi - lo)
   done;
-  { n; offsets; adj; probe_count = 0 }
+  { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
 
-let of_edges ~n:nv edges =
+let check_endpoints ~n (u, v) =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Graph.of_edges: endpoint out of range"
+
+let of_edges_reference ~n:nv edges =
   if nv < 0 then invalid_arg "Graph.of_edges: negative n";
-  let check (u, v) =
-    if u < 0 || u >= nv || v < 0 || v >= nv then
-      invalid_arg "Graph.of_edges: endpoint out of range"
-  in
-  List.iter check edges;
+  List.iter (check_endpoints ~n:nv) edges;
   let cleaned =
     List.filter_map
       (fun (u, v) -> if u = v then None else Some (normalize (u, v)))
       edges
   in
   let sorted = List.sort_uniq compare cleaned in
-  build nv sorted
+  build_reference nv sorted
 
-let of_edge_array ~n edges = of_edges ~n (Array.to_list edges)
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let of_edges_iter ~n iter =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  match pack_shift ~n with
+  | Some shift ->
+      let buf = Edgebuf.create () in
+      iter (fun u v ->
+          check_endpoints ~n (u, v);
+          Edgebuf.push buf ((u lsl shift) lor v));
+      build_packed ~n ~shift (Edgebuf.data buf) (Edgebuf.length buf)
+  | None ->
+      (* overflow guard tripped: boxed-list fallback *)
+      let acc = ref [] in
+      iter (fun u v -> acc := (u, v) :: !acc);
+      of_edges_reference ~n !acc
+
+let of_edges ~n edges =
+  of_edges_iter ~n (fun push -> List.iter (fun (u, v) -> push u v) edges)
+
+let of_edge_array ~n edges =
+  of_edges_iter ~n (fun push -> Array.iter (fun (u, v) -> push u v) edges)
+
+let of_packed ~n ?len codes =
+  if n < 0 then invalid_arg "Graph.of_packed: negative n";
+  let len = match len with Some l -> l | None -> Array.length codes in
+  if len < 0 || len > Array.length codes then
+    invalid_arg "Graph.of_packed: bad length";
+  match pack_shift ~n with
+  | None ->
+      invalid_arg "Graph.of_packed: n exceeds the packable range (use of_edges)"
+  | Some shift ->
+      let mask = (1 lsl shift) - 1 in
+      for i = 0 to len - 1 do
+        let c = codes.(i) in
+        if c < 0 || c lsr shift >= n || c land mask >= n then
+          invalid_arg "Graph.of_packed: code out of range"
+      done;
+      build_packed ~n ~shift codes len
+
+let of_edgebuf ~n buf = of_packed ~n ~len:(Edgebuf.length buf) (Edgebuf.data buf)
+
+(* ------------------------------------------------------------------ *)
+(* Probe-counted access                                               *)
+(* ------------------------------------------------------------------ *)
+
+let add_probes t k = ignore (Atomic.fetch_and_add t.probe_count k)
 
 let neighbor t v i =
   if i < 0 || i >= degree t v then invalid_arg "Graph.neighbor: index out of range";
-  t.probe_count <- t.probe_count + 1;
+  add_probes t 1;
+  t.adj.(t.offsets.(v) + i)
+
+let neighbor_uncounted t v i =
+  if i < 0 || i >= degree t v then invalid_arg "Graph.neighbor: index out of range";
   t.adj.(t.offsets.(v) + i)
 
 let iter_neighbors t v f =
   let lo = t.offsets.(v) and hi = t.offsets.(v + 1) in
-  t.probe_count <- t.probe_count + (hi - lo);
+  add_probes t (hi - lo);
   for i = lo to hi - 1 do
     f t.adj.(i)
   done
@@ -90,14 +266,16 @@ let has_edge t u v =
     let u, v = if degree t u <= degree t v then (u, v) else (v, u) in
     let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
     let found = ref false in
+    let reads = ref 0 in
     while (not !found) && !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
-      t.probe_count <- t.probe_count + 1;
+      incr reads;
       let w = t.adj.(mid) in
       if w = v then found := true
       else if w < v then lo := mid + 1
       else hi := mid - 1
     done;
+    add_probes t !reads;
     !found
   end
 
@@ -110,37 +288,41 @@ let iter_edges t f =
   done
 
 let edges t =
-  let acc = ref [] in
-  iter_edges t (fun u v -> acc := (u, v) :: !acc);
-  let arr = Array.of_list !acc in
-  Array.sort compare arr;
-  arr
+  (* iter_edges emits (v, u) with v < u, v ascending and u ascending within
+     each block — already the normalised sorted order, no sort needed *)
+  let out = Array.make (m t) (0, 0) in
+  let k = ref 0 in
+  iter_edges t (fun u v ->
+      out.(!k) <- (u, v);
+      incr k);
+  out
 
-let probes t = t.probe_count
-let reset_probes t = t.probe_count <- 0
+let probes t = Atomic.get t.probe_count
+let reset_probes t = Atomic.set t.probe_count 0
 
 let induced t vs =
   let distinct = Array.of_list (List.sort_uniq compare (Array.to_list vs)) in
   let old_to_new = Hashtbl.create (Array.length distinct) in
   Array.iteri (fun i v -> Hashtbl.replace old_to_new v i) distinct;
-  let acc = ref [] in
-  Array.iteri
-    (fun i v ->
-      for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-        let u = t.adj.(k) in
-        match Hashtbl.find_opt old_to_new u with
-        | Some j when i < j -> acc := (i, j) :: !acc
-        | Some _ | None -> ()
-      done)
-    distinct;
-  (of_edges ~n:(Array.length distinct) !acc, distinct)
+  let sub =
+    of_edges_iter ~n:(Array.length distinct) (fun push ->
+        Array.iteri
+          (fun i v ->
+            for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+              let u = t.adj.(k) in
+              match Hashtbl.find_opt old_to_new u with
+              | Some j when i < j -> push i j
+              | Some _ | None -> ()
+            done)
+          distinct)
+  in
+  (sub, distinct)
 
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: vertex counts differ";
-  let acc = ref [] in
-  iter_edges a (fun u v -> acc := (u, v) :: !acc);
-  iter_edges b (fun u v -> acc := (u, v) :: !acc);
-  of_edges ~n:a.n !acc
+  of_edges_iter ~n:a.n (fun push ->
+      iter_edges a push;
+      iter_edges b push)
 
 let is_subgraph ~sub ~super =
   sub.n = super.n
@@ -153,4 +335,6 @@ let complement_degree_sum t = Array.length t.adj
 
 let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n (m t)
 
-let equal a b = a.n = b.n && edges a = edges b
+let equal a b =
+  (* blocks are sorted, so equal edge sets have identical CSR arrays *)
+  a.n = b.n && a.offsets = b.offsets && a.adj = b.adj

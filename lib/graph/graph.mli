@@ -5,11 +5,22 @@
     and the [i]-th neighbor of [v] in O(1), and the adjacency arrays are
     read-only.  Every neighbor read is counted in a probe counter so that
     sublinearity claims ("the algorithm reads o(m) of the input") are
-    measurable rather than asserted.
+    measurable rather than asserted.  The counter is atomic, so probe
+    totals stay exact when multiple domains read the same graph.
 
     Internally the graph is a compressed sparse row (CSR) structure with
     sorted neighbor lists.  Vertices are integers [0 .. n-1]; graphs are
-    simple (no self-loops, no parallel edges). *)
+    simple (no self-loops, no parallel edges).
+
+    {2 Packed edges}
+
+    Construction-heavy callers (the G_Δ sparsifier builders) carry edges as
+    packed ints [u·2^shift lor v] in flat {!Mspar_prelude.Edgebuf} buffers
+    and build the CSR with counting sorts — no boxed tuples and no
+    polymorphic compare on the hot path.  {!pack_shift} is the overflow
+    guard: it returns [None] when codes for [n] vertices would not fit a
+    native int (beyond 2^30 vertices on 64-bit hosts), in which case
+    callers fall back to the boxed {!of_edges} path. *)
 
 type t
 
@@ -18,11 +29,50 @@ type edge = int * int
 
 val of_edges : n:int -> edge list -> t
 (** [of_edges ~n edges] builds a graph on [n] vertices.  Self-loops are
-    dropped and duplicate/reversed edges are merged.
+    dropped and duplicate/reversed edges are merged.  Compatibility wrapper
+    over the packed pipeline.
     @raise Invalid_argument if an endpoint is outside [\[0, n)]. *)
 
 val of_edge_array : n:int -> edge array -> t
 (** Same as {!of_edges} on an array. *)
+
+val of_edges_iter : n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_edges_iter ~n iter] builds a graph from a push-style edge producer:
+    [iter] is called once with a [push u v] callback.  Avoids materialising
+    any intermediate edge list; same cleaning semantics as {!of_edges}.
+    @raise Invalid_argument if a pushed endpoint is outside [\[0, n)]. *)
+
+val of_edges_reference : n:int -> edge list -> t
+(** The seed list-based builder ([List.sort_uniq compare] plus a
+    per-block [Array.sort compare]), kept as the differential-testing and
+    benchmarking baseline for the packed pipeline.  Semantically identical
+    to {!of_edges}. *)
+
+val pack_shift : n:int -> int option
+(** [pack_shift ~n] is [Some s] when edges on [n] vertices can be packed as
+    [(u lsl s) lor v] in a native int, [None] otherwise (the overflow
+    guard).  [s >= 1], and [2^s >= n]. *)
+
+val pack : shift:int -> int -> int -> int
+(** [pack ~shift u v] is [(u lsl shift) lor v].  Preconditions (unchecked):
+    [shift] came from {!pack_shift} for this graph's [n] and
+    [0 <= u, v < n]. *)
+
+val unpack_u : shift:int -> int -> int
+val unpack_v : shift:int -> int -> int
+
+val of_packed : n:int -> ?len:int -> int array -> t
+(** [of_packed ~n ~len codes] builds a graph from the packed marks
+    [codes.(0 .. len-1)] (default [len]: the whole array).  Marks may
+    contain self-loops, duplicates and reversed duplicates; they are
+    normalised, counting-sorted and deduplicated.  The prefix of [codes] is
+    mutated (it doubles as sort scratch).
+    @raise Invalid_argument if [n] is outside the packable range or a code
+    does not decode to endpoints in [\[0, n)]. *)
+
+val of_edgebuf : n:int -> Mspar_prelude.Edgebuf.t -> t
+(** {!of_packed} over an {!Mspar_prelude.Edgebuf}'s contents (which are
+    mutated, like the array above). *)
 
 val n : t -> int
 (** Number of vertices. *)
@@ -34,11 +84,22 @@ val degree : t -> int -> int
 (** O(1); part of the model's free metadata, not counted as a probe. *)
 
 val max_degree : t -> int
+(** O(1): cached at construction time (the builders see every degree
+    anyway), so per-worker scratch sizing costs nothing per call. *)
 
 val neighbor : t -> int -> int -> int
 (** [neighbor g v i] is the [i]-th neighbor of [v] (0-based, sorted order).
     Counts one probe.
     @raise Invalid_argument if [i >= degree g v]. *)
+
+val neighbor_uncounted : t -> int -> int -> int
+(** Same read as {!neighbor} but does not touch the probe counter; the
+    caller must account for it via {!add_probes}.  Lets tight loops batch
+    one atomic update per vertex instead of one per read.
+    @raise Invalid_argument if [i >= degree g v]. *)
+
+val add_probes : t -> int -> unit
+(** Charge [k] probes explicitly (pairs with {!neighbor_uncounted}). *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
 (** [iter_neighbors g v f] applies [f] to each neighbor of [v]; counts
@@ -58,7 +119,8 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterate all edges (u < v) without materialising; not counted. *)
 
 val probes : t -> int
-(** Number of adjacency-array reads since the last {!reset_probes}. *)
+(** Number of adjacency-array reads since the last {!reset_probes}.  Exact
+    even when several domains probe concurrently (atomic counter). *)
 
 val reset_probes : t -> unit
 

@@ -11,28 +11,64 @@ let vertex_rng ~seed v =
   in
   Rng.create (Int64.to_int mix)
 
-(* mark one vertex into [push]; the §3.1 rule (keep everything at degree
-   <= 2*delta) *)
-let mark_vertex g ~seed ~delta ~sampler v push =
-  let d = Graph.degree g v in
-  if d <= 2 * delta then Graph.iter_neighbors g v (fun u -> push (v, u))
-  else begin
-    let rng = vertex_rng ~seed v in
-    Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
-        push (v, Graph.neighbor g v i))
-  end
+(* exact mark count for a vertex range under the §3.1 rule — sizes the
+   packed buffer in one allocation *)
+let marks_in_range g ~delta lo hi =
+  let total = ref 0 in
+  for v = lo to hi - 1 do
+    let d = Graph.degree g v in
+    total := !total + (if d <= 2 * delta then d else delta)
+  done;
+  !total
 
-let collect_range g ~seed ~delta lo hi =
+(* Packed per-range collector: each mark is one [v lsl shift lor u] int in
+   a flat per-domain buffer; sampled reads are charged in one batched
+   atomic probe update per vertex, so parallel probe totals stay exact
+   without an atomic operation per read. *)
+let collect_range_packed g ~seed ~delta ~shift lo hi =
+  let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
+  let buf =
+    Edgebuf.create
+      ~initial_capacity:(max 16 (marks_in_range g ~delta lo hi))
+      ()
+  in
+  for v = lo to hi - 1 do
+    let d = Graph.degree g v in
+    let base = v lsl shift in
+    if d <= 2 * delta then
+      Graph.iter_neighbors g v (fun u -> Edgebuf.push buf (base lor u))
+    else begin
+      let rng = vertex_rng ~seed v in
+      Graph.add_probes g delta;
+      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i))
+    end
+  done;
+  buf
+
+(* boxed fallback for vertex counts beyond the packable range *)
+let collect_range_list g ~seed ~delta lo hi =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let acc = ref [] in
   for v = lo to hi - 1 do
-    mark_vertex g ~seed ~delta ~sampler v (fun pair -> acc := pair :: !acc)
+    let d = Graph.degree g v in
+    if d <= 2 * delta then
+      Graph.iter_neighbors g v (fun u -> acc := (v, u) :: !acc)
+    else begin
+      let rng = vertex_rng ~seed v in
+      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
+          acc := (v, Graph.neighbor g v i) :: !acc)
+    end
   done;
   !acc
 
 let sequential ~seed g ~delta =
   if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
-  Graph.of_edges ~n:(Graph.n g) (collect_range g ~seed ~delta 0 (Graph.n g))
+  let nv = Graph.n g in
+  match Graph.pack_shift ~n:nv with
+  | Some shift ->
+      Graph.of_edgebuf ~n:nv (collect_range_packed g ~seed ~delta ~shift 0 nv)
+  | None -> Graph.of_edges ~n:nv (collect_range_list g ~seed ~delta 0 nv)
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
@@ -42,21 +78,51 @@ let sparsify ?num_domains ~seed g ~delta =
   let nv = Graph.n g in
   if nd = 1 || nv < 2 * nd then sequential ~seed g ~delta
   else begin
-    (* NOTE: workers only read the CSR arrays and the probe counter; the
-       counter is a plain int field, so parallel increments may race and the
-       probe total can under-count in parallel mode.  The sparsifier content
-       itself depends only on (seed, v) and is race-free. *)
-    let chunk = (nv + nd - 1) / nd in
-    let worker i () =
-      let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
-      if lo >= hi then [] else collect_range g ~seed ~delta lo hi
-    in
-    let domains =
-      List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
-    in
-    let first = worker 0 () in
-    let rest = List.map Domain.join domains in
-    Graph.of_edges ~n:nv (List.concat (first :: rest))
+    match Graph.pack_shift ~n:nv with
+    | None ->
+        (* overflow guard tripped: boxed fallback, still deterministic *)
+        let chunk = (nv + nd - 1) / nd in
+        let worker i () =
+          let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
+          if lo >= hi then [] else collect_range_list g ~seed ~delta lo hi
+        in
+        let domains =
+          List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
+        in
+        let first = worker 0 () in
+        let rest = List.map Domain.join domains in
+        Graph.of_edges ~n:nv (List.concat (first :: rest))
+    | Some shift ->
+        (* Workers only read the CSR arrays; probe accounting goes through
+           the graph's atomic counter (batched per vertex), so totals are
+           exact in parallel mode.  The sparsifier content depends only on
+           (seed, v) and is race-free. *)
+        let chunk = (nv + nd - 1) / nd in
+        let worker i () =
+          let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
+          if lo >= hi then Edgebuf.create ~initial_capacity:1 ()
+          else collect_range_packed g ~seed ~delta ~shift lo hi
+        in
+        let domains =
+          List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
+        in
+        let first = worker 0 () in
+        let rest = List.map Domain.join domains in
+        (* concatenate per-domain buffers into one flat code array, in
+           domain (= vertex) order, and hand it to the counting-sort CSR
+           builder *)
+        let bufs = first :: rest in
+        let total =
+          List.fold_left (fun acc b -> acc + Edgebuf.length b) 0 bufs
+        in
+        let codes = Array.make (max total 1) 0 in
+        let pos = ref 0 in
+        List.iter
+          (fun b ->
+            Edgebuf.blit_into b codes !pos;
+            pos := !pos + Edgebuf.length b)
+          bufs;
+        Graph.of_packed ~n:nv ~len:total codes
   end
 
 let time_comparison ~seed g ~delta ~domains =

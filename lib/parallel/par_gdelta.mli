@@ -11,7 +11,14 @@
     function of [(seed, g, delta)] — identical for any number of domains,
     and identical to the sequential reference {!sequential}.  (This is the
     standard counter-based-RNG recipe for reproducible parallel Monte
-    Carlo.) *)
+    Carlo.)
+
+    Marks are collected into per-domain packed {!Mspar_prelude.Edgebuf}
+    buffers (one int per mark), concatenated into a single flat array at
+    join, and turned into a CSR graph by {!Graph.of_packed} — no boxed
+    lists anywhere.  Probe accounting goes through the graph's atomic
+    counter with one batched update per sampled vertex, so parallel probe
+    totals are exact, not racy under-counts. *)
 
 open Mspar_graph
 

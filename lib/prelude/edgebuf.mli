@@ -1,0 +1,50 @@
+(** Growable flat buffer of unboxed ints — the carrier for packed edges.
+
+    {!Vec} is polymorphic, so an [(int * int) Vec.t] boxes every edge and
+    drags the GC through the sparsifier hot path.  [Edgebuf] is the
+    monomorphic alternative: one [int array], doubled on demand, never
+    scanned by the minor collector.  Producers push packed edge codes
+    ([Graph.pack]-style [u·2^s lor v]) and hand the raw storage to the CSR
+    builder without copying. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Fresh buffer; capacity defaults to 16 and grows by doubling. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Current storage size; [length t <= capacity t]. *)
+
+val push : t -> int -> unit
+(** Amortised O(1) append. *)
+
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val clear : t -> unit
+(** Forget contents, keep storage (O(1) — ints need no GC scrubbing). *)
+
+val ensure_capacity : t -> int -> unit
+(** Pre-size the storage so the next [ensure_capacity n] pushes up to [n]
+    total elements without reallocating. *)
+
+val data : t -> int array
+(** The underlying storage, {e shared, not copied}; only the first
+    [length t] entries are meaningful.  Invalidated by the next growing
+    {!push}/{!ensure_capacity}/{!append}. *)
+
+val to_array : t -> int array
+(** Copy of the first [length t] entries. *)
+
+val blit_into : t -> int array -> int -> unit
+(** [blit_into t dst pos] copies the contents into [dst] starting at
+    [pos]; used to concatenate per-domain buffers into one flat array. *)
+
+val append : into:t -> t -> unit
+(** [append ~into t] pushes all of [t]'s contents onto [into]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,125 @@
+(* Monomorphic introsort over int arrays.
+
+   [Array.sort compare] calls the polymorphic comparator through a closure
+   on every comparison; on the packed-edge hot path that is the dominant
+   cost.  This is the standard introsort recipe: median-of-three quicksort,
+   heapsort once the recursion depth exceeds 2·log2 n (killing the
+   quadratic adversary), and one final insertion pass over the small
+   unsorted runs the quicksort leaves behind. *)
+
+let cutoff = 16
+
+let swap a i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+(* straight insertion over the inclusive range [lo, hi] *)
+let insertion a lo hi =
+  for i = lo + 1 to hi do
+    let v = Array.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get a !j > v do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) v
+  done
+
+(* max-heapsort over the inclusive range [lo, hi] *)
+let heapsort a lo hi =
+  let sift root len =
+    let root = ref root in
+    let live = ref true in
+    while !live do
+      let child = (2 * !root) + 1 in
+      if child >= len then live := false
+      else begin
+        let child =
+          if
+            child + 1 < len
+            && Array.unsafe_get a (lo + child)
+               < Array.unsafe_get a (lo + child + 1)
+          then child + 1
+          else child
+        in
+        if Array.unsafe_get a (lo + !root) < Array.unsafe_get a (lo + child)
+        then begin
+          swap a (lo + !root) (lo + child);
+          root := child
+        end
+        else live := false
+      end
+    done
+  in
+  let n = hi - lo + 1 in
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for i = n - 1 downto 1 do
+    swap a lo (lo + i);
+    sift 0 i
+  done
+
+let rec intro a lo hi depth =
+  if hi - lo >= cutoff then
+    if depth = 0 then heapsort a lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap a mid lo;
+      if a.(hi) < a.(lo) then swap a hi lo;
+      if a.(hi) < a.(mid) then swap a hi mid;
+      let pivot = a.(mid) in
+      (* Hoare partition: the pivot value itself stops both scans, so the
+         cursors stay inside [lo, hi] *)
+      let i = ref (lo - 1) and j = ref (hi + 1) in
+      let crossed = ref false in
+      while not !crossed do
+        incr i;
+        while Array.unsafe_get a !i < pivot do
+          incr i
+        done;
+        decr j;
+        while Array.unsafe_get a !j > pivot do
+          decr j
+        done;
+        if !i >= !j then crossed := true else swap a !i !j
+      done;
+      let p = !j in
+      (* recurse on the smaller half first: O(log n) stack even when the
+         partition is lopsided *)
+      if p - lo < hi - p then begin
+        intro a lo p (depth - 1);
+        intro a (p + 1) hi (depth - 1)
+      end
+      else begin
+        intro a (p + 1) hi (depth - 1);
+        intro a lo p (depth - 1)
+      end
+    end
+
+let sort_range a ~pos ~len =
+  if pos < 0 || len < 0 || pos > Array.length a - len then
+    invalid_arg "Isort.sort_range: range out of bounds";
+  if len > 1 then begin
+    let depth = ref 0 and n = ref len in
+    while !n > 1 do
+      incr depth;
+      n := !n lsr 1
+    done;
+    intro a pos (pos + len - 1) (2 * !depth);
+    insertion a pos (pos + len - 1)
+  end
+
+let sort a = sort_range a ~pos:0 ~len:(Array.length a)
+
+let is_sorted_range a ~pos ~len =
+  if pos < 0 || len < 0 || pos > Array.length a - len then
+    invalid_arg "Isort.is_sorted_range: range out of bounds";
+  let ok = ref true in
+  for i = pos + 1 to pos + len - 1 do
+    if a.(i - 1) > a.(i) then ok := false
+  done;
+  !ok
+
+let is_sorted a = is_sorted_range a ~pos:0 ~len:(Array.length a)

@@ -1,0 +1,19 @@
+(** In-place monomorphic sorting of int arrays.
+
+    [Array.sort compare] pays a closure call plus a polymorphic-compare
+    dispatch per comparison; for the flat packed-edge buffers of the CSR
+    builder that overhead dominates.  This is an introsort (median-of-three
+    quicksort, heapsort below a depth budget of 2·log2 n, final insertion
+    pass), so the worst case is O(n log n) — no quicksort adversary. *)
+
+val sort : int array -> unit
+(** Sort the whole array ascending, in place. *)
+
+val sort_range : int array -> pos:int -> len:int -> unit
+(** Sort the slice [\[pos, pos+len)] ascending, in place.
+    @raise Invalid_argument if the range escapes the array. *)
+
+val is_sorted : int array -> bool
+
+val is_sorted_range : int array -> pos:int -> len:int -> bool
+(** @raise Invalid_argument if the range escapes the array. *)

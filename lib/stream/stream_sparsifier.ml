@@ -54,11 +54,10 @@ let stored_edges t = t.stored
 let peak_stored t = t.peak
 
 let sparsifier t =
-  let pairs = ref [] in
-  Array.iteri
-    (fun v r -> Vec.iter (fun u -> pairs := (v, u) :: !pairs) r)
-    t.reservoirs;
-  Graph.of_edges ~n:t.nv !pairs
+  (* drain the reservoirs straight into the packed CSR builder — no
+     intermediate list of boxed pairs *)
+  Graph.of_edges_iter ~n:t.nv (fun push ->
+      Array.iteri (fun v r -> Vec.iter (fun u -> push v u) r) t.reservoirs)
 
 let run rng ~n ~delta edges =
   let t = create rng ~n ~delta in

@@ -395,6 +395,98 @@ let test_graph_io_rejects_malformed () =
 (* Property tests                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* messy edge lists: self-loops, duplicates, and reversed duplicates all
+   allowed — exactly the inputs the packed builder must clean up *)
+let messy_edges_gen =
+  QCheck.Gen.(
+    int_range 1 40 >>= fun n ->
+    int_range 0 300 >>= fun m ->
+    list_repeat m (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun edges -> return (n, edges))
+
+let messy_edges =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    messy_edges_gen
+
+let qcheck_packed_equals_list =
+  QCheck.Test.make
+    ~name:"of_packed / of_edges / of_edges_reference agree on messy inputs"
+    ~count:300 messy_edges
+    (fun (n, edges) ->
+      let via_list = Graph.of_edges ~n edges in
+      let via_reference = Graph.of_edges_reference ~n edges in
+      let via_packed =
+        match Graph.pack_shift ~n with
+        | None -> QCheck.Test.fail_report "small n must be packable"
+        | Some shift ->
+            let codes =
+              Array.of_list
+                (List.map (fun (u, v) -> Graph.pack ~shift u v) edges)
+            in
+            Graph.of_packed ~n codes
+      in
+      let via_iter =
+        Graph.of_edges_iter ~n (fun push ->
+            List.iter (fun (u, v) -> push u v) edges)
+      in
+      Graph.equal via_list via_reference
+      && Graph.equal via_list via_packed
+      && Graph.equal via_list via_iter)
+
+let qcheck_packed_pack_roundtrip =
+  QCheck.Test.make ~name:"pack/unpack roundtrip" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 10_000))
+    (fun (n, seed) ->
+      match Graph.pack_shift ~n with
+      | None -> false
+      | Some shift ->
+          let rng = Rng.create seed in
+          let u = Rng.int rng n and v = Rng.int rng n in
+          let c = Graph.pack ~shift u v in
+          Graph.unpack_u ~shift c = u && Graph.unpack_v ~shift c = v)
+
+let qcheck_max_degree_cached =
+  QCheck.Test.make ~name:"cached max_degree equals the degree scan" ~count:100
+    messy_edges
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let scan = ref 0 in
+      for v = 0 to n - 1 do
+        if Graph.degree g v > !scan then scan := Graph.degree g v
+      done;
+      Graph.max_degree g = !scan)
+
+let test_of_packed_rejects () =
+  Alcotest.check_raises "bad code"
+    (Invalid_argument "Graph.of_packed: code out of range") (fun () ->
+      ignore (Graph.of_packed ~n:4 [| -1 |]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Graph.of_packed: bad length") (fun () ->
+      ignore (Graph.of_packed ~n:4 ~len:2 [| 0 |]));
+  (* u beyond n decodes out of range *)
+  (match Graph.pack_shift ~n:4 with
+  | None -> Alcotest.fail "n=4 must be packable"
+  | Some shift ->
+      Alcotest.check_raises "endpoint beyond n"
+        (Invalid_argument "Graph.of_packed: code out of range") (fun () ->
+          ignore (Graph.of_packed ~n:4 [| Graph.pack ~shift 5 1 |])));
+  (* of_edgebuf cleans loops/duplicates like of_edges *)
+  match Graph.pack_shift ~n:5 with
+  | None -> Alcotest.fail "n=5 must be packable"
+  | Some shift ->
+      let buf = Mspar_prelude.Edgebuf.create () in
+      List.iter
+        (fun (u, v) -> Mspar_prelude.Edgebuf.push buf (Graph.pack ~shift u v))
+        [ (0, 1); (1, 0); (2, 2); (3, 4); (0, 1) ];
+      let g = Graph.of_edgebuf ~n:5 buf in
+      check "edgebuf m" 2 (Graph.m g);
+      check_bool "edgebuf equal" true
+        (Graph.equal g (Graph.of_edges ~n:5 [ (0, 1); (3, 4) ]))
+
 let qcheck_csr_roundtrip =
   QCheck.Test.make ~name:"edges roundtrip through of_edges" ~count:100
     QCheck.(pair (int_range 1 25) (int_range 0 10_000))
@@ -454,6 +546,9 @@ let () =
     List.map QCheck_alcotest.to_alcotest
       [
         qcheck_csr_roundtrip;
+        qcheck_packed_equals_list;
+        qcheck_packed_pack_roundtrip;
+        qcheck_max_degree_cached;
         qcheck_degree_sum;
         qcheck_beta_vs_greedy;
         qcheck_density_le_degeneracy;
@@ -474,6 +569,8 @@ let () =
           Alcotest.test_case "induced" `Quick test_graph_induced;
           Alcotest.test_case "union/subgraph/equal" `Quick
             test_graph_union_subgraph_equal;
+          Alcotest.test_case "of_packed validation" `Quick
+            test_of_packed_rejects;
         ] );
       ( "generators",
         [

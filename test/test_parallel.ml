@@ -60,6 +60,31 @@ let test_parallel_quality () =
     true
     (float_of_int 40 <= 1.5 *. float_of_int os)
 
+let test_parallel_probe_exactness () =
+  (* the probe counter is atomic, so concurrent domains must account every
+     read — the parallel total equals the closed-form per-vertex cost, not
+     a racy under-count *)
+  let check_int = Alcotest.(check int) in
+  let rng = Rng.create 77 in
+  let g = Gen.gnp rng ~n:300 ~p:0.2 in
+  let delta = 4 in
+  let expected = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    expected := !expected + (if d <= 2 * delta then d else delta)
+  done;
+  Graph.reset_probes g;
+  ignore (Par_gdelta.sequential ~seed:5 g ~delta);
+  check_int "sequential probes" !expected (Graph.probes g);
+  List.iter
+    (fun nd ->
+      Graph.reset_probes g;
+      ignore (Par_gdelta.sparsify ~num_domains:nd ~seed:5 g ~delta);
+      check_int
+        (Printf.sprintf "domains=%d probes exact" nd)
+        !expected (Graph.probes g))
+    [ 2; 3; 4; 8 ]
+
 let test_time_comparison_runs () =
   let g = Gen.complete 120 in
   let times = Par_gdelta.time_comparison ~seed:1 g ~delta:4 ~domains:[ 1; 2 ] in
@@ -88,6 +113,8 @@ let () =
             test_parallel_equals_sequential;
           Alcotest.test_case "structure" `Quick test_parallel_structure;
           Alcotest.test_case "quality" `Quick test_parallel_quality;
+          Alcotest.test_case "probe exactness" `Quick
+            test_parallel_probe_exactness;
           Alcotest.test_case "timing runs" `Quick test_time_comparison_runs;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest qcheck_parallel_pure ]);

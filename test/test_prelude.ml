@@ -362,10 +362,112 @@ let qcheck_sparse_array_semantics =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Edgebuf / Isort                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_edgebuf () =
+  let b = Edgebuf.create ~initial_capacity:2 () in
+  check_bool "fresh empty" true (Edgebuf.is_empty b);
+  for i = 0 to 99 do
+    Edgebuf.push b (i * 3)
+  done;
+  check "length" 100 (Edgebuf.length b);
+  check "get 0" 0 (Edgebuf.get b 0);
+  check "get 99" 297 (Edgebuf.get b 99);
+  check_bool "capacity grew" true (Edgebuf.capacity b >= 100);
+  Alcotest.check_raises "oob get" (Invalid_argument "Edgebuf: index out of bounds")
+    (fun () -> ignore (Edgebuf.get b 100));
+  let arr = Edgebuf.to_array b in
+  check "to_array len" 100 (Array.length arr);
+  check "to_array content" 150 arr.(50);
+  (* data exposes the live storage prefix *)
+  check "data prefix" 150 (Edgebuf.data b).(50);
+  let sum = Edgebuf.fold_left ( + ) 0 b in
+  check "fold" (3 * (99 * 100 / 2)) sum;
+  let seen = ref 0 in
+  Edgebuf.iter (fun _ -> incr seen) b;
+  check "iter visits all" 100 !seen;
+  (* blit_into concatenation *)
+  let c = Edgebuf.create () in
+  Edgebuf.push c 7;
+  let dst = Array.make (Edgebuf.length b + Edgebuf.length c) (-1) in
+  Edgebuf.blit_into b dst 0;
+  Edgebuf.blit_into c dst (Edgebuf.length b);
+  check "blit end" 7 dst.(100);
+  Alcotest.check_raises "blit oob"
+    (Invalid_argument "Edgebuf.blit_into: destination range out of bounds")
+    (fun () -> Edgebuf.blit_into b dst 2);
+  Edgebuf.append ~into:c b;
+  check "append length" 101 (Edgebuf.length c);
+  check "append content" 0 (Edgebuf.get c 1);
+  Edgebuf.clear b;
+  check "clear" 0 (Edgebuf.length b);
+  Edgebuf.push b 42;
+  check "reusable after clear" 42 (Edgebuf.get b 0)
+
+let test_isort_known () =
+  let a = [| 5; 3; 1; 4; 2 |] in
+  Isort.sort a;
+  check_bool "small sort" true (a = [| 1; 2; 3; 4; 5 |]);
+  let e = [||] in
+  Isort.sort e;
+  check "empty" 0 (Array.length e);
+  let one = [| 9 |] in
+  Isort.sort one;
+  check "singleton" 9 one.(0);
+  (* sort_range leaves the rest untouched *)
+  let r = [| 9; 8; 7; 6; 5; 4 |] in
+  Isort.sort_range r ~pos:1 ~len:3;
+  check_bool "range sorted" true (r = [| 9; 6; 7; 8; 5; 4 |]);
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Isort.sort_range: range out of bounds") (fun () ->
+      Isort.sort_range r ~pos:4 ~len:3);
+  check_bool "is_sorted" true (Isort.is_sorted [| 1; 1; 2; 3 |]);
+  check_bool "is_sorted detects" false (Isort.is_sorted [| 2; 1 |])
+
+let test_isort_adversarial () =
+  (* shapes that hurt naive quicksorts: sorted, reverse-sorted, constant,
+     organ-pipe, and few-distinct-values arrays, at sizes around the
+     insertion cutoff and well above it *)
+  let shapes n =
+    [
+      Array.init n (fun i -> i);
+      Array.init n (fun i -> n - i);
+      Array.make n 3;
+      Array.init n (fun i -> min i (n - i));
+      Array.init n (fun i -> i mod 3);
+    ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun a ->
+          let expect = Array.copy a in
+          Array.sort compare expect;
+          Isort.sort a;
+          check_bool (Printf.sprintf "adversarial n=%d" n) true (a = expect))
+        (shapes n))
+    [ 2; 15; 16; 17; 100; 1000 ]
+
+let qcheck_isort_matches_stdlib =
+  QCheck.Test.make ~name:"Isort.sort agrees with Array.sort compare"
+    ~count:200
+    QCheck.(array_of_size (QCheck.Gen.int_range 0 200) small_signed_int)
+    (fun a ->
+      let mine = Array.copy a and theirs = Array.copy a in
+      Isort.sort mine;
+      Array.sort compare theirs;
+      mine = theirs)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ qcheck_sample_distinct_valid; qcheck_sparse_array_semantics ]
+      [
+        qcheck_sample_distinct_valid;
+        qcheck_sparse_array_semantics;
+        qcheck_isort_matches_stdlib;
+      ]
   in
   Alcotest.run "mspar_prelude"
     [
@@ -401,6 +503,12 @@ let () =
         [
           Alcotest.test_case "vec" `Quick test_vec;
           Alcotest.test_case "bitset" `Quick test_bitset;
+          Alcotest.test_case "edgebuf" `Quick test_edgebuf;
+        ] );
+      ( "isort",
+        [
+          Alcotest.test_case "known arrays" `Quick test_isort_known;
+          Alcotest.test_case "adversarial shapes" `Quick test_isort_adversarial;
         ] );
       ( "stats",
         [
