@@ -3,7 +3,7 @@
 # gate still runs on minimal toolchains), and the test suite, which
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
-.PHONY: all build fmt test check bench bench-construction
+.PHONY: all build fmt test check ci bench bench-construction
 
 all: build
 
@@ -21,6 +21,14 @@ test:
 	dune runtest
 
 check: build fmt test
+
+# the one-command CI gate: build, full test suite (includes the
+# construction and fault-injection smoke runs wired into dune runtest),
+# then the gated formatting check
+ci:
+	dune build
+	dune runtest
+	$(MAKE) fmt
 
 bench:
 	dune exec bench/main.exe -- --csv bench_csv

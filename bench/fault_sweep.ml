@@ -1,0 +1,142 @@
+(* Degradation harness: how does the sparsifier's matching quality decay
+   with message loss, and how much retry budget buys it back?
+
+   The sweep fixes one G(n,p) instance and one marking seed, computes the
+   fault-free G_Delta matching size as the reference, then re-runs the
+   self-healing construction (Sparsify_dist.gdelta_reliable) across a grid
+   of drop rate x retry budget, plus a crash row.  Reported per cell:
+   recovery ratio MCM(faulty sparsifier) / MCM(fault-free sparsifier), the
+   metered rounds/messages overhead and the fault counters.  Everything is
+   deterministic given the seeds below. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_matching
+open Mspar_distsim
+
+let mark_seed = 20200715
+let fault_seed = 57
+
+let mcm g = Matching.size (Blossom.solve g)
+
+type cell = {
+  drop : float;
+  crash : int;
+  retries : int;
+  ratio : float;
+  attempts : int;
+  rounds : int;
+  messages : int;
+  dropped : int;
+  duplicated : int;
+  unacked : int;
+}
+
+let run_cell g ~delta ~reference ~drop ~crash ~retries =
+  let frng = Rng.create fault_seed in
+  let crashed =
+    if crash = 0 then []
+    else
+      Rng.sample_distinct frng ~k:crash ~n:(Graph.n g) |> Array.to_list
+  in
+  let faults = Faults.plan ~drop ~crashed frng in
+  let s, r =
+    Sparsify_dist.gdelta_reliable ~faults (Rng.create mark_seed) g ~delta
+      ~retries
+  in
+  let st = r.Sparsify_dist.base in
+  {
+    drop;
+    crash;
+    retries;
+    ratio = float_of_int (mcm s) /. float_of_int (max 1 reference);
+    attempts = r.Sparsify_dist.attempts;
+    rounds = st.Sparsify_dist.rounds;
+    messages = st.Sparsify_dist.messages;
+    dropped = st.Sparsify_dist.faults.Faults.dropped;
+    duplicated = st.Sparsify_dist.faults.Faults.duplicated;
+    unacked = r.Sparsify_dist.unacked;
+  }
+
+let instance ~n ~p =
+  let g = Gen.gnp (Rng.create (mark_seed + 1)) ~n ~p in
+  let delta = 4 in
+  let fault_free, _ = Sparsify_dist.gdelta (Rng.create mark_seed) g ~delta in
+  (g, delta, mcm fault_free)
+
+let sweep ~n ~p =
+  let g, delta, reference = instance ~n ~p in
+  let cells = ref [] in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun retries ->
+          cells :=
+            run_cell g ~delta ~reference ~drop ~crash:0 ~retries :: !cells)
+        [ 0; 1; 2; 3; 5 ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ];
+  (* crashes are not retryable: a graceful-degradation row, not a recovery
+     row — the ratio measures what the survivors keep *)
+  List.iter
+    (fun crash ->
+      cells :=
+        run_cell g ~delta ~reference ~drop:0.2 ~crash ~retries:3 :: !cells)
+    [ n / 20; n / 10 ];
+  (g, reference, List.rev !cells)
+
+let emit_table ~n ~p =
+  let g, reference, cells = sweep ~n ~p in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "fault-sweep recovery vs drop rate x retry budget (G(%d,%.2f), \
+            m=%d, fault-free sparsifier MCM=%d)"
+           n p (Graph.m g) reference)
+      ~columns:
+        [
+          "drop"; "crash"; "retries"; "ratio"; "attempts"; "rounds";
+          "messages"; "dropped"; "duplicated"; "unacked";
+        ]
+  in
+  let last_drop = ref (-1.0) in
+  List.iter
+    (fun c ->
+      if !last_drop >= 0.0 && c.drop <> !last_drop then Table.add_rule t;
+      last_drop := c.drop;
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" c.drop;
+          Table.cell_i c.crash;
+          Table.cell_i c.retries;
+          Printf.sprintf "%.4f" c.ratio;
+          Table.cell_i c.attempts;
+          Table.cell_i c.rounds;
+          Table.cell_i c.messages;
+          Table.cell_i c.dropped;
+          Table.cell_i c.duplicated;
+          Table.cell_i c.unacked;
+        ])
+    cells;
+  Experiments.emit t
+
+let run () = emit_table ~n:200 ~p:0.1
+
+(* The runtest hook: one tiny fixed-seed cell, asserted.  Exercises the
+   whole fault path (plan -> network -> retry protocol -> recovery) on
+   every `dune runtest` so the robustness layer cannot bit-rot. *)
+let smoke () =
+  let g, delta, reference = instance ~n:60 ~p:0.15 in
+  let c = run_cell g ~delta ~reference ~drop:0.2 ~crash:0 ~retries:3 in
+  Printf.printf
+    "fault smoke: n=%d drop=%.2f retries=%d ratio=%.4f attempts=%d \
+     dropped=%d unacked=%d\n"
+    (Graph.n g) c.drop c.retries c.ratio c.attempts c.dropped c.unacked;
+  if c.dropped = 0 then begin
+    prerr_endline "fault smoke: expected the plan to drop messages";
+    exit 1
+  end;
+  if c.ratio < 0.95 then begin
+    Printf.eprintf "fault smoke: recovery ratio %.4f below 0.95\n" c.ratio;
+    exit 1
+  end

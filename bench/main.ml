@@ -10,6 +10,10 @@
                                               construction-path rows
      dune exec bench/main.exe -- smoke      - construction rows only, tiny
                                               sizes (the dune runtest hook)
+     dune exec bench/main.exe -- fault_sweep - fault-injection degradation
+                                              sweep (drop rate x retries)
+     dune exec bench/main.exe -- fault-smoke - one asserted fault cell
+                                              (the dune runtest hook)
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -48,6 +52,10 @@ let () =
     incr ran;
     Micro.run ()
   end;
+  if wants "fault_sweep" then begin
+    incr ran;
+    Fault_sweep.run ()
+  end;
   (* the heavy full-size construction rows and the tiny smoke run must be
      asked for by name — they are not part of the default sweep *)
   let explicit name = List.mem name args in
@@ -59,11 +67,17 @@ let () =
     incr ran;
     Micro.smoke ()
   end;
+  if explicit "fault-smoke" then begin
+    incr ran;
+    Fault_sweep.smoke ()
+  end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
     List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
     prerr_endline "  micro";
+    prerr_endline "  fault_sweep";
     prerr_endline "  construction";
     prerr_endline "  smoke";
+    prerr_endline "  fault-smoke";
     exit 1
   end

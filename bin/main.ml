@@ -194,31 +194,99 @@ let run_cmd =
 (* ------------------------------------------------------------------ *)
 
 let dist_cmd =
-  let run family n p radius seed eps beta multiplier input =
+  let run family n p radius seed eps beta multiplier drop crash retries
+      fault_seed input =
     let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
     let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
     let open Mspar_distsim in
-    let r = Pipeline_dist.run ~multiplier (Rng.create (seed + 1)) g ~beta ~eps in
-    let _, base =
-      Matching_dist.full_graph_baseline (Rng.create (seed + 2)) g
+    if drop > 0.0 || crash > 0 then begin
+      (* fault-injection mode: run the self-healing pipeline under the
+         plan and compare against the same seed's fault-free run *)
+      let frng = Rng.create fault_seed in
+      let crashed =
+        if crash = 0 then []
+        else
+          Rng.sample_distinct frng ~k:crash ~n:(Graph.n g) |> Array.to_list
+      in
+      let faults = Faults.plan ~drop ~crashed frng in
+      let rr =
+        Pipeline_dist.run_reliable ~multiplier ~faults ~retries
+          (Rng.create (seed + 1)) g ~beta ~eps
+      in
+      let fault_free =
+        Pipeline_dist.run_reliable ~multiplier ~retries
+          (Rng.create (seed + 1)) g ~beta ~eps
+      in
+      let r = rr.Pipeline_dist.base in
+      Printf.printf
+        "faulty:     matching=%d rounds=%d messages=%d bits=%d (drop=%.2f \
+         crash=%d retries=%d fault-seed=%d)\n"
+        (Matching.size r.Pipeline_dist.matching)
+        r.Pipeline_dist.rounds r.Pipeline_dist.messages r.Pipeline_dist.bits
+        drop crash retries fault_seed;
+      Printf.printf
+        "            dropped=%d duplicated=%d delayed=%d mark-attempts=%d \
+         unacked=%d\n"
+        r.Pipeline_dist.faults.Faults.dropped
+        r.Pipeline_dist.faults.Faults.duplicated
+        r.Pipeline_dist.faults.Faults.delayed rr.Pipeline_dist.attempts
+        rr.Pipeline_dist.unacked;
+      let ff = fault_free.Pipeline_dist.base in
+      Printf.printf "fault-free: matching=%d rounds=%d messages=%d\n"
+        (Matching.size ff.Pipeline_dist.matching)
+        ff.Pipeline_dist.rounds ff.Pipeline_dist.messages;
+      Printf.printf "recovery ratio: %.4f   round overhead: %+d\n"
+        (float_of_int (Matching.size r.Pipeline_dist.matching)
+        /. float_of_int (max 1 (Matching.size ff.Pipeline_dist.matching)))
+        (r.Pipeline_dist.rounds - ff.Pipeline_dist.rounds)
+    end
+    else begin
+      let r =
+        Pipeline_dist.run ~multiplier (Rng.create (seed + 1)) g ~beta ~eps
+      in
+      let _, base =
+        Matching_dist.full_graph_baseline (Rng.create (seed + 2)) g
+      in
+      Printf.printf "pipeline: matching=%d rounds=%d messages=%d bits=%d\n"
+        (Matching.size r.Pipeline_dist.matching)
+        r.Pipeline_dist.rounds r.Pipeline_dist.messages r.Pipeline_dist.bits;
+      Printf.printf "baseline: rounds=%d messages=%d (m=%d)\n"
+        base.Matching_dist.rounds base.Matching_dist.messages (Graph.m g);
+      Printf.printf "message saving: %.2fx\n"
+        (float_of_int base.Matching_dist.messages
+        /. float_of_int (max 1 r.Pipeline_dist.messages))
+    end
+  in
+  let drop_arg =
+    let doc = "Per-message drop probability in [0,1) (0 = fault-free)." in
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P" ~doc)
+  in
+  let crash_arg =
+    let doc =
+      "Number of crashed processors (chosen deterministically from \
+       --fault-seed)."
     in
-    Printf.printf "pipeline: matching=%d rounds=%d messages=%d bits=%d\n"
-      (Matching.size r.Pipeline_dist.matching)
-      r.Pipeline_dist.rounds r.Pipeline_dist.messages r.Pipeline_dist.bits;
-    Printf.printf "baseline: rounds=%d messages=%d (m=%d)\n"
-      base.Matching_dist.rounds base.Matching_dist.messages (Graph.m g);
-    Printf.printf "message saving: %.2fx\n"
-      (float_of_int base.Matching_dist.messages
-      /. float_of_int (max 1 r.Pipeline_dist.messages))
+    Arg.(value & opt int 0 & info [ "crash" ] ~docv:"K" ~doc)
+  in
+  let retries_arg =
+    let doc = "Retry budget for the self-healing marking stage." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"R" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed for the fault plan's private randomness." in
+    Arg.(value & opt int 57 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
   in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
-      $ beta_arg $ multiplier_arg $ input_arg)
+      $ beta_arg $ multiplier_arg $ drop_arg $ crash_arg $ retries_arg
+      $ fault_seed_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "dist"
-       ~doc:"Distributed pipeline on the simulator (Theorems 3.2/3.3)")
+       ~doc:
+         "Distributed pipeline on the simulator (Theorems 3.2/3.3), \
+          optionally under fault injection (--drop/--crash)")
     term
 
 (* ------------------------------------------------------------------ *)

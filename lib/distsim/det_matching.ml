@@ -34,9 +34,17 @@ let cv_step ~own ~parent =
 (* a fake parent color for roots: any value differing from [own] works *)
 let root_parent own = own lxor 1
 
-let maximal g =
+(* Crash tolerance: crashed processors run no code, broadcast nothing and
+   are skipped by every per-vertex loop; a live child whose parent crashed
+   (or whose parent's color vector was lost) falls back to the root rule, so
+   it behaves as the root of its surviving subtree.  Message loss can make
+   the coloring improper, which costs maximality (a vertex whose color never
+   drops below 3 skips its proposal stages) but never validity — acceptance
+   checks both endpoints' matched status on the spot. *)
+let maximal ?faults g =
   let nv = Graph.n g in
-  let net = Network.create ~bit_size:(fun _ -> 64) g in
+  let net = Network.create ~bit_size:(fun _ -> 64) ?faults g in
+  let live v = not (Network.is_crashed net v) in
   let parents = forests_of g in
   let nforests = Array.fold_left (fun acc p -> max acc (Array.length p)) 0 parents in
   let matching = Matching.create nv in
@@ -49,7 +57,17 @@ let maximal g =
     let coloring_start = Network.rounds net in
     (* --- Cole-Vishkin reduction to < 8 colors (3 bits) --- *)
     let max_color () =
-      Array.fold_left (fun acc cs -> Array.fold_left max acc cs) 0 colors
+      let acc = ref 0 in
+      for v = 0 to nv - 1 do
+        if live v then Array.iter (fun c -> acc := max !acc c) colors.(v)
+      done;
+      !acc
+    in
+    (* a parent color equal to [own] (impossible on a proper coloring, but
+       reachable when drops corrupt it) would make cv_step diverge; treat
+       the parent as unknown instead *)
+    let safe_parent ~own parent_color =
+      if parent_color = own then root_parent own else parent_color
     in
     (* reduce until every color is in {0..5}: from 3-bit colors one step
        yields 2i+b with i <= 2, i.e. < 6, so the loop terminates *)
@@ -57,7 +75,8 @@ let maximal g =
       (* everyone broadcasts its color vector; each vertex updates every
          forest using its parent's vector *)
       for v = 0 to nv - 1 do
-        Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
+        if live v then
+          Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
       done;
       Network.deliver net;
       let received = Array.make nv [] in
@@ -65,34 +84,37 @@ let maximal g =
         received.(v) <- Network.inbox net v
       done;
       for v = 0 to nv - 1 do
-        let vec_of u =
-          let rec find = function
-            | [] -> None
-            | (src, Colors c) :: _ when src = u -> Some c
-            | _ :: rest -> find rest
+        if live v then begin
+          let vec_of u =
+            let rec find = function
+              | [] -> None
+              | (src, Colors c) :: _ when src = u -> Some c
+              | _ :: rest -> find rest
+            in
+            find received.(v)
           in
-          find received.(v)
-        in
-        for i = 0 to Array.length parents.(v) - 1 do
-          let own = colors.(v).(i) in
-          let parent_color =
-            match vec_of parents.(v).(i) with
-            | Some c when i < Array.length c -> c.(i)
-            | Some _ | None -> root_parent own
-          in
-          colors.(v).(i) <- cv_step ~own ~parent:parent_color
-        done;
-        (* forests where v is a root also step, against the fake parent *)
-        for i = Array.length parents.(v) to nforests - 1 do
-          let own = colors.(v).(i) in
-          colors.(v).(i) <- cv_step ~own ~parent:(root_parent own)
-        done
+          for i = 0 to Array.length parents.(v) - 1 do
+            let own = colors.(v).(i) in
+            let parent_color =
+              match vec_of parents.(v).(i) with
+              | Some c when i < Array.length c -> safe_parent ~own c.(i)
+              | Some _ | None -> root_parent own
+            in
+            colors.(v).(i) <- cv_step ~own ~parent:parent_color
+          done;
+          (* forests where v is a root also step, against the fake parent *)
+          for i = Array.length parents.(v) to nforests - 1 do
+            let own = colors.(v).(i) in
+            colors.(v).(i) <- cv_step ~own ~parent:(root_parent own)
+          done
+        end
       done
     done;
     (* --- eliminate colors 5, 4, 3 by shift-down + recolor --- *)
     let exchange_vectors () =
       for v = 0 to nv - 1 do
-        Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
+        if live v then
+          Network.broadcast net ~src:v (Colors (Array.copy colors.(v)))
       done;
       Network.deliver net;
       Array.init nv (fun v -> Network.inbox net v)
@@ -103,24 +125,26 @@ let maximal g =
       let received = exchange_vectors () in
       let next = Array.map Array.copy colors in
       for v = 0 to nv - 1 do
-        let vec_of u =
-          let rec find = function
-            | [] -> None
-            | (src, Colors c) :: _ when src = u -> Some c
-            | _ :: rest -> find rest
+        if live v then begin
+          let vec_of u =
+            let rec find = function
+              | [] -> None
+              | (src, Colors c) :: _ when src = u -> Some c
+              | _ :: rest -> find rest
+            in
+            find received.(v)
           in
-          find received.(v)
-        in
-        for i = 0 to nforests - 1 do
-          if i < Array.length parents.(v) then begin
-            match vec_of parents.(v).(i) with
-            | Some c when i < Array.length c -> next.(v).(i) <- c.(i)
-            | Some _ | None -> ()
-          end
-          else
-            (* root: rotate within {0,1,2,...} keeping properness *)
-            next.(v).(i) <- (colors.(v).(i) + 1) mod 3
-        done
+          for i = 0 to nforests - 1 do
+            if i < Array.length parents.(v) then begin
+              match vec_of parents.(v).(i) with
+              | Some c when i < Array.length c -> next.(v).(i) <- c.(i)
+              | Some _ | None -> ()
+            end
+            else
+              (* root: rotate within {0,1,2,...} keeping properness *)
+              next.(v).(i) <- (colors.(v).(i) + 1) mod 3
+          done
+        end
       done;
       Array.iteri (fun v c -> colors.(v) <- c) next;
       (* recolor the vertices currently holding [kill]: their children all
@@ -128,36 +152,45 @@ let maximal g =
          {0,1,2} is available *)
       let received = exchange_vectors () in
       for v = 0 to nv - 1 do
-        let vec_of u =
-          let rec find = function
-            | [] -> None
-            | (src, Colors c) :: _ when src = u -> Some c
-            | _ :: rest -> find rest
+        if live v then begin
+          let vec_of u =
+            let rec find = function
+              | [] -> None
+              | (src, Colors c) :: _ when src = u -> Some c
+              | _ :: rest -> find rest
+            in
+            find received.(v)
           in
-          find received.(v)
-        in
-        for i = 0 to nforests - 1 do
-          if colors.(v).(i) = kill then begin
-            let blocked = Array.make 6 false in
-            (if i < Array.length parents.(v) then
-               match vec_of parents.(v).(i) with
-               | Some c when i < Array.length c ->
-                   if c.(i) < 6 then blocked.(c.(i)) <- true
-               | Some _ | None -> ());
-            (* children of v in forest i = neighbors u < v whose i-th
-               out-edge is v *)
-            Graph.iter_neighbors g v (fun u ->
-                if u < v then
-                  match vec_of u with
-                  | Some c
-                    when i < Array.length parents.(u)
-                         && parents.(u).(i) = v && i < Array.length c ->
-                      if c.(i) < 6 then blocked.(c.(i)) <- true
-                  | Some _ | None -> ());
-            let rec pick c = if blocked.(c) then pick (c + 1) else c in
-            colors.(v).(i) <- pick 0
-          end
-        done
+          for i = 0 to nforests - 1 do
+            if colors.(v).(i) = kill then begin
+              let blocked = Array.make 6 false in
+              (if i < Array.length parents.(v) then
+                 match vec_of parents.(v).(i) with
+                 | Some c when i < Array.length c ->
+                     if c.(i) < 6 then blocked.(c.(i)) <- true
+                 | Some _ | None -> ());
+              (* children of v in forest i = neighbors u < v whose i-th
+                 out-edge is v *)
+              Graph.iter_neighbors g v (fun u ->
+                  if u < v then
+                    match vec_of u with
+                    | Some c
+                      when i < Array.length parents.(u)
+                           && parents.(u).(i) = v && i < Array.length c ->
+                        if c.(i) < 6 then blocked.(c.(i)) <- true
+                    | Some _ | None -> ());
+              (* on a proper coloring some color < 3 is free; after message
+                 loss all six may be blocked — keep the color rather than
+                 scan out of bounds (the vertex then sits out the stages) *)
+              let rec pick c =
+                if c >= Array.length blocked then kill
+                else if blocked.(c) then pick (c + 1)
+                else c
+              in
+              colors.(v).(i) <- pick 0
+            end
+          done
+        end
       done
     done;
     let coloring_rounds = Network.rounds net - coloring_start in
@@ -168,7 +201,8 @@ let maximal g =
         (* proposal round *)
         for v = 0 to nv - 1 do
           if
-            (not (Matching.is_matched matching v))
+            live v
+            && (not (Matching.is_matched matching v))
             && i < Array.length parents.(v)
             && colors.(v).(i) = c
           then Network.send net ~src:v ~dst:parents.(v).(i) Propose
@@ -176,7 +210,7 @@ let maximal g =
         Network.deliver net;
         (* acceptance round: a free parent takes its smallest proposer *)
         for v = 0 to nv - 1 do
-          if not (Matching.is_matched matching v) then begin
+          if live v && not (Matching.is_matched matching v) then begin
             let best = ref (-1) in
             List.iter
               (fun (src, m) ->

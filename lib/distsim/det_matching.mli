@@ -23,7 +23,13 @@
        proposals in the same stage, and every edge gets a stage in which
        both endpoints were offered it — hence maximality.}}
 
-    Completely deterministic: same graph, same matching, every time. *)
+    Completely deterministic: same graph, same matching, every time (with a
+    fault plan, same graph + same plan seed, same matching every time).
+    Crash-tolerant: crashed processors run no code; a live vertex whose
+    forest parent crashed behaves as the root of its surviving subtree, and
+    survivors compute a matching of the live induced subgraph.  Message
+    loss can cost maximality (an improperly colored vertex sits out its
+    proposal stages) but never validity. *)
 
 open Mspar_graph
 open Mspar_matching
@@ -35,7 +41,7 @@ type stats = {
   stage_rounds : int;  (** the O(Δ) part *)
 }
 
-val maximal : Graph.t -> Matching.t * stats
+val maximal : ?faults:Faults.t -> Graph.t -> Matching.t * stats
 (** Deterministic distributed maximal matching of the communication
     graph. *)
 

@@ -10,14 +10,20 @@ type msg =
   | Matched  (* "I am now matched": prune me from your free-neighbor set *)
   | Walk of walker  (* request to extend an alternating path onto you *)
 
-let word_bits n = max 1 (int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)))
+let word_bits n = max 1 (Network.ceil_log2 (max 2 n))
 
 let bit_size_for n = function
   | Propose _ -> word_bits n
   | Accept | Matched -> 1
   | Walk w -> word_bits n * (1 + List.length w.path)
 
-type stats = { rounds : int; messages : int; bits : int; iterations : int }
+type stats = {
+  rounds : int;
+  messages : int;
+  bits : int;
+  iterations : int;
+  faults : Faults.report;
+}
 
 let stats_of net ~iterations =
   {
@@ -25,6 +31,7 @@ let stats_of net ~iterations =
     messages = Network.messages net;
     bits = Network.bits net;
     iterations;
+    faults = Network.fault_report net;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -32,15 +39,28 @@ let stats_of net ~iterations =
 (* ------------------------------------------------------------------ *)
 
 (* Shared engine: runs the proposal protocol on [net], mutating [mate] and
-   the per-vertex free-neighbor knowledge.  Returns the iteration count. *)
+   the per-vertex free-neighbor knowledge.  Returns the iteration count.
+
+   Fault tolerance: crashed processors run no code (they never propose,
+   respond or announce) and the failure detector prunes them from everyone's
+   free-neighbor sets up front, so survivors compute a matching of the live
+   induced subgraph.  Because a dropped [Matched] announcement would
+   otherwise leave a neighbor believing a matched vertex free forever, under
+   a fault plan matched vertices re-announce every iteration and the loop
+   carries an iteration cap — on a fault-free network neither change has any
+   effect and announcements stay one-shot. *)
 let run_proposal_protocol rng net mate =
   let nv = Network.n net in
+  let faulty = Network.faults_enabled net in
+  let live v = not (Network.is_crashed net v) in
   let local_rng = Array.init nv (fun _ -> Rng.split rng) in
   (* free_nbrs.(v): neighbors v still believes to be free *)
   let free_nbrs =
     Array.init nv (fun v ->
         let h = Hashtbl.create 16 in
-        Array.iter (fun u -> Hashtbl.replace h u ()) (Network.neighbors net v);
+        Array.iter
+          (fun u -> if live u then Hashtbl.replace h u ())
+          (Network.neighbors net v);
         h)
   in
   let is_free v = mate.(v) < 0 in
@@ -49,14 +69,23 @@ let run_proposal_protocol rng net mate =
   let progress_possible () =
     let possible = ref false in
     for v = 0 to nv - 1 do
-      if is_free v && Hashtbl.length free_nbrs.(v) > 0 then possible := true
+      if live v && is_free v && Hashtbl.length free_nbrs.(v) > 0 then
+        possible := true
     done;
     !possible
   in
-  while progress_possible () do
+  (* under faults the protocol may stall (e.g. every remaining free neighbor
+     is lost to message loss); the cap turns the livelock into graceful
+     degradation — the partial matching is still valid *)
+  let max_iterations =
+    if faulty then 64 * (1 + Network.congest_word net) else max_int
+  in
+  while !iterations < max_iterations && progress_possible () do
     incr iterations;
     (* coin flips: proposers vs responders *)
-    let proposer = Array.init nv (fun v -> is_free v && Rng.bool local_rng.(v)) in
+    let proposer =
+      Array.init nv (fun v -> live v && is_free v && Rng.bool local_rng.(v))
+    in
     (* round 1: proposals *)
     for v = 0 to nv - 1 do
       if proposer.(v) && Hashtbl.length free_nbrs.(v) > 0 then begin
@@ -73,7 +102,7 @@ let run_proposal_protocol rng net mate =
     Network.deliver net;
     (* round 2: responders accept the best proposal *)
     for v = 0 to nv - 1 do
-      if is_free v && not proposer.(v) then begin
+      if live v && is_free v && not proposer.(v) then begin
         let best = ref None in
         List.iter
           (fun (src, m) ->
@@ -93,9 +122,10 @@ let run_proposal_protocol rng net mate =
       end
     done;
     Network.deliver net;
-    (* round 3: newly matched vertices announce themselves, once *)
+    (* round 3: newly matched vertices announce themselves — once on a
+       reliable network, every iteration under faults (drops heal) *)
     for v = 0 to nv - 1 do
-      if mate.(v) >= 0 && not announced.(v) then begin
+      if live v && mate.(v) >= 0 && ((not announced.(v)) || faulty) then begin
         announced.(v) <- true;
         Network.broadcast net ~src:v Matched
       end
@@ -120,16 +150,40 @@ let maximal_on_net rng net =
   Array.iteri (fun v u -> if u > v then Matching.add m v u) mate;
   (m, mate, iterations)
 
-let maximal rng g =
-  let net = Network.create ~bit_size:(bit_size_for (Graph.n g)) g in
+let maximal ?faults rng g =
+  let net = Network.create ~bit_size:(bit_size_for (Graph.n g)) ?faults g in
   let m, _, iterations = maximal_on_net rng net in
   (m, stats_of net ~iterations)
 
-let full_graph_baseline = maximal
+let full_graph_baseline ?faults rng g = maximal ?faults rng g
 
 (* ------------------------------------------------------------------ *)
 (* Walker-based short-augmenting-path elimination                     *)
 (* ------------------------------------------------------------------ *)
+
+(* A finished walker's path must still describe an alternating path in the
+   current matching before it may be flipped: endpoints free, even-indexed
+   gaps unmatched, odd-indexed gaps matched pairs.  On a fault-free network
+   the locks guarantee this; under faults a duplicated or straggling [Walk]
+   can resurface after the matching has moved on, and flipping its stale
+   path would corrupt the matching. *)
+let path_is_alternating mate path =
+  let arr = Array.of_list path in
+  let len = Array.length arr in
+  len >= 2
+  && mate.(arr.(0)) < 0
+  && mate.(arr.(len - 1)) < 0
+  && begin
+       let ok = ref true in
+       for i = 0 to len - 2 do
+         if i mod 2 = 0 then begin
+           (* gap must be unmatched, endpoints of it not matched together *)
+           if mate.(arr.(i)) = arr.(i + 1) then ok := false
+         end
+         else if mate.(arr.(i)) <> arr.(i + 1) then ok := false
+       done;
+       !ok
+     end
 
 (* Flip the alternating path carried by a finished walker.  [path] runs
    free-endpoint first, initiator last; odd-indexed gaps are matched
@@ -153,11 +207,12 @@ let flip_path mate path =
     i := !i + 2
   done
 
-let one_plus_eps ?attempts_per_phase rng g ~eps =
+let one_plus_eps ?attempts_per_phase ?faults rng g ~eps =
   if eps <= 0.0 || eps >= 1.0 then
     invalid_arg "Matching_dist.one_plus_eps: eps in (0,1)";
   let nv = Graph.n g in
-  let net = Network.create ~bit_size:(bit_size_for nv) g in
+  let net = Network.create ~bit_size:(bit_size_for nv) ?faults g in
+  let live v = not (Network.is_crashed net v) in
   let mate = Array.make nv (-1) in
   let base_iterations = run_proposal_protocol rng net mate in
   let k = int_of_float (ceil (1.0 /. eps)) in
@@ -175,7 +230,7 @@ let one_plus_eps ?attempts_per_phase rng g ~eps =
       (* initiation: free vertices start walkers with probability 1/2 *)
       let walkers = ref [] in
       for v = 0 to nv - 1 do
-        if mate.(v) < 0 && Rng.bool local_rng.(v) then begin
+        if mate.(v) < 0 && live v && Rng.bool local_rng.(v) then begin
           locked.(v) <- true;
           walkers :=
             (v, { priority = Rng.int local_rng.(v) (1 lsl 30); path = [ v ] })
@@ -193,7 +248,7 @@ let one_plus_eps ?attempts_per_phase rng g ~eps =
             let eligible =
               Array.to_list nbrs
               |> List.filter (fun u ->
-                     mate.(head) <> u && not (List.mem u w.path))
+                     mate.(head) <> u && live u && not (List.mem u w.path))
             in
             match eligible with
             | [] -> ()
@@ -229,12 +284,19 @@ let one_plus_eps ?attempts_per_phase rng g ~eps =
             | None -> ()
             | Some (_src, w) ->
                 if mate.(u) < 0 then begin
-                  (* free endpoint reached: augment *)
-                  locked.(u) <- true;
                   let full_path = u :: w.path in
-                  flip_path mate full_path;
-                  (* flip messages travel back along the path *)
-                  Network.skip_rounds net (List.length full_path - 1)
+                  (* reject stale walkers (late duplicates under faults)
+                     whose path no longer alternates in the live matching *)
+                  if
+                    path_is_alternating mate full_path
+                    && List.for_all live full_path
+                  then begin
+                    (* free endpoint reached: augment *)
+                    locked.(u) <- true;
+                    flip_path mate full_path;
+                    (* flip messages travel back along the path *)
+                    Network.skip_rounds net (List.length full_path - 1)
+                  end
                 end
                 else begin
                   let mu = mate.(u) in

@@ -13,7 +13,16 @@
     lock the vertices they traverse (conflicts resolved by random priority)
     and flip their path when they reach a free vertex.  Round cost per phase
     is independent of n for fixed degree and ε, matching the
-    Δ^O(1/ε)-rounds shape of the substituted algorithm. *)
+    Δ^O(1/ε)-rounds shape of the substituted algorithm.
+
+    Both algorithms accept a fault plan and degrade gracefully rather than
+    raising: crashed processors run no code and are pruned from their
+    neighbors' free-vertex knowledge (failure-detector model), so survivors
+    match among themselves; message loss can cost matching size or
+    maximality but never validity — under faults, matched vertices
+    re-announce each iteration and the proposal loop is capped, and stale
+    walker paths are re-validated against the current matching before any
+    flip. *)
 
 open Mspar_prelude
 open Mspar_graph
@@ -24,14 +33,18 @@ type stats = {
   messages : int;
   bits : int;
   iterations : int;  (** proposal iterations or walker attempts *)
+  faults : Faults.report;  (** all-zero on a fault-free network *)
 }
 
-val maximal : Rng.t -> Graph.t -> Matching.t * stats
+val maximal : ?faults:Faults.t -> Rng.t -> Graph.t -> Matching.t * stats
 (** Randomized distributed maximal matching on the given communication
-    graph. *)
+    graph.  Under a fault plan the result is a valid matching of the live
+    induced subgraph (maximal on it whp when messages can still get
+    through). *)
 
 val one_plus_eps :
   ?attempts_per_phase:int ->
+  ?faults:Faults.t ->
   Rng.t ->
   Graph.t ->
   eps:float ->
@@ -40,7 +53,7 @@ val one_plus_eps :
     k = ⌈1/ε⌉ phases of walker-based augmenting-path elimination with path
     length cap 2k+1.  [attempts_per_phase] defaults to [32·(k+1)]. *)
 
-val full_graph_baseline : Rng.t -> Graph.t -> Matching.t * stats
+val full_graph_baseline : ?faults:Faults.t -> Rng.t -> Graph.t -> Matching.t * stats
 (** The Ω(m)-message baseline for Theorem 3.3: the same maximal-matching
     protocol run on the whole input graph, with matched-notifications along
     every incident edge. *)

@@ -11,9 +11,17 @@ type 'msg t = {
   mutable bits : int;
   mutable max_bits : int;
   bit_size : 'msg -> int;
+  faults : Faults.t option;
+  crashed : bool array;
+  (* messages in flight from stragglers: per destination, (rounds left
+     before normal delivery, sender, payload) *)
+  pending : (int * int * 'msg) list array;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
 }
 
-let create ?(bit_size = fun _ -> 1) g =
+let create ?(bit_size = fun _ -> 1) ?faults g =
   let nv = Graph.n g in
   let adj =
     Array.init nv (fun v ->
@@ -29,6 +37,13 @@ let create ?(bit_size = fun _ -> 1) g =
         h)
       adj
   in
+  let crashed = Array.make nv false in
+  (match faults with
+  | None -> ()
+  | Some f ->
+      List.iter
+        (fun v -> if v >= 0 && v < nv then crashed.(v) <- true)
+        (Faults.crashed_list f));
   {
     g;
     adj;
@@ -40,31 +55,109 @@ let create ?(bit_size = fun _ -> 1) g =
     bits = 0;
     max_bits = 0;
     bit_size;
+    faults;
+    crashed;
+    pending = Array.make nv [];
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
   }
 
 let graph t = t.g
 let n t = Graph.n t.g
 let neighbors t v = t.adj.(v)
+let faults_enabled t = t.faults <> None
+let is_crashed t v = t.crashed.(v)
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let delayed t = t.delayed
+
+let fault_report t =
+  { Faults.dropped = t.dropped; duplicated = t.duplicated; delayed = t.delayed }
+
+let enqueue t ~src ~dst ~delay msg =
+  if delay > 0 then begin
+    t.delayed <- t.delayed + 1;
+    t.pending.(dst) <- (delay, src, msg) :: t.pending.(dst)
+  end
+  else t.outboxes.(dst) <- (src, msg) :: t.outboxes.(dst)
 
 let send t ~src ~dst msg =
   if not (Hashtbl.mem t.neighbor_set.(src) dst) then
     invalid_arg "Network.send: dst is not a neighbor of src";
-  let cost = t.bit_size msg in
-  t.messages <- t.messages + 1;
-  t.bits <- t.bits + cost;
-  if cost > t.max_bits then t.max_bits <- cost;
-  t.outboxes.(dst) <- (src, msg) :: t.outboxes.(dst)
+  match t.faults with
+  | None ->
+      let cost = t.bit_size msg in
+      t.messages <- t.messages + 1;
+      t.bits <- t.bits + cost;
+      if cost > t.max_bits then t.max_bits <- cost;
+      t.outboxes.(dst) <- (src, msg) :: t.outboxes.(dst)
+  | Some f ->
+      (* a crashed processor emits nothing (its simulated code never ran) *)
+      if not t.crashed.(src) then begin
+        let cost = t.bit_size msg in
+        t.messages <- t.messages + 1;
+        t.bits <- t.bits + cost;
+        if cost > t.max_bits then t.max_bits <- cost;
+        if Faults.flip f (Faults.drop_p f) then t.dropped <- t.dropped + 1
+        else begin
+          let delay = Faults.delay_of f src in
+          enqueue t ~src ~dst ~delay msg;
+          if Faults.flip f (Faults.duplicate_p f) then begin
+            t.duplicated <- t.duplicated + 1;
+            enqueue t ~src ~dst ~delay msg
+          end
+        end
+      end
 
 let broadcast t ~src msg =
   Array.iter (fun dst -> send t ~src ~dst msg) t.adj.(src)
 
+(* bounded reordering: shuffle each window of [w] consecutive messages, so
+   no message moves more than w-1 positions *)
+let reorder_bounded f w msgs =
+  match msgs with
+  | [] -> []
+  | _ when w <= 1 -> msgs
+  | _ ->
+      let arr = Array.of_list msgs in
+      let len = Array.length arr in
+      let start = ref 0 in
+      while !start < len do
+        let stop = min len (!start + w) in
+        let window = Array.sub arr !start (stop - !start) in
+        Faults.shuffle f window;
+        Array.blit window 0 arr !start (stop - !start);
+        start := stop
+      done;
+      Array.to_list arr
+
 let deliver t =
   let nv = n t in
   (* preserve arrival order: outboxes were built by consing *)
-  for v = 0 to nv - 1 do
-    t.inboxes.(v) <- List.rev t.outboxes.(v);
-    t.outboxes.(v) <- []
-  done;
+  (match t.faults with
+  | None ->
+      for v = 0 to nv - 1 do
+        t.inboxes.(v) <- List.rev t.outboxes.(v);
+        t.outboxes.(v) <- []
+      done
+  | Some f ->
+      for v = 0 to nv - 1 do
+        let arriving = List.rev t.outboxes.(v) in
+        t.outboxes.(v) <- [];
+        (* straggler messages mature when their countdown reaches zero *)
+        let matured = ref [] and still = ref [] in
+        List.iter
+          (fun (k, src, msg) ->
+            if k = 0 then matured := (src, msg) :: !matured
+            else still := (k - 1, src, msg) :: !still)
+          t.pending.(v);
+        t.pending.(v) <- List.rev !still;
+        let all = arriving @ List.rev !matured in
+        let all = reorder_bounded f (Faults.reorder_window f) all in
+        (* a crashed processor reads nothing *)
+        t.inboxes.(v) <- (if t.crashed.(v) then [] else all)
+      done);
   t.rounds <- t.rounds + 1
 
 let inbox t v = t.inboxes.(v)
@@ -74,6 +167,18 @@ let messages t = t.messages
 let bits t = t.bits
 let max_message_bits t = t.max_bits
 
-let congest_word t =
-  let nv = max 2 (n t) in
-  int_of_float (ceil (log (float_of_int nv) /. log 2.0))
+(* smallest k with 2^k >= n, by integer shifts: the float-log version
+   misrounds near powers of two once log2 n approaches the mantissa
+   precision (e.g. n = 2^k where log(n)/log(2) lands just above k) *)
+let ceil_log2 n =
+  if n <= 1 then 0
+  else begin
+    let k = ref 0 and m = ref 1 in
+    while !m < n && !m > 0 do
+      incr k;
+      m := !m lsl 1
+    done;
+    !k
+  end
+
+let congest_word t = ceil_log2 (max 2 (n t))

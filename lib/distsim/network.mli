@@ -1,13 +1,24 @@
 (** Synchronous message-passing network simulator (LOCAL / CONGEST).
 
     Processors are the vertices of a communication graph; computation
-    proceeds in fault-free synchronous rounds.  During a round every
-    processor may send messages to any subset of its neighbors (unicast);
-    {!deliver} ends the round and makes the messages readable at their
-    destinations.  The simulator meters the two standard distributed
-    complexity measures — rounds and messages — plus total message bits, so
-    that CONGEST (O(log n)-bit messages) versus LOCAL (unbounded) behaviour
-    and the paper's sublinear-message claims (Theorem 3.3) are observable.
+    proceeds in synchronous rounds.  During a round every processor may send
+    messages to any subset of its neighbors (unicast); {!deliver} ends the
+    round and makes the messages readable at their destinations.  The
+    simulator meters the two standard distributed complexity measures —
+    rounds and messages — plus total message bits, so that CONGEST
+    (O(log n)-bit messages) versus LOCAL (unbounded) behaviour and the
+    paper's sublinear-message claims (Theorem 3.3) are observable.
+
+    By default the network is fault-free.  Supplying a {!Faults.t} plan at
+    creation turns on deterministic fault injection: messages may be
+    dropped, duplicated, delayed (stragglers) or reordered within a bounded
+    window, and processors in the plan's crash set neither send nor
+    receive.  Without a plan, behaviour — including every metered counter —
+    is bit-for-bit identical to the fault-free simulator.  Fault events are
+    metered by the counters {!dropped}, {!duplicated} and {!delayed},
+    surfaced next to rounds/messages/bits.  Note that dropped and delayed
+    messages still count as sent (the sender paid for them); duplicates do
+    not (the duplication happens inside the link).
 
     The message type is a parameter; callers provide a [bit_size] costing
     function at creation (default: 1 bit per message, the unit used by the
@@ -17,8 +28,10 @@ open Mspar_graph
 
 type 'msg t
 
-val create : ?bit_size:('msg -> int) -> Graph.t -> 'msg t
-(** A quiescent network over the given communication graph. *)
+val create : ?bit_size:('msg -> int) -> ?faults:Faults.t -> Graph.t -> 'msg t
+(** A quiescent network over the given communication graph.  [faults]
+    attaches a fault plan; omitted, the network is exactly the fault-free
+    simulator. *)
 
 val graph : 'msg t -> Graph.t
 val n : 'msg t -> int
@@ -28,7 +41,9 @@ val neighbors : 'msg t -> int -> int array
     order). *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
-(** Queue a unicast message for delivery at the end of the round.
+(** Queue a unicast message for delivery at the end of the round.  Under a
+    fault plan the message may be dropped, duplicated or delayed, and a
+    send from a crashed processor is a silent no-op (its code "never ran").
     @raise Invalid_argument if [dst] is not a neighbor of [src]. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
@@ -36,7 +51,10 @@ val broadcast : 'msg t -> src:int -> 'msg -> unit
 
 val deliver : 'msg t -> unit
 (** End the round: queued messages become readable via {!inbox}; the round
-    counter increments.  Undelivered older inbox contents are discarded. *)
+    counter increments.  Undelivered older inbox contents are discarded.
+    Under a fault plan, matured straggler messages are appended and each
+    inbox is reordered within the plan's window; crashed processors
+    receive nothing. *)
 
 val inbox : 'msg t -> int -> (int * 'msg) list
 (** Messages received by [v] in the round that just ended, as
@@ -57,3 +75,28 @@ val max_message_bits : 'msg t -> int
 
 val congest_word : 'msg t -> int
 (** ⌈log₂ n⌉, the CONGEST word size for this network. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n] ([0] for [n <= 1]),
+    computed with integer shifts — exact at and around powers of two where
+    the naive float computation can misround. *)
+
+(** {2 Fault observation} *)
+
+val faults_enabled : 'msg t -> bool
+
+val is_crashed : 'msg t -> int -> bool
+(** The perfect-failure-detector query: processors may test whether a
+    neighbor is crashed (always [false] on a fault-free network). *)
+
+val dropped : 'msg t -> int
+(** Messages lost in transit so far. *)
+
+val duplicated : 'msg t -> int
+(** Extra copies injected by the link so far. *)
+
+val delayed : 'msg t -> int
+(** Messages that arrived late (straggler senders) so far. *)
+
+val fault_report : 'msg t -> Faults.report
+(** The three fault counters as one record. *)

@@ -8,6 +8,7 @@ type result = {
   bits : int;
   sparsifier_edges : int;
   max_degree : int;
+  faults : Faults.report;
 }
 
 let run_generic ~matcher ?(multiplier = 2.0) rng g ~beta ~eps =
@@ -22,6 +23,8 @@ let run_generic ~matcher ?(multiplier = 2.0) rng g ~beta ~eps =
     bits = s_stats.Sparsify_dist.bits + m_stats.Matching_dist.bits;
     sparsifier_edges = Graph.m sparsifier;
     max_degree = Graph.max_degree sparsifier;
+    faults =
+      Faults.add_report s_stats.Sparsify_dist.faults m_stats.Matching_dist.faults;
   }
 
 let run ?multiplier ?attempts_per_phase rng g ~beta ~eps =
@@ -29,4 +32,39 @@ let run ?multiplier ?attempts_per_phase rng g ~beta ~eps =
       Matching_dist.one_plus_eps ?attempts_per_phase rng s ~eps)
 
 let run_maximal_only ?multiplier rng g ~beta ~eps =
-  run_generic ?multiplier rng g ~beta ~eps ~matcher:Matching_dist.maximal
+  run_generic ?multiplier rng g ~beta ~eps ~matcher:(fun rng s ->
+      Matching_dist.maximal rng s)
+
+type reliable_result = {
+  base : result;
+  attempts : int;
+  unacked : int;
+}
+
+let run_reliable ?(multiplier = 2.0) ?attempts_per_phase ?faults ~retries rng g
+    ~beta ~eps =
+  let sparsifier, s_rel =
+    Sparsify_dist.composed_reliable ?faults rng g ~beta ~eps ~retries
+      ~multiplier ()
+  in
+  let s_stats = s_rel.Sparsify_dist.base in
+  let matching, m_stats =
+    Matching_dist.one_plus_eps ?attempts_per_phase ?faults rng sparsifier ~eps
+  in
+  {
+    base =
+      {
+        matching;
+        rounds = s_stats.Sparsify_dist.rounds + m_stats.Matching_dist.rounds;
+        messages =
+          s_stats.Sparsify_dist.messages + m_stats.Matching_dist.messages;
+        bits = s_stats.Sparsify_dist.bits + m_stats.Matching_dist.bits;
+        sparsifier_edges = Graph.m sparsifier;
+        max_degree = Graph.max_degree sparsifier;
+        faults =
+          Faults.add_report s_stats.Sparsify_dist.faults
+            m_stats.Matching_dist.faults;
+      };
+    attempts = s_rel.Sparsify_dist.attempts;
+    unacked = s_rel.Sparsify_dist.unacked;
+  }

@@ -3,7 +3,13 @@
     Round 1: distributed G_Δ (1-bit messages).  Round 2: Solomon marking on
     the sparsifier.  Then a matching algorithm runs on the bounded-degree
     sparsifier only, so its message complexity is proportional to the
-    sparsifier size rather than to m. *)
+    sparsifier size rather than to m.
+
+    {!run_reliable} is the fault-tolerant composition: the self-healing
+    retried G_Δ stage followed by the crash-tolerant Solomon and matching
+    stages, all sharing one fault plan.  Retry rounds are metered in the
+    ordinary round/message counters, so the overhead against the Thm
+    3.2/3.3 budgets is directly observable (see DESIGN.md). *)
 
 open Mspar_prelude
 open Mspar_graph
@@ -16,6 +22,7 @@ type result = {
   bits : int;
   sparsifier_edges : int;
   max_degree : int;  (** of the composed sparsifier *)
+  faults : Faults.report;  (** all-zero without a fault plan *)
 }
 
 val run :
@@ -34,3 +41,26 @@ val run_maximal_only :
   ?multiplier:float -> Rng.t -> Graph.t -> beta:int -> eps:float -> result
 (** Sparsify, then only the maximal-matching stage (2(1+ε)-approximation) —
     the cheaper variant used for message-complexity comparisons. *)
+
+type reliable_result = {
+  base : result;
+  attempts : int;  (** mark rounds used by the self-healing G_Δ stage *)
+  unacked : int;  (** marks never acknowledged within the retry budget *)
+}
+
+val run_reliable :
+  ?multiplier:float ->
+  ?attempts_per_phase:int ->
+  ?faults:Faults.t ->
+  retries:int ->
+  Rng.t ->
+  Graph.t ->
+  beta:int ->
+  eps:float ->
+  reliable_result
+(** The pipeline under a fault plan: retried G_Δ, then the crash-tolerant
+    Solomon round, then walker-based (1+ε) matching on the sparsifier.
+    Without a plan this equals {!run} except for the extra ack round.  The
+    result is always a valid matching of the live part of [g]; under drop
+    rate [p] with retry budget [r] the matching size converges to the
+    fault-free value as [(2p)^(r+1) → 0]. *)

@@ -5,47 +5,81 @@ let to_string g =
   Graph.iter_edges g (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
-let of_string s =
-  let lines = String.split_on_char '\n' s in
-  let fail lineno msg = failwith (Printf.sprintf "Graph_io: line %d: %s" lineno msg) in
+type error = { line : int; token : string option; reason : string }
+
+let error_message e =
+  match e.token with
+  | Some tok -> Printf.sprintf "Graph_io: line %d: %s (at %S)" e.line e.reason tok
+  | None -> Printf.sprintf "Graph_io: line %d: %s" e.line e.reason
+
+(* a vertex-count ceiling: the header alone drives O(n) allocation, so an
+   absurd [n] in a few bytes of junk must be an [Error], not an OOM *)
+let default_max_vertices = 1 lsl 26
+
+exception Parse_error of error
+
+let parse ?(max_vertices = default_max_vertices) s =
+  let fail line ?token reason = raise (Parse_error { line; token; reason }) in
+  let tokens line =
+    String.split_on_char ' '
+      (String.map (fun c -> if c = '\t' then ' ' else c) line)
+    |> List.filter (fun t -> t <> "")
+  in
   let parse_two lineno line =
-    match
-      String.split_on_char ' ' (String.trim line)
-      |> List.filter (fun t -> t <> "")
-    with
+    match tokens (String.trim line) with
     | [ a; b ] -> (
         match (int_of_string_opt a, int_of_string_opt b) with
         | Some x, Some y -> (x, y)
-        | _ -> fail lineno "expected two integers")
-    | _ -> fail lineno "expected two integers"
+        | None, _ -> fail lineno ~token:a "expected two integers"
+        | _, None -> fail lineno ~token:b "expected two integers")
+    | tok :: _ :: _ :: _ -> fail lineno ~token:tok "expected two integers"
+    | [ tok ] -> fail lineno ~token:tok "expected two integers"
+    | [] -> fail lineno "expected two integers"
   in
-  let rec skip_comments lineno = function
-    | [] -> fail lineno "missing header"
-    | line :: rest ->
+  let run () =
+    let lines = String.split_on_char '\n' s in
+    let rec skip_comments lineno = function
+      | [] -> fail lineno "missing header"
+      | line :: rest ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then
+            skip_comments (lineno + 1) rest
+          else (lineno, line, rest)
+    in
+    let lineno, header, rest = skip_comments 1 lines in
+    let n, m = parse_two lineno header in
+    if n < 0 || m < 0 then fail lineno "negative header values";
+    if n > max_vertices then
+      fail lineno
+        ~token:(string_of_int n)
+        (Printf.sprintf "vertex count exceeds the %d limit" max_vertices);
+    let edges = ref [] in
+    let count = ref 0 in
+    let last_line = ref lineno in
+    List.iteri
+      (fun i line ->
         let trimmed = String.trim line in
-        if trimmed = "" || trimmed.[0] = '#' then skip_comments (lineno + 1) rest
-        else (lineno, line, rest)
+        if trimmed <> "" && trimmed.[0] <> '#' then begin
+          let ln = lineno + 1 + i in
+          last_line := ln;
+          let u, v = parse_two ln line in
+          if u < 0 || u >= n then
+            fail ln ~token:(string_of_int u) "endpoint out of range";
+          if v < 0 || v >= n then
+            fail ln ~token:(string_of_int v) "endpoint out of range";
+          edges := (u, v) :: !edges;
+          incr count
+        end)
+      rest;
+    if !count <> m then
+      fail !last_line
+        (Printf.sprintf "header declares %d edges but found %d" m !count);
+    Graph.of_edges ~n !edges
   in
-  let lineno, header, rest = skip_comments 1 lines in
-  let n, m = parse_two lineno header in
-  if n < 0 || m < 0 then fail lineno "negative header values";
-  let edges = ref [] in
-  let count = ref 0 in
-  List.iteri
-    (fun i line ->
-      let trimmed = String.trim line in
-      if trimmed <> "" && trimmed.[0] <> '#' then begin
-        let u, v = parse_two (lineno + 1 + i) line in
-        if u < 0 || u >= n || v < 0 || v >= n then
-          fail (lineno + 1 + i) "endpoint out of range";
-        edges := (u, v) :: !edges;
-        incr count
-      end)
-    rest;
-  if !count <> m then
-    failwith
-      (Printf.sprintf "Graph_io: header declares %d edges but found %d" m !count);
-  Graph.of_edges ~n !edges
+  match run () with g -> Ok g | exception Parse_error e -> Error e
+
+let of_string s =
+  match parse s with Ok g -> g | Error e -> failwith (error_message e)
 
 let save path g =
   let oc = open_out path in

@@ -3,12 +3,28 @@
     Format: [#]-prefixed comment lines, then a header line ["n m"], then
     [m] lines ["u v"] with 0-based endpoints.  Duplicate edges and
     self-loops are tolerated on input (merged/dropped by the graph
-    constructor), so files from external sources load as simple graphs. *)
+    constructor), so files from external sources load as simple graphs.
+    Blank lines, interior comment lines and trailing whitespace are
+    tolerated anywhere. *)
+
+type error = { line : int; token : string option; reason : string }
+(** A parse failure: 1-based [line] in the input, the offending [token]
+    when one can be pointed at, and a human-readable [reason]. *)
+
+val error_message : error -> string
+(** [error_message e] renders [e] in the classic
+    ["Graph_io: line %d: ..."] form used by {!of_string}'s [Failure]. *)
+
+val parse : ?max_vertices:int -> string -> (Graph.t, error) result
+(** Total parser: never raises, whatever the input bytes.  [max_vertices]
+    (default [1 lsl 26]) bounds the header's vertex count so junk input
+    cannot drive unbounded allocation. *)
 
 val to_string : Graph.t -> string
 
 val of_string : string -> Graph.t
-(** @raise Failure on malformed input (with a line number). *)
+(** Raising wrapper around {!parse}.
+    @raise Failure on malformed input (with a line number). *)
 
 val save : string -> Graph.t -> unit
 (** [save path g] writes the graph to a file. *)

@@ -278,8 +278,261 @@ let test_full_pipeline_quality () =
     (float_of_int opt <= 1.5 *. 1.5 *. float_of_int got)
 
 (* ------------------------------------------------------------------ *)
+(* CONGEST word size                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ceil_log2_boundaries () =
+  (* reference implementation by exhaustive doubling *)
+  let naive n =
+    if n <= 1 then 0
+    else begin
+      let k = ref 0 in
+      while (1 lsl !k) < n do
+        incr k
+      done;
+      !k
+    end
+  in
+  check "n=0" 0 (Network.ceil_log2 0);
+  check "n=1" 0 (Network.ceil_log2 1);
+  for k = 1 to 20 do
+    let p = 1 lsl k in
+    (* exact powers of two and both neighbors: the float-log formulation
+       misrounds exactly here *)
+    check (Printf.sprintf "2^%d" k) k (Network.ceil_log2 p);
+    check (Printf.sprintf "2^%d + 1" k) (k + 1) (Network.ceil_log2 (p + 1));
+    check (Printf.sprintf "2^%d - 1" k) (naive (p - 1)) (Network.ceil_log2 (p - 1))
+  done;
+  (* spot-check against the reference away from boundaries *)
+  let rng = Rng.create 99 in
+  for _ = 0 to 199 do
+    let n = 2 + Rng.int rng (1 lsl 20) in
+    check (Printf.sprintf "naive agreement n=%d" n) (naive n)
+      (Network.ceil_log2 n)
+  done;
+  (* congest_word on a real network: word of an n-vertex graph *)
+  let net : unit Network.t = Network.create (Gen.path 1024) in
+  check "congest word 1024" 10 (Network.congest_word net);
+  let net : unit Network.t = Network.create (Gen.path 1025) in
+  check "congest word 1025" 11 (Network.congest_word net)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_plan_validation () =
+  let bad name f =
+    check_bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  bad "drop < 0" (fun () -> Faults.plan ~drop:(-0.1) (Rng.create 1));
+  bad "drop = 1" (fun () -> Faults.plan ~drop:1.0 (Rng.create 1));
+  bad "reorder 0" (fun () -> Faults.plan ~reorder:0 (Rng.create 1));
+  bad "delay 0" (fun () -> Faults.plan ~straggler:[ (0, 0) ] (Rng.create 1));
+  ignore (Faults.plan ~drop:0.5 ~duplicate:0.5 ~reorder:3 (Rng.create 1))
+
+let test_faults_benign_plan_is_transparent () =
+  (* a plan with all-default knobs routes through the fault code path but
+     must not change the execution *)
+  let g = Gen.gnp (Rng.create 41) ~n:50 ~p:0.2 in
+  let s0, st0 = Sparsify_dist.gdelta (Rng.create 42) g ~delta:3 in
+  let faults = Faults.plan (Rng.create 7) in
+  let s1, st1 = Sparsify_dist.gdelta ~faults (Rng.create 42) g ~delta:3 in
+  check_bool "same sparsifier" true (Graph.equal s0 s1);
+  check "same messages" st0.Sparsify_dist.messages st1.Sparsify_dist.messages;
+  check "no drops" 0 st1.Sparsify_dist.faults.Faults.dropped;
+  check "no dups" 0 st1.Sparsify_dist.faults.Faults.duplicated
+
+let test_faults_drop_accounting () =
+  (* delivered + dropped = sent, and the drop counter actually moves *)
+  let faults = Faults.plan ~drop:0.5 (Rng.create 3) in
+  let net : unit Network.t = Network.create ~faults (Gen.path 2) in
+  let delivered = ref 0 in
+  for _ = 1 to 100 do
+    Network.send net ~src:0 ~dst:1 ();
+    Network.deliver net;
+    delivered := !delivered + List.length (Network.inbox net 1)
+  done;
+  check "all sends metered" 100 (Network.messages net);
+  check_bool "some drops" true (Network.dropped net > 0);
+  check_bool "not all dropped" true (Network.dropped net < 100);
+  check "conservation" 100 (!delivered + Network.dropped net)
+
+let test_faults_duplicate_accounting () =
+  let faults = Faults.plan ~duplicate:0.5 (Rng.create 4) in
+  let net : unit Network.t = Network.create ~faults (Gen.path 2) in
+  let delivered = ref 0 in
+  for _ = 1 to 100 do
+    Network.send net ~src:0 ~dst:1 ();
+    Network.deliver net;
+    delivered := !delivered + List.length (Network.inbox net 1)
+  done;
+  (* duplicates are a link-level artifact: sender pays for one message *)
+  check "sends metered once" 100 (Network.messages net);
+  check_bool "some duplicates" true (Network.duplicated net > 0);
+  check "conservation with dups" (100 + Network.duplicated net) !delivered
+
+let test_faults_straggler_delay () =
+  let faults = Faults.plan ~straggler:[ (0, 3) ] (Rng.create 5) in
+  let net : int Network.t = Network.create ~faults (Gen.path 2) in
+  Network.send net ~src:0 ~dst:1 7;
+  (* a non-delayed message would arrive at the first deliver; delay 3
+     pushes the arrival three rounds further *)
+  for r = 1 to 3 do
+    Network.deliver net;
+    check_bool (Printf.sprintf "still pending after round %d" r) true
+      (Network.inbox net 1 = [])
+  done;
+  Network.deliver net;
+  check_bool "arrived late" true (Network.inbox net 1 = [ (0, 7) ]);
+  check "delayed counted" 1 (Network.delayed net);
+  (* the reverse direction is unaffected *)
+  Network.send net ~src:1 ~dst:0 9;
+  Network.deliver net;
+  check_bool "non-straggler direction on time" true
+    (Network.inbox net 0 = [ (1, 9) ])
+
+let test_faults_crash_semantics () =
+  let faults = Faults.plan ~crashed:[ 0 ] (Rng.create 6) in
+  let net : unit Network.t = Network.create ~faults (Gen.path 3) in
+  check_bool "failure detector" true (Network.is_crashed net 0);
+  check_bool "live vertex" false (Network.is_crashed net 1);
+  (* sends from a crashed processor are silent no-ops *)
+  Network.send net ~src:0 ~dst:1 ();
+  check "crashed send not metered" 0 (Network.messages net);
+  (* sends to a crashed processor are paid for but never read *)
+  Network.send net ~src:1 ~dst:0 ();
+  Network.deliver net;
+  check "live send metered" 1 (Network.messages net);
+  check_bool "crashed inbox empty" true (Network.inbox net 0 = [])
+
+let test_reliable_equals_gdelta_fault_free () =
+  let g = Gen.gnp (Rng.create 20) ~n:60 ~p:0.15 in
+  let s0, _ = Sparsify_dist.gdelta (Rng.create 21) g ~delta:4 in
+  let s1, r = Sparsify_dist.gdelta_reliable (Rng.create 21) g ~delta:4 ~retries:3 in
+  check_bool "identical sparsifier" true (Graph.equal s0 s1);
+  check "one attempt" 1 r.Sparsify_dist.attempts;
+  check "nothing unacked" 0 r.Sparsify_dist.unacked;
+  check "mark + ack rounds" 2 r.Sparsify_dist.base.Sparsify_dist.rounds
+
+let test_reliable_recovery_acceptance () =
+  (* the acceptance bar from the issue: drop 0.2, retry budget 3, fixed
+     G(n,p) seed — the self-healing sparsifier recovers >= 0.99 of the
+     fault-free sparsifier's matching size *)
+  let g = Gen.gnp (Rng.create 30) ~n:200 ~p:0.1 in
+  let free, _ = Sparsify_dist.gdelta (Rng.create 31) g ~delta:4 in
+  let faults = Faults.plan ~drop:0.2 (Rng.create 32) in
+  let healed, r =
+    Sparsify_dist.gdelta_reliable ~faults (Rng.create 31) g ~delta:4 ~retries:3
+  in
+  let mcm s = Matching.size (Blossom.solve s) in
+  let reference = mcm free and got = mcm healed in
+  check_bool "faults were injected" true
+    (r.Sparsify_dist.base.Sparsify_dist.faults.Faults.dropped > 0);
+  check_bool
+    (Printf.sprintf "recovery %d vs %d" got reference)
+    true
+    (float_of_int got >= 0.99 *. float_of_int reference)
+
+let test_reliable_drops_need_retries () =
+  (* with no retry budget a heavy drop rate visibly thins the sparsifier;
+     the budget buys the edges back *)
+  let g = Gen.gnp (Rng.create 50) ~n:100 ~p:0.15 in
+  let s_free, _ = Sparsify_dist.gdelta (Rng.create 51) g ~delta:4 in
+  let run retries =
+    let faults = Faults.plan ~drop:0.4 (Rng.create 52) in
+    let s, r =
+      Sparsify_dist.gdelta_reliable ~faults (Rng.create 51) g ~delta:4 ~retries
+    in
+    (Graph.m s, r.Sparsify_dist.unacked)
+  in
+  let m0, unacked0 = run 0 in
+  let m5, unacked5 = run 5 in
+  check_bool "retries recover edges" true (m5 > m0);
+  check_bool "retries shrink the unacked set" true (unacked5 < unacked0);
+  check_bool "near-complete recovery" true (m5 >= Graph.m s_free * 99 / 100)
+
+let test_maximal_with_crashes () =
+  let g = Gen.gnp (Rng.create 60) ~n:50 ~p:0.2 in
+  let crashed = [ 3; 17; 29 ] in
+  let faults = Faults.plan ~crashed (Rng.create 61) in
+  let m, _ = Matching_dist.maximal ~faults (Rng.create 62) g in
+  check_bool "valid" true (Matching.is_valid g m);
+  List.iter
+    (fun v -> check_bool "crashed vertex unmatched" false (Matching.is_matched m v))
+    crashed;
+  (* maximal among survivors: no edge with both endpoints live and free *)
+  let live v = not (List.mem v crashed) in
+  Graph.iter_edges g (fun u v ->
+      if live u && live v then
+        check_bool
+          (Printf.sprintf "survivor edge %d-%d dominated" u v)
+          true
+          (Matching.is_matched m u || Matching.is_matched m v))
+
+let test_one_plus_eps_under_drops () =
+  (* graceful degradation: with lossy links the matching must stay valid
+     (size may degrade, validity may not) *)
+  let g = Gen.gnp (Rng.create 70) ~n:40 ~p:0.2 in
+  let faults = Faults.plan ~drop:0.3 ~duplicate:0.2 ~reorder:3 (Rng.create 71) in
+  let m, st = Matching_dist.one_plus_eps ~faults (Rng.create 72) g ~eps:0.5 in
+  check_bool "valid under drops" true (Matching.is_valid g m);
+  check_bool "drops occurred" true (st.Matching_dist.faults.Faults.dropped > 0);
+  (* the matching still does real work: at least half of a maximal size *)
+  let m_free, _ = Matching_dist.maximal (Rng.create 72) g in
+  check_bool "not collapsed" true
+    (2 * Matching.size m >= Matching.size m_free)
+
+let test_det_maximal_with_crashes () =
+  let g = Gen.gnp (Rng.create 80) ~n:40 ~p:0.15 in
+  let crashed = [ 1; 20 ] in
+  let faults = Faults.plan ~crashed (Rng.create 81) in
+  let m, _ = Det_matching.maximal ~faults g in
+  check_bool "valid" true (Matching.is_valid g m);
+  List.iter
+    (fun v -> check_bool "crashed vertex unmatched" false (Matching.is_matched m v))
+    crashed
+
+let test_solomon_with_crashes () =
+  let g = Gen.complete 30 in
+  let faults = Faults.plan ~crashed:[ 0; 1 ] (Rng.create 90) in
+  let s, _ = Sparsify_dist.solomon ~faults g ~delta_alpha:4 in
+  check_bool "subgraph" true (Graph.is_subgraph ~sub:s ~super:g);
+  (* a crashed vertex marks nothing and its marks are read by nobody, so
+     no surviving edge touches it *)
+  Graph.iter_edges s (fun u v ->
+      check_bool
+        (Printf.sprintf "edge %d-%d avoids crashed" u v)
+        true
+        (u > 1 && v > 1))
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                     *)
 (* ------------------------------------------------------------------ *)
+
+let qcheck_matching_valid_under_faults =
+  (* whatever the fault plan, the returned matching is a matching *)
+  QCheck.Test.make ~name:"matching stays valid under arbitrary fault plans"
+    ~count:40
+    QCheck.(
+      quad (int_range 4 30) (int_range 0 1000)
+        (pair (int_range 0 9) (int_range 0 9))
+        (int_range 0 3))
+    (fun (n, seed, (drop10, dup10), ncrash) ->
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.25 in
+      let frng = Rng.create (seed + 1) in
+      let crashed =
+        if ncrash = 0 then []
+        else Rng.sample_distinct frng ~k:(min ncrash n) ~n |> Array.to_list
+      in
+      let faults =
+        Faults.plan
+          ~drop:(float_of_int drop10 /. 10.0)
+          ~duplicate:(float_of_int dup10 /. 10.0)
+          ~reorder:2 ~crashed frng
+      in
+      let m, _ = Matching_dist.maximal ~faults (Rng.create seed) g in
+      Matching.is_valid g m
+      && List.for_all (fun v -> not (Matching.is_matched m v)) crashed)
 
 let qcheck_maximal_always =
   QCheck.Test.make ~name:"distributed maximal matching is valid and maximal"
@@ -324,6 +577,7 @@ let () =
         qcheck_walker_never_invalid;
         qcheck_walker_improves_or_equals_maximal;
         qcheck_det_maximal;
+        qcheck_matching_valid_under_faults;
       ]
   in
   Alcotest.run "mspar_distsim"
@@ -336,6 +590,33 @@ let () =
           Alcotest.test_case "broadcast and bits" `Quick
             test_network_broadcast_and_bits;
           Alcotest.test_case "skip rounds" `Quick test_network_skip_rounds;
+          Alcotest.test_case "ceil_log2 boundaries" `Quick
+            test_ceil_log2_boundaries;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "plan validation" `Quick test_faults_plan_validation;
+          Alcotest.test_case "benign plan transparent" `Quick
+            test_faults_benign_plan_is_transparent;
+          Alcotest.test_case "drop accounting" `Quick test_faults_drop_accounting;
+          Alcotest.test_case "duplicate accounting" `Quick
+            test_faults_duplicate_accounting;
+          Alcotest.test_case "straggler delay" `Quick test_faults_straggler_delay;
+          Alcotest.test_case "crash semantics" `Quick test_faults_crash_semantics;
+          Alcotest.test_case "reliable = gdelta fault-free" `Quick
+            test_reliable_equals_gdelta_fault_free;
+          Alcotest.test_case "recovery acceptance" `Quick
+            test_reliable_recovery_acceptance;
+          Alcotest.test_case "retries buy edges back" `Quick
+            test_reliable_drops_need_retries;
+          Alcotest.test_case "maximal with crashes" `Quick
+            test_maximal_with_crashes;
+          Alcotest.test_case "walker under drops" `Quick
+            test_one_plus_eps_under_drops;
+          Alcotest.test_case "deterministic with crashes" `Quick
+            test_det_maximal_with_crashes;
+          Alcotest.test_case "solomon with crashes" `Quick
+            test_solomon_with_crashes;
         ] );
       ( "sparsify",
         [

@@ -161,6 +161,61 @@ let test_dyn_matching_adaptive_adversary () =
     (opt = 0 || float_of_int opt <= 2.0 *. float_of_int got);
   check_bool "graph still dense enough to matter" true (opt > 5)
 
+let test_dyn_matching_adaptive_long_run () =
+  (* end-to-end soak against the adaptive adversary: >= 1000 adaptive
+     updates, with the (1+eps) ratio (plus the window slack of the
+     lazy-rebuild schedule) asserted at periodic checkpoints, not just at
+     the end — the adversary sees the maintained mate function at every
+     step, so this exercises exactly the adaptivity the window rebuild is
+     supposed to defeat *)
+  let rng = Rng.create 55 in
+  let n = 60 in
+  let eps = 0.5 in
+  let dm = Dyn_matching.create (Rng.split rng) ~n ~beta:1 ~eps in
+  (* warm up with a random dense-ish graph so deletions have targets *)
+  let warm = Gen.gnp (Rng.create 56) ~n ~p:0.25 in
+  Graph.iter_edges warm (fun u v -> ignore (Dyn_matching.insert dm u v));
+  let adversary_rng = Rng.create 57 in
+  let updates = ref 0 in
+  let checkpoints = ref 0 in
+  for step = 1 to 1200 do
+    let dg = Dyn_matching.graph dm in
+    let mate v = Matching.mate (Dyn_matching.matching dm) v in
+    (match
+       Adversary.next_op Adversary.Adaptive_target_matching adversary_rng dg
+         ~current_mate:mate
+     with
+    | Some (Adversary.Delete (u, v)) ->
+        incr updates;
+        ignore (Dyn_matching.delete dm u v)
+    | Some (Adversary.Insert (u, v)) ->
+        incr updates;
+        ignore (Dyn_matching.insert dm u v)
+    | None -> ());
+    if step mod 50 = 0 then begin
+      incr checkpoints;
+      let g = Dyn_graph.snapshot (Dyn_matching.graph dm) in
+      let m = Dyn_matching.matching dm in
+      if not (Matching.is_valid g m) then
+        Alcotest.failf "invalid matching at step %d" step;
+      let opt = Matching.size (Blossom.solve g) in
+      let got = Matching.size m in
+      (* (1+eps) with an additive window allowance: a rebuild window may
+         be mid-flight at a checkpoint *)
+      check_bool
+        (Printf.sprintf "checkpoint step %d: %d vs opt %d" step got opt)
+        true
+        (float_of_int opt <= ((1.0 +. eps) *. float_of_int got) +. 2.0)
+    end
+  done;
+  check_bool
+    (Printf.sprintf "enough adaptive updates: %d" !updates)
+    true (!updates >= 1000);
+  check "all checkpoints hit" 24 !checkpoints;
+  let st = Dyn_matching.stats dm in
+  check_bool "adversary forced rebuild activity" true
+    (st.Dyn_matching.rebuilds > 0)
+
 let test_dyn_matching_work_bound () =
   (* the spread worst-case work per update must not grow with n for fixed
      beta and eps (Theorem 3.5); compare two sizes of clique streams *)
@@ -445,6 +500,8 @@ let () =
             test_dyn_matching_approximation_random;
           Alcotest.test_case "adaptive adversary" `Quick
             test_dyn_matching_adaptive_adversary;
+          Alcotest.test_case "adaptive adversary 1k soak" `Quick
+            test_dyn_matching_adaptive_long_run;
           Alcotest.test_case "work bound" `Quick test_dyn_matching_work_bound;
           Alcotest.test_case "force rebuild" `Quick
             test_dyn_matching_force_rebuild;

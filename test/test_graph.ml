@@ -391,6 +391,44 @@ let test_graph_io_rejects_malformed () =
        false
      with Failure _ -> true)
 
+let test_graph_io_parse_errors () =
+  (* the result API reports the offending line and token *)
+  let err s =
+    match Graph_io.parse s with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+    | Error e -> e
+  in
+  let e = err "nope\n" in
+  check "bad header line" 1 e.Graph_io.line;
+  check_bool "bad header token" true (e.Graph_io.token = Some "nope");
+  let e = err "# c\n3 3\n0 1\n0 x\n1 2\n" in
+  check "bad edge line" 4 e.Graph_io.line;
+  check_bool "bad edge token" true (e.Graph_io.token = Some "x");
+  let e = err "2 1\n0 5\n" in
+  check "range line" 2 e.Graph_io.line;
+  check_bool "range token" true (e.Graph_io.token = Some "5");
+  let e = err "3 2\n0 1\n" in
+  check_bool "count reason mentions edges" true
+    (String.length e.Graph_io.reason > 0);
+  (* huge header n must be rejected, not allocated *)
+  let e = err "999999999999 0\n" in
+  check "huge n line" 1 e.Graph_io.line;
+  (* error_message matches the raising wrapper *)
+  check_bool "message prefix" true
+    (String.length (Graph_io.error_message e) > 9
+    && String.sub (Graph_io.error_message e) 0 9 = "Graph_io:")
+
+let test_graph_io_trailing_whitespace () =
+  (* trailing spaces/tabs, CR-ish blank lines and a trailing comment are
+     all tolerated *)
+  let s = "  # padded comment\n3 2  \n0 1\t\n\n  2 0  \n   \n# done\n" in
+  (match Graph_io.parse s with
+  | Ok g ->
+      check "ws n" 3 (Graph.n g);
+      check "ws m" 2 (Graph.m g)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Graph_io.error_message e));
+  check "wrapper agrees" 2 (Graph.m (Graph_io.of_string s))
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -533,6 +571,52 @@ let qcheck_io_roundtrip =
       let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
       Graph.equal g (Graph_io.of_string (Graph_io.to_string g)))
 
+(* fuzz: [Graph_io.parse] is total — random byte junk must come back as
+   [Ok] or [Error], never an exception *)
+let junk_string =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      int_range 0 200 >>= fun len ->
+      string_size ~gen:(char_range '\000' '\255') (return len))
+
+let qcheck_parse_never_raises_on_junk =
+  QCheck.Test.make ~name:"graph_io parse never raises on byte junk" ~count:500
+    junk_string (fun s ->
+      match Graph_io.parse s with Ok _ | Error _ -> true)
+
+(* fuzz: valid serializations that are then truncated or mutated at a
+   random position — the shapes a half-written or corrupted file takes *)
+let mangled_edge_list =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(
+      int_range 0 10_000 >>= fun seed ->
+      int_range 1 25 >>= fun n ->
+      int_range 0 3 >>= fun mode ->
+      int_range 0 1_000_000 >>= fun pos ->
+      int_range 0 255 >>= fun byte ->
+      return
+        (let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
+         let s = Graph_io.to_string g in
+         let len = String.length s in
+         match mode with
+         | 0 -> String.sub s 0 (pos mod (len + 1)) (* truncate *)
+         | 1 ->
+             if len = 0 then s
+             else
+               let b = Bytes.of_string s in
+               Bytes.set b (pos mod len) (Char.chr byte);
+               Bytes.to_string b (* flip one byte *)
+         | 2 -> s ^ String.make 1 (Char.chr byte) (* trailing junk *)
+         | _ -> s))
+
+let qcheck_parse_never_raises_on_mangled =
+  QCheck.Test.make
+    ~name:"graph_io parse never raises on truncated/mutated edge lists"
+    ~count:500 mangled_edge_list (fun s ->
+      match Graph_io.parse s with Ok _ | Error _ -> true)
+
 let qcheck_density_le_degeneracy =
   QCheck.Test.make ~name:"density lower bound <= degeneracy" ~count:100
     QCheck.(pair (int_range 2 30) (int_range 0 10_000))
@@ -554,6 +638,8 @@ let () =
         qcheck_density_le_degeneracy;
         qcheck_interval_claw_free;
         qcheck_io_roundtrip;
+        qcheck_parse_never_raises_on_junk;
+        qcheck_parse_never_raises_on_mangled;
       ]
   in
   Alcotest.run "mspar_graph"
@@ -626,6 +712,10 @@ let () =
           Alcotest.test_case "tolerant input" `Quick test_graph_io_tolerant_input;
           Alcotest.test_case "rejects malformed" `Quick
             test_graph_io_rejects_malformed;
+          Alcotest.test_case "parse error details" `Quick
+            test_graph_io_parse_errors;
+          Alcotest.test_case "trailing whitespace" `Quick
+            test_graph_io_trailing_whitespace;
         ] );
       ("properties", qsuite);
     ]
