@@ -3,7 +3,7 @@
 # gate still runs on minimal toolchains), and the test suite, which
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
-.PHONY: all build fmt test check ci bench bench-construction
+.PHONY: all build fmt lint test check ci bench bench-construction
 
 all: build
 
@@ -17,16 +17,22 @@ fmt:
 	  echo "fmt: ocamlformat not installed, skipping dune build @fmt"; \
 	fi
 
+# msparlint: the compiler-libs lint pass over lib/ bin/ bench/ test/
+# (see doc/LINTS.md; also wired into dune runtest via the @lint alias)
+lint:
+	dune build @lint
+
 test:
 	dune runtest
 
-check: build fmt test
+check: build fmt lint test
 
 # the one-command CI gate: build, full test suite (includes the
 # construction and fault-injection smoke runs wired into dune runtest),
 # then the gated formatting check
 ci:
 	dune build
+	$(MAKE) lint
 	dune runtest
 	$(MAKE) fmt
 

@@ -85,7 +85,7 @@ let build_family ?(input = "") ~family ~n ~p ~radius ~seed () =
         prerr_endline "mspar: --family file requires --input PATH";
         exit 2
       end;
-      (Graph_io.load input, 0)
+      (Graph_io.load_exn input, 0)
   | other ->
       Printf.eprintf "mspar: unknown family %S\n" other;
       exit 2

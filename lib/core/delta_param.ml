@@ -7,7 +7,7 @@ let scaled ~multiplier ~beta ~eps =
   check ~beta ~eps;
   if multiplier <= 0.0 then invalid_arg "Delta_param: multiplier must be positive";
   let v = multiplier *. (float_of_int beta /. eps) *. log (24.0 /. eps) in
-  max 1 (int_of_float (ceil v))
+  Int.max 1 (int_of_float (ceil v))
 
 let paper ~beta ~eps = scaled ~multiplier:20.0 ~beta ~eps
 let practical ~beta ~eps = scaled ~multiplier:2.0 ~beta ~eps

@@ -11,7 +11,8 @@ val paper : beta:int -> eps:float -> int
     @raise Invalid_argument unless [0 < eps < 1] and [beta >= 1]. *)
 
 val scaled : multiplier:float -> beta:int -> eps:float -> int
-(** ⌈multiplier·(β/ε)·ln(24/ε)⌉ — the knob for the ablation study. *)
+(** ⌈multiplier·(β/ε)·ln(24/ε)⌉ — the knob for the ablation study.
+    @raise Invalid_argument if [eps] is outside (0, 1), [beta < 1] or [multiplier <= 0]. *)
 
 val practical : beta:int -> eps:float -> int
 (** A default for experiments: multiplier 2.0.  The test-suite validates

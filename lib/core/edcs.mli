@@ -23,7 +23,8 @@ open Mspar_graph
 
 val construct : Graph.t -> bound:int -> Graph.t
 (** An EDCS of [g] with parameter [bound >= 2].  Deterministic (scans edges
-    in a fixed order). *)
+    in a fixed order).
+    @raise Invalid_argument if [bound < 2]. *)
 
 val check_p1 : Graph.t -> edcs:Graph.t -> bound:int -> bool
 (** Property (P1) holds. *)

@@ -36,7 +36,7 @@ let collect_packed ~rule rng g ~delta ~shift =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let buf =
     Edgebuf.create
-      ~initial_capacity:(max 16 (marks_bound rule g ~delta 0 nv))
+      ~initial_capacity:(Int.max 16 (marks_bound rule g ~delta 0 nv))
       ()
   in
   let keep = threshold rule delta in
@@ -115,7 +115,7 @@ let deterministic_first_k g ~delta =
   | Some shift ->
       let buf = Edgebuf.create () in
       for v = 0 to nv - 1 do
-        let d = min delta (Graph.degree g v) in
+        let d = Int.min delta (Graph.degree g v) in
         let base = v lsl shift in
         Graph.add_probes g d;
         for i = 0 to d - 1 do
@@ -126,7 +126,7 @@ let deterministic_first_k g ~delta =
   | None ->
       let pairs = ref [] in
       for v = 0 to nv - 1 do
-        let d = min delta (Graph.degree g v) in
+        let d = Int.min delta (Graph.degree g v) in
         for i = 0 to d - 1 do
           pairs := (v, Graph.neighbor g v i) :: !pairs
         done

@@ -52,4 +52,5 @@ val marked_pairs :
 val deterministic_first_k : Graph.t -> delta:int -> Graph.t
 (** The strawman of Lemma 2.13: every vertex deterministically marks its
     first Δ adjacency-array entries.  Exhibits approximation ratio n/(2Δ)
-    on the clique-minus-edge family. *)
+    on the clique-minus-edge family.
+    @raise Invalid_argument if [delta < 1]. *)

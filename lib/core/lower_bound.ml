@@ -43,7 +43,7 @@ let play algo ~n ~delta =
       marks.(u) <- marks.(u) + 1;
       if marks.(u) > delta then
         invalid_arg "Lower_bound: output exceeds delta edges per vertex";
-      Hashtbl.replace seen (min u v, max u v) ())
+      Hashtbl.replace seen (Int.min u v, Int.max u v) ())
     output;
   let edges = Hashtbl.fold (fun e () acc -> e :: acc) seen [] in
   (* An edge with both endpoints outside D can never have been validated:

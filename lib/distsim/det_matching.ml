@@ -20,7 +20,9 @@ let forests_of g =
   let nv = Graph.n g in
   Array.init nv (fun v ->
       let outs = ref [] in
-      Graph.iter_neighbors g v (fun u -> if u > v then outs := u :: !outs);
+      (* protocol-local: v reads its OWN adjacency list (free in CONGEST) *)
+      (Graph.iter_neighbors [@lint.allow "MSP003"]) g v (fun u ->
+          if u > v then outs := u :: !outs);
       Array.of_list (List.rev !outs))
 
 (* one Cole-Vishkin step: new = 2*i + bit, where i is the lowest bit index
@@ -170,8 +172,8 @@ let maximal ?faults g =
                      if c.(i) < 6 then blocked.(c.(i)) <- true
                  | Some _ | None -> ());
               (* children of v in forest i = neighbors u < v whose i-th
-                 out-edge is v *)
-              Graph.iter_neighbors g v (fun u ->
+                 out-edge is v; protocol-local read of v's own adjacency *)
+              (Graph.iter_neighbors [@lint.allow "MSP003"]) g v (fun u ->
                   if u < v then
                     match vec_of u with
                     | Some c

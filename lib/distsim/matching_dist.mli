@@ -51,7 +51,8 @@ val one_plus_eps :
   Matching.t * stats
 (** Distributed (1+ε)-approximate matching: maximal matching followed by
     k = ⌈1/ε⌉ phases of walker-based augmenting-path elimination with path
-    length cap 2k+1.  [attempts_per_phase] defaults to [32·(k+1)]. *)
+    length cap 2k+1.  [attempts_per_phase] defaults to [32·(k+1)].
+    @raise Invalid_argument if [eps] is outside (0, 1). *)
 
 val full_graph_baseline : ?faults:Faults.t -> Rng.t -> Graph.t -> Matching.t * stats
 (** The Ω(m)-message baseline for Theorem 3.3: the same maximal-matching

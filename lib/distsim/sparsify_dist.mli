@@ -41,7 +41,8 @@ val gdelta : ?faults:Faults.t -> Rng.t -> Graph.t -> delta:int -> Graph.t * stat
     processors are genuinely independent (the independence that the proof of
     Theorem 2.1 relies on) while the whole execution stays reproducible.
     Under a fault plan, crashed processors contribute no marks and lost
-    marks simply drop the corresponding edges. *)
+    marks simply drop the corresponding edges.
+    @raise Invalid_argument if [delta < 1]. *)
 
 val gdelta_reliable :
   ?faults:Faults.t ->
@@ -55,12 +56,14 @@ val gdelta_reliable :
     are re-sent on the next attempt, up to [retries] extra attempts.  With
     the same generator and no faults, the result equals {!gdelta}'s in two
     rounds.  Marks are idempotent, so duplicated or re-sent marks are
-    harmless. *)
+    harmless.
+    @raise Invalid_argument if [delta < 1] or [retries < 0]. *)
 
 val solomon : ?faults:Faults.t -> Graph.t -> delta_alpha:int -> Graph.t * stats
 (** Distributed Solomon'18 marking round.  Crash-tolerant: a crashed vertex
     contributes no marks, so its incident edges are excluded and the
-    survivors' sparsifier keeps the degree bound. *)
+    survivors' sparsifier keeps the degree bound.
+    @raise Invalid_argument if [delta_alpha < 1]. *)
 
 val composed :
   ?faults:Faults.t ->

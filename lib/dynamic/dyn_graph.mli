@@ -10,7 +10,8 @@ open Mspar_prelude
 type t
 
 val create : int -> t
-(** Edgeless dynamic graph on [n] vertices. *)
+(** Edgeless dynamic graph on [n] vertices.
+    @raise Invalid_argument if [n] is negative. *)
 
 val n : t -> int
 val m : t -> int

@@ -36,7 +36,8 @@ type stats = {
 
 val create :
   ?multiplier:float -> Rng.t -> n:int -> beta:int -> eps:float -> t
-(** Empty dynamic graph on [n] vertices with maintenance parameters. *)
+(** Empty dynamic graph on [n] vertices with maintenance parameters.
+    @raise Invalid_argument if [eps] is outside (0, 1). *)
 
 val insert : t -> int -> int -> bool
 (** Apply an edge insertion (returns [false] if already present). *)

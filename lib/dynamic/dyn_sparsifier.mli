@@ -25,6 +25,7 @@ type stats = {
 }
 
 val create : Rng.t -> n:int -> delta:int -> t
+(** @raise Invalid_argument if [delta < 1]. *)
 
 val insert : t -> int -> int -> bool
 (** Apply an insertion and resample both endpoints' marks. O(Δ). *)

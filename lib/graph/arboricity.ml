@@ -2,7 +2,7 @@
 let degeneracy_order g =
   let nv = Graph.n g in
   let deg = Array.init nv (Graph.degree g) in
-  let maxd = Array.fold_left max 0 deg in
+  let maxd = Array.fold_left Int.max 0 deg in
   (* bucket queue over current degrees *)
   let buckets = Array.make (maxd + 1) [] in
   Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;

@@ -60,7 +60,7 @@ let mis_with_witness ~budget adjacency nverts =
         let excluded = go without chosen in
         let included_active = Bitset.diff without adjacency.(v) in
         let included = 1 + go included_active (v :: chosen) in
-        max excluded included
+        Int.max excluded included
       end
     end
   in
@@ -122,9 +122,9 @@ let compute ?(budget = 10_000_000) g =
   for v = 0 to Graph.n g - 1 do
     if Graph.degree g v > !best then begin
       (* a neighborhood smaller than the best so far cannot improve it *)
-      match neighborhood_mis ~budget:(max 1 !remaining) g v with
+      match neighborhood_mis ~budget:(Int.max 1 !remaining) g v with
       | Exact s ->
-          remaining := max 0 (!remaining - Graph.degree g v);
+          remaining := Int.max 0 (!remaining - Graph.degree g v);
           if s > !best then best := s
       | Lower_bound s ->
           exact := false;
@@ -176,7 +176,7 @@ let check_claw_free g ~beta =
              Array.of_list (List.map (fun i -> nbrs.(i)) members)
            in
            (* trim the witness to exactly beta+1 leaves *)
-           let leaves = Array.sub leaves 0 (min (beta + 1) (Array.length leaves)) in
+           let leaves = Array.sub leaves 0 (Int.min (beta + 1) (Array.length leaves)) in
            witness := Some (v, leaves);
            raise Exit
          end

@@ -12,7 +12,7 @@ let complete n =
   Graph.of_edges ~n !acc
 
 let path n =
-  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  Graph.of_edges ~n (List.init (Int.max 0 (n - 1)) (fun i -> (i, i + 1)))
 
 let cycle n =
   if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
@@ -147,7 +147,7 @@ let hub_gadget ~pairs ~hub_size =
       acc := (r i, hl j) :: !acc
     done
   done;
-  (Graph.of_edges ~n !acc, pairs + min hub_size pairs)
+  (Graph.of_edges ~n !acc, pairs + Int.min hub_size pairs)
 
 let random_graph_with_planted_matching rng ~n ~extra =
   if n mod 2 <> 0 then

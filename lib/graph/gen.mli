@@ -9,46 +9,57 @@ val empty : int -> Graph.t
 val complete : int -> Graph.t
 val path : int -> Graph.t
 val cycle : int -> Graph.t
+(** @raise Invalid_argument if [n < 3]. *)
 
 val star : int -> Graph.t
 (** [star n] has center [0] and [n-1] leaves; its neighborhood independence
     number is [n-1] — the standard witness that β can be as large as the max
-    degree. *)
+    degree.
+    @raise Invalid_argument if [n < 1]. *)
 
 val grid : rows:int -> cols:int -> Graph.t
+(** @raise Invalid_argument if a dimension is not positive. *)
 
 val perfect_matching : int -> Graph.t
-(** [perfect_matching n] pairs [2i] with [2i+1]. Requires even [n]. *)
+(** [perfect_matching n] pairs [2i] with [2i+1]. Requires even [n].
+    @raise Invalid_argument if [n] is odd. *)
 
 val gnp : Rng.t -> n:int -> p:float -> Graph.t
-(** Erdős–Rényi G(n, p). *)
+(** Erdős–Rényi G(n, p).
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
 
 val gnm : Rng.t -> n:int -> m:int -> Graph.t
-(** Uniform graph with exactly [m] edges (requires [m <= n(n-1)/2]). *)
+(** Uniform graph with exactly [m] edges (requires [m <= n(n-1)/2]).
+    @raise Invalid_argument if [m] is out of range. *)
 
 val random_bipartite : Rng.t -> left:int -> right:int -> p:float -> Graph.t
-(** Bipartite G(left, right, p); vertices [0..left-1] on one side. *)
+(** Bipartite G(left, right, p); vertices [0..left-1] on one side.
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
 
 val clique_minus_edge : n:int -> missing:int * int -> Graph.t
 (** The family [𝒢_n] of Lemma 2.13: K_n with one edge removed.  β = 2 and
     the MCM has size ⌊n/2⌋ for even n (a perfect matching avoiding the
-    missing edge exists whenever n ≥ 4). *)
+    missing edge exists whenever n ≥ 4).
+    @raise Invalid_argument if the missing edge is not a valid edge of K_n. *)
 
 val two_cliques_bridge : half:int -> Graph.t * (int * int)
 (** The instance of Obs 2.14: two disjoint cliques K_half (with [half] odd)
     joined by a single bridge edge [(a, b)].  Every maximum matching must use
-    the bridge; returns the graph and the bridge. Requires odd [half ≥ 3]. *)
+    the bridge; returns the graph and the bridge. Requires odd [half ≥ 3].
+    @raise Invalid_argument if [half] is even or [< 3]. *)
 
 val disjoint_cliques : Rng.t -> n:int -> k:int -> Graph.t
 (** [n] vertices partitioned uniformly into [k] cliques.  β = 1 within each
-    component; a canonical bounded-diversity instance. *)
+    component; a canonical bounded-diversity instance.
+    @raise Invalid_argument if [k < 1]. *)
 
 val bounded_diversity :
   Rng.t -> n:int -> cliques:int -> memberships:int -> Graph.t
 (** Each vertex joins [memberships] distinct cliques out of [cliques]; two
     vertices are adjacent iff they share a clique.  The diversity of every
     vertex is at most [memberships · cliques]-trivially and in practice close
-    to [memberships], so β stays small while the graph is dense. *)
+    to [memberships], so β stays small while the graph is dense.
+    @raise Invalid_argument on malformed [cliques]/[memberships]. *)
 
 val hub_gadget : pairs:int -> hub_size:int -> Graph.t * int
 (** The high-β instance on which small-Δ sampling fails: [pairs] private
@@ -62,10 +73,12 @@ val hub_gadget : pairs:int -> hub_size:int -> Graph.t * int
     does.  Returns the graph and its maximum matching size
     [pairs + min(hub_size, pairs)].
 
-    Layout: l_i = i, r_i = pairs + i, left-hubs next, right-hubs last. *)
+    Layout: l_i = i, r_i = pairs + i, left-hubs next, right-hubs last.
+    @raise Invalid_argument if [pairs] or [hub_size] is not positive. *)
 
 val random_graph_with_planted_matching :
   Rng.t -> n:int -> extra:int -> Graph.t
 (** A perfect matching on [n] vertices (even [n]) plus [extra] random
     additional edges — guarantees [MCM = n/2] so approximation ratios can be
-    computed without an exact solver on large instances. *)
+    computed without an exact solver on large instances.
+    @raise Invalid_argument if [n] is odd. *)

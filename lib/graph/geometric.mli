@@ -22,15 +22,18 @@ open Mspar_prelude
 val proper_interval : Rng.t -> n:int -> span:float -> Graph.t
 (** [proper_interval rng ~n ~span] drops [n] unit intervals with left
     endpoints uniform in [\[0, span\]]; two vertices are adjacent iff their
-    intervals overlap.  Smaller [span] is denser. *)
+    intervals overlap.  Smaller [span] is denser.
+    @raise Invalid_argument if [span] is negative. *)
 
 val quasi_unit_disk :
   Rng.t -> n:int -> radius:float -> inner:float -> Graph.t
 (** [quasi_unit_disk rng ~n ~radius ~inner] with [0 < inner <= 1]: points
     uniform in the unit square; distance ≤ inner·radius ⇒ edge; distance in
     (inner·radius, radius\] ⇒ edge with probability 1/2; farther ⇒ no
-    edge. *)
+    edge.
+    @raise Invalid_argument if [inner] is outside (0, 1]. *)
 
 val disk_graph : Rng.t -> n:int -> rmin:float -> rmax:float -> Graph.t
 (** Disks with centers uniform in the unit square and radii uniform in
-    [\[rmin, rmax\]]; vertices adjacent iff the disks intersect. *)
+    [\[rmin, rmax\]]; vertices adjacent iff the disks intersect.
+    @raise Invalid_argument unless [0 < rmin <= rmax]. *)

@@ -46,7 +46,8 @@ val of_edges_reference : n:int -> edge list -> t
 (** The seed list-based builder ([List.sort_uniq compare] plus a
     per-block [Array.sort compare]), kept as the differential-testing and
     benchmarking baseline for the packed pipeline.  Semantically identical
-    to {!of_edges}. *)
+    to {!of_edges}.
+    @raise Invalid_argument if an endpoint is outside [\[0, n)]. *)
 
 val pack_shift : n:int -> int option
 (** [pack_shift ~n] is [Some s] when edges on [n] vertices can be packed as

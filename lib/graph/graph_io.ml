@@ -77,18 +77,25 @@ let parse ?(max_vertices = default_max_vertices) s =
     Graph.of_edges ~n !edges
   in
   match run () with g -> Ok g | exception Parse_error e -> Error e
+(* total by construction: Parse_error is raised only inside [run] and
+   caught on the line above *)
+[@@lint.allow "MSP007"]
 
-let of_string s =
+let of_string_exn s =
   match parse s with Ok g -> g | Error e -> failwith (error_message e)
+
+let of_string = of_string_exn
 
 let save path g =
   let oc = open_out path in
   output_string oc (to_string g);
   close_out oc
 
-let load path =
+let load_exn path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  of_string s
+  of_string_exn s
+
+let load = load_exn

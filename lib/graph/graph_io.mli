@@ -22,12 +22,23 @@ val parse : ?max_vertices:int -> string -> (Graph.t, error) result
 
 val to_string : Graph.t -> string
 
-val of_string : string -> Graph.t
+val of_string_exn : string -> Graph.t
 (** Raising wrapper around {!parse}.
     @raise Failure on malformed input (with a line number). *)
 
+val of_string : string -> Graph.t
+  [@@deprecated "use of_string_exn (same function; the name now carries the raise contract)"]
+(** Alias of {!of_string_exn}, kept for compatibility.
+    @raise Failure on malformed input (with a line number). *)
+
 val save : string -> Graph.t -> unit
-(** [save path g] writes the graph to a file. *)
+(** [save path g] writes the graph to a file.
+    @raise Sys_error if the file cannot be written. *)
+
+val load_exn : string -> Graph.t
+(** @raise Sys_error if the file cannot be read; [Failure] if malformed. *)
 
 val load : string -> Graph.t
-(** @raise Sys_error if the file cannot be read; [Failure] if malformed. *)
+  [@@deprecated "use load_exn (same function; the name now carries the raise contract)"]
+(** Alias of {!load_exn}, kept for compatibility.
+    @raise Sys_error if the file cannot be read; [Failure] if malformed. *)

@@ -12,13 +12,13 @@ let of_points points ~radius =
   (* Grid bucketing with cells of side [radius]: only neighboring cells can
      contain adjacent points, giving near-linear construction for sparse
      radii. *)
-  let cells = max 1 (int_of_float (1.0 /. max radius 1e-9)) in
-  let cells = min cells 4096 in
+  let cells = Int.max 1 (int_of_float (1.0 /. Float.max radius 1e-9)) in
+  let cells = Int.min cells 4096 in
   let bucket = Hashtbl.create (2 * n) in
   let cell_of p =
-    let cx = min (cells - 1) (int_of_float (p.x *. float_of_int cells)) in
-    let cy = min (cells - 1) (int_of_float (p.y *. float_of_int cells)) in
-    (max 0 cx, max 0 cy)
+    let cx = Int.min (cells - 1) (int_of_float (p.x *. float_of_int cells)) in
+    let cy = Int.min (cells - 1) (int_of_float (p.y *. float_of_int cells)) in
+    (Int.max 0 cx, Int.max 0 cy)
   in
   Array.iteri
     (fun i p ->

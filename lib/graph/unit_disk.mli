@@ -15,5 +15,6 @@ val random : Rng.t -> n:int -> radius:float -> Graph.t * point array
     and connects points at distance ≤ [radius]. *)
 
 val of_points : point array -> radius:float -> Graph.t
+(** @raise Invalid_argument if [radius] is negative. *)
 
 val distance : point -> point -> float

@@ -17,7 +17,8 @@ open Mspar_graph
 val phases_for : float -> int
 (** [phases_for eps = ⌈1/eps⌉]; the phase/length parameter k such that a
     matching with no augmenting path of ≤ 2k−1 edges is
-    (1+1/k) ≤ (1+eps)-approximate. *)
+    (1+1/k) ≤ (1+eps)-approximate.
+    @raise Invalid_argument if [eps <= 0]. *)
 
 val solve : eps:float -> Graph.t -> Matching.t
 (** [(1+eps)]-approximate MCM.  Auto-detects bipartiteness.

@@ -21,11 +21,13 @@ val solve : ?init:Matching.t -> Graph.t -> Matching.t
 val solve_bounded : ?init:Matching.t -> max_len:int -> Graph.t -> Matching.t
 (** Repeatedly augment along paths whose alternating-tree depth certificate
     is at most [max_len] edges; stop when the bounded search finds no
-    further path.  [max_len >= n] coincides with {!solve}. *)
+    further path.  [max_len >= n] coincides with {!solve}.
+    @raise Invalid_argument if [max_len < 1] or [init] has the wrong size. *)
 
 val augment_once : Graph.t -> Matching.t -> bool
 (** Find one augmenting path for the given matching and apply it.  Returns
-    [false] iff the matching is already maximum.  Mutates the matching. *)
+    [false] iff the matching is already maximum.  Mutates the matching.
+    @raise Invalid_argument if [matching] has the wrong size. *)
 
 val tutte_berge_witness : Graph.t -> Matching.t -> bool array
 (** Edmonds–Gallai certificate of maximality.  Given a {e maximum} matching
@@ -37,7 +39,8 @@ val tutte_berge_witness : Graph.t -> Matching.t -> bool array
     Construction: [D] is the set of outer vertices over the (failing)
     alternating-tree searches from every free vertex, [a = N(D) \ D].  The
     test-suite checks the identity on random graphs, which certifies both
-    this function and the maximality of the solver's output. *)
+    this function and the maximality of the solver's output.
+    @raise Invalid_argument if sizes mismatch or the matching is not maximum. *)
 
 val deficiency_formula : Graph.t -> a:bool array -> int
 (** [odd_components (g − a) − |a|] — the right-hand side of the Tutte–Berge

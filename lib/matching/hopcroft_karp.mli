@@ -19,7 +19,8 @@ val solve : ?max_phases:int -> Graph.t -> Matching.t
     @raise Invalid_argument if the graph is not bipartite. *)
 
 val solve_with_sides : ?max_phases:int -> Graph.t -> bool array -> Matching.t
-(** Same, with a caller-supplied 2-coloring ([true] = left side). *)
+(** Same, with a caller-supplied 2-coloring ([true] = left side).
+    @raise Invalid_argument if [sides] is malformed or an edge joins two vertices of one side. *)
 
 val min_vertex_cover : Graph.t -> Matching.t * bool array
 (** König's construction: a maximum matching together with a minimum vertex

@@ -9,7 +9,8 @@ open Mspar_graph
 type t
 
 val create : int -> t
-(** Empty matching on [n] vertices. *)
+(** Empty matching on [n] vertices.
+    @raise Invalid_argument if [n] is negative. *)
 
 val n : t -> int
 val size : t -> int
@@ -68,6 +69,7 @@ val augment_along : t -> int list -> unit
 val symmetric_difference_paths : t -> t -> int
 (** Number of connected components of the symmetric difference that are
     augmenting with respect to the first matching — used in tests of the
-    stability lemma. *)
+    stability lemma.
+    @raise Invalid_argument if the two matchings have different sizes. *)
 
 val pp : Format.formatter -> t -> unit

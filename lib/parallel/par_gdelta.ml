@@ -29,7 +29,7 @@ let collect_range_packed g ~seed ~delta ~shift lo hi =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let buf =
     Edgebuf.create
-      ~initial_capacity:(max 16 (marks_in_range g ~delta lo hi))
+      ~initial_capacity:(Int.max 16 (marks_in_range g ~delta lo hi))
       ()
   in
   for v = lo to hi - 1 do
@@ -70,11 +70,11 @@ let sequential ~seed g ~delta =
       Graph.of_edgebuf ~n:nv (collect_range_packed g ~seed ~delta ~shift 0 nv)
   | None -> Graph.of_edges ~n:nv (collect_range_list g ~seed ~delta 0 nv)
 
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+let default_domains () = Int.min 8 (Domain.recommended_domain_count ())
 
 let sparsify ?num_domains ~seed g ~delta =
   if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
-  let nd = max 1 (match num_domains with Some d -> d | None -> default_domains ()) in
+  let nd = Int.max 1 (match num_domains with Some d -> d | None -> default_domains ()) in
   let nv = Graph.n g in
   if nd = 1 || nv < 2 * nd then sequential ~seed g ~delta
   else begin
@@ -83,7 +83,7 @@ let sparsify ?num_domains ~seed g ~delta =
         (* overflow guard tripped: boxed fallback, still deterministic *)
         let chunk = (nv + nd - 1) / nd in
         let worker i () =
-          let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
+          let lo = i * chunk and hi = Int.min nv ((i + 1) * chunk) in
           if lo >= hi then [] else collect_range_list g ~seed ~delta lo hi
         in
         let domains =
@@ -99,7 +99,7 @@ let sparsify ?num_domains ~seed g ~delta =
            (seed, v) and is race-free. *)
         let chunk = (nv + nd - 1) / nd in
         let worker i () =
-          let lo = i * chunk and hi = min nv ((i + 1) * chunk) in
+          let lo = i * chunk and hi = Int.min nv ((i + 1) * chunk) in
           if lo >= hi then Edgebuf.create ~initial_capacity:1 ()
           else collect_range_packed g ~seed ~delta ~shift lo hi
         in
@@ -115,7 +115,7 @@ let sparsify ?num_domains ~seed g ~delta =
         let total =
           List.fold_left (fun acc b -> acc + Edgebuf.length b) 0 bufs
         in
-        let codes = Array.make (max total 1) 0 in
+        let codes = Array.make (Int.max total 1) 0 in
         let pos = ref 0 in
         List.iter
           (fun b ->

@@ -27,12 +27,14 @@ val vertex_rng : seed:int -> int -> Mspar_prelude.Rng.t
 
 val sequential : seed:int -> Graph.t -> delta:int -> Graph.t
 (** Single-domain reference with the per-vertex seeding discipline.  Uses
-    the §3.1 mark-all-at-most-2Δ rule, like {!Mspar_core.Gdelta}. *)
+    the §3.1 mark-all-at-most-2Δ rule, like {!Mspar_core.Gdelta}.
+    @raise Invalid_argument if [delta < 1]. *)
 
 val sparsify : ?num_domains:int -> seed:int -> Graph.t -> delta:int -> Graph.t
 (** Parallel construction over [num_domains] domains (default:
     [Domain.recommended_domain_count ()], capped at 8).  Output is equal to
-    {!sequential} with the same seed. *)
+    {!sequential} with the same seed.
+    @raise Invalid_argument if [delta < 1]. *)
 
 val time_comparison :
   seed:int -> Graph.t -> delta:int -> domains:int list -> (int * float) list

@@ -3,7 +3,8 @@
 type t
 
 val create : int -> t
-(** [create n] is the empty set over universe [0..n-1]. *)
+(** [create n] is the empty set over universe [0..n-1].
+    @raise Invalid_argument if [n] is negative. *)
 
 val length : t -> int
 (** Universe size. *)

@@ -1,7 +1,7 @@
 type t = { mutable data : int array; mutable len : int }
 
 let create ?(initial_capacity = 16) () =
-  { data = Array.make (max initial_capacity 1) 0; len = 0 }
+  { data = Array.make (Int.max initial_capacity 1) 0; len = 0 }
 
 let length t = t.len
 let is_empty t = t.len = 0
@@ -17,7 +17,7 @@ let get t i =
 let ensure_capacity t cap =
   let old = Array.length t.data in
   if cap > old then begin
-    let data = Array.make (max cap (2 * old)) 0 in
+    let data = Array.make (Int.max cap (2 * old)) 0 in
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end

@@ -80,7 +80,7 @@ let shuffle_in_place t a =
 
 let sample_distinct t ~k ~n =
   if n < 0 then invalid_arg "Rng.sample_distinct: n < 0";
-  let k = min k n in
+  let k = Int.min k n in
   if k <= 0 then [||]
   else begin
     (* Virtual Fisher–Yates: positions that have been swapped are recorded in

@@ -27,11 +27,13 @@ val bits64 : t -> int64
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
-    Uses rejection sampling, so there is no modulo bias. *)
+    Uses rejection sampling, so there is no modulo bias.
+    @raise Invalid_argument if [bound <= 0]. *)
 
 val int_in_range : t -> lo:int -> hi:int -> int
 (** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]]. Requires
-    [lo <= hi]. *)
+    [lo <= hi].
+    @raise Invalid_argument if [lo > hi]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
@@ -49,7 +51,8 @@ val sample_distinct : t -> k:int -> n:int -> int array
 (** [sample_distinct t ~k ~n] draws [min k n] distinct integers uniformly
     from [\[0, n)], in the order they were drawn (a uniformly random
     [min k n]-permutation prefix).  O(k) time and space via a virtual
-    Fisher–Yates over a hashtable. *)
+    Fisher–Yates over a hashtable.
+    @raise Invalid_argument if [n < 0]. *)
 
 val perm : t -> int -> int array
 (** [perm t n] is a uniformly random permutation of [0..n-1]. *)

@@ -15,7 +15,7 @@ let sample_indices t rng ~n ~k ~f =
   if n > Sparse_array.length t.pos then
     invalid_arg "Sampling.sample_indices: population exceeds capacity";
   if n < 0 then invalid_arg "Sampling.sample_indices: negative population";
-  let k = min k n in
+  let k = Int.min k n in
   Sparse_array.reset t.pos;
   let value_at i =
     let v = Sparse_array.get t.pos i in

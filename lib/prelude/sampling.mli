@@ -12,7 +12,8 @@ type t
 
 val create : capacity:int -> t
 (** [create ~capacity] allocates scratch space usable for any population of
-    size at most [capacity] (for graphs: the maximum degree, or [n]). *)
+    size at most [capacity] (for graphs: the maximum degree, or [n]).
+    @raise Invalid_argument if [capacity] is negative. *)
 
 val capacity : t -> int
 
@@ -21,7 +22,8 @@ val sample_indices : t -> Rng.t -> n:int -> k:int -> f:(int -> unit) -> unit
     drawn uniformly at random from [\[0, n)], in draw order.  Runs in
     O(min k n) time independent of [n]; requires [n <= capacity t].
     The scratch space is reset (O(1)) before use, so consecutive calls are
-    independent. *)
+    independent.
+    @raise Invalid_argument if [n] is negative or exceeds the capacity. *)
 
 val steps_last_call : t -> int
 (** Number of sampling steps performed by the most recent

@@ -16,7 +16,8 @@ type 'a t
 
 val create : int -> default:'a -> 'a t
 (** [create n ~default] is a length-[n] sparse array whose every slot reads
-    as [default]. *)
+    as [default].
+    @raise Invalid_argument if [n] is negative. *)
 
 val length : 'a t -> int
 

@@ -22,9 +22,9 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-  sorted.(max 0 (min (n - 1) (rank - 1)))
+  sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))
 
 let median xs = percentile xs 50.0
 let of_ints a = Array.map float_of_int a

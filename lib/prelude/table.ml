@@ -25,7 +25,7 @@ let print ?(oc = stdout) t =
     (function
       | Rule -> ()
       | Cells cells ->
-          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+          List.iteri (fun i c -> widths.(i) <- Int.max widths.(i) (String.length c)) cells)
     rows;
   let pad i s =
     let w = widths.(i) in

@@ -1,7 +1,7 @@
 type 'a t = { dummy : 'a; mutable data : 'a array; mutable len : int }
 
 let create ?(initial_capacity = 8) ~dummy () =
-  let cap = max initial_capacity 1 in
+  let cap = Int.max initial_capacity 1 in
   { dummy; data = Array.make cap dummy; len = 0 }
 
 let length t = t.len
@@ -65,6 +65,6 @@ let exists p t =
   loop 0
 
 let of_array ~dummy a =
-  let t = create ~initial_capacity:(max 1 (Array.length a)) ~dummy () in
+  let t = create ~initial_capacity:(Int.max 1 (Array.length a)) ~dummy () in
   Array.iter (push t) a;
   t

@@ -20,7 +20,8 @@ open Mspar_graph
 type t
 
 val create : Rng.t -> n:int -> delta:int -> t
-(** Empty one-pass state over [n] vertices. *)
+(** Empty one-pass state over [n] vertices.
+    @raise Invalid_argument if [n < 0] or [delta < 1]. *)
 
 val feed : t -> int -> int -> unit
 (** Process the next stream edge (u, v).  O(1) expected.

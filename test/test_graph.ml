@@ -352,42 +352,42 @@ let test_graph_io_roundtrip () =
   let rng = Rng.create 30 in
   for _ = 0 to 9 do
     let g = Gen.gnp rng ~n:(2 + Rng.int rng 30) ~p:0.3 in
-    let g' = Graph_io.of_string (Graph_io.to_string g) in
+    let g' = Graph_io.of_string_exn (Graph_io.to_string g) in
     check_bool "roundtrip" true (Graph.equal g g')
   done;
   (* empty graph *)
   let e = Gen.empty 0 in
   check_bool "empty roundtrip" true
-    (Graph.equal e (Graph_io.of_string (Graph_io.to_string e)))
+    (Graph.equal e (Graph_io.of_string_exn (Graph_io.to_string e)))
 
 let test_graph_io_file_roundtrip () =
   let g = Gen.cycle 9 in
   let path = Filename.temp_file "mspar" ".graph" in
   Graph_io.save path g;
-  let g' = Graph_io.load path in
+  let g' = Graph_io.load_exn path in
   Sys.remove path;
   check_bool "file roundtrip" true (Graph.equal g g')
 
 let test_graph_io_tolerant_input () =
   (* comments, blank lines, duplicate and reversed edges, self-loops *)
   let s = "# a comment\n\n4 5\n0 1\n1 0\n2 3\n1 1\n0 2\n" in
-  let g = Graph_io.of_string s in
+  let g = Graph_io.of_string_exn s in
   check "loops/dups merged" 3 (Graph.m g)
 
 let test_graph_io_rejects_malformed () =
   check_bool "bad header" true
     (try
-       ignore (Graph_io.of_string "nope\n");
+       ignore (Graph_io.of_string_exn "nope\n");
        false
      with Failure _ -> true);
   check_bool "wrong count" true
     (try
-       ignore (Graph_io.of_string "3 2\n0 1\n");
+       ignore (Graph_io.of_string_exn "3 2\n0 1\n");
        false
      with Failure _ -> true);
   check_bool "out of range" true
     (try
-       ignore (Graph_io.of_string "2 1\n0 5\n");
+       ignore (Graph_io.of_string_exn "2 1\n0 5\n");
        false
      with Failure _ -> true)
 
@@ -427,7 +427,7 @@ let test_graph_io_trailing_whitespace () =
       check "ws n" 3 (Graph.n g);
       check "ws m" 2 (Graph.m g)
   | Error e -> Alcotest.failf "unexpected error: %s" (Graph_io.error_message e));
-  check "wrapper agrees" 2 (Graph.m (Graph_io.of_string s))
+  check "wrapper agrees" 2 (Graph.m (Graph_io.of_string_exn s))
 
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                     *)
@@ -569,7 +569,7 @@ let qcheck_io_roundtrip =
     QCheck.(pair (int_range 0 40) (int_range 0 1000))
     (fun (n, seed) ->
       let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
-      Graph.equal g (Graph_io.of_string (Graph_io.to_string g)))
+      Graph.equal g (Graph_io.of_string_exn (Graph_io.to_string g)))
 
 (* fuzz: [Graph_io.parse] is total — random byte junk must come back as
    [Ok] or [Error], never an exception *)

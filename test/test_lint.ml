@@ -1,0 +1,232 @@
+(* msparlint rule engine: each rule must fire on a minimal bad snippet and
+   stay silent on its good twin; [@lint.allow] and the baseline file must
+   suppress findings.  All fixtures are inline strings — the lint engine
+   parses sources, it never compiles them. *)
+
+open Msparlint_lib
+
+let cfg = Lint_config.default
+
+(* Lint a fixture as if it lived at [file]; [intf] is the sibling interface
+   source.  The default is an empty (but present) .mli so that lib/ fixtures
+   exercise one rule at a time instead of also tripping MSP006; use
+   [lint_nomli] to model a missing interface. *)
+let lint ?(intf = "") ~file source =
+  Lint_engine.lint_impl cfg ~file ~source ~mli:(Some intf)
+
+let lint_nomli ~file source = Lint_engine.lint_impl cfg ~file ~source ~mli:None
+
+let codes findings = List.map (fun f -> f.Lint_types.code) findings
+let fires code findings = List.exists (fun f -> String.equal f.Lint_types.code code) findings
+
+let check_fires msg code findings =
+  Alcotest.(check bool) (msg ^ " fires " ^ code) true (fires code findings)
+
+let check_silent msg code findings =
+  Alcotest.(check bool) (msg ^ " silent on " ^ code) false (fires code findings)
+
+(* ---------------------------------------------------------------- *)
+(* MSP001: Stdlib.Random                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp001 () =
+  check_fires "Random.int" "MSP001" (lint ~file:"lib/core/foo.ml" "let x = Random.int 5");
+  check_fires "Random.self_init" "MSP001"
+    (lint ~file:"bench/foo.ml" "let () = Random.self_init ()");
+  check_fires "open Random" "MSP001" (lint ~file:"lib/core/foo.ml" "open Random\nlet x = int 5");
+  check_silent "rng.ml is the blessed home" "MSP001"
+    (lint ~file:"lib/prelude/rng.ml" "let x = Random.int 5");
+  check_silent "seeded Rng" "MSP001"
+    (lint ~file:"lib/core/foo.ml" "let x r = Rng.int r 5")
+
+(* ---------------------------------------------------------------- *)
+(* MSP002: polymorphic compare in hot dirs                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp002 () =
+  check_fires "bare compare" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort compare l");
+  check_fires "bare min" "MSP002" (lint ~file:"lib/prelude/foo.ml" "let f a b = min a b");
+  check_fires "Stdlib.max" "MSP002" (lint ~file:"lib/core/foo.ml" "let f a b = Stdlib.max a b");
+  check_fires "Hashtbl.hash" "MSP002"
+    (lint ~file:"lib/parallel/foo.ml" "let f x = Hashtbl.hash x");
+  check_fires "tuple =" "MSP002" (lint ~file:"lib/graph/foo.ml" "let f a b c = (a, b) = c");
+  check_silent "int = is monomorphic enough" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f (a : int) b = a = b");
+  check_silent "Int.compare" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort Int.compare l");
+  check_silent "Float.max" "MSP002" (lint ~file:"lib/graph/foo.ml" "let f a b = Float.max a b");
+  check_silent "cold directory" "MSP002"
+    (lint ~file:"lib/dynamic/foo.ml" "let f l = List.sort compare l");
+  check_silent "test code is not hot" "MSP002"
+    (lint ~file:"test/foo.ml" "let f a b c = (a, b) = c")
+
+(* ---------------------------------------------------------------- *)
+(* MSP003: CONGEST fidelity                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp003 () =
+  check_fires "adjacency access in protocol code" "MSP003"
+    (lint ~file:"lib/distsim/proto.ml" "let f g v = Graph.iter_neighbors g v (fun _ -> ())");
+  check_fires "degree-free accessor" "MSP003"
+    (lint ~file:"lib/distsim/proto.ml" "let f g u v = Graph.has_edge g u v");
+  check_silent "network.ml is the substrate" "MSP003"
+    (lint ~file:"lib/distsim/network.ml" "let f g v = Graph.iter_neighbors g v (fun _ -> ())");
+  check_silent "outside distsim" "MSP003"
+    (lint ~file:"lib/matching/foo.ml" "let f g v = Graph.iter_neighbors g v (fun _ -> ())");
+  check_silent "metadata is free" "MSP003" (lint ~file:"lib/distsim/proto.ml" "let f g = Graph.n g")
+
+(* ---------------------------------------------------------------- *)
+(* MSP004: float log feeding integer rounding                        *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp004 () =
+  (* the exact PR 2 ceil_log2 regression *)
+  check_fires "float ceil_log2" "MSP004"
+    (lint ~file:"lib/distsim/network.ml"
+       "let ceil_log2 n = int_of_float (ceil (log (float_of_int n) /. log 2.))");
+  check_fires "truncate of **" "MSP004"
+    (lint ~file:"lib/core/foo.ml" "let f k = truncate (2.0 ** float_of_int k)");
+  check_fires "log-ratio idiom" "MSP004"
+    (lint ~file:"lib/core/foo.ml" "let f x = log x /. log 2.");
+  check_silent "integer shifts" "MSP004"
+    (lint ~file:"lib/distsim/network.ml"
+       "let ceil_log2 n =\n  let rec go k p = if p >= n then k else go (k + 1) (p lsl 1) in\n  go 0 1");
+  check_silent "log-free rounding" "MSP004"
+    (lint ~file:"lib/core/foo.ml" "let f eps = int_of_float (ceil (1.0 /. eps))")
+
+(* ---------------------------------------------------------------- *)
+(* MSP005: Obj/Marshal                                               *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp005 () =
+  check_fires "Obj.magic" "MSP005" (lint ~file:"lib/core/foo.ml" "let f x = Obj.magic x");
+  check_fires "Marshal" "MSP005"
+    (lint ~file:"test/foo.ml" "let f x = Marshal.to_string x []");
+  check_fires "module alias" "MSP005" (lint ~file:"lib/core/foo.ml" "module M = Marshal");
+  check_silent "clean module" "MSP005" (lint ~file:"lib/core/foo.ml" "let f x = x + 1")
+
+(* ---------------------------------------------------------------- *)
+(* MSP006: .mli presence                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp006 () =
+  check_fires "lib module without mli" "MSP006" (lint_nomli ~file:"lib/core/foo.ml" "let x = 1");
+  check_silent "mli present" "MSP006" (lint ~file:"lib/core/foo.ml" ~intf:"val x : int" "let x = 1");
+  check_silent "binaries need no mli" "MSP006" (lint_nomli ~file:"bin/main.ml" "let x = 1");
+  check_silent "tests need no mli" "MSP006" (lint_nomli ~file:"test/foo.ml" "let x = 1")
+
+(* ---------------------------------------------------------------- *)
+(* MSP007: raise contracts                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp007 () =
+  let raising = "let find x = if x < 0 then invalid_arg \"neg\" else x" in
+  check_fires "exported raising fn, no doc" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : int -> int" raising);
+  check_silent "@raise documented" "MSP007"
+    (lint ~file:"lib/core/foo.ml"
+       ~intf:"val find : int -> int\n(** @raise Invalid_argument on negative input. *)" raising);
+  check_silent "_exn suffix carries the contract" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find_exn : int -> int"
+       "let find_exn x = if x < 0 then invalid_arg \"neg\" else x");
+  check_silent "unexported helper" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val other : int" raising);
+  check_silent "raise Exit is local control flow" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : int array -> bool"
+       "let find a = try Array.iter (fun x -> if x = 0 then raise Exit) a; false with Exit -> true");
+  check_silent "raise under try is assumed caught" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : int -> int"
+       "exception E\nlet find x = try if x < 0 then raise E else x with E -> 0")
+
+(* ---------------------------------------------------------------- *)
+(* suppression: [@lint.allow] and the baseline                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_allow () =
+  check_silent "binding-level [@@lint.allow]" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort compare l [@@lint.allow \"MSP002\"]");
+  check_silent "expression-level [@lint.allow]" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort (compare [@lint.allow \"MSP002\"]) l");
+  check_silent "floating [@@@lint.allow]" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "[@@@lint.allow \"MSP002\"]\nlet f l = List.sort compare l");
+  check_silent "wildcard" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort compare l [@@lint.allow \"*\"]");
+  (* an allow for a different code must not leak *)
+  check_fires "allow is code-specific" "MSP002"
+    (lint ~file:"lib/graph/foo.ml" "let f l = List.sort compare l [@@lint.allow \"MSP004\"]");
+  (* ...and an allow span must not cover siblings *)
+  let two =
+    lint ~file:"lib/graph/foo.ml"
+      "let f l = List.sort compare l [@@lint.allow \"MSP002\"]\nlet g l = List.sort compare l"
+  in
+  Alcotest.(check (list string)) "sibling still caught" [ "MSP002" ] (codes two)
+
+let test_baseline () =
+  let findings = lint ~file:"lib/graph/foo.ml" "let f l = List.sort compare l" in
+  check_fires "precondition" "MSP002" findings;
+  let key = Lint_types.baseline_key (List.hd findings) in
+  let base = Lint_baseline.of_string (key ^ "\n# a comment\n") in
+  let live, baselined, unused = Lint_baseline.apply base findings in
+  Alcotest.(check int) "baselined" 1 (List.length baselined);
+  Alcotest.(check int) "live" 0 (List.length live);
+  Alcotest.(check int) "no stale entries" 0 (List.length unused);
+  let stale = Lint_baseline.of_string "lib/nowhere.ml [MSP001] ghost\n" in
+  let live, _, unused = Lint_baseline.apply stale findings in
+  Alcotest.(check int) "unrelated entry leaves finding live" 1 (List.length live);
+  Alcotest.(check (list string)) "stale entry reported" [ "lib/nowhere.ml [MSP001] ghost" ] unused
+
+(* ---------------------------------------------------------------- *)
+(* engine plumbing                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_plumbing () =
+  (* parse errors surface as MSP000, never as exceptions *)
+  check_fires "syntax error" "MSP000" (lint ~file:"lib/core/foo.ml" "let let let");
+  (* findings carry 1-based lines and the rule's location *)
+  (match lint ~file:"lib/graph/foo.ml" "let a = 1\nlet f l = List.sort compare l" with
+  | [ f ] ->
+      Alcotest.(check string) "code" "MSP002" f.Lint_types.code;
+      Alcotest.(check int) "line" 2 f.Lint_types.line;
+      Alcotest.(check bool) "column within line" true (f.Lint_types.col > 0)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  (* config round-trip: directives produce the same scoping as default *)
+  let parsed =
+    Lint_config.of_string "hot-dir lib/graph\nallow MSP001 lib/prelude/rng.ml\n# comment\n"
+  in
+  Alcotest.(check bool) "hot" true (Lint_config.in_hot_dir parsed "lib/graph/foo.ml");
+  Alcotest.(check bool) "segment-aware prefix" false
+    (Lint_config.in_hot_dir parsed "lib/graphics/foo.ml");
+  Alcotest.(check bool) "allow disables" false
+    (Lint_config.rule_enabled parsed ~code:"MSP001" ~file:"lib/prelude/rng.ml");
+  (match Lint_config.of_string "no-such-directive x" with
+  | exception Lint_config.Config_error _ -> ()
+  | _ -> Alcotest.fail "expected Config_error");
+  (* JSON mode output is self-describing *)
+  let f =
+    { Lint_types.file = "a.ml"; line = 3; col = 7; cnum = 40; code = "MSP005"; message = "no \"Obj\"" }
+  in
+  Alcotest.(check string) "json"
+    {|{"file":"a.ml","line":3,"col":7,"code":"MSP005","message":"no \"Obj\""}|}
+    (Lint_types.to_json f)
+
+let () =
+  Alcotest.run "msparlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "MSP001 random" `Quick test_msp001;
+          Alcotest.test_case "MSP002 poly compare" `Quick test_msp002;
+          Alcotest.test_case "MSP003 congest" `Quick test_msp003;
+          Alcotest.test_case "MSP004 float log" `Quick test_msp004;
+          Alcotest.test_case "MSP005 obj/marshal" `Quick test_msp005;
+          Alcotest.test_case "MSP006 mli" `Quick test_msp006;
+          Alcotest.test_case "MSP007 raise contract" `Quick test_msp007;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "lint.allow" `Quick test_allow;
+          Alcotest.test_case "baseline" `Quick test_baseline;
+        ] );
+      ("engine", [ Alcotest.test_case "plumbing" `Quick test_plumbing ]);
+    ]

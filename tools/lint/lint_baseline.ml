@@ -1,0 +1,46 @@
+(* Grandfathered findings.
+
+   The baseline file holds one [Lint_types.baseline_key] per line
+   ("file [CODE] message", no positions, [#] comments allowed).  A finding
+   whose key appears in the baseline is reported as baselined and does not
+   affect the exit status; baseline entries that match nothing are flagged
+   so the file shrinks monotonically instead of accreting. *)
+
+type t = { entries : string list }
+
+let of_string s =
+  let entries =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+  in
+  { entries }
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+  end
+  else { entries = [] }
+
+let size t = List.length t.entries
+
+(* Returns (live findings, baselined findings, unused baseline entries). *)
+let apply t findings =
+  let used = Hashtbl.create 16 in
+  let live, baselined =
+    List.partition
+      (fun f ->
+        let key = Lint_types.baseline_key f in
+        if List.exists (String.equal key) t.entries then begin
+          Hashtbl.replace used key ();
+          false
+        end
+        else true)
+      findings
+  in
+  let unused = List.filter (fun e -> not (Hashtbl.mem used e)) t.entries in
+  (live, baselined, unused)

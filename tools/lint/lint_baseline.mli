@@ -1,0 +1,17 @@
+(** Grandfathered-finding baseline: one position-free key per line. *)
+
+type t
+
+val of_string : string -> t
+val load : string -> t
+(** Missing file is an empty baseline. @raise Sys_error on unreadable file. *)
+
+val size : t -> int
+
+val apply :
+  t ->
+  Lint_types.finding list ->
+  Lint_types.finding list * Lint_types.finding list * string list
+(** [apply t findings] is [(live, baselined, unused_entries)]: findings not
+    covered by the baseline, findings it absorbed, and entries that matched
+    nothing (stale — should be deleted). *)

@@ -1,0 +1,46 @@
+(** msparlint configuration: which rules apply where.
+
+    Directive file syntax (one per line, [#] comments):
+    {v
+    hot-dir lib/prelude          # MSP002 scope
+    congest-dir lib/distsim      # MSP003 scope
+    congest-exempt lib/distsim/network.ml
+    congest-forbid Graph.iter_neighbors
+    require-mli lib              # MSP006 scope
+    allow MSP001 lib/prelude/rng.ml   # switch a rule off under a prefix
+    v} *)
+
+type t = {
+  hot_dirs : string list;
+  congest_dirs : string list;
+  congest_exempt : string list;
+  congest_forbidden : string list;
+  require_mli_dirs : string list;
+  allows : (string * string) list;
+}
+
+exception Config_error of string
+
+val default : t
+(** Mirrors the checked-in [tools/lint/msparlint.conf]. *)
+
+val empty : t
+
+val of_string : string -> t
+(** Parse directive text. @raise Config_error on a malformed line. *)
+
+val load : string -> t
+(** [of_string] over a file's contents.
+    @raise Sys_error if unreadable.
+    @raise Config_error on a malformed line. *)
+
+val in_hot_dir : t -> string -> bool
+val in_congest_scope : t -> string -> bool
+val requires_mli : t -> string -> bool
+
+val rule_enabled : t -> code:string -> file:string -> bool
+(** False when an [allow] directive covers [file] for [code]. *)
+
+val under_prefix : prefix:string -> string -> bool
+(** Segment-aware prefix test: ["lib/graph"] covers ["lib/graph/x.ml"] but
+    not ["lib/graphics/x.ml"]. *)

@@ -1,0 +1,31 @@
+(** Per-file lint pipeline: parse, run rules, apply [@lint.allow] spans.
+
+    Suppression forms:
+    - [(expr [@lint.allow "MSP002"])] — the expression's span;
+    - [let f x = ... [@@lint.allow "MSP002 MSP004"]] — the whole binding;
+    - [[@@@lint.allow "MSP003"]] — the whole file.
+
+    Payloads list rule codes separated by spaces or commas; ["*"] matches
+    every rule.  Unparseable files yield a single [MSP000] finding. *)
+
+val lint_impl :
+  Lint_config.t -> file:string -> source:string -> mli:string option ->
+  Lint_types.finding list
+(** Lint one implementation.  [mli] is the sibling interface's source when
+    one exists ([None] triggers MSP006 under [require-mli] prefixes and
+    disables MSP007).  Findings are sorted and suppression-filtered, but
+    not baseline-filtered. *)
+
+val lint_intf : Lint_config.t -> file:string -> source:string -> Lint_types.finding list
+(** Interfaces only get the parse check (MSP000). *)
+
+val lint_path : Lint_config.t -> string -> Lint_types.finding list
+(** Lint one on-disk [.ml] (pairing its sibling [.mli] if present) or
+    [.mli] file. *)
+
+val collect_files : string list -> string list
+(** All [.ml]/[.mli] files under the given roots, skipping [_build] and
+    dot-directories, in deterministic order. *)
+
+val lint_paths : Lint_config.t -> string list -> Lint_types.finding list
+(** [lint_path] over {!collect_files}, merged and sorted. *)

@@ -1,0 +1,317 @@
+(* The msparlint rule set.
+
+   Each rule is grounded in a paper invariant or a past regression (see
+   doc/LINTS.md for the catalogue):
+
+   MSP001  seeded determinism   — no Stdlib.Random outside lib/prelude/rng.ml
+   MSP002  hot-path monomorphy  — no polymorphic compare/min/max/hash in the
+                                  hot directories (the PR 1 packed-CSR bug)
+   MSP003  CONGEST fidelity     — distsim protocols learn about remote
+                                  vertices only through messages (Thm 3.2/3.3
+                                  accounting), approximated as a forbidden
+                                  adjacency-accessor list
+   MSP004  integer budgets      — no float log/** feeding int rounding (the
+                                  PR 2 ceil_log2 misrounding bug)
+   MSP005  no unsafe casts      — Obj/Marshal are banned outright
+   MSP006  interface discipline — every lib/ module has a .mli
+   MSP007  raise contracts      — exported raising functions are _exn-named
+                                  or carry @raise in their .mli doc
+
+   All detection is on the Parsetree (no typing pass), so the rules are
+   deliberately syntactic approximations; [@lint.allow "MSPxxx"] exists for
+   the cases the approximation gets wrong. *)
+
+open Parsetree
+
+type mli_info = {
+  exported : (string, bool) Hashtbl.t;
+      (* val name -> its doc comment mentions @raise *)
+}
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let doc_mentions_raise attrs =
+  List.exists
+    (fun a ->
+      match a.attr_name.txt with
+      | "ocaml.doc" | "doc" -> (
+          match a.attr_payload with
+          | PStr
+              [
+                {
+                  pstr_desc =
+                    Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                  _;
+                };
+              ] ->
+              contains_substring ~needle:"@raise" s
+          | _ -> false)
+      | _ -> false)
+    attrs
+
+let mli_info_of_signature sg =
+  let exported = Hashtbl.create 32 in
+  let open Ast_iterator in
+  let signature_item it si =
+    (match si.psig_desc with
+    | Psig_value vd ->
+        Hashtbl.replace exported vd.pval_name.txt (doc_mentions_raise vd.pval_attributes)
+    | _ -> ());
+    default_iterator.signature_item it si
+  in
+  let it = { default_iterator with signature_item } in
+  it.signature it sg;
+  { exported }
+
+type ctx = {
+  cfg : Lint_config.t;
+  file : string;
+  hot : bool;
+  congest : bool;
+  mli : mli_info option;
+  mutable acc : Lint_types.finding list;
+}
+
+let add ctx ~code ~loc message =
+  if Lint_config.rule_enabled ctx.cfg ~code ~file:ctx.file then
+    ctx.acc <- Lint_types.of_location ~file:ctx.file ~code ~message loc :: ctx.acc
+
+let path_of_lident lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+(* ---------------------------------------------------------------- *)
+(* identifier classification                                        *)
+(* ---------------------------------------------------------------- *)
+
+let is_random_path p = String.starts_with ~prefix:"Random." p || String.starts_with ~prefix:"Stdlib.Random." p
+
+let is_unsafe_path p =
+  String.starts_with ~prefix:"Obj." p
+  || String.starts_with ~prefix:"Marshal." p
+  || String.starts_with ~prefix:"Stdlib.Obj." p
+  || String.starts_with ~prefix:"Stdlib.Marshal." p
+
+let is_poly_compare_path p =
+  match p with
+  | "compare" | "min" | "max" | "Stdlib.compare" | "Stdlib.min" | "Stdlib.max" | "Hashtbl.hash"
+  | "Stdlib.Hashtbl.hash" ->
+      true
+  | _ -> false
+
+let forbidden_module_path p =
+  match p with
+  | "Random" | "Stdlib.Random" -> Some ("MSP001", "module Random (seeded determinism: use Mspar_prelude.Rng)")
+  | "Obj" | "Stdlib.Obj" -> Some ("MSP005", "module Obj is forbidden")
+  | "Marshal" | "Stdlib.Marshal" -> Some ("MSP005", "module Marshal is forbidden")
+  | _ -> None
+
+let check_ident ctx p loc =
+  if is_random_path p then
+    add ctx ~code:"MSP001" ~loc
+      (Printf.sprintf "%s: Stdlib.Random breaks seeded determinism; thread a Mspar_prelude.Rng.t instead" p);
+  if is_unsafe_path p then
+    add ctx ~code:"MSP005" ~loc (Printf.sprintf "%s: Obj/Marshal are forbidden" p);
+  (if ctx.hot && is_poly_compare_path p then
+     let base =
+       match String.rindex_opt p '.' with
+       | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+       | None -> p
+     in
+     let hint =
+       if String.equal base "hash" then "hash a concrete key representation instead"
+       else Printf.sprintf "use Int.%s / Float.%s or an explicit comparator" base base
+     in
+     add ctx ~code:"MSP002" ~loc
+       (Printf.sprintf "polymorphic %s in a hot-path directory; %s" p hint));
+  if ctx.congest && List.exists (String.equal p) ctx.cfg.congest_forbidden then
+    add ctx ~code:"MSP003" ~loc
+      (Printf.sprintf
+         "%s: CONGEST protocols may only learn about remote vertices through Network messages \
+          (Thm 3.2/3.3 accounting); route this through Network or annotate protocol-local reads"
+         p)
+
+(* ---------------------------------------------------------------- *)
+(* MSP002: structural =/<> on syntactically composite operands       *)
+(* ---------------------------------------------------------------- *)
+
+let is_composite e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) -> true
+  | Pexp_variant (_, Some _) -> true
+  | _ -> false
+
+let check_poly_eq ctx f args =
+  if not ctx.hot then ()
+  else
+    match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match path_of_lident txt with
+      | "=" | "<>" | "Stdlib.=" | "Stdlib.<>" ->
+          let composite =
+            List.exists (fun (lbl, a) -> (match lbl with Asttypes.Nolabel -> true | _ -> false) && is_composite a) args
+          in
+          if composite then
+            add ctx ~code:"MSP002" ~loc:f.pexp_loc
+              "structural =/<> on a composite value in a hot-path directory; compare fields \
+               monomorphically"
+      | _ -> ())
+  | _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* MSP004: float log feeding integer rounding                        *)
+(* ---------------------------------------------------------------- *)
+
+let is_round_path p =
+  match p with
+  | "int_of_float" | "truncate" | "Stdlib.int_of_float" | "Stdlib.truncate" | "Float.to_int" -> true
+  | _ -> false
+
+let is_log_path p =
+  match p with
+  | "log" | "log2" | "log10" | "exp" | "**" | "Stdlib.log" | "Stdlib.log10" | "Stdlib.exp"
+  | "Stdlib.**" | "Float.log" | "Float.log2" | "Float.log10" | "Float.exp" | "Float.pow" ->
+      true
+  | _ -> false
+
+exception Found
+
+let expr_mentions_log e =
+  let open Ast_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> if is_log_path (path_of_lident txt) then raise Found
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  match it.expr it e with () -> false | exception Found -> true
+
+let check_float_round ctx f args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let p = path_of_lident txt in
+      if is_round_path p then begin
+        match args with
+        | (Asttypes.Nolabel, a) :: _ when expr_mentions_log a ->
+            add ctx ~code:"MSP004" ~loc:f.pexp_loc
+              (Printf.sprintf
+                 "%s over a float log/exp/** expression: float rounding misrounds near powers of \
+                  two (the PR 2 ceil_log2 bug); compute integer budgets by shifts"
+                 p)
+        | _ -> ()
+      end
+      else
+        match p with
+        | "/." | "Stdlib./." -> (
+            (* log x /. log 2. — the classic float-log2 idiom *)
+            match args with
+            | (Asttypes.Nolabel, a) :: (Asttypes.Nolabel, b) :: _
+              when expr_mentions_log a && expr_mentions_log b ->
+                add ctx ~code:"MSP004" ~loc:f.pexp_loc
+                  "float log-ratio (log x /. log b) idiom; compute integer logarithms by shifts \
+                   (the PR 2 ceil_log2 bug)"
+            | _ -> ())
+        | _ -> ())
+  | _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* MSP007: exported raising functions                                *)
+(* ---------------------------------------------------------------- *)
+
+let raising_apply e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      match path_of_lident txt with
+      | "failwith" | "Stdlib.failwith" | "invalid_arg" | "Stdlib.invalid_arg" -> true
+      | "raise" | "raise_notrace" | "Stdlib.raise" | "Stdlib.raise_notrace" -> (
+          match args with
+          | (_, { pexp_desc = Pexp_construct ({ txt = exc; _ }, _); _ }) :: _ -> (
+              (* [raise Exit] is the local early-exit idiom, not a contract *)
+              match path_of_lident exc with "Exit" | "Stdlib.Exit" -> false | _ -> true)
+          | _ -> true)
+      | _ -> false)
+  | _ -> false
+
+(* A raise syntactically under a [try] is assumed caught; handlers still
+   count (re-raises escape). *)
+let body_raises body =
+  let open Ast_iterator in
+  let expr it e =
+    if raising_apply e then raise Found;
+    match e.pexp_desc with
+    | Pexp_try (_, handlers) -> List.iter (fun c -> it.case it c) handlers
+    | _ -> default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  match it.expr it body with () -> false | exception Found -> true
+
+let rec pattern_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pattern_name p
+  | _ -> None
+
+let check_raise_contract ctx vb =
+  match ctx.mli with
+  | None -> ()
+  | Some info -> (
+      match pattern_name vb.pvb_pat with
+      | None -> ()
+      | Some name -> (
+          if not (String.ends_with ~suffix:"_exn" name) then
+            match Hashtbl.find_opt info.exported name with
+            | Some true (* @raise documented *) | None (* not exported *) -> ()
+            | Some false ->
+                if body_raises vb.pvb_expr then
+                  add ctx ~code:"MSP007" ~loc:vb.pvb_loc
+                    (Printf.sprintf
+                       "%s can raise but is not _exn-suffixed and its .mli doc has no @raise"
+                       name)))
+
+(* ---------------------------------------------------------------- *)
+(* the combined pass                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let lint_structure cfg ~file ~mli str =
+  let ctx =
+    {
+      cfg;
+      file;
+      hot = Lint_config.in_hot_dir cfg file;
+      congest = Lint_config.in_congest_scope cfg file;
+      mli;
+      acc = [];
+    }
+  in
+  let open Ast_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident ctx (path_of_lident txt) e.pexp_loc
+    | Pexp_apply (f, args) ->
+        check_poly_eq ctx f args;
+        check_float_round ctx f args
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let module_expr it m =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+        match forbidden_module_path (path_of_lident txt) with
+        | Some (code, message) -> add ctx ~code ~loc message
+        | None -> ())
+    | _ -> ());
+    default_iterator.module_expr it m
+  in
+  let value_binding it vb =
+    check_raise_contract ctx vb;
+    default_iterator.value_binding it vb
+  in
+  let it = { default_iterator with expr; module_expr; value_binding } in
+  it.structure it str;
+  ctx.acc

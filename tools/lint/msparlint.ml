@@ -1,0 +1,96 @@
+(* msparlint — model-fidelity / determinism / hot-path lint for mspar.
+
+   Usage:
+     msparlint [--config FILE] [--baseline FILE] [--json] [--list-rules] PATH...
+
+   Parses every .ml/.mli under the given paths with compiler-libs, runs the
+   MSP001–MSP007 rule set (doc/LINTS.md) and exits nonzero when any finding
+   is neither [@lint.allow]-suppressed nor covered by the baseline file. *)
+
+open Msparlint_lib
+
+let rules_summary =
+  [
+    ("MSP000", "file does not parse");
+    ("MSP001", "Stdlib.Random outside lib/prelude/rng.ml (seeded determinism)");
+    ("MSP002", "polymorphic compare/min/max/hash in hot-path directories");
+    ("MSP003", "direct adjacency access in CONGEST protocol code");
+    ("MSP004", "float log/** feeding integer rounding (ceil_log2 bug class)");
+    ("MSP005", "Obj/Marshal");
+    ("MSP006", "lib/ module without .mli");
+    ("MSP007", "exported raising function lacking _exn suffix or @raise doc");
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: msparlint [--config FILE] [--baseline FILE] [--json] [--list-rules] PATH...";
+  exit 2
+
+let () =
+  let config = ref None in
+  let baseline = ref None in
+  let json = ref false in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--config" :: f :: rest ->
+        config := Some f;
+        parse_args rest
+    | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse_args rest
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--list-rules" :: _ ->
+        List.iter (fun (c, d) -> Printf.printf "%s  %s\n" c d) rules_summary;
+        exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "msparlint: unknown option %s\n" arg;
+        usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  (match paths with [] -> usage () | _ -> ());
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "msparlint: no such path: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let cfg =
+    match !config with
+    | None -> Lint_config.default
+    | Some f -> (
+        try Lint_config.load f
+        with Lint_config.Config_error msg ->
+          Printf.eprintf "msparlint: %s: %s\n" f msg;
+          exit 2)
+  in
+  let findings = Lint_engine.lint_paths cfg paths in
+  let base = match !baseline with None -> Lint_baseline.of_string "" | Some f -> Lint_baseline.load f in
+  let live, baselined, unused = Lint_baseline.apply base findings in
+  if !json then begin
+    print_string "[";
+    List.iteri
+      (fun i f ->
+        if i > 0 then print_string ",";
+        print_string ("\n  " ^ Lint_types.to_json f))
+      live;
+    print_string (match live with [] -> "]\n" | _ -> "\n]\n")
+  end
+  else List.iter (fun f -> print_endline (Lint_types.to_string f)) live;
+  if List.length baselined > 0 then
+    Printf.eprintf "msparlint: %d finding(s) suppressed by the baseline\n" (List.length baselined);
+  List.iter
+    (fun e -> Printf.eprintf "msparlint: stale baseline entry (matches nothing): %s\n" e)
+    unused;
+  if List.length live > 0 then begin
+    Printf.eprintf "msparlint: %d finding(s)\n" (List.length live);
+    exit 1
+  end
