@@ -140,7 +140,12 @@ let best_of ~repeats f =
 
 (* One (kernel, ns) row per configuration; also cross-checks that every
    builder variant produces the identical graph, so the smoke run doubles
-   as a correctness guard for the perf harness. *)
+   as a correctness guard for the perf harness.
+
+   The pooled rows reuse persistent pools created (and warmed by the
+   cross-checks) outside the timed region, so they measure the amortised
+   steady state a long-running process sees — the spawn cost the pool
+   exists to eliminate is deliberately excluded. *)
 let construction_rows ~full =
   let n, m, delta, repeats =
     if full then (100_000, 5_000_000, 32, 2) else (2_000, 40_000, 8, 3)
@@ -152,44 +157,125 @@ let construction_rows ~full =
   let require name cond = if not cond then failwith ("micro-bench: " ^ name) in
   require "packed of_edges mismatches reference"
     (Graph.equal g (Graph.of_edges_reference ~n pair_list));
-  let seq = Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta in
-  require "4-domain sparsifier mismatches sequential"
-    (Graph.equal seq
-       (Mspar_parallel.Par_gdelta.sparsify ~num_domains:4 ~seed:7 g ~delta));
-  let tag name =
-    Printf.sprintf "construction/%s/n%d-m%d-d%d" name n (Graph.m g) delta
+  let shift =
+    match Graph.pack_shift ~n with
+    | Some s -> s
+    | None -> failwith "micro-bench: bench sizes must be packable"
   in
-  let row name f = (tag name, best_of ~repeats f) in
-  [
-    row "of-edges-list-seed" (fun () ->
-        Sys.opaque_identity (Graph.of_edges_reference ~n pair_list));
-    row "of-edges-packed" (fun () ->
-        Sys.opaque_identity (Graph.of_edge_array ~n pairs));
-    row "gdelta-list-seed" (fun () ->
-        let marks = seed_collect_marks (Rng.create 7) g ~delta in
-        Sys.opaque_identity (Graph.of_edges_reference ~n marks));
-    row "gdelta-packed" (fun () ->
-        Sys.opaque_identity (Gdelta.sparsify (Rng.create 7) g ~delta));
-    row "par-gdelta-seq" (fun () ->
-        Sys.opaque_identity
-          (Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta));
-    row "par-gdelta-2dom" (fun () ->
-        Sys.opaque_identity
-          (Mspar_parallel.Par_gdelta.sparsify ~num_domains:2 ~seed:7 g ~delta));
-    row "par-gdelta-4dom" (fun () ->
-        Sys.opaque_identity
-          (Mspar_parallel.Par_gdelta.sparsify ~num_domains:4 ~seed:7 g ~delta));
-  ]
+  let codes = Array.map (fun (u, v) -> Graph.pack ~shift u v) pairs in
+  let pool1 = Pool.create ~num_domains:1 () in
+  let pool2 = Pool.create ~num_domains:2 () in
+  let pool4 = Pool.create ~num_domains:4 () in
+  let pool8 = Pool.create ~num_domains:8 () in
+  Fun.protect
+    ~finally:(fun () -> List.iter Pool.shutdown [ pool1; pool2; pool4; pool8 ])
+    (fun () ->
+      (* correctness guards double as pool warm-up *)
+      require "parallel CSR builder mismatches of_packed"
+        (Graph.equal
+           (Graph.of_packed ~n (Array.copy codes))
+           (Graph.of_packed_par ~pool:pool4 ~n (Array.copy codes)));
+      let seq = Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta in
+      require "4-domain pooled sparsifier mismatches sequential"
+        (Graph.equal seq
+           (Mspar_parallel.Par_gdelta.sparsify ~pool:pool4 ~seed:7 g ~delta));
+      ignore (Mspar_parallel.Par_gdelta.sparsify ~pool:pool2 ~seed:7 g ~delta);
+      ignore (Mspar_parallel.Par_gdelta.sparsify ~pool:pool8 ~seed:7 g ~delta);
+      let tag name =
+        Printf.sprintf "construction/%s/n%d-m%d-d%d" name n (Graph.m g) delta
+      in
+      let row name f = (tag name, best_of ~repeats f) in
+      [
+        row "of-edges-list-seed" (fun () ->
+            Sys.opaque_identity (Graph.of_edges_reference ~n pair_list));
+        row "of-edges-packed" (fun () ->
+            Sys.opaque_identity (Graph.of_edge_array ~n pairs));
+        (* both CSR builders mutate their input prefix, so each timed run
+           pays one identical Array.copy of the packed codes *)
+        row "csr-build/seq" (fun () ->
+            Sys.opaque_identity (Graph.of_packed ~n (Array.copy codes)));
+        row "csr-build/par" (fun () ->
+            Sys.opaque_identity
+              (Graph.of_packed_par ~pool:pool4 ~n (Array.copy codes)));
+        row "gdelta-list-seed" (fun () ->
+            let marks = seed_collect_marks (Rng.create 7) g ~delta in
+            Sys.opaque_identity (Graph.of_edges_reference ~n marks));
+        row "gdelta-packed" (fun () ->
+            Sys.opaque_identity (Gdelta.sparsify (Rng.create 7) g ~delta));
+        row "par-gdelta-seq" (fun () ->
+            Sys.opaque_identity
+              (Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta));
+        row "par-gdelta-pool-1dom" (fun () ->
+            Sys.opaque_identity
+              (Mspar_parallel.Par_gdelta.sparsify ~pool:pool1 ~seed:7 g ~delta));
+        row "par-gdelta-pool-2dom" (fun () ->
+            Sys.opaque_identity
+              (Mspar_parallel.Par_gdelta.sparsify ~pool:pool2 ~seed:7 g ~delta));
+        row "par-gdelta-pool-4dom" (fun () ->
+            Sys.opaque_identity
+              (Mspar_parallel.Par_gdelta.sparsify ~pool:pool4 ~seed:7 g ~delta));
+        row "par-gdelta-pool-8dom" (fun () ->
+            Sys.opaque_identity
+              (Mspar_parallel.Par_gdelta.sparsify ~pool:pool8 ~seed:7 g ~delta));
+      ])
+
+(* Pooled speedup curve (fresh warmed pool per domain count); emitted as
+   its own CSV so scaling runs are diffable across machines.  The title's
+   first token is the CSV slug: bench_csv/par-scaling.csv. *)
+let scaling_table () =
+  let n, m, delta = (100_000, 5_000_000, 32) in
+  let rng = Rng.create 20200715 in
+  let g = Graph.of_edge_array ~n (random_edge_array rng ~n ~m) in
+  let times =
+    Mspar_parallel.Par_gdelta.time_comparison ~seed:7 g ~delta
+      ~domains:[ 1; 2; 4; 8 ]
+  in
+  let base = match times with (_, ms) :: _ -> ms | [] -> 1.0 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "par-scaling (pooled G_delta, n=%d m=%d d=%d)" n
+           (Graph.m g) delta)
+      ~columns:[ "domains"; "ms"; "speedup-vs-1dom" ]
+  in
+  List.iter
+    (fun (d, ms) ->
+      Table.add_row table
+        [ string_of_int d; Printf.sprintf "%.1f" ms; Printf.sprintf "%.2f" (base /. ms) ])
+    times;
+  table
+
+let find_row rows key =
+  match List.find_opt (fun (name, _) -> String.length name >= String.length key
+      && String.sub name 0 (String.length key) = key) rows with
+  | Some (_, ns) -> ns
+  | None -> failwith ("micro-bench: missing row " ^ key)
 
 let smoke () =
+  let rows = construction_rows ~full:false in
   let table =
     Table.create ~title:"micro-smoke (construction path, tiny sizes)"
       ~columns:[ "kernel"; "ns/run" ]
   in
   List.iter
     (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
-    (construction_rows ~full:false);
-  Table.print table
+    rows;
+  Table.print table;
+  (* wiring guard: a 1-domain pool takes the sequential path inside
+     sparsify, so the pooled entry point must not cost more than the
+     sequential one beyond noise (lenient: 1.5x plus 50ms absolute slack,
+     as CI boxes jitter) *)
+  let seq = find_row rows "construction/par-gdelta-seq/" in
+  let pooled = find_row rows "construction/par-gdelta-pool-1dom/" in
+  if
+    Int64.to_float pooled
+    > (1.5 *. Int64.to_float seq) +. 50_000_000.0
+  then
+    failwith
+      (Printf.sprintf
+         "micro-bench: pooled 1-domain path is slower than sequential beyond \
+          tolerance (%Ld ns vs %Ld ns)"
+         pooled seq)
 
 let run ?(construction = `Smoke) () =
   let tests = Test.make_grouped ~name:"mspar" ~fmt:"%s %s" (make_tests ()) in
@@ -219,4 +305,5 @@ let run ?(construction = `Smoke) () =
   List.iter
     (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
     (construction_rows ~full:(construction = `Full));
-  Experiments.emit table
+  Experiments.emit table;
+  if construction = `Full then Experiments.emit (scaling_table ())

@@ -14,9 +14,40 @@ type result = {
   match_ns : int64;
 }
 
-let run ?(multiplier = 2.0) ?(matcher = Approx_eps) ?rule rng g ~beta ~eps =
+(* The pooled fast path: construct G_Δ with the multicore builder on a
+   persistent domain pool.  Only the §3.1 mark-all-at-most-2Δ rule is
+   implemented in Par_gdelta, so any other explicit rule falls back to the
+   sequential Gdelta.  One seed drawn from [rng] keys the per-vertex
+   counter RNGs, so the run is still a pure function of the caller's
+   generator state.  Under the §3.1 rule every adjacency probe emits
+   exactly one mark (deg reads for kept neighborhoods, Δ sampled reads
+   otherwise), so [marks = probes]. *)
+let sparsify_pooled pool rng g ~delta =
+  Graph.reset_probes g;
+  let seed = Int64.to_int (Rng.bits64 rng) in
+  let sparsifier, build_ns =
+    Clock.time_ns (fun () ->
+        Mspar_parallel.Par_gdelta.sparsify ~pool ~seed g ~delta)
+  in
+  let probes = Graph.probes g in
+  ( sparsifier,
+    {
+      Gdelta.delta;
+      marks = probes;
+      edges = Graph.m sparsifier;
+      probes;
+      build_ns;
+    } )
+
+let run ?(multiplier = 2.0) ?(matcher = Approx_eps) ?rule ?pool rng g ~beta ~eps
+    =
   let delta = Delta_param.scaled ~multiplier ~beta ~eps in
-  let sparsifier, stats = Gdelta.sparsify ?rule rng g ~delta in
+  let sparsifier, stats =
+    match (pool, rule) with
+    | Some p, (None | Some Gdelta.Mark_all_at_most_two_delta) ->
+        sparsify_pooled p rng g ~delta
+    | (Some _ | None), _ -> Gdelta.sparsify ?rule rng g ~delta
+  in
   let matching, match_ns =
     Clock.time_ns (fun () ->
         match matcher with

@@ -28,13 +28,23 @@ val run :
   ?multiplier:float ->
   ?matcher:matcher ->
   ?rule:Gdelta.mark_rule ->
+  ?pool:Pool.t ->
   Rng.t ->
   Graph.t ->
   beta:int ->
   eps:float ->
   result
 (** [(1+ε)-approximate] matching of a graph with neighborhood independence
-    ≤ beta.  Default matcher {!Approx_eps}, default Δ-multiplier 2.0. *)
+    ≤ beta.  Default matcher {!Approx_eps}, default Δ-multiplier 2.0.
+
+    When [pool] is given and the marking rule is the default §3.1
+    mark-all-at-most-2Δ rule, sparsification runs on the pool via
+    {!Mspar_parallel.Par_gdelta.sparsify} (per-vertex counter RNGs seeded
+    from one draw of [rng], so the result is still deterministic in the
+    caller's generator state — though not edge-for-edge identical to the
+    sequential {!Gdelta} path, which consumes [rng] differently).  Any
+    other explicit [rule] ignores [pool] and takes the sequential path;
+    probe accounting stays exact either way. *)
 
 val sublinearity_ratio : result -> float
 (** probes on input / 2m — below 1.0 means the pipeline read less than the

@@ -1,5 +1,6 @@
 module Edgebuf = Mspar_prelude.Edgebuf
 module Isort = Mspar_prelude.Isort
+module Pool = Mspar_prelude.Pool
 
 type edge = int * int
 
@@ -139,6 +140,170 @@ let build_packed ~n ~shift codes len =
   { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
 
 (* ------------------------------------------------------------------ *)
+(* Parallel CSR builder                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Multi-domain counterpart of [build_packed].  Input is an array of code
+   chunks [(storage, off, len)] — typically one per collecting domain — and
+   the output is the canonical CSR, so it is bit-for-bit identical to
+   [build_packed] over the chunks' concatenation (both emit the sorted,
+   deduplicated edge set; the CSR of a fixed edge set is unique).
+
+   The phases, with their parallelism (C = #chunks, P = pool size,
+   L = total code count):
+
+     1. normalise + per-chunk major-key histogram   parallel over chunks
+     2. histogram merge -> block starts + cursors   sequential, O(n·C)
+     3. scatter codes into per-vertex blocks        parallel over chunks
+     4. per-block sort + dedup + minor histogram    parallel over u-ranges
+     5. degrees, offsets, pass-A cursors            sequential, O(n·P)
+     6. two-sided adjacency fill                    parallel over u-ranges
+
+   Phase 3 replaces both the sequential concat copy (each domain scatters
+   straight from its own buffer) and the global counting sort (codes land
+   grouped by their smaller endpoint; phase 4 only sorts within blocks).
+   Phases 4 and 6 split [0, n) with the pool's deterministic
+   [chunk_bounds], so the per-range minor histograms of phase 4 are valid
+   cursor bases for the same ranges in phase 6.
+
+   Races: chunks/ranges write disjoint index sets everywhere.  In phase 6,
+   range r writes (a) slots [offsets.(u) + minor_total.(u) ..] for its own
+   majors u — owned exclusively — and (b) smaller-endpoint slots of
+   arbitrary blocks v at per-range cursor windows carved out of
+   [offsets.(v) .. offsets.(v) + minor_total.(v)) in phase 5 — disjoint by
+   construction, and ordered so every block is born sorted exactly as in
+   the sequential two-pass fill. *)
+let build_packed_par ~pool ~n ~shift chunks =
+  let nchunks = Array.length chunks in
+  let mask = (1 lsl shift) - 1 in
+  let scratch = Int.max n 1 in
+  (* 1. per chunk: drop self-loops, orient u < v, compact in place, and
+     histogram the (normalised) major keys *)
+  let hist = Array.init (Int.max nchunks 1) (fun _ -> Array.make scratch 0) in
+  let lens = Array.make (Int.max nchunks 1) 0 in
+  Pool.parallel_for_ranges pool ~chunks:(Int.max nchunks 1) ~n:nchunks
+    (fun ~chunk:_ ~lo ~hi ->
+      for k = lo to hi - 1 do
+        let storage, off, len = chunks.(k) in
+        let h = hist.(k) in
+        let w = ref off in
+        for i = off to off + len - 1 do
+          let c = Array.unsafe_get storage i in
+          if c < 0 || c lsr shift >= n || c land mask >= n then
+            invalid_arg "Graph.of_packed_par: code out of range";
+          let u = c lsr shift and v = c land mask in
+          if u <> v then begin
+            let c = if u < v then c else (v lsl shift) lor u in
+            Array.unsafe_set storage !w c;
+            let u = c lsr shift in
+            Array.unsafe_set h u (Array.unsafe_get h u + 1);
+            incr w
+          end
+        done;
+        lens.(k) <- !w - off
+      done);
+  (* 2. merge histograms: global block starts per major key, plus each
+     chunk's private scatter cursor (hist is rewritten in place) *)
+  let block_start = Array.make (n + 1) 0 in
+  let run = ref 0 in
+  for u = 0 to n - 1 do
+    block_start.(u) <- !run;
+    for k = 0 to nchunks - 1 do
+      let h = hist.(k) in
+      let c = h.(u) in
+      h.(u) <- !run;
+      run := !run + c
+    done
+  done;
+  block_start.(n) <- !run;
+  let total = !run in
+  (* 3. scatter: each chunk writes its own codes at its precomputed
+     cursors; [aux] ends up grouped by major key, majors ascending *)
+  let aux = Array.make (Int.max total 1) 0 in
+  Pool.parallel_for_ranges pool ~chunks:(Int.max nchunks 1) ~n:nchunks
+    (fun ~chunk:_ ~lo ~hi ->
+      for k = lo to hi - 1 do
+        let storage, off, _ = chunks.(k) in
+        let cur = hist.(k) in
+        for i = off to off + lens.(k) - 1 do
+          let c = Array.unsafe_get storage i in
+          let u = c lsr shift in
+          Array.unsafe_set aux (Array.unsafe_get cur u) c;
+          Array.unsafe_set cur u (Array.unsafe_get cur u + 1)
+        done
+      done);
+  (* 4. per major block: sort (blocks share the major key, so full-code
+     order is minor-key order), dedup in place, histogram the minors of
+     the unique codes per u-range *)
+  let nranges = Pool.size pool in
+  let mhist = Array.init nranges (fun _ -> Array.make scratch 0) in
+  let uniq = Array.make scratch 0 in
+  Pool.parallel_for_ranges pool ~chunks:nranges ~n (fun ~chunk ~lo ~hi ->
+      let mh = mhist.(chunk) in
+      for u = lo to hi - 1 do
+        let s = block_start.(u) and e = block_start.(u + 1) in
+        Isort.sort_range aux ~pos:s ~len:(e - s);
+        let w = ref s in
+        for i = s to e - 1 do
+          let c = Array.unsafe_get aux i in
+          if i = s || c <> Array.unsafe_get aux (!w - 1) then begin
+            Array.unsafe_set aux !w c;
+            incr w;
+            let v = c land mask in
+            Array.unsafe_set mh v (Array.unsafe_get mh v + 1)
+          end
+        done;
+        uniq.(u) <- !w - s
+      done);
+  (* 5. degrees = minor-side + major-side counts; prefix-sum into offsets;
+     rewrite mhist in place into pass-A cursors: range r's first write
+     slot for smaller-endpoint entries of block v *)
+  let minor_total = Array.make scratch 0 in
+  for v = 0 to n - 1 do
+    let s = ref 0 in
+    for r = 0 to nranges - 1 do
+      s := !s + mhist.(r).(v)
+    done;
+    minor_total.(v) <- !s
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  let maxdeg = ref 0 in
+  for v = 0 to n - 1 do
+    let d = minor_total.(v) + uniq.(v) in
+    if d > !maxdeg then maxdeg := d;
+    offsets.(v + 1) <- offsets.(v) + d
+  done;
+  for v = 0 to n - 1 do
+    let run = ref offsets.(v) in
+    for r = 0 to nranges - 1 do
+      let c = mhist.(r).(v) in
+      mhist.(r).(v) <- !run;
+      run := !run + c
+    done
+  done;
+  (* 6. fill: for each unique code (u, v) in global sorted order within a
+     range, write u into v's block (pass A, at the per-range cursor) and v
+     into u's block (pass B, after u's smaller neighbors).  Same visit
+     order as the sequential two-pass fill, so every block is born
+     sorted. *)
+  let adj = Array.make offsets.(n) 0 in
+  Pool.parallel_for_ranges pool ~chunks:nranges ~n (fun ~chunk ~lo ~hi ->
+      let acur = mhist.(chunk) in
+      for u = lo to hi - 1 do
+        let s = block_start.(u) in
+        let b = ref (offsets.(u) + minor_total.(u)) in
+        for i = s to s + uniq.(u) - 1 do
+          let c = Array.unsafe_get aux i in
+          let v = c land mask in
+          Array.unsafe_set adj (Array.unsafe_get acur v) u;
+          Array.unsafe_set acur v (Array.unsafe_get acur v + 1);
+          Array.unsafe_set adj !b v;
+          incr b
+        done
+      done);
+  { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
+
+(* ------------------------------------------------------------------ *)
 (* Reference (seed) list-based builder                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -235,6 +400,34 @@ let of_packed ~n ?len codes =
       build_packed ~n ~shift codes len
 
 let of_edgebuf ~n buf = of_packed ~n ~len:(Edgebuf.length buf) (Edgebuf.data buf)
+
+let of_packed_par ~pool ~n ?len codes =
+  if n < 0 then invalid_arg "Graph.of_packed_par: negative n";
+  let len = match len with Some l -> l | None -> Array.length codes in
+  if len < 0 || len > Array.length codes then
+    invalid_arg "Graph.of_packed_par: bad length";
+  match pack_shift ~n with
+  | None ->
+      invalid_arg
+        "Graph.of_packed_par: n exceeds the packable range (use of_edges)"
+  | Some shift ->
+      let p = Pool.size pool in
+      let chunks =
+        Array.init p (fun k ->
+            let lo, hi = Pool.chunk_bounds ~chunks:p ~n:len k in
+            (codes, lo, hi - lo))
+      in
+      build_packed_par ~pool ~n ~shift chunks
+
+let of_edgebufs_par ~pool ~n bufs =
+  if n < 0 then invalid_arg "Graph.of_edgebufs_par: negative n";
+  match pack_shift ~n with
+  | None ->
+      invalid_arg
+        "Graph.of_edgebufs_par: n exceeds the packable range (use of_edges)"
+  | Some shift ->
+      build_packed_par ~pool ~n ~shift
+        (Array.map (fun b -> (Edgebuf.data b, 0, Edgebuf.length b)) bufs)
 
 (* ------------------------------------------------------------------ *)
 (* Probe-counted access                                               *)

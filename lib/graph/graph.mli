@@ -75,6 +75,31 @@ val of_edgebuf : n:int -> Mspar_prelude.Edgebuf.t -> t
 (** {!of_packed} over an {!Mspar_prelude.Edgebuf}'s contents (which are
     mutated, like the array above). *)
 
+val of_packed_par :
+  pool:Mspar_prelude.Pool.t -> n:int -> ?len:int -> int array -> t
+(** Multi-domain {!of_packed}: the prefix is split into one contiguous
+    chunk per pool worker, and the CSR is assembled by per-chunk degree
+    histograms merged with a prefix sum, a parallel scatter of each
+    chunk's codes into the final per-vertex blocks, and a parallel
+    per-block sort/dedup — no sequential concat copy and no global
+    sequential counting sort.  The output is bit-for-bit identical to
+    {!of_packed} on the same prefix (both emit the canonical CSR of the
+    deduplicated edge set); with a size-1 pool everything runs on the
+    caller.  Like {!of_packed}, the prefix of [codes] is mutated, and it
+    is left in an unspecified partially-normalised state if validation
+    fails.
+    @raise Invalid_argument if [n] is outside the packable range or a code
+    does not decode to endpoints in [\[0, n)]. *)
+
+val of_edgebufs_par :
+  pool:Mspar_prelude.Pool.t -> n:int -> Mspar_prelude.Edgebuf.t array -> t
+(** {!of_packed_par} over per-domain mark buffers, one chunk per buffer
+    (buffers may be empty and their count need not match the pool size).
+    Equivalent to {!of_packed} over the buffers' concatenation, without
+    ever materialising the concatenation; buffer contents are mutated.
+    @raise Invalid_argument if [n] is outside the packable range or a code
+    does not decode to endpoints in [\[0, n)]. *)
+
 val n : t -> int
 (** Number of vertices. *)
 

@@ -46,7 +46,11 @@ let collect_range_packed g ~seed ~delta ~shift lo hi =
   done;
   buf
 
-(* boxed fallback for vertex counts beyond the packable range *)
+(* Boxed fallback for vertex counts beyond the packable range.  The final
+   [List.rev] restores emission order (v ascending, then adjacency/draw
+   order within v) so this path feeds the builder in exactly the order the
+   packed collector pushes codes — the two fallbacks stay diff-testable
+   against each other mark-for-mark, not just graph-for-graph. *)
 let collect_range_list g ~seed ~delta lo hi =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let acc = ref [] in
@@ -60,7 +64,7 @@ let collect_range_list g ~seed ~delta lo hi =
           acc := (v, Graph.neighbor g v i) :: !acc)
     end
   done;
-  !acc
+  List.rev !acc
 
 let sequential ~seed g ~delta =
   if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
@@ -70,66 +74,57 @@ let sequential ~seed g ~delta =
       Graph.of_edgebuf ~n:nv (collect_range_packed g ~seed ~delta ~shift 0 nv)
   | None -> Graph.of_edges ~n:nv (collect_range_list g ~seed ~delta 0 nv)
 
-let default_domains () = Int.min 8 (Domain.recommended_domain_count ())
+let default_domains () = Pool.default_size ()
 
-let sparsify ?num_domains ~seed g ~delta =
+let sparsify ?pool ?num_domains ~seed g ~delta =
   if delta < 1 then invalid_arg "Par_gdelta: delta >= 1";
-  let nd = Int.max 1 (match num_domains with Some d -> d | None -> default_domains ()) in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let nd =
+    Int.max 1 (match num_domains with Some d -> d | None -> Pool.size pool)
+  in
   let nv = Graph.n g in
-  if nd = 1 || nv < 2 * nd then sequential ~seed g ~delta
+  if nd = 1 then sequential ~seed g ~delta
   else begin
     match Graph.pack_shift ~n:nv with
     | None ->
-        (* overflow guard tripped: boxed fallback, still deterministic *)
-        let chunk = (nv + nd - 1) / nd in
-        let worker i () =
-          let lo = i * chunk and hi = Int.min nv ((i + 1) * chunk) in
-          if lo >= hi then [] else collect_range_list g ~seed ~delta lo hi
-        in
-        let domains =
-          List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
-        in
-        let first = worker 0 () in
-        let rest = List.map Domain.join domains in
-        Graph.of_edges ~n:nv (List.concat (first :: rest))
+        (* overflow guard tripped: boxed fallback, still deterministic —
+           chunks are concatenated in vertex order *)
+        let parts = Array.make nd [] in
+        Pool.parallel_for_ranges pool ~chunks:nd ~n:nv
+          (fun ~chunk ~lo ~hi ->
+            if lo < hi then parts.(chunk) <- collect_range_list g ~seed ~delta lo hi);
+        Graph.of_edges ~n:nv (List.concat (Array.to_list parts))
     | Some shift ->
         (* Workers only read the CSR arrays; probe accounting goes through
            the graph's atomic counter (batched per vertex), so totals are
            exact in parallel mode.  The sparsifier content depends only on
-           (seed, v) and is race-free. *)
-        let chunk = (nv + nd - 1) / nd in
-        let worker i () =
-          let lo = i * chunk and hi = Int.min nv ((i + 1) * chunk) in
-          if lo >= hi then Edgebuf.create ~initial_capacity:1 ()
-          else collect_range_packed g ~seed ~delta ~shift lo hi
+           (seed, v) and is race-free; the canonical parallel CSR build
+           makes the result invariant in both the chunk count and the pool
+           size. *)
+        let bufs =
+          Array.init nd (fun _ -> Edgebuf.create ~initial_capacity:1 ())
         in
-        let domains =
-          List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1)))
-        in
-        let first = worker 0 () in
-        let rest = List.map Domain.join domains in
-        (* concatenate per-domain buffers into one flat code array, in
-           domain (= vertex) order, and hand it to the counting-sort CSR
-           builder *)
-        let bufs = first :: rest in
-        let total =
-          List.fold_left (fun acc b -> acc + Edgebuf.length b) 0 bufs
-        in
-        let codes = Array.make (Int.max total 1) 0 in
-        let pos = ref 0 in
-        List.iter
-          (fun b ->
-            Edgebuf.blit_into b codes !pos;
-            pos := !pos + Edgebuf.length b)
-          bufs;
-        Graph.of_packed ~n:nv ~len:total codes
+        Pool.parallel_for_ranges pool ~chunks:nd ~n:nv
+          (fun ~chunk ~lo ~hi ->
+            if lo < hi then
+              bufs.(chunk) <- collect_range_packed g ~seed ~delta ~shift lo hi);
+        (* per-domain buffers feed the parallel CSR builder directly — no
+           concatenation copy, no sequential counting sort *)
+        Graph.of_edgebufs_par ~pool ~n:nv bufs
   end
 
 let time_comparison ~seed g ~delta ~domains =
   List.map
     (fun d ->
-      let _, ns =
-        Clock.time_ns (fun () -> ignore (sparsify ~num_domains:d ~seed g ~delta))
-      in
-      (d, Clock.ns_to_ms ns))
+      let pool = Pool.create ~num_domains:d () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          (* warm-up: pay the lazy Domain.spawn cost outside the timer, as
+             a long-running process would *)
+          ignore (sparsify ~pool ~seed g ~delta);
+          let _, ns =
+            Clock.time_ns (fun () -> ignore (sparsify ~pool ~seed g ~delta))
+          in
+          (d, Clock.ns_to_ms ns)))
     domains

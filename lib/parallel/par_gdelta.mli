@@ -3,40 +3,62 @@
     The sparsifier construction is embarrassingly parallel: each vertex's
     marking is independent of every other vertex's (the very independence the
     proof of Theorem 2.1 exploits).  This module partitions the vertex set
-    across domains, each marking its vertices into a private buffer; buffers
-    are concatenated at the end.
+    across the chunks of a persistent {!Mspar_prelude.Pool}, each chunk
+    marking its vertices into a private packed buffer; the buffers feed the
+    parallel CSR builder {!Graph.of_edgebufs_par} directly, so neither the
+    buffer concatenation nor the counting sort ever runs sequentially, and
+    the pool's worker domains are spawned once per process rather than once
+    per call.
 
     Determinism across schedules: every vertex derives its own generator
     from [(seed, v)] by a splitmix-style hash, so the output is a pure
     function of [(seed, g, delta)] — identical for any number of domains,
-    and identical to the sequential reference {!sequential}.  (This is the
-    standard counter-based-RNG recipe for reproducible parallel Monte
-    Carlo.)
+    any chunk count, and identical to the sequential reference
+    {!sequential}.  (This is the standard counter-based-RNG recipe for
+    reproducible parallel Monte Carlo.)
 
-    Marks are collected into per-domain packed {!Mspar_prelude.Edgebuf}
-    buffers (one int per mark), concatenated into a single flat array at
-    join, and turned into a CSR graph by {!Graph.of_packed} — no boxed
-    lists anywhere.  Probe accounting goes through the graph's atomic
-    counter with one batched update per sampled vertex, so parallel probe
-    totals are exact, not racy under-counts. *)
+    Probe accounting goes through the graph's atomic counter with one
+    batched update per sampled vertex, so parallel probe totals are exact,
+    not racy under-counts. *)
 
+open Mspar_prelude
 open Mspar_graph
 
-val vertex_rng : seed:int -> int -> Mspar_prelude.Rng.t
+val vertex_rng : seed:int -> int -> Rng.t
 (** The per-vertex generator; exposed so tests can pin the contract. *)
+
+val collect_range_list :
+  Graph.t -> seed:int -> delta:int -> int -> int -> (int * int) list
+(** [collect_range_list g ~seed ~delta lo hi] is the boxed fallback
+    collector for vertex counts beyond {!Graph.pack_shift}'s packable
+    range: the §3.1 marks of vertices [\[lo, hi)] as [(v, u)] pairs, in
+    emission order (vertices ascending; within a vertex, adjacency order
+    for the keep-all case and draw order for the sampled case) — the same
+    order the packed collector pushes codes.  Exposed so the order
+    contract is testable; the packed path is what normally runs. *)
 
 val sequential : seed:int -> Graph.t -> delta:int -> Graph.t
 (** Single-domain reference with the per-vertex seeding discipline.  Uses
     the §3.1 mark-all-at-most-2Δ rule, like {!Mspar_core.Gdelta}.
     @raise Invalid_argument if [delta < 1]. *)
 
-val sparsify : ?num_domains:int -> seed:int -> Graph.t -> delta:int -> Graph.t
-(** Parallel construction over [num_domains] domains (default:
-    [Domain.recommended_domain_count ()], capped at 8).  Output is equal to
-    {!sequential} with the same seed.
+val default_domains : unit -> int
+(** The default parallelism: {!Mspar_prelude.Pool.default_size} — the
+    [MSPAR_DOMAINS] environment override when set, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val sparsify :
+  ?pool:Pool.t -> ?num_domains:int -> seed:int -> Graph.t -> delta:int -> Graph.t
+(** Parallel construction over [num_domains] vertex chunks (default: the
+    pool's size) executed on [pool] (default: the process-wide
+    {!Mspar_prelude.Pool.get_default}).  Output equals {!sequential} with
+    the same seed for every pool size and chunk count; with one chunk the
+    sequential path runs directly and the pool is never started.
     @raise Invalid_argument if [delta < 1]. *)
 
 val time_comparison :
   seed:int -> Graph.t -> delta:int -> domains:int list -> (int * float) list
 (** [(d, milliseconds)] per domain count — the speedup curve for the
-    benchmark harness. *)
+    benchmark harness.  Each measurement uses a fresh warmed pool of [d]
+    domains, so it reflects the amortised steady state, not the spawn
+    cost. *)

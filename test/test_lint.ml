@@ -140,6 +140,29 @@ let test_msp007 () =
        "exception E\nlet find x = try if x < 0 then raise E else x with E -> 0")
 
 (* ---------------------------------------------------------------- *)
+(* MSP008: Domain.spawn outside the pool                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp008 () =
+  check_fires "raw spawn in library code" "MSP008"
+    (lint ~file:"lib/parallel/foo.ml"
+       "let f () = Domain.join (Domain.spawn (fun () -> 1))");
+  check_fires "qualified spawn" "MSP008"
+    (lint ~file:"lib/core/foo.ml" "let f () = Stdlib.Domain.spawn (fun () -> ())");
+  check_fires "spawn in bench code" "MSP008"
+    (lint ~file:"bench/foo.ml" "let f () = Domain.spawn (fun () -> ())");
+  check_silent "pool.ml is the blessed home" "MSP008"
+    (lint ~file:"lib/prelude/pool.ml" "let f () = Domain.spawn (fun () -> ())");
+  check_silent "pool consumers are clean" "MSP008"
+    (lint ~file:"lib/parallel/foo.ml"
+       "let f p ~n g = Pool.parallel_for_ranges p ~n g");
+  check_silent "other Domain functions are fine" "MSP008"
+    (lint ~file:"lib/prelude/foo.ml" "let f () = Domain.recommended_domain_count ()");
+  check_silent "lint.allow escape" "MSP008"
+    (lint ~file:"lib/core/foo.ml"
+       "let f () = Domain.spawn (fun () -> ()) [@@lint.allow \"MSP008\"]")
+
+(* ---------------------------------------------------------------- *)
 (* suppression: [@lint.allow] and the baseline                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -222,6 +245,7 @@ let () =
           Alcotest.test_case "MSP005 obj/marshal" `Quick test_msp005;
           Alcotest.test_case "MSP006 mli" `Quick test_msp006;
           Alcotest.test_case "MSP007 raise contract" `Quick test_msp007;
+          Alcotest.test_case "MSP008 domain spawn" `Quick test_msp008;
         ] );
       ( "suppression",
         [

@@ -85,6 +85,123 @@ let test_parallel_probe_exactness () =
         !expected (Graph.probes g))
     [ 2; 3; 4; 8 ]
 
+let test_explicit_pool_equals_sequential () =
+  (* sparsify on a caller-supplied pool: the pool size sets the default
+     chunking, and the result must not depend on either *)
+  let rng = Rng.create 21 in
+  let zoo =
+    [
+      (Gen.complete 60, 4);
+      (Gen.gnp rng ~n:80 ~p:0.3, 3);
+      (Gen.empty 10, 2);
+      (Gen.path 2, 1);
+      (Gen.complete 3, 1);
+    ]
+  in
+  List.iter
+    (fun nd ->
+      let pool = Pool.create ~num_domains:nd () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          List.iter
+            (fun (g, delta) ->
+              let reference = Par_gdelta.sequential ~seed:42 g ~delta in
+              let s = Par_gdelta.sparsify ~pool ~seed:42 g ~delta in
+              check_bool
+                (Printf.sprintf "pool=%d n=%d equals sequential" nd (Graph.n g))
+                true
+                (Graph.equal s reference);
+              (* more chunks than vertices: some ranges are empty *)
+              let s7 = Par_gdelta.sparsify ~pool ~num_domains:7 ~seed:42 g ~delta in
+              check_bool
+                (Printf.sprintf "pool=%d chunks=7 n=%d equals sequential" nd (Graph.n g))
+                true
+                (Graph.equal s7 reference))
+            zoo))
+    [ 1; 2; 4 ]
+
+let test_pool_probe_exactness () =
+  (* probe exactness must survive real worker domains, not just the
+     caller-inline path *)
+  let check_int = Alcotest.(check int) in
+  let rng = Rng.create 78 in
+  let g = Gen.gnp rng ~n:250 ~p:0.25 in
+  let delta = 3 in
+  let expected = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let d = Graph.degree g v in
+    expected := !expected + (if d <= 2 * delta then d else delta)
+  done;
+  List.iter
+    (fun nd ->
+      let pool = Pool.create ~num_domains:nd () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          for trial = 1 to 3 do
+            Graph.reset_probes g;
+            ignore (Par_gdelta.sparsify ~pool ~seed:5 g ~delta);
+            check_int
+              (Printf.sprintf "pool=%d trial=%d probes exact" nd trial)
+              !expected (Graph.probes g)
+          done))
+    [ 2; 4 ]
+
+let test_collect_range_list_order () =
+  (* regression: the boxed collector must emit marks in vertex-ascending,
+     adjacency order — it used to return them reversed.  On a graph whose
+     degrees are all <= 2Δ the marks are exactly the adjacency lists. *)
+  let g = Graph.of_edges ~n:5 [ (0, 1); (0, 3); (1, 2); (2, 4); (3, 4) ] in
+  let delta = 3 in
+  let expected = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    let row = Graph.fold_neighbors g v ~init:[] ~f:(fun acc u -> u :: acc) in
+    expected := List.map (fun u -> (v, u)) (List.rev row) @ !expected
+  done;
+  let got = Par_gdelta.collect_range_list g ~seed:0 ~delta 0 (Graph.n g) in
+  check_bool "emission order is vertex-ascending adjacency order" true
+    (got = !expected);
+  (* a sub-range emits exactly that range's marks, in place *)
+  let mid = Par_gdelta.collect_range_list g ~seed:0 ~delta 1 3 in
+  check_bool "sub-range order" true
+    (mid = List.filter (fun (v, _) -> v = 1 || v = 2) !expected)
+
+let test_pipeline_pool_path () =
+  (* the core pipeline's ~pool fast path: same probe accounting contract as
+     the sequential path, valid matching, deterministic in the rng state *)
+  let module Pipeline = Mspar_core.Pipeline in
+  let rng = Rng.create 31 in
+  let g = Gen.gnp rng ~n:200 ~p:0.3 in
+  let pool = Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let r1 = Pipeline.run ~pool (Rng.create 9) g ~beta:4 ~eps:0.5 in
+      let r2 = Pipeline.run ~pool (Rng.create 9) g ~beta:4 ~eps:0.5 in
+      check_bool "deterministic in rng state" true
+        (Mspar_matching.Matching.size r1.Pipeline.matching
+        = Mspar_matching.Matching.size r2.Pipeline.matching
+        && r1.Pipeline.probes_on_input = r2.Pipeline.probes_on_input);
+      check_bool "matching is over the input graph" true
+        (Mspar_matching.Matching.is_valid g r1.Pipeline.matching);
+      (* probes match the closed form for the §3.1 rule at the chosen Δ *)
+      let delta = r1.Pipeline.delta in
+      let expected = ref 0 in
+      for v = 0 to Graph.n g - 1 do
+        let d = Graph.degree g v in
+        expected := !expected + (if d <= 2 * delta then d else delta)
+      done;
+      Alcotest.(check int) "pooled probe accounting" !expected
+        r1.Pipeline.probes_on_input;
+      (* an explicit non-default rule must fall back, not crash *)
+      let r3 =
+        Pipeline.run ~pool ~rule:Mspar_core.Gdelta.Mark_all_at_most_two_delta
+          (Rng.create 9) g ~beta:4 ~eps:0.5
+      in
+      check_bool "explicit default rule stays pooled" true
+        (r3.Pipeline.probes_on_input = r1.Pipeline.probes_on_input))
+
 let test_time_comparison_runs () =
   let g = Gen.complete 120 in
   let times = Par_gdelta.time_comparison ~seed:1 g ~delta:4 ~domains:[ 1; 2 ] in
@@ -115,6 +232,14 @@ let () =
           Alcotest.test_case "quality" `Quick test_parallel_quality;
           Alcotest.test_case "probe exactness" `Quick
             test_parallel_probe_exactness;
+          Alcotest.test_case "explicit pool = sequential" `Quick
+            test_explicit_pool_equals_sequential;
+          Alcotest.test_case "pool probe exactness" `Quick
+            test_pool_probe_exactness;
+          Alcotest.test_case "collect_range_list order" `Quick
+            test_collect_range_list_order;
+          Alcotest.test_case "pipeline pool path" `Quick
+            test_pipeline_pool_path;
           Alcotest.test_case "timing runs" `Quick test_time_comparison_runs;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest qcheck_parallel_pure ]);

@@ -460,6 +460,120 @@ let qcheck_isort_matches_stdlib =
       Array.sort compare theirs;
       mine = theirs)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_chunk_bounds () =
+  (* the ranges partition [0, n) in order, with sizes differing by <= 1 *)
+  List.iter
+    (fun (chunks, n) ->
+      let expected_lo = ref 0 in
+      let sizes = ref [] in
+      for k = 0 to chunks - 1 do
+        let lo, hi = Pool.chunk_bounds ~chunks ~n k in
+        check (Printf.sprintf "lo contiguous (c=%d n=%d k=%d)" chunks n k) !expected_lo lo;
+        check_bool "ordered" true (lo <= hi);
+        expected_lo := hi;
+        sizes := (hi - lo) :: !sizes
+      done;
+      check (Printf.sprintf "covers [0,%d)" n) n !expected_lo;
+      let mn, mx =
+        List.fold_left (fun (a, b) s -> (min a s, max b s)) (max_int, 0) !sizes
+      in
+      check_bool "balanced" true (chunks = 0 || mx - mn <= 1))
+    [ (1, 0); (1, 10); (3, 10); (4, 4); (7, 3); (8, 100); (5, 0) ]
+
+let test_pool_parallel_for_covers () =
+  let pool = Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      check "size" 3 (Pool.size pool);
+      List.iter
+        (fun (chunks, n) ->
+          let hits = Array.make (max n 1) 0 in
+          Pool.parallel_for_ranges pool ?chunks ~n (fun ~chunk ~lo ~hi ->
+              check_bool "chunk id in range" true (chunk >= 0);
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          for i = 0 to n - 1 do
+            check (Printf.sprintf "index %d visited once (n=%d)" i n) 1 hits.(i)
+          done)
+        [ (None, 0); (None, 1); (None, 2); (None, 100); (Some 1, 50);
+          (Some 7, 10); (Some 7, 3); (Some 16, 1000) ])
+
+let test_pool_single_domain_never_spawns () =
+  (* a size-1 pool runs everything on the caller; observable via Domain.self *)
+  let pool = Pool.create ~num_domains:1 () in
+  let me = (Domain.self () :> int) in
+  let seen = ref [] in
+  Pool.parallel_for_ranges pool ~chunks:4 ~n:8 (fun ~chunk:_ ~lo:_ ~hi:_ ->
+      seen := (Domain.self () :> int) :: !seen);
+  check "all four chunks ran" 4 (List.length !seen);
+  List.iter (fun d -> check "on the caller's domain" me d) !seen;
+  Pool.shutdown pool
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (match
+         Pool.parallel_for_ranges pool ~chunks:4 ~n:4 (fun ~chunk ~lo:_ ~hi:_ ->
+             if chunk = 1 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected the chunk's exception to propagate"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      (* the pool is still usable after a failed job *)
+      let total = Atomic.make 0 in
+      Pool.parallel_for_ranges pool ~n:10 (fun ~chunk:_ ~lo ~hi ->
+          ignore (Atomic.fetch_and_add total (hi - lo)));
+      check "usable after failure" 10 (Atomic.get total))
+
+let test_pool_shutdown_and_restart () =
+  let pool = Pool.create ~num_domains:2 () in
+  let count () =
+    let total = Atomic.make 0 in
+    Pool.parallel_for_ranges pool ~n:7 (fun ~chunk:_ ~lo ~hi ->
+        ignore (Atomic.fetch_and_add total (hi - lo)));
+    Atomic.get total
+  in
+  check "first use" 7 (count ());
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  check "restarts lazily after shutdown" 7 (count ());
+  Pool.shutdown pool
+
+let test_pool_create_validation () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: num_domains must be in [1, 128]") (fun () ->
+      ignore (Pool.create ~num_domains:0 ()));
+  Alcotest.check_raises "too many domains"
+    (Invalid_argument "Pool.create: num_domains must be in [1, 128]") (fun () ->
+      ignore (Pool.create ~num_domains:129 ()))
+
+let test_pool_default_size_env () =
+  (* Unix.putenv is process-global; restore afterwards.  Sys.getenv_opt sees
+     putenv updates in OCaml's runtime. *)
+  let old = Sys.getenv_opt "MSPAR_DOMAINS" in
+  let restore () =
+    match old with Some v -> Unix.putenv "MSPAR_DOMAINS" v | None -> Unix.putenv "MSPAR_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "MSPAR_DOMAINS" "3";
+      check "env override" 3 (Pool.default_size ());
+      Unix.putenv "MSPAR_DOMAINS" "999";
+      check_bool "out-of-range ignored" true (Pool.default_size () >= 1);
+      Unix.putenv "MSPAR_DOMAINS" "zebra";
+      check_bool "garbage ignored" true (Pool.default_size () >= 1))
+
+let test_pool_get_default () =
+  let a = Pool.get_default () and b = Pool.get_default () in
+  check_bool "process-wide singleton" true (a == b);
+  check_bool "sized by default_size" true (Pool.size a >= 1)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -515,6 +629,23 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "table" `Quick test_table_smoke;
           Alcotest.test_case "clock" `Quick test_clock;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "chunk bounds" `Quick test_pool_chunk_bounds;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_pool_parallel_for_covers;
+          Alcotest.test_case "single domain runs inline" `Quick
+            test_pool_single_domain_never_spawns;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "shutdown and restart" `Quick
+            test_pool_shutdown_and_restart;
+          Alcotest.test_case "create validation" `Quick
+            test_pool_create_validation;
+          Alcotest.test_case "default_size env" `Quick
+            test_pool_default_size_env;
+          Alcotest.test_case "get_default" `Quick test_pool_get_default;
         ] );
       ("properties", qsuite);
     ]

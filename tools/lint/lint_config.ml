@@ -37,7 +37,7 @@ let default =
         "Graph.iter_edges";
       ];
     require_mli_dirs = [ "lib" ];
-    allows = [ ("MSP001", "lib/prelude/rng.ml") ];
+    allows = [ ("MSP001", "lib/prelude/rng.ml"); ("MSP008", "lib/prelude/pool.ml") ];
   }
 
 let empty =

@@ -16,6 +16,9 @@
    MSP006  interface discipline — every lib/ module has a .mli
    MSP007  raise contracts      — exported raising functions are _exn-named
                                   or carry @raise in their .mli doc
+   MSP008  pooled parallelism   — Domain.spawn only inside the domain pool
+                                  (lib/prelude/pool.ml); everything else runs
+                                  on a Pool.t so spawn cost stays amortised
 
    All detection is on the Parsetree (no typing pass), so the rules are
    deliberately syntactic approximations; [@lint.allow "MSPxxx"] exists for
@@ -110,6 +113,9 @@ let forbidden_module_path p =
   | "Marshal" | "Stdlib.Marshal" -> Some ("MSP005", "module Marshal is forbidden")
   | _ -> None
 
+let is_domain_spawn_path p =
+  match p with "Domain.spawn" | "Stdlib.Domain.spawn" -> true | _ -> false
+
 let check_ident ctx p loc =
   if is_random_path p then
     add ctx ~code:"MSP001" ~loc
@@ -128,6 +134,12 @@ let check_ident ctx p loc =
      in
      add ctx ~code:"MSP002" ~loc
        (Printf.sprintf "polymorphic %s in a hot-path directory; %s" p hint));
+  if is_domain_spawn_path p then
+    add ctx ~code:"MSP008" ~loc
+      (Printf.sprintf
+         "%s: raw domain spawning is reserved for the pool (lib/prelude/pool.ml); run the work \
+          on a Mspar_prelude.Pool.t so the spawn cost is paid once per process"
+         p);
   if ctx.congest && List.exists (String.equal p) ctx.cfg.congest_forbidden then
     add ctx ~code:"MSP003" ~loc
       (Printf.sprintf
