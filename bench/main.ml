@@ -14,6 +14,11 @@
                                               sweep (drop rate x retries)
      dune exec bench/main.exe -- fault-smoke - one asserted fault cell
                                               (the dune runtest hook)
+     dune exec bench/main.exe -- crash_soak  - crash-recover-verify soak of
+                                              the durable dynamic pipeline
+     dune exec bench/main.exe -- crash-smoke - the same soak at smoke size,
+                                              >=200 seeded crash points
+                                              (the dune runtest hook)
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -56,6 +61,10 @@ let () =
     incr ran;
     Fault_sweep.run ()
   end;
+  if wants "crash_soak" then begin
+    incr ran;
+    Crash_soak.run ()
+  end;
   (* the heavy full-size construction rows and the tiny smoke run must be
      asked for by name — they are not part of the default sweep *)
   let explicit name = List.mem name args in
@@ -71,13 +80,19 @@ let () =
     incr ran;
     Fault_sweep.smoke ()
   end;
+  if explicit "crash-smoke" then begin
+    incr ran;
+    Crash_soak.smoke ()
+  end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
     List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
     prerr_endline "  micro";
     prerr_endline "  fault_sweep";
+    prerr_endline "  crash_soak";
     prerr_endline "  construction";
     prerr_endline "  smoke";
     prerr_endline "  fault-smoke";
+    prerr_endline "  crash-smoke";
     exit 1
   end

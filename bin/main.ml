@@ -294,54 +294,148 @@ let dist_cmd =
 (* ------------------------------------------------------------------ *)
 
 let dynamic_cmd =
-  let run family n p radius seed eps beta multiplier steps input =
-    let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
-    let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+  let run family n p radius seed eps beta multiplier steps journal
+      snapshot_every audit_every recover input =
     let open Mspar_dynamic in
-    let dm =
-      Dyn_matching.create ~multiplier (Rng.create (seed + 1)) ~n:(Graph.n g)
-        ~beta ~eps
+    let report_matching dm =
+      let s = Dyn_matching.stats dm in
+      let final = Dyn_graph.snapshot (Dyn_matching.graph dm) in
+      let opt = Matching.size (Blossom.solve final) in
+      Printf.printf
+        "updates=%d rebuilds=%d worst-spread-work=%d/update total-work=%d\n"
+        s.Dyn_matching.updates s.Dyn_matching.rebuilds
+        s.Dyn_matching.max_spread_work s.Dyn_matching.total_work;
+      Printf.printf "final matching=%d optimum=%d ratio=%.4f\n"
+        (Dyn_matching.size dm) opt
+        (float_of_int opt /. float_of_int (max 1 (Dyn_matching.size dm)))
     in
-    (* stream the family's edges in, matchable-first *)
-    let planted = Greedy.maximal g in
-    Matching.iter_edges planted (fun u v -> ignore (Dyn_matching.insert dm u v));
-    let rest = Graph.edges g in
-    Rng.shuffle_in_place (Rng.create (seed + 2)) rest;
-    Array.iter (fun (u, v) -> ignore (Dyn_matching.insert dm u v)) rest;
-    (* adaptive churn *)
-    let churn = Rng.create (seed + 3) in
-    for _ = 1 to steps do
-      let mate v = Matching.mate (Dyn_matching.matching dm) v in
-      match
-        Adversary.next_op Adversary.Adaptive_target_matching churn
-          (Dyn_matching.graph dm) ~current_mate:mate
-      with
-      | Some (Adversary.Delete (u, v)) -> ignore (Dyn_matching.delete dm u v)
-      | Some (Adversary.Insert (u, v)) -> ignore (Dyn_matching.insert dm u v)
-      | None -> ()
-    done;
-    let s = Dyn_matching.stats dm in
-    let final = Dyn_graph.snapshot (Dyn_matching.graph dm) in
-    let opt = Matching.size (Blossom.solve final) in
-    Printf.printf
-      "updates=%d rebuilds=%d worst-spread-work=%d/update total-work=%d\n"
-      s.Dyn_matching.updates s.Dyn_matching.rebuilds
-      s.Dyn_matching.max_spread_work s.Dyn_matching.total_work;
-    Printf.printf "final matching=%d optimum=%d ratio=%.4f\n"
-      (Dyn_matching.size dm) opt
-      (float_of_int opt /. float_of_int (max 1 (Dyn_matching.size dm)))
+    (* the churn loop, parameterized over how ops are applied so the
+       plain and journaled paths share one adversary stream *)
+    let churn_loop ~graph_of ~mate_of ~ins ~del =
+      let churn = Rng.create (seed + 3) in
+      for _ = 1 to steps do
+        match
+          Adversary.next_op Adversary.Adaptive_target_matching churn (graph_of ())
+            ~current_mate:(mate_of ())
+        with
+        | Some (Adversary.Delete (u, v)) -> del u v
+        | Some (Adversary.Insert (u, v)) -> ins u v
+        | None -> ()
+      done
+    in
+    match journal with
+    | None ->
+        let g, fam_beta = build_family ~input ~family ~n ~p ~radius ~seed () in
+        let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+        let dm =
+          Dyn_matching.create ~multiplier (Rng.create (seed + 1)) ~n:(Graph.n g)
+            ~beta ~eps
+        in
+        (* stream the family's edges in, matchable-first *)
+        let planted = Greedy.maximal g in
+        Matching.iter_edges planted (fun u v ->
+            ignore (Dyn_matching.insert dm u v));
+        let rest = Graph.edges g in
+        Rng.shuffle_in_place (Rng.create (seed + 2)) rest;
+        Array.iter (fun (u, v) -> ignore (Dyn_matching.insert dm u v)) rest;
+        (* adaptive churn *)
+        churn_loop
+          ~graph_of:(fun () -> Dyn_matching.graph dm)
+          ~mate_of:(fun () v -> Matching.mate (Dyn_matching.matching dm) v)
+          ~ins:(fun u v -> ignore (Dyn_matching.insert dm u v))
+          ~del:(fun u v -> ignore (Dyn_matching.delete dm u v));
+        report_matching dm
+    | Some dir ->
+        let d =
+          if recover then (
+            match Durable.recover ?snapshot_every ?audit_every dir with
+            | Error msg ->
+                Printf.eprintf "recover failed: %s\n" msg;
+                exit 1
+            | Ok d ->
+                let s = Durable.stats d in
+                Printf.printf "recovered: ops=%d epoch=%s replayed=%d\n"
+                  s.Durable.ops
+                  (match s.Durable.recovered_epoch with
+                  | Some e -> string_of_int e
+                  | None -> "none")
+                  s.Durable.replayed;
+                d)
+          else begin
+            let g, fam_beta =
+              build_family ~input ~family ~n ~p ~radius ~seed ()
+            in
+            let beta = resolve_beta g ~declared:beta ~family_beta:fam_beta in
+            let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+            let d =
+              Durable.create ?snapshot_every ?audit_every ~dir
+                { Durable.n = Graph.n g; delta; beta; eps; multiplier; seed }
+            in
+            let planted = Greedy.maximal g in
+            Matching.iter_edges planted (fun u v ->
+                ignore (Durable.insert d u v));
+            let rest = Graph.edges g in
+            Rng.shuffle_in_place (Rng.create (seed + 2)) rest;
+            Array.iter (fun (u, v) -> ignore (Durable.insert d u v)) rest;
+            d
+          end
+        in
+        churn_loop
+          ~graph_of:(fun () -> Dyn_matching.graph (Durable.matching d))
+          ~mate_of:(fun () v ->
+            Matching.mate (Dyn_matching.matching (Durable.matching d)) v)
+          ~ins:(fun u v -> ignore (Durable.insert d u v))
+          ~del:(fun u v -> ignore (Durable.delete d u v));
+        let s = Durable.stats d in
+        Printf.printf
+          "journal: ops=%d snapshots=%d audits=%d audit-failures=%d repairs=%d\n"
+          s.Durable.ops s.Durable.snapshots s.Durable.audits
+          s.Durable.audit_failures s.Durable.repairs;
+        report_matching (Durable.matching d);
+        Durable.close d
   in
   let steps_arg =
     Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Churn steps.")
   in
+  let journal_arg =
+    let doc =
+      "Run crash-safe: journal every update to $(docv)/journal.wal and write \
+       periodic snapshot blobs there (see --snapshot-every/--audit-every)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Write a snapshot blob every $(docv) journaled updates." in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let audit_every_arg =
+    let doc =
+      "Run the invariant audit (with self-repair) every $(docv) updates."
+    in
+    Arg.(value & opt (some int) None & info [ "audit-every" ] ~docv:"K" ~doc)
+  in
+  let recover_arg =
+    let doc =
+      "Recover from an existing journal in --journal's directory instead of \
+       starting fresh, then run --steps more churn on the recovered state."
+    in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
   let term =
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ radius_arg $ seed_arg $ eps_arg
-      $ beta_arg $ multiplier_arg $ steps_arg $ input_arg)
+      $ beta_arg $ multiplier_arg $ steps_arg $ journal_arg $ snapshot_every_arg
+      $ audit_every_arg $ recover_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "dynamic"
-       ~doc:"Dynamic maintenance under an adaptive adversary (Theorem 3.5)")
+       ~doc:
+         "Dynamic maintenance under an adaptive adversary (Theorem 3.5), \
+          optionally crash-safe behind a write-ahead journal \
+          (--journal/--recover)")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -3,6 +3,7 @@ open Mspar_graph
 open Mspar_matching
 
 type matcher = Exact | Approx_eps | Greedy_2approx
+type construction = Pooled | Sequential | Sequential_fallback
 
 type result = {
   matching : Matching.t;
@@ -12,7 +13,14 @@ type result = {
   input_edges : int;
   sparsify_ns : int64;
   match_ns : int64;
+  construction : construction;
 }
+
+(* Process-wide meter for the silent [?pool] fallback, so a caller that
+   hands every run a pool can notice that non-default marking rules never
+   actually used it.  Atomic: pipelines may run from several domains. *)
+let fallback_meter = Atomic.make 0
+let pool_fallbacks () = Atomic.get fallback_meter
 
 (* The pooled fast path: construct G_Δ with the multicore builder on a
    persistent domain pool.  Only the §3.1 mark-all-at-most-2Δ rule is
@@ -42,11 +50,19 @@ let sparsify_pooled pool rng g ~delta =
 let run ?(multiplier = 2.0) ?(matcher = Approx_eps) ?rule ?pool rng g ~beta ~eps
     =
   let delta = Delta_param.scaled ~multiplier ~beta ~eps in
-  let sparsifier, stats =
+  let construction =
     match (pool, rule) with
-    | Some p, (None | Some Gdelta.Mark_all_at_most_two_delta) ->
-        sparsify_pooled p rng g ~delta
-    | (Some _ | None), _ -> Gdelta.sparsify ?rule rng g ~delta
+    | Some _, (None | Some Gdelta.Mark_all_at_most_two_delta) -> Pooled
+    | Some _, Some _ ->
+        ignore (Atomic.fetch_and_add fallback_meter 1);
+        Sequential_fallback
+    | None, _ -> Sequential
+  in
+  let sparsifier, stats =
+    match (pool, construction) with
+    | Some p, Pooled -> sparsify_pooled p rng g ~delta
+    | _, (Sequential | Sequential_fallback) | None, Pooled ->
+        Gdelta.sparsify ?rule rng g ~delta
   in
   let matching, match_ns =
     Clock.time_ns (fun () ->
@@ -63,6 +79,7 @@ let run ?(multiplier = 2.0) ?(matcher = Approx_eps) ?rule ?pool rng g ~beta ~eps
     input_edges = Graph.m g;
     sparsify_ns = stats.Gdelta.build_ns;
     match_ns;
+    construction;
   }
 
 let sublinearity_ratio r =

@@ -1,0 +1,44 @@
+open Mspar_graph
+
+let prefix p = List.map (fun s -> p ^ ": " ^ s)
+
+let graph dg =
+  let dyn = prefix "dyn-graph" (Dyn_graph.invariant_failures dg) in
+  (* Materialise and audit the CSR form too: the static checker covers
+     canonicality (sorted blocks, symmetry, degree-sum = 2m, max-degree
+     cache) and cross-checks the dynamic edge count. *)
+  let snap = Dyn_graph.snapshot dg in
+  let csr = prefix "csr" (Graph.audit snap) in
+  let cross =
+    if Graph.m snap <> Dyn_graph.m dg then
+      [
+        Printf.sprintf "cross: snapshot has %d edges, dynamic graph claims %d"
+          (Graph.m snap) (Dyn_graph.m dg);
+      ]
+    else []
+  in
+  dyn @ csr @ cross
+
+let sparsifier sp =
+  let g = graph (Dyn_sparsifier.graph sp) in
+  let marks = prefix "marks" (Dyn_sparsifier.invariant_failures sp) in
+  (* The containment check (every marked edge is a current graph edge)
+     lives in the mark invariants; here we additionally materialise G_Δ
+     and verify it is a well-formed CSR of the expected size. *)
+  let gd = Dyn_sparsifier.sparsifier sp in
+  let csr = prefix "gdelta-csr" (Graph.audit gd) in
+  let count =
+    if Graph.m gd <> Dyn_sparsifier.sparsifier_edge_count sp then
+      [
+        Printf.sprintf
+          "gdelta: materialised %d edges, distinct counter says %d" (Graph.m gd)
+          (Dyn_sparsifier.sparsifier_edge_count sp);
+      ]
+    else []
+  in
+  g @ marks @ csr @ count
+
+let matching dm =
+  let g = graph (Dyn_matching.graph dm) in
+  let m = prefix "matching" (Dyn_matching.invariant_failures dm) in
+  g @ m

@@ -1,0 +1,293 @@
+open Mspar_prelude
+
+(* Crash-safe wrapper around the dynamic pipeline: a Journal WAL of ops,
+   periodic snapshot blobs, periodic invariant audits with self-repair.
+
+   Layout of [dir]:
+     journal.wal       op log (Meta config record first, then ops/epochs)
+     snap-<e>.bin      snapshot blob at epoch e = op count when written
+
+   Discipline: every op is journaled *before* it is applied (redo
+   logging).  Replaying a journaled-but-unapplied op after a crash is
+   exactly the intended semantics; replaying a no-op (insert of an
+   existing edge) consumes no randomness, so it is always safe.
+
+   This module performs no file I/O of its own — every byte that touches
+   disk goes through [Journal] (see MSP009). *)
+
+type config = {
+  n : int;
+  delta : int;
+  beta : int;
+  eps : float;
+  multiplier : float;
+  seed : int;
+}
+
+type stats = {
+  ops : int;
+  snapshots : int;
+  audits : int;
+  audit_failures : int;
+  repairs : int;
+  recovered_epoch : int option;
+  replayed : int;
+}
+
+type t = {
+  dir : string;
+  config : config;
+  writer : Journal.writer;
+  sp : Dyn_sparsifier.t;
+  dm : Dyn_matching.t;
+  snapshot_every : int option;
+  audit_every : int option;
+  mutable ops : int;
+  mutable snapshots : int;
+  mutable audits : int;
+  mutable audit_failures : int;
+  mutable repairs : int;
+  recovered_epoch : int option;
+  replayed : int;
+}
+
+let journal_path dir = Filename.concat dir "journal.wal"
+let snap_path dir epoch = Filename.concat dir (Printf.sprintf "snap-%d.bin" epoch)
+
+(* ------------------------------------------------------------------ *)
+(* config codec (the Meta record payload)                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode_config c =
+  let buf = Buffer.create 48 in
+  Codec.add_uvarint buf c.n;
+  Codec.add_uvarint buf c.delta;
+  Codec.add_uvarint buf c.beta;
+  Codec.add_float buf c.eps;
+  Codec.add_float buf c.multiplier;
+  Codec.add_int buf c.seed;
+  Buffer.contents buf
+
+let decode_config s =
+  let r = Codec.reader s in
+  let n = Codec.read_uvarint r in
+  let delta = Codec.read_uvarint r in
+  let beta = Codec.read_uvarint r in
+  let eps = Codec.read_float r in
+  let multiplier = Codec.read_float r in
+  let seed = Codec.read_int r in
+  { n; delta; beta; eps; multiplier; seed }
+
+let fresh_state config =
+  (* Two split streams off one base seed: the sparsifier and the matcher
+     draw independently, and both positions are checkpointed in full. *)
+  let base = Rng.create config.seed in
+  let rng_sp = Rng.split base in
+  let rng_dm = Rng.split base in
+  let sp = Dyn_sparsifier.create rng_sp ~n:config.n ~delta:config.delta in
+  let dm =
+    Dyn_matching.create ~multiplier:config.multiplier rng_dm ~n:config.n
+      ~beta:config.beta ~eps:config.eps
+  in
+  (sp, dm)
+
+(* ------------------------------------------------------------------ *)
+(* audit / repair / snapshot                                          *)
+(* ------------------------------------------------------------------ *)
+
+let audit_now t =
+  t.audits <- t.audits + 1;
+  let sp_failures = Audit.sparsifier t.sp in
+  let dm_failures = Audit.matching t.dm in
+  let failures = sp_failures @ dm_failures in
+  if not (List.is_empty failures) then begin
+    t.audit_failures <- t.audit_failures + 1;
+    (* Self-repair from the authoritative dynamic graph.  The graph is
+       the ground truth (it is what the journal reconstructs); marking
+       and matching state are derived and can be rebuilt from it. *)
+    if not (List.is_empty sp_failures) then begin
+      Dyn_sparsifier.repair t.sp;
+      t.repairs <- t.repairs + 1
+    end;
+    if not (List.is_empty dm_failures) then begin
+      Dyn_matching.force_rebuild t.dm;
+      t.repairs <- t.repairs + 1
+    end
+  end;
+  failures
+
+let snapshot_now t =
+  (* Journal first: every op covered by the snapshot must be durable
+     before the Epoch record claims the snapshot supersedes it. *)
+  Journal.sync t.writer;
+  let buf = Buffer.create 4096 in
+  Codec.add_uvarint buf t.ops;
+  Dyn_sparsifier.encode t.sp buf;
+  Dyn_matching.encode t.dm buf;
+  Journal.write_blob (snap_path t.dir t.ops) (Buffer.contents buf);
+  Journal.append t.writer (Journal.Epoch t.ops);
+  Journal.sync t.writer;
+  t.snapshots <- t.snapshots + 1
+
+let decode_snapshot payload =
+  let r = Codec.reader payload in
+  let epoch = Codec.read_uvarint r in
+  let sp = Dyn_sparsifier.decode r in
+  let dm = Dyn_matching.decode r in
+  (epoch, sp, dm)
+
+(* ------------------------------------------------------------------ *)
+(* ops                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let after_op t =
+  t.ops <- t.ops + 1;
+  (match t.audit_every with
+  | Some k when t.ops mod k = 0 -> ignore (audit_now t)
+  | Some _ | None -> ());
+  match t.snapshot_every with
+  | Some s when t.ops mod s = 0 -> snapshot_now t
+  | Some _ | None -> ()
+
+let insert t u v =
+  Journal.append t.writer (Journal.Insert (u, v));
+  let changed_sp = Dyn_sparsifier.insert t.sp u v in
+  let changed = Dyn_matching.insert t.dm u v in
+  assert (Bool.equal changed changed_sp);
+  after_op t;
+  changed
+
+let delete t u v =
+  Journal.append t.writer (Journal.Delete (u, v));
+  let changed_sp = Dyn_sparsifier.delete t.sp u v in
+  let changed = Dyn_matching.delete t.dm u v in
+  assert (Bool.equal changed changed_sp);
+  after_op t;
+  changed
+
+(* ------------------------------------------------------------------ *)
+(* create / recover                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make ~dir ~config ~writer ~sp ~dm ~snapshot_every ~audit_every ~ops
+    ~recovered_epoch ~replayed =
+  {
+    dir;
+    config;
+    writer;
+    sp;
+    dm;
+    snapshot_every;
+    audit_every;
+    ops;
+    snapshots = 0;
+    audits = 0;
+    audit_failures = 0;
+    repairs = 0;
+    recovered_epoch;
+    replayed;
+  }
+
+let create ?sync_every ?snapshot_every ?audit_every ~dir config =
+  if Sys.file_exists (journal_path dir) then
+    invalid_arg "Durable.create: journal already exists (use recover)";
+  Journal.ensure_dir dir;
+  let writer = Journal.open_writer ?sync_every (journal_path dir) in
+  Journal.append writer (Journal.Meta (encode_config config));
+  Journal.sync writer;
+  let sp, dm = fresh_state config in
+  make ~dir ~config ~writer ~sp ~dm ~snapshot_every ~audit_every ~ops:0
+    ~recovered_epoch:None ~replayed:0
+
+let recover ?sync_every ?snapshot_every ?audit_every dir =
+  let path = journal_path dir in
+  if not (Sys.file_exists path) then Error "no journal found"
+  else begin
+    let result = Journal.read path in
+    (* chop any torn/corrupt suffix so the writer can append cleanly;
+       everything past the last valid frame was never acknowledged *)
+    Journal.truncate_torn path result;
+    match result.Journal.records with
+    | [] -> Error "journal holds no valid records"
+    | Journal.Meta meta :: rest -> (
+        match decode_config meta with
+        | exception _ -> Error "corrupt config record"
+        | config ->
+            let records = Array.of_list rest in
+            (* newest Epoch whose blob is intact wins; a damaged or
+               missing blob falls back to the next older one, and with no
+               usable snapshot we replay the whole journal from scratch *)
+            let start = ref None in
+            (try
+               for i = Array.length records - 1 downto 0 do
+                 match records.(i) with
+                 | Journal.Epoch e when Option.is_none !start -> (
+                     match Journal.read_blob (snap_path dir e) with
+                     | None -> ()
+                     | Some payload -> (
+                         match decode_snapshot payload with
+                         | epoch, sp, dm when epoch = e ->
+                             start := Some (i, e, sp, dm);
+                             raise Exit
+                         | _ -> ()
+                         | exception _ -> ()))
+                 | _ -> ()
+               done
+             with Exit -> ());
+            let (first, epoch, sp, dm), recovered_epoch =
+              match !start with
+              | Some (i, e, sp, dm) -> ((i + 1, e, sp, dm), Some e)
+              | None ->
+                  let sp, dm = fresh_state config in
+                  ((0, 0, sp, dm), None)
+            in
+            let replayed = ref 0 in
+            let replay_error = ref None in
+            (try
+               for i = first to Array.length records - 1 do
+                 match records.(i) with
+                 | Journal.Insert (u, v) ->
+                     ignore (Dyn_sparsifier.insert sp u v);
+                     ignore (Dyn_matching.insert dm u v);
+                     incr replayed
+                 | Journal.Delete (u, v) ->
+                     ignore (Dyn_sparsifier.delete sp u v);
+                     ignore (Dyn_matching.delete dm u v);
+                     incr replayed
+                 | Journal.Epoch _ | Journal.Meta _ -> ()
+               done
+             with e -> replay_error := Some (Printexc.to_string e));
+            match !replay_error with
+            | Some msg -> Error ("replay failed: " ^ msg)
+            | None ->
+                (* ops before the snapshot point are counted by the epoch
+                   itself; the replayed ops come after it *)
+                let ops = epoch + !replayed in
+                let writer = Journal.open_writer ?sync_every path in
+                Ok
+                  (make ~dir ~config ~writer ~sp ~dm ~snapshot_every
+                     ~audit_every ~ops ~recovered_epoch ~replayed:!replayed))
+    | _ :: _ -> Error "journal does not start with a config record"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sparsifier t = t.sp
+let matching t = t.dm
+let config t = t.config
+let op_count t = t.ops
+
+let stats t =
+  {
+    ops = t.ops;
+    snapshots = t.snapshots;
+    audits = t.audits;
+    audit_failures = t.audit_failures;
+    repairs = t.repairs;
+    recovered_epoch = t.recovered_epoch;
+    replayed = t.replayed;
+  }
+
+let close t = Journal.close t.writer

@@ -1,0 +1,101 @@
+(** Crash-safe dynamic pipeline: WAL + snapshots + audit with self-repair.
+
+    Wraps {!Dyn_sparsifier} and {!Dyn_matching} behind a write-ahead
+    journal (see {!Mspar_prelude.Journal}): every op is journaled before
+    it is applied, snapshot blobs are written every [snapshot_every] ops
+    (with an [Epoch] journal record marking the boundary), and the
+    {!Audit} checks run every [audit_every] ops — a failed audit repairs
+    the derived state (sparsifier marks, matching) from the
+    authoritative dynamic graph and counts the repair in {!stats}.
+
+    {!recover} rebuilds the state after a crash: truncate the journal's
+    torn tail, load the newest snapshot blob that passes its CRC and
+    structural validation (falling back to older ones, then to replay
+    from scratch), and replay the op suffix.  Snapshots carry the exact
+    adjacency order and RNG stream positions, so replay is bit-for-bit
+    identical to the uncrashed run — with [sync_every = 1], recovery
+    loses nothing and diverges nowhere.
+
+    All file I/O goes through {!Mspar_prelude.Journal} (lint MSP009). *)
+
+type config = {
+  n : int;
+  delta : int;  (** sparsifier marks per vertex (Theorem 2.1 Δ) *)
+  beta : int;  (** neighborhood independence bound *)
+  eps : float;
+  multiplier : float;  (** Δ headroom multiplier for the matcher *)
+  seed : int;
+}
+
+type stats = {
+  ops : int;  (** ops journaled (including no-ops), lifetime *)
+  snapshots : int;  (** snapshot blobs written by this process *)
+  audits : int;  (** audit passes run by this process *)
+  audit_failures : int;  (** audits that found at least one violation *)
+  repairs : int;  (** repair / forced-rebuild actions taken *)
+  recovered_epoch : int option;
+      (** snapshot epoch this process recovered from, if any *)
+  replayed : int;  (** ops replayed from the journal at recovery *)
+}
+
+type t
+
+val create :
+  ?sync_every:int ->
+  ?snapshot_every:int ->
+  ?audit_every:int ->
+  dir:string ->
+  config ->
+  t
+(** Start a fresh durable pipeline in [dir] (created if missing): write
+    the journal header and the [Meta] config record, derive the
+    sparsifier and matcher RNG streams from [config.seed].  [sync_every]
+    is the journal fsync batch (default 32; 1 = lose nothing).
+    @raise Invalid_argument if [dir] already holds a journal (use
+    {!recover}) or a parameter is out of range.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val recover :
+  ?sync_every:int ->
+  ?snapshot_every:int ->
+  ?audit_every:int ->
+  string ->
+  (t, string) result
+(** Recover from the journal in the given directory.  Never raises on
+    corrupt state: torn tails are truncated, damaged snapshot blobs are
+    skipped in favour of older ones or full replay, and any structural
+    problem is returned as [Error].  On [Ok t], [t] continues exactly
+    where the durable prefix of the journal left off. *)
+
+val insert : t -> int -> int -> bool
+(** Journal then apply an insertion; returns [false] if the edge was
+    already present.  Triggers the periodic audit and snapshot if their
+    counters come due.
+    @raise Invalid_argument on out-of-range endpoints.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val delete : t -> int -> int -> bool
+(** Journal then apply a deletion; returns [false] if absent.
+    @raise Invalid_argument on out-of-range endpoints.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val audit_now : t -> string list
+(** Run the full {!Audit} suite now.  On failure, repairs the sparsifier
+    ({!Dyn_sparsifier.repair}) and/or rebuilds the matching, bumping
+    [repairs]; the returned list is what the audit {e found} (pre-repair).
+    Consumes randomness only when a repair actually happens. *)
+
+val snapshot_now : t -> unit
+(** Sync the journal, write a snapshot blob at the current op count, and
+    append the [Epoch] record.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val sparsifier : t -> Dyn_sparsifier.t
+val matching : t -> Dyn_matching.t
+val config : t -> config
+val op_count : t -> int
+val stats : t -> stats
+
+val close : t -> unit
+(** Flush and close the journal.  Idempotent.
+    @raise Unix.Unix_error on filesystem errors. *)

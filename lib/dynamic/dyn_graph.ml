@@ -96,6 +96,9 @@ let reset_probes t = t.probe_count <- 0
 let non_isolated_count t = Hashtbl.length t.active
 let iter_non_isolated t f = Hashtbl.iter (fun v () -> f v) t.active
 
+let non_isolated_sorted t =
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) t.active [])
+
 let edges t =
   let acc = ref [] in
   for v = 0 to t.nv - 1 do
@@ -104,3 +107,86 @@ let edges t =
   List.sort compare !acc
 
 let snapshot t = Mspar_graph.Graph.of_edges ~n:t.nv (edges t)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant audit                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let invariant_failures t =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let arcs = ref 0 in
+  for v = 0 to t.nv - 1 do
+    let deg = Vec.length t.adj.(v) in
+    arcs := !arcs + deg;
+    if Hashtbl.length t.index.(v) <> deg then
+      fail "vertex %d: index has %d entries for %d adjacency slots" v
+        (Hashtbl.length t.index.(v)) deg;
+    for i = 0 to deg - 1 do
+      let u = Vec.get t.adj.(v) i in
+      if u < 0 || u >= t.nv then fail "vertex %d: neighbor %d out of range" v u
+      else begin
+        if u = v then fail "vertex %d: self-loop" v;
+        (match Hashtbl.find_opt t.index.(v) u with
+        | Some p when p = i -> ()
+        | Some p -> fail "vertex %d: index says %d is at slot %d, found at %d" v u p i
+        | None -> fail "vertex %d: neighbor %d missing from index" v u);
+        if not (Hashtbl.mem t.index.(u) v) then
+          fail "asymmetric arc: %d -> %d has no reverse" v u
+      end
+    done;
+    let active = Hashtbl.mem t.active v in
+    if active && deg = 0 then fail "vertex %d active but isolated" v;
+    if (not active) && deg > 0 then fail "vertex %d has degree %d but not active" v deg
+  done;
+  if !arcs <> 2 * t.m then fail "arc count %d, expected 2m = %d" !arcs (2 * t.m);
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact adjacency Vec order is serialised, not just the edge set:
+   neighbor sampling reads Vec positions, so replay after restore is
+   bit-for-bit identical only if every vector comes back in the same
+   order it was in at snapshot time. *)
+let encode t buf =
+  Codec.add_uvarint buf t.nv;
+  Codec.add_uvarint buf t.m;
+  Codec.add_uvarint buf t.probe_count;
+  for v = 0 to t.nv - 1 do
+    Codec.add_uvarint buf (Vec.length t.adj.(v));
+    Vec.iter (fun u -> Codec.add_uvarint buf u) t.adj.(v)
+  done
+
+let decode r =
+  let nv = Codec.read_uvarint r in
+  let m = Codec.read_uvarint r in
+  let probe_count = Codec.read_uvarint r in
+  let t = create nv in
+  t.probe_count <- probe_count;
+  let arcs = ref 0 in
+  for v = 0 to nv - 1 do
+    let deg = Codec.read_uvarint r in
+    arcs := !arcs + deg;
+    for _ = 1 to deg do
+      let u = Codec.read_uvarint r in
+      if u < 0 || u >= nv then failwith "Dyn_graph.decode: neighbor out of range";
+      if u = v then failwith "Dyn_graph.decode: self-loop";
+      if Hashtbl.mem t.index.(v) u then
+        failwith "Dyn_graph.decode: duplicate neighbor";
+      add_arc t v u
+    done;
+    if deg > 0 then Hashtbl.replace t.active v ()
+  done;
+  if !arcs <> 2 * m then failwith "Dyn_graph.decode: arc count does not match m";
+  (* symmetry: every serialised arc must have its reverse *)
+  for v = 0 to nv - 1 do
+    Vec.iter
+      (fun u ->
+        if not (Hashtbl.mem t.index.(u) v) then
+          failwith "Dyn_graph.decode: asymmetric adjacency")
+      t.adj.(v)
+  done;
+  t.m <- m;
+  t

@@ -51,7 +51,15 @@ val non_isolated_count : t -> int
 val iter_non_isolated : t -> (int -> unit) -> unit
 (** Iterate the vertices of positive degree in O(#non-isolated) — this is
     what lets a rebuild cost O(|MCM|·β·Δ) instead of O(n·Δ)
-    (Lemma 2.2 + Obs 2.10). *)
+    (Lemma 2.2 + Obs 2.10).  Order is the hashtable's, i.e. unspecified
+    and {e not} reproducible across restores; randomised consumers that
+    must replay deterministically use {!non_isolated_sorted}. *)
+
+val non_isolated_sorted : t -> int list
+(** The vertices of positive degree in ascending order —
+    O(#non-isolated · log) but with a canonical order, so code that draws
+    randomness per vertex (the matching rebuild) consumes the RNG stream
+    identically before and after a snapshot/restore. *)
 
 val snapshot : t -> Mspar_graph.Graph.t
 (** Immutable copy as a static graph; costs O(n + m) (test/diagnostic use —
@@ -59,3 +67,20 @@ val snapshot : t -> Mspar_graph.Graph.t
 
 val edges : t -> (int * int) list
 (** Current edges, normalised and sorted. *)
+
+val invariant_failures : t -> string list
+(** Structural audit: adjacency/index coherence (every neighbor indexed
+    at its true slot), symmetry of arcs, no self-loops or duplicates,
+    active-set = vertices of positive degree, and arc count = 2m.  One
+    message per violation; [[]] means healthy.  O(n + m). *)
+
+val encode : t -> Buffer.t -> unit
+(** Serialise for a snapshot blob.  The {e exact} adjacency order is
+    preserved (sampling reads positions), so a decoded copy replays the
+    RNG stream bit-for-bit like the original. *)
+
+val decode : Codec.reader -> t
+(** Inverse of {!encode}, with structural validation (range, symmetry,
+    no duplicates, arc-count cross-check).
+    @raise Failure on validation failure.
+    @raise Codec.Truncated on short input. *)

@@ -78,14 +78,19 @@ let rebuild t =
   Dyn_graph.reset_probes t.dg;
   let t0 = Clock.now_ns () in
   let pairs = ref [] in
-  Dyn_graph.iter_non_isolated t.dg (fun v ->
+  (* Sorted (not hashtable-order) iteration: each sampled vertex draws
+     from the RNG, so the visit order must be canonical for a restored
+     snapshot to consume the stream exactly like the original run. *)
+  List.iter
+    (fun v ->
       let d = Dyn_graph.degree t.dg v in
       if d <= 2 * delta then
         Dyn_graph.iter_neighbors t.dg v (fun u -> pairs := (v, u) :: !pairs)
       else
         List.iter
           (fun u -> pairs := (v, u) :: !pairs)
-          (Dyn_graph.sample_neighbors t.dg t.rng v ~k:delta));
+          (Dyn_graph.sample_neighbors t.dg t.rng v ~k:delta))
+    (Dyn_graph.non_isolated_sorted t.dg);
   let sparsifier = Graph.of_edges ~n:(Dyn_graph.n t.dg) !pairs in
   let matching = Approx.solve_general ~eps:eps_stage sparsifier in
   let t1 = Clock.now_ns () in
@@ -133,3 +138,93 @@ let delete t u v =
     after_update t
   end;
   changed
+
+(* ------------------------------------------------------------------ *)
+(* Invariant audit                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let invariant_failures t =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let n = Dyn_graph.n t.dg in
+  if Array.length t.mate <> n then
+    fail "mate array length %d, expected %d" (Array.length t.mate) n;
+  let matched = ref 0 in
+  Array.iteri
+    (fun v u ->
+      if u <> -1 then begin
+        if u < 0 || u >= n then fail "vertex %d matched to out-of-range %d" v u
+        else begin
+          if u = v then fail "vertex %d matched to itself" v;
+          if t.mate.(u) <> v then
+            fail "mate not an involution: mate(%d) = %d but mate(%d) = %d" v u u
+              t.mate.(u);
+          if v < u then begin
+            incr matched;
+            if not (Dyn_graph.has_edge t.dg v u) then
+              fail "matched pair (%d, %d) is not a current graph edge" v u
+          end
+        end
+      end)
+    t.mate;
+  if !matched <> t.msize then
+    fail "msize counter %d, mate array holds %d pairs" t.msize !matched;
+  if t.window_left < 0 then fail "window_left is negative (%d)" t.window_left;
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode t buf =
+  Dyn_graph.encode t.dg buf;
+  Array.iter (Codec.add_int64 buf) (Rng.state t.rng);
+  Codec.add_uvarint buf t.beta;
+  Codec.add_float buf t.eps;
+  Codec.add_float buf t.multiplier;
+  Array.iter (Codec.add_int buf) t.mate;
+  Codec.add_uvarint buf t.msize;
+  Codec.add_int buf t.window_left;
+  Codec.add_uvarint buf t.updates;
+  Codec.add_uvarint buf t.rebuilds;
+  Codec.add_uvarint buf t.total_work;
+  Codec.add_uvarint buf t.max_spread_work;
+  Codec.add_int64 buf t.total_ns
+
+let decode r =
+  let dg = Dyn_graph.decode r in
+  let rng = Rng.of_state (Array.init 4 (fun _ -> Codec.read_int64 r)) in
+  let beta = Codec.read_uvarint r in
+  let eps = Codec.read_float r in
+  if not (eps > 0.0 && eps < 1.0) then failwith "Dyn_matching.decode: bad eps";
+  let multiplier = Codec.read_float r in
+  let n = Dyn_graph.n dg in
+  let mate = Array.init n (fun _ -> Codec.read_int r) in
+  let msize = Codec.read_uvarint r in
+  let window_left = Codec.read_int r in
+  let updates = Codec.read_uvarint r in
+  let rebuilds = Codec.read_uvarint r in
+  let total_work = Codec.read_uvarint r in
+  let max_spread_work = Codec.read_uvarint r in
+  let total_ns = Codec.read_int64 r in
+  let t =
+    {
+      dg;
+      rng;
+      beta;
+      eps;
+      multiplier;
+      mate;
+      msize;
+      window_left;
+      updates;
+      rebuilds;
+      total_work;
+      max_spread_work;
+      total_ns;
+    }
+  in
+  (match invariant_failures t with
+  | [] -> ()
+  | f :: _ -> failwith ("Dyn_matching.decode: " ^ f));
+  t

@@ -55,3 +55,22 @@ val stats : t -> stats
 
 val force_rebuild : t -> unit
 (** Trigger the static recomputation immediately (used by tests). *)
+
+val invariant_failures : t -> string list
+(** Audit the maintained matching: the mate array is an involution with
+    in-range partners, every matched pair is a current graph edge, and
+    the size counter matches.  One message per violation; [[]] = healthy.
+    O(n). *)
+
+val encode : t -> Buffer.t -> unit
+(** Serialise the full state — dynamic graph (exact adjacency order), RNG
+    position, parameters, mate array, stability window, work counters —
+    for a snapshot blob.  A decoded copy replays bit-for-bit: the rebuild
+    visits vertices in sorted order precisely so that its RNG consumption
+    is reproducible. *)
+
+val decode : Mspar_prelude.Codec.reader -> t
+(** Inverse of {!encode}; validates with {!invariant_failures} before
+    returning.
+    @raise Failure on validation failure.
+    @raise Mspar_prelude.Codec.Truncated on short input. *)

@@ -1,7 +1,12 @@
 open Mspar_prelude
 open Mspar_graph
 
-type stats = { updates : int; total_resample_work : int; max_update_work : int }
+type stats = {
+  updates : int;
+  total_resample_work : int;
+  max_update_work : int;
+  repairs : int;
+}
 
 type t = {
   dg : Dyn_graph.t;
@@ -13,6 +18,7 @@ type t = {
   mutable updates : int;
   mutable total_work : int;
   mutable max_work : int;
+  mutable repairs : int;
 }
 
 let create rng ~n ~delta =
@@ -27,6 +33,7 @@ let create rng ~n ~delta =
     updates = 0;
     total_work = 0;
     max_work = 0;
+    repairs = 0;
   }
 
 let key u v = if u < v then (u, v) else (v, u)
@@ -95,31 +102,151 @@ let stats t =
     updates = t.updates;
     total_resample_work = t.total_work;
     max_update_work = t.max_work;
+    repairs = t.repairs;
   }
 
-let check_invariants t =
-  let ok = ref true in
+let invariant_failures t =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let n = Dyn_graph.n t.dg in
   let recount = Hashtbl.create 64 in
   for v = 0 to n - 1 do
     let ms = t.marks.(v) in
-    let expected = min t.delta (Dyn_graph.degree t.dg v) in
-    if List.length ms <> expected then ok := false;
-    if List.length (List.sort_uniq compare ms) <> List.length ms then
-      ok := false;
+    let expected = Int.min t.delta (Dyn_graph.degree t.dg v) in
+    let len = List.length ms in
+    if len <> expected then
+      fail "vertex %d holds %d marks, expected min(delta, deg) = %d" v len expected;
+    if List.length (List.sort_uniq Int.compare ms) <> len then
+      fail "vertex %d has duplicate marks" v;
     List.iter
       (fun u ->
-        if not (Dyn_graph.has_edge t.dg v u) then ok := false;
+        if not (Dyn_graph.has_edge t.dg v u) then
+          fail "mark (%d, %d) is not a current graph edge" v u;
         let k = key v u in
         Hashtbl.replace recount k
           (1 + Option.value ~default:0 (Hashtbl.find_opt recount k)))
       ms
   done;
-  if Hashtbl.length recount <> Hashtbl.length t.multiplicity then ok := false;
+  if Hashtbl.length recount <> Hashtbl.length t.multiplicity then
+    fail "multiplicity table has %d edges, recount has %d"
+      (Hashtbl.length t.multiplicity) (Hashtbl.length recount);
   Hashtbl.iter
-    (fun k c ->
-      if Option.value ~default:0 (Hashtbl.find_opt t.multiplicity k) <> c then
-        ok := false)
+    (fun (u, v) c ->
+      let stored = Option.value ~default:0 (Hashtbl.find_opt t.multiplicity (u, v)) in
+      if stored <> c then
+        fail "edge (%d, %d): multiplicity %d, recounted %d" u v stored c)
     recount;
-  if t.distinct <> Hashtbl.length t.multiplicity then ok := false;
-  !ok
+  if t.distinct <> Hashtbl.length t.multiplicity then
+    fail "distinct counter %d, multiplicity table holds %d" t.distinct
+      (Hashtbl.length t.multiplicity);
+  List.rev !failures
+
+let check_invariants t = List.is_empty (invariant_failures t)
+
+(* Rebuild the marking state from the authoritative dynamic graph: throw
+   away whatever the multiplicity table and mark lists claim and redraw
+   every vertex's marks fresh.  Theorem 2.1 needs only that each vertex
+   holds min(delta, deg) independent uniform marks — fresh randomness
+   after a detected corruption is exactly as good as the lost draws. *)
+let repair t =
+  Hashtbl.reset t.multiplicity;
+  t.distinct <- 0;
+  let work = ref 0 in
+  let n = Dyn_graph.n t.dg in
+  for v = 0 to n - 1 do
+    t.marks.(v) <- [];
+    if Dyn_graph.degree t.dg v > 0 then begin
+      let fresh = Dyn_graph.sample_neighbors t.dg t.rng v ~k:t.delta in
+      List.iter (mark t v) fresh;
+      t.marks.(v) <- fresh;
+      work := !work + List.length fresh
+    end
+  done;
+  t.repairs <- t.repairs + 1;
+  t.total_work <- t.total_work + !work
+
+(* Deterministic white-box damage for audit tests: drop one mark without
+   updating the multiplicity table (breaking both the mark-count and the
+   recount invariants), or — on an empty structure — invent a phantom
+   marked edge that is not in the graph at all. *)
+let inject_corruption t =
+  let n = Dyn_graph.n t.dg in
+  let v = ref (-1) in
+  (try
+     for u = 0 to n - 1 do
+       if not (List.is_empty t.marks.(u)) then begin
+         v := u;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !v >= 0 then t.marks.(!v) <- List.tl t.marks.(!v)
+  else if n >= 2 then begin
+    Hashtbl.replace t.multiplicity (0, 1) 1;
+    t.distinct <- t.distinct + 1
+  end
+  else invalid_arg "Dyn_sparsifier.inject_corruption: nothing to corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let encode t buf =
+  Dyn_graph.encode t.dg buf;
+  Array.iter (Codec.add_int64 buf) (Rng.state t.rng);
+  Codec.add_uvarint buf t.delta;
+  Array.iter
+    (fun ms ->
+      Codec.add_uvarint buf (List.length ms);
+      List.iter (Codec.add_uvarint buf) ms)
+    t.marks;
+  Codec.add_uvarint buf t.updates;
+  Codec.add_uvarint buf t.total_work;
+  Codec.add_uvarint buf t.max_work;
+  Codec.add_uvarint buf t.repairs
+
+let decode r =
+  let dg = Dyn_graph.decode r in
+  let rng = Rng.of_state (Array.init 4 (fun _ -> Codec.read_int64 r)) in
+  let delta = Codec.read_uvarint r in
+  if delta < 1 then failwith "Dyn_sparsifier.decode: delta < 1";
+  let n = Dyn_graph.n dg in
+  let marks =
+    Array.init n (fun _ ->
+        let len = Codec.read_uvarint r in
+        List.init len (fun _ -> Codec.read_uvarint r))
+  in
+  let updates = Codec.read_uvarint r in
+  let total_work = Codec.read_uvarint r in
+  let max_work = Codec.read_uvarint r in
+  let repairs = Codec.read_uvarint r in
+  (* multiplicity and distinct are derived state: recount from the marks *)
+  let multiplicity = Hashtbl.create 64 in
+  Array.iteri
+    (fun v ms ->
+      List.iter
+        (fun u ->
+          if u < 0 || u >= n then failwith "Dyn_sparsifier.decode: mark out of range";
+          let k = key v u in
+          Hashtbl.replace multiplicity k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt multiplicity k)))
+        ms)
+    marks;
+  let t =
+    {
+      dg;
+      rng;
+      delta;
+      marks;
+      multiplicity;
+      distinct = Hashtbl.length multiplicity;
+      updates;
+      total_work;
+      max_work;
+      repairs;
+    }
+  in
+  (match invariant_failures t with
+  | [] -> ()
+  | f :: _ -> failwith ("Dyn_sparsifier.decode: " ^ f));
+  t

@@ -22,6 +22,7 @@ type stats = {
   updates : int;
   total_resample_work : int;  (** marks drawn + discarded across updates *)
   max_update_work : int;
+  repairs : int;  (** times {!repair} rebuilt the marking state *)
 }
 
 val create : Rng.t -> n:int -> delta:int -> t
@@ -47,3 +48,34 @@ val stats : t -> stats
 val check_invariants : t -> bool
 (** Every marked edge is a current graph edge; every vertex holds exactly
     min(Δ, deg) distinct marks.  For tests. *)
+
+val invariant_failures : t -> string list
+(** The checks behind {!check_invariants}, one human-readable message per
+    violation (mark counts, duplicates, graph membership, multiplicity
+    recount, distinct counter).  [[]] means healthy.  O(n·Δ). *)
+
+val repair : t -> unit
+(** Rebuild the marking state from the authoritative dynamic graph:
+    discard the (possibly corrupt) mark lists and multiplicity table and
+    redraw min(Δ, deg) fresh marks for every vertex.  Fresh randomness
+    keeps Theorem 2.1 valid — mark independence is all it needs.  Bumps
+    [repairs] in {!stats} and adds the redraw to the work total.  O(n·Δ). *)
+
+val inject_corruption : t -> unit
+(** Test hook: deterministically damage the marking state (drop a mark
+    without unmarking it, or invent a phantom marked edge on an empty
+    structure) so that {!invariant_failures} is non-empty and audit →
+    {!repair} paths can be exercised.
+    @raise Invalid_argument if the structure is too small to corrupt
+    ([n < 2] with no marks). *)
+
+val encode : t -> Buffer.t -> unit
+(** Serialise the full state — dynamic graph (exact adjacency order), RNG
+    position, mark lists, work counters — for a snapshot blob.  The
+    multiplicity table is derived state and is recounted on decode. *)
+
+val decode : Mspar_prelude.Codec.reader -> t
+(** Inverse of {!encode}; validates with {!invariant_failures} before
+    returning, so a corrupt blob is rejected rather than installed.
+    @raise Failure on validation failure.
+    @raise Mspar_prelude.Codec.Truncated on short input. *)

@@ -530,6 +530,87 @@ let is_subgraph ~sub ~super =
 
 let complement_degree_sum t = Array.length t.adj
 
+(* ------------------------------------------------------------------ *)
+(* Integrity audit                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Uncounted binary search — the audit is metadata verification, not an
+   algorithmic probe of the input. *)
+let mem_block t v x =
+  let lo = ref t.offsets.(v) and hi = ref (t.offsets.(v + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = t.adj.(mid) in
+    if w = x then found := true else if w < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let audit t =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if Array.length t.offsets <> t.n + 1 then
+    fail "offsets length %d, expected n+1 = %d" (Array.length t.offsets) (t.n + 1)
+  else begin
+    if t.offsets.(0) <> 0 then fail "offsets.(0) = %d, expected 0" t.offsets.(0);
+    for v = 0 to t.n - 1 do
+      if t.offsets.(v + 1) < t.offsets.(v) then
+        fail "offsets not monotone at vertex %d (%d > %d)" v t.offsets.(v)
+          t.offsets.(v + 1)
+    done;
+    if t.offsets.(t.n) <> Array.length t.adj then
+      fail "offsets.(n) = %d, expected |adj| = %d (degree sum 2m)" t.offsets.(t.n)
+        (Array.length t.adj);
+    if List.is_empty !failures then begin
+      (* blocks: in-range, no self-loops, strictly sorted (no duplicates) *)
+      for v = 0 to t.n - 1 do
+        for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+          let u = t.adj.(i) in
+          if u < 0 || u >= t.n then fail "vertex %d: neighbor %d out of range" v u
+          else if u = v then fail "vertex %d: self-loop" v;
+          if i > t.offsets.(v) && t.adj.(i - 1) >= u then
+            fail "vertex %d: block not strictly sorted at slot %d" v
+              (i - t.offsets.(v))
+        done
+      done;
+      (* symmetry: (v, u) present iff (u, v) present *)
+      for v = 0 to t.n - 1 do
+        for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+          let u = t.adj.(i) in
+          if u >= 0 && u < t.n && u <> v && not (mem_block t u v) then
+            fail "asymmetric edge: %d in block of %d but not vice versa" u v
+        done
+      done;
+      (* cached max degree *)
+      let md = ref 0 in
+      for v = 0 to t.n - 1 do
+        md := Int.max !md (t.offsets.(v + 1) - t.offsets.(v))
+      done;
+      if !md <> t.maxdeg then
+        fail "cached max_degree %d, recomputed %d" t.maxdeg !md
+    end
+  end;
+  List.rev !failures
+
+(* FNV-1a over the structural content (n, offsets, adj).  Probe counters
+   are deliberately excluded: two graphs with the same edge set checksum
+   identically regardless of read history. *)
+let checksum t =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    let x = ref !h in
+    let v = ref (Int64.of_int v) in
+    for _ = 0 to 7 do
+      x := Int64.mul (Int64.logxor !x (Int64.logand !v 0xffL)) 0x100000001b3L;
+      v := Int64.shift_right_logical !v 8
+    done;
+    h := !x
+  in
+  mix t.n;
+  Array.iter mix t.offsets;
+  Array.iter mix t.adj;
+  !h
+
 let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n (m t)
 
 let equal a b =

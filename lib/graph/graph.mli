@@ -164,6 +164,21 @@ val is_subgraph : sub:t -> super:t -> bool
 val complement_degree_sum : t -> int
 (** [2m] — handy sanity value: sum of all degrees. *)
 
+val audit : t -> string list
+(** Verify CSR canonicality: offsets start at 0, are monotone, and end at
+    [|adj|] (the degree sum [2m]); every block is strictly sorted with
+    in-range neighbors and no self-loops; adjacency is symmetric; the
+    cached [max_degree] matches a recomputation.  Returns one
+    human-readable message per violated invariant ([[]] = healthy).
+    Reads are {e not} counted as probes — this is integrity checking, not
+    an algorithmic access.  O(n + m log Δ). *)
+
+val checksum : t -> int64
+(** FNV-1a digest of the structural content ([n], offsets, adjacency).
+    Equal edge sets yield equal checksums (CSR form is canonical); probe
+    counters are excluded.  Used by the dynamic audit layer to detect
+    silent corruption cheaply between full {!audit} passes. *)
+
 val pp : Format.formatter -> t -> unit
 (** Short description: ["graph(n=…, m=…)"]. *)
 

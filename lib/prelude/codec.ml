@@ -1,0 +1,130 @@
+(* Hand-rolled binary codec for the durability layer.
+
+   MSP005 bans [Marshal], so every byte that reaches disk is written and
+   parsed explicitly here: LEB128 varints for the op payloads (edge
+   endpoints are small, so one or two bytes each), zigzag for the few
+   signed fields (mate arrays store -1), fixed little-endian 8-byte lanes
+   for RNG state and nanosecond counters, and IEEE bit patterns for the
+   two float parameters.  The reader is position-tracked and total: any
+   read past the end raises the single exception [Truncated], which the
+   journal and snapshot loaders turn into "torn tail" / "corrupt blob"
+   verdicts instead of crashes. *)
+
+exception Truncated
+
+(* ------------------------------------------------------------------ *)
+(* writers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the int treated as an unsigned word: [lsr] keeps the loop terminating
+   even when the top (sign) bit is set, as it is for zigzagged min_int *)
+let add_uvarint_word buf n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_uvarint buf n =
+  if n < 0 then invalid_arg "Codec.add_uvarint: negative";
+  add_uvarint_word buf n
+
+(* zigzag: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... *)
+let add_int buf n =
+  add_uvarint_word buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let add_int64 buf x =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
+  done
+
+let add_float buf f = add_int64 buf (Int64.bits_of_float f)
+
+let add_string buf s =
+  add_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+(* ------------------------------------------------------------------ *)
+(* reader                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len src =
+  let limit =
+    match len with None -> String.length src | Some l -> Int.min (pos + l) (String.length src)
+  in
+  if pos < 0 || pos > String.length src then invalid_arg "Codec.reader: bad pos";
+  { src; pos; limit }
+
+let pos r = r.pos
+let at_end r = r.pos >= r.limit
+
+let read_byte r =
+  if r.pos >= r.limit then raise Truncated;
+  let c = Char.code (String.unsafe_get r.src r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let read_uvarint r =
+  let rec go shift acc =
+    if shift > Sys.int_size - 2 then raise Truncated;
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int r =
+  let z = read_uvarint r in
+  (z lsr 1) lxor (-(z land 1))
+
+let read_int64 r =
+  let x = ref 0L in
+  for i = 0 to 7 do
+    x := Int64.logor !x (Int64.shift_left (Int64.of_int (read_byte r)) (8 * i))
+  done;
+  !x
+
+let read_float r = Int64.float_of_bits (read_int64 r)
+
+let read_string r =
+  let len = read_uvarint r in
+  if len > r.limit - r.pos then raise Truncated;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with None -> String.length s - pos | Some l -> l in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (String.unsafe_get s i)))) 0xFFl)
+    in
+    c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl

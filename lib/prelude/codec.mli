@@ -1,0 +1,68 @@
+(** Hand-rolled binary codec for the durability layer (journal + snapshots).
+
+    [Marshal] is banned (MSP005: unversioned, structurally unchecked), so
+    everything that reaches disk is encoded explicitly: LEB128 varints,
+    zigzag for signed fields, fixed little-endian [int64] lanes, IEEE bit
+    patterns for floats.  The reader is total: reading past the end of the
+    input raises {!Truncated}, which callers turn into torn-tail /
+    corrupt-blob verdicts rather than crashes. *)
+
+exception Truncated
+(** Raised by every [read_*] function on exhausted input. *)
+
+(** {2 Writers (append to a [Buffer.t])} *)
+
+val add_uvarint : Buffer.t -> int -> unit
+(** LEB128 encoding of a non-negative int.
+    @raise Invalid_argument on a negative argument. *)
+
+val add_int : Buffer.t -> int -> unit
+(** Zigzag-then-LEB128 encoding of any int (small magnitudes stay short). *)
+
+val add_int64 : Buffer.t -> int64 -> unit
+(** Fixed 8 bytes, little-endian. *)
+
+val add_float : Buffer.t -> float -> unit
+(** IEEE-754 bit pattern via {!add_int64} (bit-exact round trip). *)
+
+val add_string : Buffer.t -> string -> unit
+(** Length ({!add_uvarint}) followed by the raw bytes. *)
+
+(** {2 Position-tracked reader} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** Reader over [s.[pos .. pos+len)] (default: the rest of the string).
+    @raise Invalid_argument if [pos] is outside the string. *)
+
+val pos : reader -> int
+(** Current absolute offset into the underlying string. *)
+
+val at_end : reader -> bool
+
+val read_byte : reader -> int
+(** @raise Truncated on exhausted input (same for all [read_*] below). *)
+
+val read_uvarint : reader -> int
+(** @raise Truncated on exhausted or over-long input. *)
+
+val read_int : reader -> int
+(** Inverse of {!add_int}. @raise Truncated on exhausted input. *)
+
+val read_int64 : reader -> int64
+(** @raise Truncated on exhausted input. *)
+
+val read_float : reader -> float
+(** @raise Truncated on exhausted input. *)
+
+val read_string : reader -> string
+(** @raise Truncated if the declared length overruns the input. *)
+
+(** {2 Integrity} *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int32
+(** CRC-32 (IEEE 802.3, reflected, polynomial [0xEDB88320]) of the byte
+    range (default: the whole string).  Guards every journal record and
+    snapshot blob.
+    @raise Invalid_argument if the range is out of bounds. *)

@@ -1,0 +1,292 @@
+(* Append-only write-ahead log for the dynamic pipeline, plus the one
+   blessed home of raw file I/O in lib/ (lint rule MSP009 routes every
+   open_out/openfile here so durability and atomicity decisions stay in
+   one reviewable place; Graph_io keeps its own exemption for edge lists).
+
+   On-disk layout:
+
+     MSPARWAL <version byte>                      9-byte file header
+     <uvarint body-len> <body> <crc32 of body>    one frame per record
+     ...
+
+   where a body is a tag byte plus Codec varints.  The CRC is the frame
+   trailer rather than part of the body, so a torn write (power cut mid
+   record) is detected either as a short frame or as a CRC mismatch; the
+   reader stops at the first bad frame and never resyncs — a corrupt
+   suffix is *never* replayed, it is reported and then chopped by
+   [truncate_torn].
+
+   Writers buffer encoded frames and push them to the file descriptor
+   with one [write] + [fsync] per [sync_every] records (or on [sync] /
+   [close]), so callers choose their own durability-vs-throughput point:
+   [sync_every = 1] is classic WAL semantics (no acknowledged op is ever
+   lost), larger batches amortise the fsync. *)
+
+type record =
+  | Insert of int * int
+  | Delete of int * int
+  | Epoch of int  (* snapshot boundary: state up to here is in snapshot [e] *)
+  | Meta of string  (* opaque configuration payload, written once at creation *)
+
+let magic = "MSPARWAL"
+let version = '\001'
+let header = magic ^ String.make 1 version
+let header_len = String.length header
+
+(* ------------------------------------------------------------------ *)
+(* record codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_body buf r =
+  match r with
+  | Insert (u, v) ->
+      Buffer.add_char buf '\001';
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Delete (u, v) ->
+      Buffer.add_char buf '\002';
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Epoch e ->
+      Buffer.add_char buf '\003';
+      Codec.add_uvarint buf e
+  | Meta s ->
+      Buffer.add_char buf '\004';
+      Codec.add_string buf s
+
+let decode_body body =
+  let r = Codec.reader body in
+  let rec_ =
+    match Codec.read_byte r with
+    | 1 ->
+        let u = Codec.read_uvarint r in
+        let v = Codec.read_uvarint r in
+        Insert (u, v)
+    | 2 ->
+        let u = Codec.read_uvarint r in
+        let v = Codec.read_uvarint r in
+        Delete (u, v)
+    | 3 -> Epoch (Codec.read_uvarint r)
+    | 4 -> Meta (Codec.read_string r)
+    | t -> failwith (Printf.sprintf "unknown record tag %d" t)
+  in
+  if not (Codec.at_end r) then failwith "trailing bytes in record body";
+  rec_
+
+let frame buf r =
+  let body = Buffer.create 16 in
+  encode_body body r;
+  let body = Buffer.contents body in
+  Codec.add_uvarint buf (String.length body);
+  Buffer.add_string buf body;
+  let crc = Codec.crc32 body in
+  for i = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
+  done
+
+let read_crc_le r =
+  let x = ref 0l in
+  for i = 0 to 3 do
+    x := Int32.logor !x (Int32.shift_left (Int32.of_int (Codec.read_byte r)) (8 * i))
+  done;
+  !x
+
+(* ------------------------------------------------------------------ *)
+(* reading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = {
+  records : record list;
+  valid_bytes : int;  (* header + every fully valid frame *)
+  torn : string option;  (* why parsing stopped before the end, if it did *)
+}
+
+let parse contents =
+  if String.length contents < header_len then
+    { records = []; valid_bytes = 0; torn = Some "missing or short header" }
+  else if not (String.equal (String.sub contents 0 header_len) header) then
+    { records = []; valid_bytes = 0; torn = Some "bad magic/version header" }
+  else begin
+    let total = String.length contents in
+    let records = ref [] in
+    let valid = ref header_len in
+    let torn = ref None in
+    (try
+       while !valid < total do
+         let r = Codec.reader ~pos:!valid contents in
+         let body_len = Codec.read_uvarint r in
+         let body_start = Codec.pos r in
+         if body_len > total - body_start - 4 then raise Codec.Truncated;
+         let body = String.sub contents body_start body_len in
+         let trailer = Codec.reader ~pos:(body_start + body_len) contents in
+         let stored = read_crc_le trailer in
+         if not (Int32.equal stored (Codec.crc32 body)) then begin
+           torn := Some "crc mismatch";
+           raise Exit
+         end;
+         (match decode_body body with
+         | rec_ -> records := rec_ :: !records
+         | exception (Failure msg | Invalid_argument msg) ->
+             torn := Some ("malformed record: " ^ msg);
+             raise Exit
+         | exception Codec.Truncated ->
+             torn := Some "malformed record: short body";
+             raise Exit);
+         valid := body_start + body_len + 4
+       done
+     with
+    | Codec.Truncated -> torn := Some "truncated record (torn tail)"
+    | Exit -> ());
+    { records = List.rev !records; valid_bytes = !valid; torn = !torn }
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let read path =
+  if not (Sys.file_exists path) then
+    { records = []; valid_bytes = 0; torn = None }
+  else parse (read_file path)
+
+let truncate_torn path result =
+  match result.torn with
+  | None -> ()
+  | Some _ ->
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.ftruncate fd result.valid_bytes;
+          Unix.fsync fd)
+
+(* ------------------------------------------------------------------ *)
+(* writing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  sync_every : int;
+  mutable unsynced : int;  (* records appended since the last fsync *)
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let flush_buf w =
+  let s = Buffer.contents w.buf in
+  Buffer.clear w.buf;
+  let len = String.length s in
+  let written = ref 0 in
+  while !written < len do
+    written :=
+      !written + Unix.write_substring w.fd s !written (len - !written)
+  done
+
+let sync w =
+  if w.closed then invalid_arg "Journal.sync: writer is closed";
+  flush_buf w;
+  if w.unsynced > 0 then Unix.fsync w.fd;
+  w.unsynced <- 0
+
+let open_writer ?(sync_every = 32) path =
+  if sync_every < 1 then invalid_arg "Journal.open_writer: sync_every >= 1";
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let w = { fd; buf = Buffer.create 256; sync_every; unsynced = 0; appended = 0; closed = false } in
+  if size < header_len then begin
+    (* fresh (or header-torn) file: start from a clean header *)
+    Unix.ftruncate fd 0;
+    Buffer.add_string w.buf header;
+    flush_buf w;
+    Unix.fsync fd
+  end
+  else ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  w
+
+let append w r =
+  if w.closed then invalid_arg "Journal.append: writer is closed";
+  frame w.buf r;
+  w.appended <- w.appended + 1;
+  w.unsynced <- w.unsynced + 1;
+  if w.unsynced >= w.sync_every then sync w
+
+let appended w = w.appended
+
+let close w =
+  if not w.closed then begin
+    sync w;
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* snapshot blobs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let blob_magic = "MSPARSNP"
+
+let write_blob path payload =
+  let buf = Buffer.create (String.length payload + 32) in
+  Buffer.add_string buf blob_magic;
+  Buffer.add_char buf version;
+  Codec.add_uvarint buf (String.length payload);
+  Buffer.add_string buf payload;
+  let crc = Codec.crc32 payload in
+  for i = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
+  done;
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let s = Buffer.contents buf in
+      let len = String.length s in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write_substring fd s !written (len - !written)
+      done;
+      Unix.fsync fd);
+  (* atomic publish: a crash leaves either the old blob or the new one *)
+  Unix.rename tmp path
+
+let read_blob path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let contents = read_file path in
+    let hl = String.length blob_magic + 1 in
+    if String.length contents < hl then None
+    else if not (String.equal (String.sub contents 0 (String.length blob_magic)) blob_magic)
+    then None
+    else begin
+      match
+        let r = Codec.reader ~pos:hl contents in
+        let len = Codec.read_uvarint r in
+        let start = Codec.pos r in
+        if len > String.length contents - start - 4 then raise Codec.Truncated;
+        let payload = String.sub contents start len in
+        let trailer = Codec.reader ~pos:(start + len) contents in
+        let stored = read_crc_le trailer in
+        if Int32.equal stored (Codec.crc32 payload) then Some payload else None
+      with
+      | res -> res
+      | exception Codec.Truncated -> None
+    end
+  end
+
+let ensure_dir path =
+  let rec go p =
+    if not (String.equal p "" || String.equal p "/" || String.equal p ".")
+       && not (Sys.file_exists p)
+    then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path

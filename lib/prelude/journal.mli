@@ -1,0 +1,102 @@
+(** Append-only write-ahead log + atomic snapshot blobs for the dynamic
+    pipeline.
+
+    This module is the single blessed home of raw file I/O in [lib/]
+    (lint rule MSP009); everything durability-related — framing, CRCs,
+    fsync policy, torn-tail truncation, atomic renames — lives here so
+    it can be reviewed in one place.
+
+    {2 File format}
+
+    A journal file is a 9-byte header ([MSPARWAL] + version byte)
+    followed by frames, one per record:
+
+    {v <uvarint body-len> <body> <crc32-le of body> v}
+
+    The reader validates each frame in order and {e stops at the first
+    bad one} — short frame, CRC mismatch, or malformed body.  It never
+    resyncs: a corrupt or torn suffix is reported via
+    {!type:read_result} and can be chopped with {!truncate_torn}, so
+    replay never sees bytes that were not fully acknowledged. *)
+
+(** One logical journal record.  [Epoch e] marks that a snapshot blob
+    numbered [e] captures all state up to this point; [Meta] carries an
+    opaque configuration payload written once at journal creation. *)
+type record =
+  | Insert of int * int
+  | Delete of int * int
+  | Epoch of int
+  | Meta of string
+
+(** {2 Writing} *)
+
+type writer
+
+val open_writer : ?sync_every:int -> string -> writer
+(** Open (creating or appending to) the journal at [path].  A fresh or
+    header-torn file is (re)started from a clean header.  Records are
+    buffered and pushed with one [write]+[fsync] per [sync_every]
+    appends (default 32); [sync_every = 1] gives classic no-loss WAL
+    semantics.  If the existing file has a torn tail, run {!read} +
+    {!truncate_torn} first — appending after garbage hides it forever.
+    @raise Invalid_argument if [sync_every < 1].
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val append : writer -> record -> unit
+(** Buffer one record; flushes + fsyncs when the batch fills.
+    @raise Invalid_argument if the writer is closed.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val sync : writer -> unit
+(** Force-flush the buffer and fsync.  After [sync] returns, every
+    appended record survives a crash.
+    @raise Invalid_argument if the writer is closed.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val appended : writer -> int
+(** Number of records appended through this writer (not counting
+    pre-existing file contents). *)
+
+val close : writer -> unit
+(** [sync] then close the fd.  Idempotent.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+(** {2 Reading} *)
+
+type read_result = {
+  records : record list;  (** every fully valid record, in append order *)
+  valid_bytes : int;  (** header plus all valid frames — the safe prefix *)
+  torn : string option;
+      (** [Some reason] iff parsing stopped before end of file *)
+}
+
+val read : string -> read_result
+(** Parse the journal at [path].  Total: corruption and torn tails are
+    reported in the result, never raised.  A missing file reads as
+    empty with [torn = None].
+    @raise Sys_error if the file exists but cannot be opened/read. *)
+
+val truncate_torn : string -> read_result -> unit
+(** If [result.torn] is set, truncate the file at [path] down to
+    [result.valid_bytes] (and fsync) so a writer can safely append
+    again.  No-op when the journal parsed cleanly.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+(** {2 Snapshot blobs} *)
+
+val write_blob : string -> string -> unit
+(** [write_blob path payload] durably writes [payload] (with magic,
+    length, and CRC framing) to [path ^ ".tmp"], fsyncs, then renames —
+    a crash at any point leaves either the previous blob or the new
+    one, never a half-written file.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val read_blob : string -> string option
+(** Read a blob written by {!write_blob}.  Returns [None] if the file
+    is missing, short, mis-tagged, or fails its CRC — callers fall back
+    to an older snapshot or full replay.
+    @raise Sys_error if the file exists but cannot be opened/read. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]: create [path] and any missing parents.
+    @raise Unix.Unix_error on filesystem errors other than [EEXIST]. *)

@@ -22,6 +22,13 @@ let of_seed64 seed64 =
 
 let create seed = of_seed64 (Int64.of_int seed)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state a =
+  if Array.length a <> 4 then invalid_arg "Rng.of_state: expected 4 words";
+  if Array.for_all (fun w -> Int64.equal w 0L) a then
+    invalid_arg "Rng.of_state: all-zero state";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3) }
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))

@@ -17,6 +17,16 @@ val copy : t -> t
 (** [copy t] is an independent generator with the same current state;
     advancing one does not affect the other. *)
 
+val state : t -> int64 array
+(** The current 4-word xoshiro256++ state, for checkpointing.  Restoring
+    it with {!of_state} resumes the stream at exactly this position, so
+    replay after recovery is bit-for-bit identical. *)
+
+val of_state : int64 array -> t
+(** Inverse of {!state}.
+    @raise Invalid_argument unless given exactly 4 words, not all zero
+    (the xoshiro fixed point). *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of the remainder of [t]'s stream.  Used to give each vertex

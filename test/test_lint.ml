@@ -163,6 +163,33 @@ let test_msp008 () =
        "let f () = Domain.spawn (fun () -> ()) [@@lint.allow \"MSP008\"]")
 
 (* ---------------------------------------------------------------- *)
+(* MSP009: file I/O outside the durability layer                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp009 () =
+  check_fires "open_out in library code" "MSP009"
+    (lint ~file:"lib/dynamic/foo.ml" "let f path = open_out path");
+  check_fires "open_in_bin" "MSP009"
+    (lint ~file:"lib/core/foo.ml" "let f path = open_in_bin path");
+  check_fires "Unix.openfile" "MSP009"
+    (lint ~file:"lib/dynamic/foo.ml"
+       "let f path = Unix.openfile path [ Unix.O_WRONLY ] 0o644");
+  check_silent "journal.ml is the blessed home" "MSP009"
+    (lint ~file:"lib/prelude/journal.ml"
+       "let f path = Unix.openfile path [ Unix.O_WRONLY ] 0o644");
+  check_silent "graph_io.ml keeps its exemption" "MSP009"
+    (lint ~file:"lib/graph/graph_io.ml" "let f path = open_in path");
+  check_silent "bench code may do I/O" "MSP009"
+    (lint ~file:"bench/foo.ml" "let f path = open_out path");
+  check_silent "test code may do I/O" "MSP009"
+    (lint ~file:"test/foo.ml" "let f path = open_out path");
+  check_silent "bin code may do I/O" "MSP009"
+    (lint ~file:"bin/main.ml" "let f path = open_out path");
+  check_silent "Journal consumers are clean" "MSP009"
+    (lint ~file:"lib/dynamic/foo.ml"
+       "let f path = Journal.open_writer ~sync_every:1 path")
+
+(* ---------------------------------------------------------------- *)
 (* suppression: [@lint.allow] and the baseline                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -246,6 +273,7 @@ let () =
           Alcotest.test_case "MSP006 mli" `Quick test_msp006;
           Alcotest.test_case "MSP007 raise contract" `Quick test_msp007;
           Alcotest.test_case "MSP008 domain spawn" `Quick test_msp008;
+          Alcotest.test_case "MSP009 file io" `Quick test_msp009;
         ] );
       ( "suppression",
         [

@@ -202,6 +202,70 @@ let test_pipeline_pool_path () =
       check_bool "explicit default rule stays pooled" true
         (r3.Pipeline.probes_on_input = r1.Pipeline.probes_on_input))
 
+let test_pool_survives_raising_job () =
+  (* robustness regression: a job that raises must not poison the pool.
+     This runs on the process-wide default pool on purpose — the same one
+     the core pipeline uses and the one joined by at_exit, so this test
+     binary also proves the at_exit join cannot deadlock after a failed
+     job (a hang here fails the suite with a timeout, not silently). *)
+  let exception Boom in
+  let pool = Pool.get_default () in
+  let attempt () =
+    match
+      Pool.parallel_for_ranges pool ~chunks:8 ~n:64 (fun ~chunk ~lo:_ ~hi:_ ->
+          if chunk = 3 then raise Boom)
+    with
+    | () -> Alcotest.fail "raising job did not propagate"
+    | exception Boom -> ()
+  in
+  attempt ();
+  attempt ();
+  (* the pool still runs real work, on every worker, with full coverage *)
+  let g = Gen.gnp (Rng.create 13) ~n:120 ~p:0.3 in
+  let reference = Par_gdelta.sequential ~seed:77 g ~delta:3 in
+  let s = Par_gdelta.sparsify ~pool ~seed:77 g ~delta:3 in
+  check_bool "default pool usable after raising job" true
+    (Graph.equal s reference);
+  let hits = Array.make 40 0 in
+  Pool.parallel_for_ranges pool ~chunks:5 ~n:40 (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  check_bool "every index covered exactly once" true
+    (Array.for_all (fun c -> c = 1) hits)
+
+let test_pipeline_fallback_counted () =
+  (* the ?pool fallback is not silent: the result says which path ran and
+     the process-wide meter ticks on every fallback *)
+  let module Pipeline = Mspar_core.Pipeline in
+  let g = Gen.gnp (Rng.create 41) ~n:80 ~p:0.3 in
+  let pool = Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let before = Pipeline.pool_fallbacks () in
+      let pooled = Pipeline.run ~pool (Rng.create 4) g ~beta:4 ~eps:0.5 in
+      check_bool "default rule stays pooled" true
+        (pooled.Pipeline.construction = Pipeline.Pooled);
+      Alcotest.(check int)
+        "no fallback counted" before
+        (Pipeline.pool_fallbacks ());
+      let fell =
+        Pipeline.run ~pool ~rule:Mspar_core.Gdelta.Mark_all_at_most_delta
+          (Rng.create 4) g ~beta:4 ~eps:0.5
+      in
+      check_bool "non-default rule falls back" true
+        (fell.Pipeline.construction = Pipeline.Sequential_fallback);
+      Alcotest.(check int)
+        "fallback counted" (before + 1)
+        (Pipeline.pool_fallbacks ());
+      let plain = Pipeline.run (Rng.create 4) g ~beta:4 ~eps:0.5 in
+      check_bool "no pool = plain sequential, not a fallback" true
+        (plain.Pipeline.construction = Pipeline.Sequential);
+      Alcotest.(check int)
+        "plain sequential not counted" (before + 1)
+        (Pipeline.pool_fallbacks ()))
+
 let test_time_comparison_runs () =
   let g = Gen.complete 120 in
   let times = Par_gdelta.time_comparison ~seed:1 g ~delta:4 ~domains:[ 1; 2 ] in
@@ -240,6 +304,10 @@ let () =
             test_collect_range_list_order;
           Alcotest.test_case "pipeline pool path" `Quick
             test_pipeline_pool_path;
+          Alcotest.test_case "pool survives raising job" `Quick
+            test_pool_survives_raising_job;
+          Alcotest.test_case "pipeline fallback counted" `Quick
+            test_pipeline_fallback_counted;
           Alcotest.test_case "timing runs" `Quick test_time_comparison_runs;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest qcheck_parallel_pure ]);

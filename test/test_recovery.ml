@@ -1,0 +1,502 @@
+(* Crash safety: journal codec, torn-tail handling, snapshot round-trips,
+   audit + self-repair, and the recover-equivalence property.
+
+   The QCheck property at the bottom is the central durability claim: for
+   any op sequence and any crash point (torn-tail crash model,
+   sync_every = 1), recovering and applying the remaining ops is
+   indistinguishable from never having crashed — same graph edge set,
+   same sparsifier edge set, same matching size. *)
+
+open Mspar_prelude
+open Mspar_dynamic
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* scratch-dir plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun e -> remove_tree (Filename.concat path e))
+        (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let dir_counter = ref 0
+
+let with_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mspar-rec-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let append_bytes path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let flip_byte path pos =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 0x5a));
+  write_file path (Bytes.to_string s)
+
+(* ------------------------------------------------------------------ *)
+(* codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip () =
+  let buf = Buffer.create 64 in
+  Codec.add_uvarint buf 0;
+  Codec.add_uvarint buf 127;
+  Codec.add_uvarint buf 128;
+  Codec.add_uvarint buf 0x3fff_ffff;
+  Codec.add_int buf (-1);
+  Codec.add_int buf 123456;
+  Codec.add_int buf min_int;
+  Codec.add_int64 buf 0x0123_4567_89ab_cdefL;
+  Codec.add_float buf 0.3;
+  Codec.add_float buf (-1e300);
+  Codec.add_string buf "";
+  Codec.add_string buf "torn\x00tail";
+  let r = Codec.reader (Buffer.contents buf) in
+  check_int "u0" 0 (Codec.read_uvarint r);
+  check_int "u127" 127 (Codec.read_uvarint r);
+  check_int "u128" 128 (Codec.read_uvarint r);
+  check_int "u30" 0x3fff_ffff (Codec.read_uvarint r);
+  check_int "i-1" (-1) (Codec.read_int r);
+  check_int "i123456" 123456 (Codec.read_int r);
+  check_int "imin" min_int (Codec.read_int r);
+  Alcotest.(check int64) "i64" 0x0123_4567_89ab_cdefL (Codec.read_int64 r);
+  Alcotest.(check (float 0.0)) "f" 0.3 (Codec.read_float r);
+  Alcotest.(check (float 0.0)) "fneg" (-1e300) (Codec.read_float r);
+  Alcotest.(check string) "s-empty" "" (Codec.read_string r);
+  Alcotest.(check string) "s" "torn\x00tail" (Codec.read_string r);
+  check_bool "at-end" true (Codec.at_end r)
+
+let test_codec_truncated () =
+  let buf = Buffer.create 16 in
+  Codec.add_string buf "hello";
+  let s = Buffer.contents buf in
+  let short = String.sub s 0 (String.length s - 2) in
+  check_bool "truncated raises" true
+    (match Codec.read_string (Codec.reader short) with
+    | exception Codec.Truncated -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  Journal.
+    [ Meta "config-bytes"; Insert (0, 1); Insert (2, 3); Epoch 2; Delete (0, 1) ]
+
+let write_sample path =
+  let w = Journal.open_writer ~sync_every:1 path in
+  List.iter (Journal.append w) sample_records;
+  Journal.close w
+
+let test_journal_roundtrip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "j.wal" in
+      Journal.ensure_dir dir;
+      write_sample path;
+      let r = Journal.read path in
+      check_bool "clean" true (r.Journal.torn = None);
+      check_bool "records" true (r.Journal.records = sample_records);
+      (* append-after-reopen keeps the earlier records *)
+      let w = Journal.open_writer path in
+      Journal.append w (Journal.Insert (7, 8));
+      Journal.close w;
+      let r2 = Journal.read path in
+      check_bool "appended" true
+        (r2.Journal.records = sample_records @ [ Journal.Insert (7, 8) ]))
+
+let test_journal_missing () =
+  with_dir (fun dir ->
+      let r = Journal.read (Filename.concat dir "absent.wal") in
+      check_bool "no records" true (r.Journal.records = []);
+      check_bool "not torn" true (r.Journal.torn = None))
+
+let test_journal_torn_tail () =
+  with_dir (fun dir ->
+      Journal.ensure_dir dir;
+      let path = Filename.concat dir "j.wal" in
+      write_sample path;
+      append_bytes path "\x1fgarbage-that-is-not-a-frame";
+      let r = Journal.read path in
+      check_bool "torn reported" true (r.Journal.torn <> None);
+      check_bool "records survive" true (r.Journal.records = sample_records);
+      Journal.truncate_torn path r;
+      let r2 = Journal.read path in
+      check_bool "clean after truncate" true (r2.Journal.torn = None);
+      check_bool "same records" true (r2.Journal.records = sample_records);
+      check_int "file size = valid bytes"
+        r.Journal.valid_bytes
+        (String.length (read_file path)))
+
+let test_journal_crc_corruption () =
+  with_dir (fun dir ->
+      Journal.ensure_dir dir;
+      let path = Filename.concat dir "j.wal" in
+      write_sample path;
+      let size = String.length (read_file path) in
+      (* flip a byte in the last frame: that record must drop, the
+         prefix must survive, and nothing may raise *)
+      flip_byte path (size - 2);
+      let r = Journal.read path in
+      check_bool "torn reported" true (r.Journal.torn <> None);
+      check_int "prefix kept" 4 (List.length r.Journal.records);
+      check_bool "prefix exact" true
+        (r.Journal.records
+        = Journal.[ Meta "config-bytes"; Insert (0, 1); Insert (2, 3); Epoch 2 ]))
+
+let test_journal_header_damage () =
+  with_dir (fun dir ->
+      Journal.ensure_dir dir;
+      let path = Filename.concat dir "j.wal" in
+      write_sample path;
+      flip_byte path 3;
+      let r = Journal.read path in
+      check_bool "no records from bad header" true (r.Journal.records = []);
+      check_bool "torn reported" true (r.Journal.torn <> None))
+
+let test_blob_roundtrip () =
+  with_dir (fun dir ->
+      Journal.ensure_dir dir;
+      let path = Filename.concat dir "b.bin" in
+      let payload = String.init 1000 (fun i -> Char.chr (i * 7 mod 256)) in
+      Journal.write_blob path payload;
+      check_bool "roundtrip" true (Journal.read_blob path = Some payload);
+      flip_byte path 500;
+      check_bool "corrupt -> None" true (Journal.read_blob path = None);
+      check_bool "missing -> None" true
+        (Journal.read_blob (Filename.concat dir "nope.bin") = None))
+
+(* ------------------------------------------------------------------ *)
+(* rng checkpointing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_state_roundtrip () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 57 do
+    ignore (Rng.int rng 1000)
+  done;
+  let saved = Rng.state rng in
+  let copy = Rng.of_state saved in
+  let a = Array.init 20 (fun _ -> Rng.int rng 1_000_000) in
+  let b = Array.init 20 (fun _ -> Rng.int copy 1_000_000) in
+  check_bool "same stream" true (a = b);
+  check_bool "bad length rejected" true
+    (match Rng.of_state [| 1L; 2L |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "all-zero rejected" true
+    (match Rng.of_state [| 0L; 0L; 0L; 0L |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* component snapshots                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* a deterministic mixed op sequence *)
+let ops_of_seed seed ~n ~count =
+  let rng = Rng.create seed in
+  Array.init count (fun _ ->
+      let u = Rng.int rng n and v = Rng.int rng n in
+      let u, v = if u = v then (u, (v + 1) mod n) else (u, v) in
+      (Rng.int rng 10 < 7, u, v))
+
+let test_sparsifier_snapshot_roundtrip () =
+  let n = 20 in
+  let sp = Dyn_sparsifier.create (Rng.create 5) ~n ~delta:3 in
+  Array.iter
+    (fun (ins, u, v) ->
+      ignore (if ins then Dyn_sparsifier.insert sp u v else Dyn_sparsifier.delete sp u v))
+    (ops_of_seed 11 ~n ~count:80);
+  let buf = Buffer.create 256 in
+  Dyn_sparsifier.encode sp buf;
+  let sp' = Dyn_sparsifier.decode (Codec.reader (Buffer.contents buf)) in
+  check_bool "graph equal" true
+    (Dyn_graph.edges (Dyn_sparsifier.graph sp)
+    = Dyn_graph.edges (Dyn_sparsifier.graph sp'));
+  check_bool "gdelta equal" true
+    (Mspar_graph.Graph.edges (Dyn_sparsifier.sparsifier sp)
+    = Mspar_graph.Graph.edges (Dyn_sparsifier.sparsifier sp'));
+  (* the decoded copy replays bit-for-bit: same ops -> same marks *)
+  Array.iter
+    (fun (ins, u, v) ->
+      let app sp =
+        ignore
+          (if ins then Dyn_sparsifier.insert sp u v
+           else Dyn_sparsifier.delete sp u v)
+      in
+      app sp;
+      app sp')
+    (ops_of_seed 12 ~n ~count:60);
+  check_bool "gdelta equal after divergence window" true
+    (Mspar_graph.Graph.edges (Dyn_sparsifier.sparsifier sp)
+    = Mspar_graph.Graph.edges (Dyn_sparsifier.sparsifier sp'));
+  check_bool "audit clean" true (Audit.sparsifier sp' = [])
+
+let test_matching_snapshot_roundtrip () =
+  let n = 20 in
+  let dm = Dyn_matching.create (Rng.create 6) ~n ~beta:4 ~eps:0.4 in
+  Array.iter
+    (fun (ins, u, v) ->
+      ignore (if ins then Dyn_matching.insert dm u v else Dyn_matching.delete dm u v))
+    (ops_of_seed 21 ~n ~count:80);
+  let buf = Buffer.create 256 in
+  Dyn_matching.encode dm buf;
+  let dm' = Dyn_matching.decode (Codec.reader (Buffer.contents buf)) in
+  check_int "size equal" (Dyn_matching.size dm) (Dyn_matching.size dm');
+  Array.iter
+    (fun (ins, u, v) ->
+      let app dm =
+        ignore
+          (if ins then Dyn_matching.insert dm u v else Dyn_matching.delete dm u v)
+      in
+      app dm;
+      app dm')
+    (ops_of_seed 22 ~n ~count:60);
+  check_int "size equal after more ops" (Dyn_matching.size dm)
+    (Dyn_matching.size dm');
+  check_bool "graphs equal" true
+    (Dyn_graph.edges (Dyn_matching.graph dm)
+    = Dyn_graph.edges (Dyn_matching.graph dm'));
+  check_bool "audit clean" true (Audit.matching dm' = [])
+
+let test_decode_rejects_corruption () =
+  let n = 10 in
+  let sp = Dyn_sparsifier.create (Rng.create 7) ~n ~delta:2 in
+  ignore (Dyn_sparsifier.insert sp 0 1);
+  ignore (Dyn_sparsifier.insert sp 1 2);
+  let buf = Buffer.create 64 in
+  Dyn_sparsifier.encode sp buf;
+  let bytes = Bytes.of_string (Buffer.contents buf) in
+  (* damage the payload: decode must raise, not return junk *)
+  Bytes.set bytes 1 '\xff';
+  check_bool "decode rejects" true
+    (match Dyn_sparsifier.decode (Codec.reader (Bytes.to_string bytes)) with
+    | exception (Failure _ | Codec.Truncated | Invalid_argument _) -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* audit + repair                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_detects_and_repairs () =
+  let n = 16 in
+  let sp = Dyn_sparsifier.create (Rng.create 8) ~n ~delta:3 in
+  Array.iter
+    (fun (ins, u, v) ->
+      ignore (if ins then Dyn_sparsifier.insert sp u v else Dyn_sparsifier.delete sp u v))
+    (ops_of_seed 31 ~n ~count:60);
+  check_bool "healthy before" true (Audit.sparsifier sp = []);
+  Dyn_sparsifier.inject_corruption sp;
+  check_bool "corruption detected" true (Audit.sparsifier sp <> []);
+  Dyn_sparsifier.repair sp;
+  check_bool "healthy after repair" true (Audit.sparsifier sp = []);
+  check_int "repair counted" 1 (Dyn_sparsifier.stats sp).Dyn_sparsifier.repairs
+
+let test_graph_audit_and_checksum () =
+  let g = Mspar_graph.Gen.gnp (Rng.create 17) ~n:40 ~p:0.2 in
+  check_bool "audit clean" true (Mspar_graph.Graph.audit g = []);
+  let g2 = Mspar_graph.Gen.gnp (Rng.create 18) ~n:40 ~p:0.2 in
+  check_bool "checksum stable" true
+    (Mspar_graph.Graph.checksum g = Mspar_graph.Graph.checksum g);
+  check_bool "checksum discriminates" true
+    (Mspar_graph.Graph.checksum g <> Mspar_graph.Graph.checksum g2)
+
+(* ------------------------------------------------------------------ *)
+(* durable orchestration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let durable_config n seed =
+  { Durable.n; delta = 4; beta = 4; eps = 0.4; multiplier = 2.0; seed }
+
+let test_durable_create_recover () =
+  with_dir (fun dir ->
+      let d =
+        Durable.create ~sync_every:1 ~snapshot_every:10 ~dir
+          (durable_config 16 3)
+      in
+      Array.iter
+        (fun (ins, u, v) ->
+          ignore (if ins then Durable.insert d u v else Durable.delete d u v))
+        (ops_of_seed 41 ~n:16 ~count:35);
+      let edges = Dyn_graph.edges (Dyn_matching.graph (Durable.matching d)) in
+      Durable.close d;
+      check_bool "create refuses existing journal" true
+        (match Durable.create ~dir (durable_config 16 3) with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      match Durable.recover dir with
+      | Error e -> Alcotest.failf "recover: %s" e
+      | Ok d' ->
+          check_int "op count" 35 (Durable.op_count d');
+          let s = Durable.stats d' in
+          check_bool "used a snapshot" true (s.Durable.recovered_epoch = Some 30);
+          check_int "replayed tail" 5 s.Durable.replayed;
+          check_bool "same graph" true
+            (Dyn_graph.edges (Dyn_matching.graph (Durable.matching d')) = edges);
+          check_bool "audit clean" true (Durable.audit_now d' = []);
+          Durable.close d')
+
+let test_durable_recover_empty () =
+  with_dir (fun dir ->
+      check_bool "no journal -> Error" true
+        (match Durable.recover dir with Error _ -> true | Ok _ -> false))
+
+let test_durable_audit_repairs () =
+  with_dir (fun dir ->
+      let d = Durable.create ~sync_every:1 ~dir (durable_config 16 4) in
+      Array.iter
+        (fun (ins, u, v) ->
+          ignore (if ins then Durable.insert d u v else Durable.delete d u v))
+        (ops_of_seed 51 ~n:16 ~count:40);
+      Dyn_sparsifier.inject_corruption (Durable.sparsifier d);
+      let found = Durable.audit_now d in
+      check_bool "detected" true (found <> []);
+      let s = Durable.stats d in
+      check_bool "repair counted" true (s.Durable.repairs >= 1);
+      check_int "failure counted" 1 s.Durable.audit_failures;
+      check_bool "healthy now" true (Durable.audit_now d = []);
+      Durable.close d)
+
+(* ------------------------------------------------------------------ *)
+(* the recover-equivalence property (satellite of Theorem 3.5's         *)
+(* dynamic pipeline: crashes are unobservable)                          *)
+(* ------------------------------------------------------------------ *)
+
+let observe d =
+  ( Dyn_graph.edges (Dyn_matching.graph (Durable.matching d)),
+    Array.to_list (Mspar_graph.Graph.edges (Dyn_sparsifier.sparsifier (Durable.sparsifier d))),
+    Dyn_matching.size (Durable.matching d) )
+
+let qcheck_crash_recover_equivalence =
+  QCheck.Test.make ~count:30
+    ~name:"recover at any crash point + remaining ops == uncrashed run"
+    QCheck.(triple (int_range 6 20) (int_range 10 60) (int_range 0 10_000))
+    (fun (n, count, seed) ->
+      let ops = ops_of_seed (seed + 1) ~n ~count in
+      let trial = Rng.create (seed + 2) in
+      with_dir (fun ref_dir ->
+          let d =
+            Durable.create ~sync_every:1 ~snapshot_every:9 ~audit_every:13
+              ~dir:ref_dir (durable_config n seed)
+          in
+          Array.iter
+            (fun (ins, u, v) ->
+              ignore (if ins then Durable.insert d u v else Durable.delete d u v))
+            ops;
+          let reference = observe d in
+          Durable.close d;
+          with_dir (fun dir ->
+              (* crash after k acked ops, with a torn partial record *)
+              let k = 1 + Rng.int trial count in
+              let d =
+                Durable.create ~sync_every:1 ~snapshot_every:9 ~audit_every:13
+                  ~dir (durable_config n seed)
+              in
+              Array.iter
+                (fun (ins, u, v) ->
+                  ignore
+                    (if ins then Durable.insert d u v else Durable.delete d u v))
+                (Array.sub ops 0 k);
+              Durable.close d;
+              let torn =
+                String.init (1 + Rng.int trial 20) (fun _ ->
+                    Char.chr (Rng.int trial 256))
+              in
+              append_bytes (Filename.concat dir "journal.wal") torn;
+              match
+                Durable.recover ~sync_every:1 ~snapshot_every:9 ~audit_every:13
+                  dir
+              with
+              | Error e -> QCheck.Test.fail_reportf "recover failed: %s" e
+              | Ok d ->
+                  (* sync_every = 1: every acked op must have survived *)
+                  if Durable.op_count d <> k then
+                    QCheck.Test.fail_reportf "lost acked ops: %d <> %d"
+                      (Durable.op_count d) k;
+                  if Durable.audit_now d <> [] then
+                    QCheck.Test.fail_reportf "recovered state fails audit";
+                  Array.iter
+                    (fun (ins, u, v) ->
+                      ignore
+                        (if ins then Durable.insert d u v
+                         else Durable.delete d u v))
+                    (Array.sub ops k (count - k));
+                  let out = observe d in
+                  Durable.close d;
+                  out = reference)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mspar_recovery"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_journal_missing;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "crc corruption" `Quick test_journal_crc_corruption;
+          Alcotest.test_case "header damage" `Quick test_journal_header_damage;
+          Alcotest.test_case "snapshot blob" `Quick test_blob_roundtrip;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "rng state" `Quick test_rng_state_roundtrip;
+          Alcotest.test_case "sparsifier roundtrip" `Quick
+            test_sparsifier_snapshot_roundtrip;
+          Alcotest.test_case "matching roundtrip" `Quick
+            test_matching_snapshot_roundtrip;
+          Alcotest.test_case "decode rejects corruption" `Quick
+            test_decode_rejects_corruption;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "detect + repair" `Quick
+            test_audit_detects_and_repairs;
+          Alcotest.test_case "graph audit + checksum" `Quick
+            test_graph_audit_and_checksum;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "create/recover" `Quick test_durable_create_recover;
+          Alcotest.test_case "recover empty dir" `Quick
+            test_durable_recover_empty;
+          Alcotest.test_case "audit repairs" `Quick test_durable_audit_repairs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_crash_recover_equivalence ]
+      );
+    ]

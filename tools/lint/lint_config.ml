@@ -37,7 +37,13 @@ let default =
         "Graph.iter_edges";
       ];
     require_mli_dirs = [ "lib" ];
-    allows = [ ("MSP001", "lib/prelude/rng.ml"); ("MSP008", "lib/prelude/pool.ml") ];
+    allows =
+      [
+        ("MSP001", "lib/prelude/rng.ml");
+        ("MSP008", "lib/prelude/pool.ml");
+        ("MSP009", "lib/prelude/journal.ml");
+        ("MSP009", "lib/graph/graph_io.ml");
+      ];
   }
 
 let empty =

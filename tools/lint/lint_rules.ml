@@ -19,6 +19,11 @@
    MSP008  pooled parallelism   — Domain.spawn only inside the domain pool
                                   (lib/prelude/pool.ml); everything else runs
                                   on a Pool.t so spawn cost stays amortised
+   MSP009  durability funnel    — raw file I/O (open_out / open_in /
+                                  Unix.openfile) in lib/ only inside the
+                                  journal (lib/prelude/journal.ml) and
+                                  Graph_io, so framing/CRC/fsync decisions
+                                  stay in one reviewable place
 
    All detection is on the Parsetree (no typing pass), so the rules are
    deliberately syntactic approximations; [@lint.allow "MSPxxx"] exists for
@@ -74,6 +79,7 @@ type ctx = {
   file : string;
   hot : bool;
   congest : bool;
+  in_lib : bool;
   mli : mli_info option;
   mutable acc : Lint_types.finding list;
 }
@@ -116,6 +122,15 @@ let forbidden_module_path p =
 let is_domain_spawn_path p =
   match p with "Domain.spawn" | "Stdlib.Domain.spawn" -> true | _ -> false
 
+let is_file_io_path p =
+  match p with
+  | "open_out" | "open_out_bin" | "open_out_gen" | "open_in" | "open_in_bin"
+  | "open_in_gen" | "Stdlib.open_out" | "Stdlib.open_out_bin"
+  | "Stdlib.open_out_gen" | "Stdlib.open_in" | "Stdlib.open_in_bin"
+  | "Stdlib.open_in_gen" | "Unix.openfile" | "UnixLabels.openfile" ->
+      true
+  | _ -> false
+
 let check_ident ctx p loc =
   if is_random_path p then
     add ctx ~code:"MSP001" ~loc
@@ -139,6 +154,13 @@ let check_ident ctx p loc =
       (Printf.sprintf
          "%s: raw domain spawning is reserved for the pool (lib/prelude/pool.ml); run the work \
           on a Mspar_prelude.Pool.t so the spawn cost is paid once per process"
+         p);
+  if ctx.in_lib && is_file_io_path p then
+    add ctx ~code:"MSP009" ~loc
+      (Printf.sprintf
+         "%s: raw file I/O in lib/ is reserved for the durability layer (lib/prelude/journal.ml) \
+          and Graph_io; route bytes through Mspar_prelude.Journal so framing, CRC and fsync \
+          policy stay in one place"
          p);
   if ctx.congest && List.exists (String.equal p) ctx.cfg.congest_forbidden then
     add ctx ~code:"MSP003" ~loc
@@ -297,6 +319,7 @@ let lint_structure cfg ~file ~mli str =
       file;
       hot = Lint_config.in_hot_dir cfg file;
       congest = Lint_config.in_congest_scope cfg file;
+      in_lib = Lint_config.under_prefix ~prefix:"lib" file;
       mli;
       acc = [];
     }
