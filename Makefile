@@ -3,7 +3,7 @@
 # gate still runs on minimal toolchains), and the test suite, which
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
-.PHONY: all build fmt lint test check ci bench bench-construction
+.PHONY: all build fmt lint test check ci bench bench-construction bench-smoke
 
 all: build
 
@@ -28,8 +28,9 @@ test:
 check: build fmt lint test
 
 # the one-command CI gate: build, full test suite (includes the
-# construction and fault-injection smoke runs wired into dune runtest),
-# then the gated formatting check
+# construction, fault-injection and .msgr-container smoke runs wired
+# into dune runtest — the msgr legs at a small size; `make bench-smoke`
+# is the same gate at ~1M edges), then the gated formatting check
 ci:
 	dune build
 	$(MAKE) lint
@@ -42,3 +43,9 @@ bench:
 # full-size construction-path rows (100k vertices, ~5M edges)
 bench-construction:
 	dune exec bench/main.exe -- --csv bench_csv construction
+
+# .msgr container smoke at ~1M edges: save, mmap-reopen with checksum and
+# audit cross-checks, and the O(1)-ish open assertion (same legs run at a
+# small size on every `dune runtest` / `make ci`)
+bench-smoke:
+	dune exec bench/main.exe -- --csv bench_csv msgr-smoke

@@ -19,6 +19,12 @@
      dune exec bench/main.exe -- crash-smoke - the same soak at smoke size,
                                               >=200 seeded crash points
                                               (the dune runtest hook)
+     dune exec bench/main.exe -- msgr-smoke  - .msgr save / mmap-reopen at
+                                              ~1M edges with the O(1)-ish
+                                              open gate (make bench-smoke)
+     dune exec bench/main.exe -- msgr-smoke-small - the same legs at
+                                              runtest size (the dune
+                                              runtest hook)
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -84,6 +90,14 @@ let () =
     incr ran;
     Crash_soak.smoke ()
   end;
+  if explicit "msgr-smoke" then begin
+    incr ran;
+    Msgr_smoke.run ~full:true ()
+  end;
+  if explicit "msgr-smoke-small" then begin
+    incr ran;
+    Msgr_smoke.run ~full:false ()
+  end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
     List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
@@ -94,5 +108,7 @@ let () =
     prerr_endline "  smoke";
     prerr_endline "  fault-smoke";
     prerr_endline "  crash-smoke";
+    prerr_endline "  msgr-smoke";
+    prerr_endline "  msgr-smoke-small";
     exit 1
   end

@@ -107,6 +107,20 @@ let make_tests () =
 (* Construction path: list vs packed, sequential vs domains           *)
 (* ------------------------------------------------------------------ *)
 
+(* Host parallelism, recorded as a column in every construction CSV row:
+   a published wall-time is only interpretable next to the cores that
+   produced it. *)
+let host_cores = Domain.recommended_domain_count ()
+
+(* Pooled rows may only advertise themselves as parallel when the host
+   can actually run domains side by side.  On a single-core machine the
+   same code path is still timed — the pool dispatch overhead is a real
+   number — but the row is labelled honestly so a published CSV cannot
+   claim a speedup the hardware could not have delivered. *)
+let pooled_label domains =
+  if host_cores >= 2 then Printf.sprintf "par-%ddom" domains
+  else Printf.sprintf "pooled-serial-%ddom" domains
+
 (* the seed's boxed mark collector, reproduced verbatim as the baseline *)
 let seed_collect_marks rng g ~delta =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
@@ -137,6 +151,71 @@ let best_of ~repeats f =
     if ns < !best then best := ns
   done;
   !best
+
+(* Paired interleaved medians for an A/B kernel comparison.  The two
+   thunks are timed alternately (A, B, A, B, …) so slow drift — the
+   major-heap state earlier rows leave behind, container CPU contention —
+   lands on both kernels equally, and the per-kernel medians stay
+   comparable.  Medians, not best-of: the per-vertex mark baseline's cost
+   is bimodal (doubling-growth buffer copies and major-GC slices land in
+   some runs and not others), and that tail is part of what the blocked
+   collector removes — a min() would report the lucky GC-free run.
+   Back-to-back (non-interleaved) medians for this pair swung ±30% run to
+   run on the 1-core CI container, drowning a steady ~12% difference. *)
+let interleaved_medians ~rounds fa fb =
+  let sa = Array.make rounds 0L and sb = Array.make rounds 0L in
+  for i = 0 to rounds - 1 do
+    sa.(i) <- snd (Clock.time_ns fa);
+    sb.(i) <- snd (Clock.time_ns fb)
+  done;
+  Array.sort Int64.compare sa;
+  Array.sort Int64.compare sb;
+  (sa.(rounds / 2), sb.(rounds / 2))
+
+(* The pre-blocking mark collector, kept as the perf baseline for the
+   gdelta-mark rows: the same emulated-Fisher–Yates sampler, but with one
+   live [Rng.int] call per draw (no word prefetch), one checked push per
+   mark, one probe-counter update per vertex, and no CSR-block
+   working-set reuse.  Its RNG consumption is word-for-word the batched
+   collector's (every batched draw consumes at least one prefetched
+   word, rejections fall through to the live stream), so the emitted
+   codes are bit-for-bit identical — cross-checked below. *)
+(* The pre-PR [Sampling.sample_indices], reproduced exactly: one live
+   [Rng.int] per draw and the marks emitted through the [f] closure.  The
+   old production collector paid that per-draw closure call too, so the
+   baseline keeps it — hand-inlining the loop here would make the
+   "before" row faster than the code it claims to represent. *)
+let unbatched_sample_indices pos rng ~n ~k ~f =
+  let k = Int.min k n in
+  Sparse_array.reset pos;
+  let value_at i =
+    let x = Sparse_array.get pos i in
+    if x = -1 then i else x
+  in
+  for step = 0 to k - 1 do
+    let last = n - 1 - step in
+    let j = Rng.int rng (last + 1) in
+    f (value_at j);
+    Sparse_array.set pos j (value_at last)
+  done
+
+let pervertex_mark_codes rng g ~delta ~shift =
+  let n = Graph.n g in
+  let pos = Sparse_array.create (Graph.max_degree g) ~default:(-1) in
+  let buf = Edgebuf.create () in
+  let keep = 2 * delta in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    let base = v lsl shift in
+    if d <= keep then
+      Graph.iter_neighbors g v (fun u -> Edgebuf.push buf (base lor u))
+    else begin
+      Graph.add_probes g delta;
+      unbatched_sample_indices pos rng ~n:d ~k:delta ~f:(fun i ->
+          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i))
+    end
+  done;
+  buf
 
 (* One (kernel, ns) row per configuration; also cross-checks that every
    builder variant produces the identical graph, so the smoke run doubles
@@ -181,86 +260,170 @@ let construction_rows ~full =
            (Mspar_parallel.Par_gdelta.sparsify ~pool:pool4 ~seed:7 g ~delta));
       ignore (Mspar_parallel.Par_gdelta.sparsify ~pool:pool2 ~seed:7 g ~delta);
       ignore (Mspar_parallel.Par_gdelta.sparsify ~pool:pool8 ~seed:7 g ~delta);
+      (let blocked, bshift = Gdelta.marked_codes (Rng.create 7) g ~delta in
+       require "marked_codes shift mismatches pack_shift" (bshift = shift);
+       require "per-vertex mark baseline mismatches the blocked collector"
+         (Graph.equal
+            (Graph.of_edgebuf ~n blocked)
+            (Graph.of_edgebuf ~n
+               (pervertex_mark_codes (Rng.create 7) g ~delta ~shift))));
       let tag name =
         Printf.sprintf "construction/%s/n%d-m%d-d%d" name n (Graph.m g) delta
       in
-      let row name f = (tag name, best_of ~repeats f) in
+      (* ~cores is the domain count a row engages; the recorded column is
+         capped by what the host can actually run side by side *)
+      let row ~cores name f =
+        (tag name, Int.min cores host_cores, best_of ~repeats f)
+      in
+      let mark_pair_ns =
+        interleaved_medians
+          ~rounds:((2 * repeats) + 3)
+          (fun () ->
+            Sys.opaque_identity
+              (pervertex_mark_codes (Rng.create 7) g ~delta ~shift))
+          (fun () ->
+            Sys.opaque_identity (Gdelta.marked_codes (Rng.create 7) g ~delta))
+      in
       [
-        row "of-edges-list-seed" (fun () ->
+        row ~cores:1 "of-edges-list-seed" (fun () ->
             Sys.opaque_identity (Graph.of_edges_reference ~n pair_list));
-        row "of-edges-packed" (fun () ->
+        row ~cores:1 "of-edges-packed" (fun () ->
             Sys.opaque_identity (Graph.of_edge_array ~n pairs));
         (* both CSR builders mutate their input prefix, so each timed run
            pays one identical Array.copy of the packed codes *)
-        row "csr-build/seq" (fun () ->
+        row ~cores:1 "csr-build/seq" (fun () ->
             Sys.opaque_identity (Graph.of_packed ~n (Array.copy codes)));
-        row "csr-build/par" (fun () ->
+        row ~cores:4
+          ("csr-build/" ^ pooled_label 4)
+          (fun () ->
             Sys.opaque_identity
               (Graph.of_packed_par ~pool:pool4 ~n (Array.copy codes)));
-        row "gdelta-list-seed" (fun () ->
+        row ~cores:1 "gdelta-list-seed" (fun () ->
             let marks = seed_collect_marks (Rng.create 7) g ~delta in
             Sys.opaque_identity (Graph.of_edges_reference ~n marks));
-        row "gdelta-packed" (fun () ->
+        row ~cores:1 "gdelta-packed" (fun () ->
             Sys.opaque_identity (Gdelta.sparsify (Rng.create 7) g ~delta));
-        row "par-gdelta-seq" (fun () ->
+        (* the marking hot path in isolation (no CSR build): per-vertex
+           checked pushes + one live RNG call per draw through the ~f
+           closure (the pre-PR shape), vs the cache-blocked collector
+           with batched word prefetch and closure-free index landing
+           (identical output codes, cross-checked above).  Timed as an
+           interleaved pair — see [interleaved_medians]. *)
+        (tag "gdelta-mark/pervertex-unbatched", 1, fst mark_pair_ns);
+        (tag "gdelta-mark/blocked-batched", 1, snd mark_pair_ns);
+        row ~cores:1 "par-gdelta-seq" (fun () ->
             Sys.opaque_identity
               (Mspar_parallel.Par_gdelta.sequential ~seed:7 g ~delta));
-        row "par-gdelta-pool-1dom" (fun () ->
+        row ~cores:1 "par-gdelta-pool-1dom" (fun () ->
             Sys.opaque_identity
               (Mspar_parallel.Par_gdelta.sparsify ~pool:pool1 ~seed:7 g ~delta));
-        row "par-gdelta-pool-2dom" (fun () ->
+        row ~cores:2
+          ("par-gdelta-pool/" ^ pooled_label 2)
+          (fun () ->
             Sys.opaque_identity
               (Mspar_parallel.Par_gdelta.sparsify ~pool:pool2 ~seed:7 g ~delta));
-        row "par-gdelta-pool-4dom" (fun () ->
+        row ~cores:4
+          ("par-gdelta-pool/" ^ pooled_label 4)
+          (fun () ->
             Sys.opaque_identity
               (Mspar_parallel.Par_gdelta.sparsify ~pool:pool4 ~seed:7 g ~delta));
-        row "par-gdelta-pool-8dom" (fun () ->
+        row ~cores:8
+          ("par-gdelta-pool/" ^ pooled_label 8)
+          (fun () ->
             Sys.opaque_identity
               (Mspar_parallel.Par_gdelta.sparsify ~pool:pool8 ~seed:7 g ~delta));
       ])
 
 (* Pooled speedup curve (fresh warmed pool per domain count); emitted as
    its own CSV so scaling runs are diffable across machines.  The title's
-   first token is the CSV slug: bench_csv/par-scaling.csv. *)
+   first token is the CSV slug: bench_csv/par-scaling.csv.
+
+   Returns [None] on a single-core host: a "parallel speedup" table whose
+   domains all time-slice one core is a fabrication, so the harness
+   refuses to produce it rather than publishing rows a reader would take
+   as genuine scaling. *)
 let scaling_table () =
-  let n, m, delta = (100_000, 5_000_000, 32) in
-  let rng = Rng.create 20200715 in
-  let g = Graph.of_edge_array ~n (random_edge_array rng ~n ~m) in
-  let times =
-    Mspar_parallel.Par_gdelta.time_comparison ~seed:7 g ~delta
-      ~domains:[ 1; 2; 4; 8 ]
-  in
-  let base = match times with (_, ms) :: _ -> ms | [] -> 1.0 in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf "par-scaling (pooled G_delta, n=%d m=%d d=%d)" n
-           (Graph.m g) delta)
-      ~columns:[ "domains"; "ms"; "speedup-vs-1dom" ]
-  in
+  if host_cores < 2 then begin
+    prerr_endline
+      "par-scaling: refusing to emit a parallel-speedup table on a \
+       single-core host (Domain.recommended_domain_count () = 1); rerun on \
+       a multicore machine";
+    None
+  end
+  else begin
+    let n, m, delta = (100_000, 5_000_000, 32) in
+    let rng = Rng.create 20200715 in
+    let g = Graph.of_edge_array ~n (random_edge_array rng ~n ~m) in
+    let times =
+      Mspar_parallel.Par_gdelta.time_comparison ~seed:7 g ~delta
+        ~domains:[ 1; 2; 4; 8 ]
+    in
+    let base = match times with (_, ms) :: _ -> ms | [] -> 1.0 in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "par-scaling (pooled G_delta, n=%d m=%d d=%d)" n
+             (Graph.m g) delta)
+        ~columns:[ "domains"; "ms"; "speedup-vs-1dom"; "host-cores" ]
+    in
+    List.iter
+      (fun (d, ms) ->
+        Table.add_row table
+          [
+            string_of_int d;
+            Printf.sprintf "%.1f" ms;
+            Printf.sprintf "%.2f" (base /. ms);
+            string_of_int host_cores;
+          ])
+      times;
+    Some table
+  end
+
+let contains_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* one (kernel, ns, cores) table; [filter] selects by row-name substring so
+   the csr-build and gdelta-mark rows also land in their own CSVs *)
+let rows_table ~title ?(filter = fun _ -> true) rows =
+  let t = Table.create ~title ~columns:[ "kernel"; "ns/run"; "cores" ] in
   List.iter
-    (fun (d, ms) ->
-      Table.add_row table
-        [ string_of_int d; Printf.sprintf "%.1f" ms; Printf.sprintf "%.2f" (base /. ms) ])
-    times;
-  table
+    (fun (name, cores, ns) ->
+      if filter name then
+        Table.add_row t [ name; Int64.to_string ns; string_of_int cores ])
+    rows;
+  t
+
+(* the before/after stories the CSVs exist to tell, as standalone tables:
+   bench_csv/csr-build.csv and bench_csv/gdelta-mark.csv *)
+let emit_focus_tables ~label rows =
+  Experiments.emit
+    (rows_table
+       ~title:(Printf.sprintf "csr-build (%s; seq heap-free build vs pooled)" label)
+       ~filter:(contains_substring ~needle:"/csr-build/")
+       rows);
+  Experiments.emit
+    (rows_table
+       ~title:
+         (Printf.sprintf
+            "gdelta-mark (%s; per-vertex checked pushes vs cache-blocked \
+             batched collector)"
+            label)
+       ~filter:(contains_substring ~needle:"/gdelta-mark/")
+       rows)
 
 let find_row rows key =
-  match List.find_opt (fun (name, _) -> String.length name >= String.length key
+  match List.find_opt (fun (name, _, _) -> String.length name >= String.length key
       && String.sub name 0 (String.length key) = key) rows with
-  | Some (_, ns) -> ns
+  | Some (_, _, ns) -> ns
   | None -> failwith ("micro-bench: missing row " ^ key)
 
 let smoke () =
   let rows = construction_rows ~full:false in
-  let table =
-    Table.create ~title:"micro-smoke (construction path, tiny sizes)"
-      ~columns:[ "kernel"; "ns/run" ]
-  in
-  List.iter
-    (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
-    rows;
-  Table.print table;
+  Experiments.emit
+    (rows_table ~title:"micro-smoke (construction path, tiny sizes)" rows);
+  emit_focus_tables ~label:"smoke sizes" rows;
   (* wiring guard: a 1-domain pool takes the sequential path inside
      sparsify, so the pooled entry point must not cost more than the
      sequential one beyond noise (lenient: 1.5x plus 50ms absolute slack,
@@ -290,7 +453,7 @@ let run ?(construction = `Smoke) () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let table =
     Table.create ~title:"micro-benchmarks (bechamel OLS, monotonic clock)"
-      ~columns:[ "kernel"; "ns/run" ]
+      ~columns:[ "kernel"; "ns/run"; "cores" ]
   in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   List.iter
@@ -300,10 +463,17 @@ let run ?(construction = `Smoke) () =
         | Some (e :: _) -> Printf.sprintf "%.0f" e
         | Some [] | None -> "n/a"
       in
-      Table.add_row table [ name; est ])
+      Table.add_row table [ name; est; "1" ])
     (List.sort compare rows);
+  let crows = construction_rows ~full:(construction = `Full) in
   List.iter
-    (fun (name, ns) -> Table.add_row table [ name; Int64.to_string ns ])
-    (construction_rows ~full:(construction = `Full));
+    (fun (name, cores, ns) ->
+      Table.add_row table [ name; Int64.to_string ns; string_of_int cores ])
+    crows;
   Experiments.emit table;
-  if construction = `Full then Experiments.emit (scaling_table ())
+  let label = if construction = `Full then "full sizes" else "smoke sizes" in
+  emit_focus_tables ~label crows;
+  if construction = `Full then
+    match scaling_table () with
+    | Some t -> Experiments.emit t
+    | None -> ()

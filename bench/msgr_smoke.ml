@@ -1,0 +1,94 @@
+(* .msgr container smoke: save a graph to the packed binary container,
+   reopen it via mmap, and assert that the open cost is governed by the
+   header + offsets lane — not the adjacency payload.  Two containers
+   with the same vertex count but a 16x different edge count must open
+   in roughly the same time; that is exactly the "no eager adjacency
+   reads" contract of [Graph_io.load_mmap] (the offsets lane is
+   validated eagerly, but it is the same size in both files).
+
+   `msgr-smoke` (the `make bench-smoke` target) runs a ~1M-edge graph;
+   `msgr-smoke-small` is the same legs at runtest size, wired into
+   `dune runtest` and hence `make ci`. *)
+
+open Mspar_prelude
+open Mspar_graph
+
+let best_of ~repeats f =
+  let best = ref Int64.max_int in
+  for _ = 1 to repeats do
+    let _, ns = Clock.time_ns f in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let with_tmp suffix f =
+  let path = Filename.temp_file "mspar-bench" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let run ~full () =
+  let n, m_big, repeats =
+    if full then (60_000, 1_000_000, 5) else (4_000, 48_000, 3)
+  in
+  let m_small = m_big / 16 in
+  let rng = Rng.create 20200715 in
+  let big = Gen.gnm rng ~n ~m:m_big in
+  let small = Gen.gnm rng ~n ~m:m_small in
+  with_tmp ".msgr" (fun big_path ->
+      with_tmp ".msgr" (fun small_path ->
+          with_tmp ".txt" (fun text_path ->
+              Graph_io.save_packed big_path big;
+              Graph_io.save_packed small_path small;
+              Graph_io.save text_path big;
+              (* correctness first: the mmap view is the graph we saved *)
+              let reopened = Graph_io.load_mmap_exn big_path in
+              if not (Int64.equal (Graph.checksum reopened) (Graph.checksum big))
+              then failwith "msgr-smoke: mmap reopen changed the checksum";
+              (match Graph.audit reopened with
+              | [] -> ()
+              | e :: _ -> failwith ("msgr-smoke: audit on mmap view: " ^ e));
+              let time name f = (name, best_of ~repeats f) in
+              let rows =
+                [
+                  time "graph-load/text-parse/m-big" (fun () ->
+                      Sys.opaque_identity (Graph_io.load_exn text_path));
+                  time "graph-load/msgr-materialize/m-big" (fun () ->
+                      Sys.opaque_identity (Graph_io.load_packed_exn big_path));
+                  time "graph-load/msgr-mmap-verify/m-big" (fun () ->
+                      Sys.opaque_identity
+                        (Graph_io.load_mmap_exn ~verify:true big_path));
+                  time "graph-load/msgr-mmap/m-big" (fun () ->
+                      Sys.opaque_identity (Graph_io.load_mmap_exn big_path));
+                  time "graph-load/msgr-mmap/m-small" (fun () ->
+                      Sys.opaque_identity (Graph_io.load_mmap_exn small_path));
+                ]
+              in
+              let t =
+                Table.create
+                  ~title:
+                    (Printf.sprintf
+                       "graph-load (n=%d; m=%d vs m=%d; %s sizes)" n m_big
+                       m_small
+                       (if full then "full" else "smoke"))
+                  ~columns:[ "kernel"; "ns/run"; "cores" ]
+              in
+              List.iter
+                (fun (name, ns) ->
+                  Table.add_row t [ name; Int64.to_string ns; "1" ])
+                rows;
+              Experiments.emit t;
+              (* the O(1)-ish gate: 16x the adjacency payload must not cost
+                 anywhere near 16x the open.  Generous 4x ratio plus 10ms
+                 absolute slack so a loaded CI box cannot flake it. *)
+              let t_big = List.assoc "graph-load/msgr-mmap/m-big" rows in
+              let t_small = List.assoc "graph-load/msgr-mmap/m-small" rows in
+              if
+                Int64.to_float t_big
+                > (4.0 *. Int64.to_float t_small) +. 10_000_000.0
+              then
+                failwith
+                  (Printf.sprintf
+                     "msgr-smoke: load_mmap cost scales with the adjacency \
+                      payload (%Ld ns for m=%d vs %Ld ns for m=%d)"
+                     t_big m_big t_small m_small))))

@@ -27,9 +27,17 @@ let marks_bound rule g ~delta lo hi =
   done;
   !total
 
+(* The adjacency span (in CSR words) a marking block may touch before the
+   loop moves on: ~256 KiB of 8-byte entries, an L2-sized working set, so
+   the sampled reads of a block hit lines the low-degree copies of the
+   same block already pulled in. *)
+let l2_block_words = 32768
+
 (* Packed hot path: marks go straight into a flat int buffer as
-   [v lsl shift lor u] codes; sampled reads are accounted in one batched
-   probe update per vertex. *)
+   [v lsl shift lor u] codes.  Vertices are visited in CSR-contiguous
+   cache-sized blocks ([Graph.iter_vertex_blocks]); per block, the buffer
+   is grown once ([ensure_capacity] + [push_unchecked], no growth branch
+   per mark) and the probe counter is charged once. *)
 let collect_packed ~rule rng g ~delta ~shift =
   if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
   let nv = Graph.n g in
@@ -40,19 +48,33 @@ let collect_packed ~rule rng g ~delta ~shift =
       ()
   in
   let keep = threshold rule delta in
-  for v = 0 to nv - 1 do
-    let d = Graph.degree g v in
-    let base = v lsl shift in
-    if d <= keep then
-      (* low degree: the whole neighborhood enters the sparsifier *)
-      Graph.iter_neighbors g v (fun u -> Edgebuf.push buf (base lor u))
-    else begin
-      (* d > keep >= delta, so exactly delta reads happen below *)
-      Graph.add_probes g delta;
-      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
-          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i))
-    end
-  done;
+  (* per-vertex sample landing zone: [sample_indices_into] avoids a
+     closure call per draw, the dominant per-mark overhead at high degree *)
+  let idx = Array.make (Int.max 1 delta) 0 in
+  Graph.iter_vertex_blocks g ~extent:l2_block_words (fun blo bhi ->
+      Edgebuf.ensure_capacity buf
+        (Edgebuf.length buf + marks_bound rule g ~delta blo bhi);
+      let probes = ref 0 in
+      for v = blo to bhi - 1 do
+        let d = Graph.degree g v in
+        let base = v lsl shift in
+        if d <= keep then begin
+          (* low degree: the whole neighborhood enters the sparsifier *)
+          probes := !probes + d;
+          Graph.iter_neighbors_uncounted g v (fun u ->
+              Edgebuf.push_unchecked buf (base lor u))
+        end
+        else begin
+          (* d > keep >= delta, so exactly delta reads happen below *)
+          probes := !probes + delta;
+          Sampling.sample_indices_into sampler rng ~n:d ~k:delta ~out:idx;
+          for s = 0 to delta - 1 do
+            Edgebuf.push_unchecked buf
+              (base lor Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
+          done
+        end
+      done;
+      Graph.add_probes g !probes);
   buf
 
 (* Boxed fallback for vertex counts beyond the packable range. *)
@@ -71,6 +93,12 @@ let collect_list ~rule rng g ~delta =
           pairs := (v, Graph.neighbor g v i) :: !pairs)
   done;
   !pairs
+
+let marked_codes ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  match Graph.pack_shift ~n:(Graph.n g) with
+  | Some shift -> (collect_packed ~rule rng g ~delta ~shift, shift)
+  | None ->
+      invalid_arg "Gdelta.marked_codes: vertex count exceeds packable range"
 
 let marked_pairs ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
   match Graph.pack_shift ~n:(Graph.n g) with

@@ -49,6 +49,16 @@ val marked_pairs :
     marking endpoint) without building the subgraph — used by the
     distributed layer, where each marking event is one 1-bit message. *)
 
+val marked_codes :
+  ?rule:mark_rule -> Rng.t -> Graph.t -> delta:int -> Edgebuf.t * int
+(** The marking hot path in isolation: the packed mark codes
+    [(v lsl shift) lor u] exactly as the cache-blocked collector emits
+    them, plus the shift used — no CSR build.  Consumes the same RNG
+    stream as {!sparsify}.  Used by the bench harness to time marking
+    separately from construction.
+    @raise Invalid_argument if [delta < 1] or the vertex count exceeds
+    the packable range ({!Graph.pack_shift}). *)
+
 val deterministic_first_k : Graph.t -> delta:int -> Graph.t
 (** The strawman of Lemma 2.13: every vertex deterministically marks its
     first Δ adjacency-array entries.  Exhibits approximation ratio n/(2Δ)

@@ -106,7 +106,16 @@ let edges t =
   done;
   List.sort compare !acc
 
-let snapshot t = Mspar_graph.Graph.of_edges ~n:t.nv (edges t)
+(* [Audit] materialises a snapshot on every pass and recovery decodes one
+   per journal blob, so this is a hot path in the durable pipeline: push
+   arcs straight into the packed CSR builder instead of consing and
+   sorting a boxed pair list (the builder's counting sort re-establishes
+   canonical order on its own). *)
+let snapshot t =
+  Mspar_graph.Graph.of_edges_iter ~n:t.nv (fun push ->
+      for v = 0 to t.nv - 1 do
+        Vec.iter (fun u -> if v < u then push v u) t.adj.(v)
+      done)
 
 (* ------------------------------------------------------------------ *)
 (* Invariant audit                                                    *)
@@ -189,4 +198,10 @@ let decode r =
       t.adj.(v)
   done;
   t.m <- m;
+  (* the decoder also vouches for the CSR form: a blob that cannot
+     materialise into a clean canonical CSR is rejected here, at
+     recovery time, instead of surfacing later as an audit finding *)
+  (match Mspar_graph.Graph.audit (snapshot t) with
+  | [] -> ()
+  | f :: _ -> failwith ("Dyn_graph.decode: csr " ^ f));
   t

@@ -62,8 +62,9 @@ val non_isolated_sorted : t -> int list
     identically before and after a snapshot/restore. *)
 
 val snapshot : t -> Mspar_graph.Graph.t
-(** Immutable copy as a static graph; costs O(n + m) (test/diagnostic use —
-    the sublinear algorithms never call it). *)
+(** Immutable copy as a static graph; costs O(n + m) through the packed
+    CSR builder, no boxed intermediates (audit/diagnostic use — the
+    sublinear algorithms never call it). *)
 
 val edges : t -> (int * int) list
 (** Current edges, normalised and sorted. *)
@@ -81,6 +82,7 @@ val encode : t -> Buffer.t -> unit
 
 val decode : Codec.reader -> t
 (** Inverse of {!encode}, with structural validation (range, symmetry,
-    no duplicates, arc-count cross-check).
+    no duplicates, arc-count cross-check, and a {!Mspar_graph.Graph.audit}
+    of the materialised CSR form).
     @raise Failure on validation failure.
     @raise Codec.Truncated on short input. *)

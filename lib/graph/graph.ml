@@ -1,20 +1,36 @@
 module Edgebuf = Mspar_prelude.Edgebuf
 module Isort = Mspar_prelude.Isort
 module Pool = Mspar_prelude.Pool
+module Bigvec = Mspar_prelude.Bigvec
 
 type edge = int * int
 
+(* The CSR lanes live off the OCaml heap: [Bigvec.t] is malloc'd (or, for
+   graphs opened from an [.msgr] file, mmap'd) storage the GC never scans.
+   Adjacency for a 100M-edge graph is ~1.6 GB that would otherwise be
+   re-marked on every major collection; off-heap it costs the collector
+   nothing and can be shared across domains with no write barriers.
+   Within this module the lanes are accessed through the [Bigarray.Array1]
+   primitives directly (bounds discipline is concentrated here and in
+   [Mspar_prelude.Bigvec] — lint rule MSP010); every unsafe index below is
+   derived from a validated offsets lane. *)
 type t = {
   n : int;
-  offsets : int array; (* length n+1 *)
-  adj : int array; (* length 2m, sorted within each vertex block *)
+  offsets : Bigvec.t; (* length n+1 *)
+  adj : Bigvec.t; (* length 2m, sorted within each vertex block *)
   maxdeg : int; (* cached at build time; max_degree is O(1) *)
   probe_count : int Atomic.t; (* atomic so parallel probe totals are exact *)
 }
 
+(* Checked reads: [Array1.get] is a compiler primitive (one bounds test and
+   an unboxed load once the kind/layout are statically known), so the safe
+   accessors cost what a heap [Array.get] used to. *)
+let og (o : Bigvec.t) i : int = Bigarray.Array1.get o i
+let au (a : Bigvec.t) i : int = Bigarray.Array1.unsafe_get a i
+
 let n t = t.n
-let m t = Array.length t.adj / 2
-let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+let m t = Bigvec.length t.adj / 2
+let degree t v = og t.offsets (v + 1) - og t.offsets v
 let max_degree t = t.maxdeg
 let normalize (u, v) = if u <= v then (u, v) else (v, u)
 
@@ -43,7 +59,9 @@ let unpack_v ~shift c = c land ((1 lsl shift) - 1)
 (* The CSR builder over a packed prefix [codes.(0 .. len-1)]: marks may
    contain self-loops, duplicates and reversed duplicates.  Everything is
    flat int arrays — no tuples, no polymorphic compare, no per-block sort.
-   The prefix of [codes] is mutated (normalised, sorted, deduplicated). *)
+   The prefix of [codes] is mutated (normalised, sorted, deduplicated).
+   Scratch stays on the heap (it is short-lived); only the final CSR lanes
+   go off-heap, written in place with no post-build copy. *)
 let build_packed ~n ~shift codes len =
   let mask = (1 lsl shift) - 1 in
   (* 1. drop self-loops, orient u < v, compact in place *)
@@ -108,12 +126,15 @@ let build_packed ~n ~shift codes len =
     Array.unsafe_set counts u (Array.unsafe_get counts u + 1);
     Array.unsafe_set counts v (Array.unsafe_get counts v + 1)
   done;
-  let offsets = Array.make (n + 1) 0 in
+  let offsets : Bigvec.t = Bigvec.create_uninit (n + 1) in
+  Bigarray.Array1.unsafe_set offsets 0 0;
   let maxdeg = ref 0 in
+  let run = ref 0 in
   for v = 0 to n - 1 do
-    let d = counts.(v) in
+    let d = Array.unsafe_get counts v in
     if d > !maxdeg then maxdeg := d;
-    offsets.(v + 1) <- offsets.(v) + d
+    run := !run + d;
+    Bigarray.Array1.unsafe_set offsets (v + 1) !run
   done;
   (* 5. fill adjacency in two passes over the sorted codes.  Pass one
      writes the smaller endpoint into the larger endpoint's block: for a
@@ -121,20 +142,23 @@ let build_packed ~n ~shift codes len =
      neighbors below x land in increasing order.  Pass two writes the
      larger endpoint into the smaller endpoint's block, appending x's
      neighbors above x in increasing order.  Every block is born sorted —
-     no Array.sub / Array.sort compare. *)
-  let adj = Array.make offsets.(n) 0 in
+     no Array.sub / Array.sort compare.  The writes land directly in the
+     off-heap lane. *)
+  let adj : Bigvec.t = Bigvec.create_uninit !run in
   let cursor = counts in
-  Array.blit offsets 0 cursor 0 (n + 1);
+  for v = 0 to n - 1 do
+    Array.unsafe_set cursor v (Bigarray.Array1.unsafe_get offsets v)
+  done;
   for i = 0 to medges - 1 do
     let c = Array.unsafe_get codes i in
     let u = c lsr shift and v = c land mask in
-    Array.unsafe_set adj (Array.unsafe_get cursor v) u;
+    Bigarray.Array1.unsafe_set adj (Array.unsafe_get cursor v) u;
     Array.unsafe_set cursor v (Array.unsafe_get cursor v + 1)
   done;
   for i = 0 to medges - 1 do
     let c = Array.unsafe_get codes i in
     let u = c lsr shift and v = c land mask in
-    Array.unsafe_set adj (Array.unsafe_get cursor u) v;
+    Bigarray.Array1.unsafe_set adj (Array.unsafe_get cursor u) v;
     Array.unsafe_set cursor u (Array.unsafe_get cursor u + 1)
   done;
   { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
@@ -172,7 +196,10 @@ let build_packed ~n ~shift codes len =
    arbitrary blocks v at per-range cursor windows carved out of
    [offsets.(v) .. offsets.(v) + minor_total.(v)) in phase 5 — disjoint by
    construction, and ordered so every block is born sorted exactly as in
-   the sequential two-pass fill. *)
+   the sequential two-pass fill.  The fill scatters straight into the
+   final off-heap adjacency lane: Bigarray storage has no GC write
+   barriers, so disjoint-window parallel writes are exactly as safe as
+   they were on a heap int array, and there is no post-build copy. *)
 let build_packed_par ~pool ~n ~shift chunks =
   let nchunks = Array.length chunks in
   let mask = (1 lsl shift) - 1 in
@@ -266,15 +293,18 @@ let build_packed_par ~pool ~n ~shift chunks =
     done;
     minor_total.(v) <- !s
   done;
-  let offsets = Array.make (n + 1) 0 in
+  let offsets : Bigvec.t = Bigvec.create_uninit (n + 1) in
+  Bigarray.Array1.unsafe_set offsets 0 0;
   let maxdeg = ref 0 in
+  let orun = ref 0 in
   for v = 0 to n - 1 do
     let d = minor_total.(v) + uniq.(v) in
     if d > !maxdeg then maxdeg := d;
-    offsets.(v + 1) <- offsets.(v) + d
+    orun := !orun + d;
+    Bigarray.Array1.unsafe_set offsets (v + 1) !orun
   done;
   for v = 0 to n - 1 do
-    let run = ref offsets.(v) in
+    let run = ref (Bigarray.Array1.unsafe_get offsets v) in
     for r = 0 to nranges - 1 do
       let c = mhist.(r).(v) in
       mhist.(r).(v) <- !run;
@@ -286,18 +316,18 @@ let build_packed_par ~pool ~n ~shift chunks =
      into u's block (pass B, after u's smaller neighbors).  Same visit
      order as the sequential two-pass fill, so every block is born
      sorted. *)
-  let adj = Array.make offsets.(n) 0 in
+  let adj : Bigvec.t = Bigvec.create_uninit !orun in
   Pool.parallel_for_ranges pool ~chunks:nranges ~n (fun ~chunk ~lo ~hi ->
       let acur = mhist.(chunk) in
       for u = lo to hi - 1 do
         let s = block_start.(u) in
-        let b = ref (offsets.(u) + minor_total.(u)) in
+        let b = ref (Bigarray.Array1.unsafe_get offsets u + minor_total.(u)) in
         for i = s to s + uniq.(u) - 1 do
           let c = Array.unsafe_get aux i in
           let v = c land mask in
-          Array.unsafe_set adj (Array.unsafe_get acur v) u;
+          Bigarray.Array1.unsafe_set adj (Array.unsafe_get acur v) u;
           Array.unsafe_set acur v (Array.unsafe_get acur v + 1);
-          Array.unsafe_set adj !b v;
+          Bigarray.Array1.unsafe_set adj !b v;
           incr b
         done
       done);
@@ -308,7 +338,10 @@ let build_packed_par ~pool ~n ~shift chunks =
 (* ------------------------------------------------------------------ *)
 
 let build_reference n edges =
-  (* [edges] arrives deduplicated and normalised (u < v). *)
+  (* [edges] arrives deduplicated and normalised (u < v).  This is the
+     seed's heap-array builder, kept verbatim; the single final
+     [Bigvec.of_array] per lane moves the result off-heap without touching
+     the construction logic it baselines. *)
   let deg = Array.make n 0 in
   List.iter
     (fun (u, v) ->
@@ -336,7 +369,13 @@ let build_reference n edges =
     Array.sort compare block;
     Array.blit block 0 adj lo (hi - lo)
   done;
-  { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
+  {
+    n;
+    offsets = Bigvec.of_array offsets;
+    adj = Bigvec.of_array adj;
+    maxdeg = !maxdeg;
+    probe_count = Atomic.make 0;
+  }
 (* the polymorphic compare IS the point: this is the seed builder, kept
    verbatim as the differential-testing baseline for the packed pipeline *)
 [@@lint.allow "MSP002"]
@@ -430,6 +469,54 @@ let of_edgebufs_par ~pool ~n bufs =
         (Array.map (fun b -> (Edgebuf.data b, 0, Edgebuf.length b)) bufs)
 
 (* ------------------------------------------------------------------ *)
+(* Raw CSR lanes (the .msgr mmap path)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Validates everything that keeps later unsafe adjacency indexing inside
+   the lane extents, in O(n), WITHOUT reading the adjacency lane: offset
+   monotonicity pins every block to [0, |adj|), so a graph whose lanes
+   come from an untrusted (possibly truncated or bit-flipped) mapping can
+   never index past the mapped region.  Damaged adjacency *values* are
+   still possible — they surface as wrong neighbors / failed [audit], not
+   as wild reads, and [Graph_io.load_mmap ~verify:true] pins them down
+   with the content checksum. *)
+let of_csr ~n ~offsets ~adj ~maxdeg =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if n < 0 then err "negative vertex count %d" n
+  else if Bigvec.length offsets <> n + 1 then
+    err "offsets lane has %d entries, expected n+1 = %d" (Bigvec.length offsets)
+      (n + 1)
+  else if og offsets 0 <> 0 then err "offsets.(0) = %d, expected 0" (og offsets 0)
+  else begin
+    let bad = ref (-1) in
+    let md = ref 0 in
+    (let v = ref 0 in
+     while !bad < 0 && !v < n do
+       let d = og offsets (!v + 1) - og offsets !v in
+       if d < 0 then bad := !v else if d > !md then md := d;
+       incr v
+     done);
+    if !bad >= 0 then err "offsets not monotone at vertex %d" !bad
+    else if og offsets n <> Bigvec.length adj then
+      err "offsets.(n) = %d, expected |adj| = %d" (og offsets n)
+        (Bigvec.length adj)
+    else if !md <> maxdeg then
+      err "declared max degree %d, offsets imply %d" maxdeg !md
+    else Ok { n; offsets; adj; maxdeg; probe_count = Atomic.make 0 }
+  end
+
+let csr_lanes t = (t.offsets, t.adj)
+
+let materialize t =
+  {
+    n = t.n;
+    offsets = Bigvec.copy t.offsets;
+    adj = Bigvec.copy t.adj;
+    maxdeg = t.maxdeg;
+    probe_count = Atomic.make 0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Probe-counted access                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -438,17 +525,44 @@ let add_probes t k = ignore (Atomic.fetch_and_add t.probe_count k)
 let neighbor t v i =
   if i < 0 || i >= degree t v then invalid_arg "Graph.neighbor: index out of range";
   add_probes t 1;
-  t.adj.(t.offsets.(v) + i)
+  au t.adj (og t.offsets v + i)
 
 let neighbor_uncounted t v i =
   if i < 0 || i >= degree t v then invalid_arg "Graph.neighbor: index out of range";
-  t.adj.(t.offsets.(v) + i)
+  au t.adj (og t.offsets v + i)
+
+(* Partition (a slice of) the vertex range into maximal contiguous runs
+   whose adjacency occupies at most [extent] CSR words.  Offsets make each
+   candidate extent an O(1) subtraction, so the scan is O(blocks + range).
+   A vertex whose own list exceeds [extent] forms a singleton block —
+   progress is unconditional. *)
+let iter_vertex_blocks t ?(lo = 0) ?hi ~extent f =
+  let hi = match hi with Some h -> h | None -> t.n in
+  if lo < 0 || hi > t.n || lo > hi then
+    invalid_arg "Graph.iter_vertex_blocks: bad range";
+  if extent < 1 then invalid_arg "Graph.iter_vertex_blocks: extent must be >= 1";
+  let b = ref lo in
+  while !b < hi do
+    let base = og t.offsets !b in
+    let e = ref (!b + 1) in
+    while !e < hi && og t.offsets (!e + 1) - base <= extent do
+      incr e
+    done;
+    f !b !e;
+    b := !e
+  done
+
+let iter_neighbors_uncounted t v f =
+  let lo = og t.offsets v and hi = og t.offsets (v + 1) in
+  for i = lo to hi - 1 do
+    f (au t.adj i)
+  done
 
 let iter_neighbors t v f =
-  let lo = t.offsets.(v) and hi = t.offsets.(v + 1) in
+  let lo = og t.offsets v and hi = og t.offsets (v + 1) in
   add_probes t (hi - lo);
   for i = lo to hi - 1 do
-    f t.adj.(i)
+    f (au t.adj i)
   done
 
 let fold_neighbors t v ~init ~f =
@@ -461,13 +575,13 @@ let has_edge t u v =
   else begin
     (* search for v in the (sorted) smaller adjacency block *)
     let u, v = if degree t u <= degree t v then (u, v) else (v, u) in
-    let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+    let lo = ref (og t.offsets u) and hi = ref (og t.offsets (u + 1) - 1) in
     let found = ref false in
     let reads = ref 0 in
     while (not !found) && !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
       incr reads;
-      let w = t.adj.(mid) in
+      let w = au t.adj mid in
       if w = v then found := true
       else if w < v then lo := mid + 1
       else hi := mid - 1
@@ -478,8 +592,8 @@ let has_edge t u v =
 
 let iter_edges t f =
   for v = 0 to t.n - 1 do
-    for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-      let u = t.adj.(i) in
+    for i = og t.offsets v to og t.offsets (v + 1) - 1 do
+      let u = au t.adj i in
       if v < u then f v u
     done
   done
@@ -505,8 +619,8 @@ let induced t vs =
     of_edges_iter ~n:(Array.length distinct) (fun push ->
         Array.iteri
           (fun i v ->
-            for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-              let u = t.adj.(k) in
+            for k = og t.offsets v to og t.offsets (v + 1) - 1 do
+              let u = au t.adj k in
               match Hashtbl.find_opt old_to_new u with
               | Some j when i < j -> push i j
               | Some _ | None -> ()
@@ -528,7 +642,7 @@ let is_subgraph ~sub ~super =
   iter_edges sub (fun u v -> if not (has_edge super u v) then ok := false);
   !ok
 
-let complement_degree_sum t = Array.length t.adj
+let complement_degree_sum t = Bigvec.length t.adj
 
 (* ------------------------------------------------------------------ *)
 (* Integrity audit                                                    *)
@@ -537,11 +651,11 @@ let complement_degree_sum t = Array.length t.adj
 (* Uncounted binary search — the audit is metadata verification, not an
    algorithmic probe of the input. *)
 let mem_block t v x =
-  let lo = ref t.offsets.(v) and hi = ref (t.offsets.(v + 1) - 1) in
+  let lo = ref (og t.offsets v) and hi = ref (og t.offsets (v + 1) - 1) in
   let found = ref false in
   while (not !found) && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let w = t.adj.(mid) in
+    let w = au t.adj mid in
     if w = x then found := true else if w < x then lo := mid + 1 else hi := mid - 1
   done;
   !found
@@ -549,34 +663,35 @@ let mem_block t v x =
 let audit t =
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
-  if Array.length t.offsets <> t.n + 1 then
-    fail "offsets length %d, expected n+1 = %d" (Array.length t.offsets) (t.n + 1)
+  if Bigvec.length t.offsets <> t.n + 1 then
+    fail "offsets length %d, expected n+1 = %d" (Bigvec.length t.offsets)
+      (t.n + 1)
   else begin
-    if t.offsets.(0) <> 0 then fail "offsets.(0) = %d, expected 0" t.offsets.(0);
+    if og t.offsets 0 <> 0 then fail "offsets.(0) = %d, expected 0" (og t.offsets 0);
     for v = 0 to t.n - 1 do
-      if t.offsets.(v + 1) < t.offsets.(v) then
-        fail "offsets not monotone at vertex %d (%d > %d)" v t.offsets.(v)
-          t.offsets.(v + 1)
+      if og t.offsets (v + 1) < og t.offsets v then
+        fail "offsets not monotone at vertex %d (%d > %d)" v (og t.offsets v)
+          (og t.offsets (v + 1))
     done;
-    if t.offsets.(t.n) <> Array.length t.adj then
-      fail "offsets.(n) = %d, expected |adj| = %d (degree sum 2m)" t.offsets.(t.n)
-        (Array.length t.adj);
+    if og t.offsets t.n <> Bigvec.length t.adj then
+      fail "offsets.(n) = %d, expected |adj| = %d (degree sum 2m)"
+        (og t.offsets t.n) (Bigvec.length t.adj);
     if List.is_empty !failures then begin
       (* blocks: in-range, no self-loops, strictly sorted (no duplicates) *)
       for v = 0 to t.n - 1 do
-        for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-          let u = t.adj.(i) in
+        for i = og t.offsets v to og t.offsets (v + 1) - 1 do
+          let u = au t.adj i in
           if u < 0 || u >= t.n then fail "vertex %d: neighbor %d out of range" v u
           else if u = v then fail "vertex %d: self-loop" v;
-          if i > t.offsets.(v) && t.adj.(i - 1) >= u then
+          if i > og t.offsets v && au t.adj (i - 1) >= u then
             fail "vertex %d: block not strictly sorted at slot %d" v
-              (i - t.offsets.(v))
+              (i - og t.offsets v)
         done
       done;
       (* symmetry: (v, u) present iff (u, v) present *)
       for v = 0 to t.n - 1 do
-        for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
-          let u = t.adj.(i) in
+        for i = og t.offsets v to og t.offsets (v + 1) - 1 do
+          let u = au t.adj i in
           if u >= 0 && u < t.n && u <> v && not (mem_block t u v) then
             fail "asymmetric edge: %d in block of %d but not vice versa" u v
         done
@@ -584,7 +699,7 @@ let audit t =
       (* cached max degree *)
       let md = ref 0 in
       for v = 0 to t.n - 1 do
-        md := Int.max !md (t.offsets.(v + 1) - t.offsets.(v))
+        md := Int.max !md (og t.offsets (v + 1) - og t.offsets v)
       done;
       if !md <> t.maxdeg then
         fail "cached max_degree %d, recomputed %d" t.maxdeg !md
@@ -594,7 +709,9 @@ let audit t =
 
 (* FNV-1a over the structural content (n, offsets, adj).  Probe counters
    are deliberately excluded: two graphs with the same edge set checksum
-   identically regardless of read history. *)
+   identically regardless of read history.  The lane values are the same
+   ints the heap representation stored, so checksums are unchanged by the
+   off-heap move. *)
 let checksum t =
   let h = ref 0xcbf29ce484222325L in
   let mix v =
@@ -607,12 +724,16 @@ let checksum t =
     h := !x
   in
   mix t.n;
-  Array.iter mix t.offsets;
-  Array.iter mix t.adj;
+  for i = 0 to Bigvec.length t.offsets - 1 do
+    mix (au t.offsets i)
+  done;
+  for i = 0 to Bigvec.length t.adj - 1 do
+    mix (au t.adj i)
+  done;
   !h
 
 let pp ppf t = Format.fprintf ppf "graph(n=%d, m=%d)" t.n (m t)
 
 let equal a b =
-  (* blocks are sorted, so equal edge sets have identical CSR arrays *)
-  a.n = b.n && a.offsets = b.offsets && a.adj = b.adj
+  (* blocks are sorted, so equal edge sets have identical CSR lanes *)
+  a.n = b.n && Bigvec.equal a.offsets b.offsets && Bigvec.equal a.adj b.adj

@@ -12,6 +12,18 @@
     sorted neighbor lists.  Vertices are integers [0 .. n-1]; graphs are
     simple (no self-loops, no parallel edges).
 
+    {2 Off-heap storage}
+
+    The CSR lanes (offsets and adjacency) are {!Mspar_prelude.Bigvec}
+    Bigarrays: malloc'd — or, for graphs opened from an [.msgr] file via
+    {!Graph_io.load_mmap}, mmap'd — storage that the GC never scans and
+    that domains share without write barriers.  A marking pass over a
+    100M-edge graph no longer drags ~1.6 GB of adjacency through every
+    major collection, and the parallel builders scatter directly into
+    disjoint windows of the final lanes with no post-build copy.  All
+    observable behaviour (checksums, audits, equality, probe accounting)
+    is bit-for-bit identical to the former heap-array representation.
+
     {2 Packed edges}
 
     Construction-heavy callers (the G_Δ sparsifier builders) carry edges as
@@ -124,6 +136,24 @@ val neighbor_uncounted : t -> int -> int -> int
     one atomic update per vertex instead of one per read.
     @raise Invalid_argument if [i >= degree g v]. *)
 
+val iter_neighbors_uncounted : t -> int -> (int -> unit) -> unit
+(** {!iter_neighbors} without the probe-counter update; pairs with
+    {!add_probes} so cache-blocked traversals can charge one atomic
+    update per block instead of one per vertex. *)
+
+val iter_vertex_blocks :
+  t -> ?lo:int -> ?hi:int -> extent:int -> (int -> int -> unit) -> unit
+(** [iter_vertex_blocks g ~extent f] partitions [\[lo, hi)] (default: all
+    vertices) into maximal contiguous runs [f b e] whose adjacency spans
+    at most [extent] CSR words — a vertex whose list alone exceeds
+    [extent] forms a singleton run.  With [extent] sized to a cache level,
+    a traversal that visits each run before moving on works a bounded
+    window of the adjacency lane at a time (the lane is CSR-contiguous,
+    so a run {e is} an address interval), which is what the cache-blocked
+    marking loops in [Gdelta]/[Par_gdelta] key off.  O(1) per candidate
+    vertex via the offsets lane; the adjacency lane is not read.
+    @raise Invalid_argument if the range is bad or [extent < 1]. *)
+
 val add_probes : t -> int -> unit
 (** Charge [k] probes explicitly (pairs with {!neighbor_uncounted}). *)
 
@@ -178,6 +208,42 @@ val checksum : t -> int64
     Equal edge sets yield equal checksums (CSR form is canonical); probe
     counters are excluded.  Used by the dynamic audit layer to detect
     silent corruption cheaply between full {!audit} passes. *)
+
+(** {2 Raw CSR lanes}
+
+    The escape hatch for the binary container ({!Graph_io}) and future
+    out-of-core backends: a graph can be (re)constituted from raw off-heap
+    lanes without copying them, and its lanes can be observed for
+    zero-copy serialization. *)
+
+val of_csr :
+  n:int ->
+  offsets:Mspar_prelude.Bigvec.t ->
+  adj:Mspar_prelude.Bigvec.t ->
+  maxdeg:int ->
+  (t, string) result
+(** [of_csr ~n ~offsets ~adj ~maxdeg] wraps raw CSR lanes (shared, not
+    copied) as a graph.  Validates in O(n) {e without reading the
+    adjacency lane}: [offsets] must have [n+1] entries, start at 0, be
+    monotone and end at [|adj|], and [maxdeg] must match the offsets'
+    largest gap — after which every internal adjacency index is provably
+    inside the lane, so even lanes mapped from an untrusted file can
+    never be read past their extent.  Adjacency {e values} are not
+    inspected (that would defeat O(1) mmap loads); damaged values surface
+    through {!audit}/{!checksum}, not through wild reads.  Returns
+    [Error reason] on malformed lanes. *)
+
+val csr_lanes : t -> Mspar_prelude.Bigvec.t * Mspar_prelude.Bigvec.t
+(** [(offsets, adj)] — the live lanes, {e shared, read-only by
+    convention}: mutating them breaks every invariant {!audit} checks.
+    Intended for serializers. *)
+
+val materialize : t -> t
+(** Deep-copy the lanes into fresh malloc'd storage with a zero probe
+    counter.  Detaches an mmap-backed graph from its file mapping, so the
+    copy stays valid after the file changes and writes to the copy's
+    lanes (via future mutation layers) cannot fault on a read-only
+    mapping. *)
 
 val pp : Format.formatter -> t -> unit
 (** Short description: ["graph(n=…, m=…)"]. *)

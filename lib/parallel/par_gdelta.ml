@@ -21,10 +21,19 @@ let marks_in_range g ~delta lo hi =
   done;
   !total
 
+(* Adjacency span (in CSR words) a marking block may touch before moving
+   on — an L2-sized working set; see the Gdelta twin of this constant. *)
+let l2_block_words = 32768
+
 (* Packed per-range collector: each mark is one [v lsl shift lor u] int in
-   a flat per-domain buffer; sampled reads are charged in one batched
-   atomic probe update per vertex, so parallel probe totals stay exact
-   without an atomic operation per read. *)
+   a flat per-domain buffer.  The range is walked in CSR-contiguous
+   cache-sized blocks; per block, the buffer is grown once
+   ([ensure_capacity] + [push_unchecked]) and the graph's atomic probe
+   counter is charged once, so parallel probe totals stay exact with one
+   atomic operation per block rather than per vertex.  Mark content is
+   untouched by the blocking: each vertex still draws from its own
+   [vertex_rng] stream, so emission order (v ascending, draw order within
+   v) is bit-for-bit what the unblocked loop produced. *)
 let collect_range_packed g ~seed ~delta ~shift lo hi =
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let buf =
@@ -32,18 +41,30 @@ let collect_range_packed g ~seed ~delta ~shift lo hi =
       ~initial_capacity:(Int.max 16 (marks_in_range g ~delta lo hi))
       ()
   in
-  for v = lo to hi - 1 do
-    let d = Graph.degree g v in
-    let base = v lsl shift in
-    if d <= 2 * delta then
-      Graph.iter_neighbors g v (fun u -> Edgebuf.push buf (base lor u))
-    else begin
-      let rng = vertex_rng ~seed v in
-      Graph.add_probes g delta;
-      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
-          Edgebuf.push buf (base lor Graph.neighbor_uncounted g v i))
-    end
-  done;
+  let idx = Array.make (Int.max 1 delta) 0 in
+  Graph.iter_vertex_blocks g ~lo ~hi ~extent:l2_block_words (fun blo bhi ->
+      Edgebuf.ensure_capacity buf
+        (Edgebuf.length buf + marks_in_range g ~delta blo bhi);
+      let probes = ref 0 in
+      for v = blo to bhi - 1 do
+        let d = Graph.degree g v in
+        let base = v lsl shift in
+        if d <= 2 * delta then begin
+          probes := !probes + d;
+          Graph.iter_neighbors_uncounted g v (fun u ->
+              Edgebuf.push_unchecked buf (base lor u))
+        end
+        else begin
+          let rng = vertex_rng ~seed v in
+          probes := !probes + delta;
+          Sampling.sample_indices_into sampler rng ~n:d ~k:delta ~out:idx;
+          for s = 0 to delta - 1 do
+            Edgebuf.push_unchecked buf
+              (base lor Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
+          done
+        end
+      done;
+      Graph.add_probes g !probes);
   buf
 
 (* Boxed fallback for vertex counts beyond the packable range.  The final

@@ -1,0 +1,67 @@
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create_uninit n =
+  if n < 0 then invalid_arg "Bigvec.create: negative length";
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let create n =
+  let t = create_uninit n in
+  Bigarray.Array1.fill t 0;
+  t
+
+let length = Bigarray.Array1.dim
+
+(* Array1.get/set raise on out-of-bounds (with -unsafe they would not, but
+   the project never builds with -unsafe). *)
+let get (t : t) i : int = Bigarray.Array1.get t i
+let set (t : t) i (v : int) = Bigarray.Array1.set t i v
+let unsafe_get (t : t) i : int = Bigarray.Array1.unsafe_get t i
+let unsafe_set (t : t) i (v : int) = Bigarray.Array1.unsafe_set t i v
+let fill (t : t) v = Bigarray.Array1.fill t v
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Bigvec.sub: range out of bounds";
+  Bigarray.Array1.sub t pos len
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || dst_pos < 0
+     || src_pos + len > length src
+     || dst_pos + len > length dst
+  then invalid_arg "Bigvec.blit: range out of bounds";
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src src_pos len)
+    (Bigarray.Array1.sub dst dst_pos len)
+
+let copy t =
+  let out = create_uninit (length t) in
+  Bigarray.Array1.blit t out;
+  out
+
+let of_array a =
+  let t = create_uninit (Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    unsafe_set t i (Array.unsafe_get a i)
+  done;
+  t
+
+let to_array t = Array.init (length t) (fun i -> unsafe_get t i)
+
+let equal a b =
+  length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f (unsafe_get t i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to length t - 1 do
+    acc := f !acc (unsafe_get t i)
+  done;
+  !acc

@@ -1,0 +1,67 @@
+(** Off-heap flat int lanes (Bigarray-backed) — the CSR storage carrier.
+
+    {!Edgebuf} keeps packed edges on the OCaml heap, which is right for
+    short-lived mark buffers but wrong for the long-lived CSR lanes of a
+    multi-million-edge graph: the major GC rescans every heap [int array]
+    on every marking pass, and heap arrays cannot be memory-mapped from a
+    file.  A {!t} is a [(int, int_elt, c_layout) Bigarray.Array1.t] —
+    malloc'd (or mmap'd) storage the GC never scans, shareable across
+    domains without write barriers, with the same unboxed-int element type
+    the packed pipeline already uses.
+
+    Bounds discipline lives here and in [Graph]'s builders: everything
+    else goes through the checked {!get}/{!set} (direct
+    [Bigarray.Array1.unsafe_*] outside [lib/prelude] and
+    [lib/graph/graph.ml] is a lint error, MSP010). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The concrete type is exposed so same-library hot loops compile to
+    direct unboxed loads; treat it as abstract everywhere else. *)
+
+val create : int -> t
+(** [create n] is a zero-filled lane of length [n] ([n >= 0]).
+    @raise Invalid_argument on a negative length. *)
+
+val create_uninit : int -> t
+(** Like {!create} but the contents are unspecified — for builders that
+    provably overwrite every slot.  Never checksum or expose an
+    incompletely-written uninitialised lane.
+    @raise Invalid_argument on a negative length. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val unsafe_get : t -> int -> int
+(** Unchecked read.  Precondition (unchecked): [0 <= i < length t]. *)
+
+val unsafe_set : t -> int -> int -> unit
+(** Unchecked write.  Precondition (unchecked): [0 <= i < length t]. *)
+
+val fill : t -> int -> unit
+(** Set every slot to the given value. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Copy [len] slots; ranges must be in bounds.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** A window {e sharing} the underlying storage (no copy); writes through
+    the window are visible in the parent.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val copy : t -> t
+(** Fresh storage with the same contents — detaches mmap-backed lanes. *)
+
+val of_array : int array -> t
+val to_array : t -> int array
+
+val equal : t -> t -> bool
+(** Same length and contents (monomorphic int compare). *)
+
+val iter : (int -> unit) -> t -> unit
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a

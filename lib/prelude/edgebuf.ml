@@ -27,6 +27,12 @@ let push t v =
   Array.unsafe_set t.data t.len v;
   t.len <- t.len + 1
 
+(* precondition (unchecked): len < capacity — callers reserve with
+   [ensure_capacity] once per block *)
+let push_unchecked t v =
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
 let clear t = t.len <- 0
 let data t = t.data
 let to_array t = Array.sub t.data 0 t.len

@@ -21,6 +21,13 @@ val capacity : t -> int
 val push : t -> int -> unit
 (** Amortised O(1) append. *)
 
+val push_unchecked : t -> int -> unit
+(** {!push} without the growth check.  Precondition ({e unchecked}):
+    [length t < capacity t].  Callers reserve room with {!ensure_capacity}
+    once per block of pushes, then append with no branch per element —
+    the marking hot path's contract.  Violating the precondition writes
+    out of bounds. *)
+
 val get : t -> int -> int
 (** @raise Invalid_argument on out-of-bounds access. *)
 

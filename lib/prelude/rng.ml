@@ -51,6 +51,13 @@ let split t = of_seed64 (bits64 t)
 (* Non-negative 62-bit value, convenient for OCaml's 63-bit ints. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
+let fill_bits62 t a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Rng.fill_bits62: range out of bounds";
+  for i = pos to pos + len - 1 do
+    Array.unsafe_set a i (bits62 t)
+  done
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   if bound land (bound - 1) = 0 then bits62 t land (bound - 1)
@@ -60,6 +67,25 @@ let int t bound =
     let limit = max62 - (max62 mod bound) in
     let rec draw () =
       let v = bits62 t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+(* [int] over an externally supplied word stream.  Must stay in lockstep
+   with [int] above word for word (same power-of-two mask, same rejection
+   limit): the batched sampler's bit-for-bit equivalence with the unbatched
+   path rests on it, and the QCheck suite pins the two together.  Kept as a
+   separate copy rather than routing [int] through a closure — [int] is on
+   the per-draw hot path and must not allocate. *)
+let int_with ~next bound =
+  if bound <= 0 then invalid_arg "Rng.int_with: bound must be positive";
+  if bound land (bound - 1) = 0 then next () land (bound - 1)
+  else begin
+    let max62 = (1 lsl 62) - 1 in
+    let limit = max62 - (max62 mod bound) in
+    let rec draw () =
+      let v = next () in
       if v < limit then v mod bound else draw ()
     in
     draw ()

@@ -35,6 +35,28 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val bits62 : t -> int
+(** Next output truncated to 62 non-negative bits — the word every integer
+    draw below is built from. *)
+
+val fill_bits62 : t -> int array -> pos:int -> len:int -> unit
+(** [fill_bits62 t a ~pos ~len] writes the next [len] {!bits62} words into
+    [a.(pos .. pos+len-1)]: the same words, in the same order, as [len]
+    calls to {!bits62}, leaving the generator in the identical state.  The
+    batched sampler ({!Sampling.sample_indices}) prefetches a vertex's
+    words through one such call and then runs on plain array reads instead
+    of interleaving generator steps with the marking loop.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val int_with : next:(unit -> int) -> int -> int
+(** [int_with ~next bound] is {!int} computed over an externally supplied
+    {!bits62}-word stream: power-of-two bounds consume exactly one word,
+    other bounds apply the same rejection rule to successive words.
+    Feeding it the words of a generator's stream in order reproduces
+    {!int} on that generator bit for bit, including how many words are
+    consumed — the contract the batched sampler relies on.
+    @raise Invalid_argument if [bound <= 0]. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
     Uses rejection sampling, so there is no modulo bias.

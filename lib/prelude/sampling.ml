@@ -1,8 +1,18 @@
-type t = { pos : int Sparse_array.t; mutable steps : int }
+type t = {
+  pos : int Sparse_array.t;
+  mutable words : int array; (* reusable prefetch buffer for Rng words *)
+  mutable out : int array; (* reusable index buffer for the [~f] wrapper *)
+  mutable steps : int;
+}
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Sampling.create: negative capacity";
-  { pos = Sparse_array.create capacity ~default:(-1); steps = 0 }
+  {
+    pos = Sparse_array.create capacity ~default:(-1);
+    words = [||];
+    out = [||];
+    steps = 0;
+  }
 
 let capacity t = Sparse_array.length t.pos
 
@@ -10,23 +20,80 @@ let capacity t = Sparse_array.length t.pos
    position".  At step s we draw j <= last = n-1-s, output the element
    currently at position j, and move the element at position [last] into
    position j.  Positions > last are never consulted again, so only the
-   single write to j is needed. *)
-let sample_indices t rng ~n ~k ~f =
+   single write to j is needed.
+
+   Randomness is batched: exactly [k] generator words are prefetched into
+   the reusable [words] buffer with one [Rng.fill_bits62] call, and the
+   draws then run on plain array reads.  Every draw consumes at least one
+   word, so the prefetch can never overrun what the unbatched loop would
+   have consumed; the (rare) extra words a rejection needs fall through to
+   live [Rng.bits62] calls, which continue the very same stream.  The
+   word-to-draw assignment and the final generator state are therefore bit
+   for bit those of the unbatched interleaving — dynamic snapshots and the
+   QCheck equivalences keep holding. *)
+let sample_indices_into t rng ~n ~k ~out =
   if n > Sparse_array.length t.pos then
-    invalid_arg "Sampling.sample_indices: population exceeds capacity";
-  if n < 0 then invalid_arg "Sampling.sample_indices: negative population";
+    invalid_arg "Sampling.sample_indices_into: population exceeds capacity";
+  if n < 0 then invalid_arg "Sampling.sample_indices_into: negative population";
   let k = Int.min k n in
+  if Array.length out < k then
+    invalid_arg "Sampling.sample_indices_into: out buffer shorter than min k n";
   Sparse_array.reset t.pos;
+  if Array.length t.words < k then
+    t.words <- Array.make (Int.max 16 (Int.max k (2 * Array.length t.words))) 0;
+  Rng.fill_bits62 rng t.words ~pos:0 ~len:k;
+  let wpos = ref 0 in
+  let next () =
+    if !wpos < k then begin
+      let w = Array.unsafe_get t.words !wpos in
+      incr wpos;
+      w
+    end
+    else Rng.bits62 rng
+  in
   let value_at i =
     let v = Sparse_array.get t.pos i in
     if v = -1 then i else v
   in
+  (* The accept path is inlined rather than routed through
+     [Rng.int_with ~next]: an escaping closure per draw costs an
+     indirect call the hot loop can feel at millions of draws.  The
+     word-consumption order is identical — one word here, and only a
+     rejection falls through to [Rng.int_with], which continues the very
+     same rejection loop on the very same stream. *)
+  let max62 = (1 lsl 62) - 1 in
   for step = 0 to k - 1 do
     let last = n - 1 - step in
-    let j = Rng.int rng (last + 1) in
-    f (value_at j);
+    let bound = last + 1 in
+    let w =
+      if !wpos < k then begin
+        let w = Array.unsafe_get t.words !wpos in
+        incr wpos;
+        w
+      end
+      else Rng.bits62 rng
+    in
+    let j =
+      if bound land (bound - 1) = 0 then w land (bound - 1)
+      else
+        let limit = max62 - (max62 mod bound) in
+        if w < limit then w mod bound else Rng.int_with ~next bound
+    in
+    Array.unsafe_set out step (value_at j);
     Sparse_array.set t.pos j (value_at last)
   done;
   t.steps <- k
+
+let sample_indices t rng ~n ~k ~f =
+  if n > Sparse_array.length t.pos then
+    invalid_arg "Sampling.sample_indices: population exceeds capacity";
+  if n < 0 then invalid_arg "Sampling.sample_indices: negative population";
+  let k' = Int.min k n in
+  if k' >= 0 && Array.length t.out < k' then
+    t.out <- Array.make (Int.max 16 (Int.max k' (2 * Array.length t.out))) 0;
+  sample_indices_into t rng ~n ~k ~out:t.out;
+  for i = 0 to t.steps - 1 do
+    f (Array.unsafe_get t.out i)
+  done
 
 let steps_last_call t = t.steps

@@ -23,7 +23,22 @@ val sample_indices : t -> Rng.t -> n:int -> k:int -> f:(int -> unit) -> unit
     O(min k n) time independent of [n]; requires [n <= capacity t].
     The scratch space is reset (O(1)) before use, so consecutive calls are
     independent.
+
+    Generator words are prefetched in one {!Rng.fill_bits62} batch per
+    call and consumed from a reusable buffer, but the outputs {e and} the
+    final state of [rng] are bit-for-bit those of drawing with {!Rng.int}
+    one index at a time — batching is invisible to replay, snapshots and
+    differential tests.
     @raise Invalid_argument if [n] is negative or exceeds the capacity. *)
+
+val sample_indices_into : t -> Rng.t -> n:int -> k:int -> out:int array -> unit
+(** [sample_indices_into t rng ~n ~k ~out] writes the same [min k n]
+    indices {!sample_indices} would emit into [out.(0 .. min k n - 1)],
+    in draw order, without a per-draw closure call — the form the marking
+    hot path uses.  Draws and final [rng] state are bit-for-bit identical
+    to {!sample_indices} on the same inputs.
+    @raise Invalid_argument if [n] is invalid or [out] is shorter than
+    [min k n]. *)
 
 val steps_last_call : t -> int
 (** Number of sampling steps performed by the most recent

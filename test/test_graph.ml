@@ -430,6 +430,76 @@ let test_graph_io_trailing_whitespace () =
   check "wrapper agrees" 2 (Graph.m (Graph_io.of_string_exn s))
 
 (* ------------------------------------------------------------------ *)
+(* .msgr binary container                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_msgr g f =
+  let path = Filename.temp_file "mspar" ".msgr" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Graph_io.save_packed path g;
+      f path)
+
+let test_msgr_roundtrip () =
+  let rng = Rng.create 40 in
+  for _ = 0 to 9 do
+    let g = Gen.gnp rng ~n:(2 + Rng.int rng 40) ~p:0.3 in
+    with_msgr g (fun path ->
+        match Graph_io.load_mmap path with
+        | Error e -> Alcotest.fail e
+        | Ok g' ->
+            check_bool "equal" true (Graph.equal g g');
+            check_bool "checksum preserved" true
+              (Int64.equal (Graph.checksum g) (Graph.checksum g'));
+            (* a full audit over the mmap-backed lanes stays in bounds *)
+            Alcotest.(check (list string)) "audit clean" [] (Graph.audit g'))
+  done;
+  with_msgr (Gen.empty 0) (fun path ->
+      check_bool "empty graph roundtrips" true
+        (Graph.equal (Gen.empty 0) (Graph_io.load_mmap_exn path)));
+  with_msgr (Gen.empty 5) (fun path ->
+      check_bool "edgeless graph roundtrips" true
+        (Graph.equal (Gen.empty 5) (Graph_io.load_mmap_exn path)))
+
+let test_msgr_verify_and_materialize () =
+  let g = Gen.complete 12 in
+  with_msgr g (fun path ->
+      let mm = Graph_io.load_mmap_exn ~verify:true path in
+      check_bool "verified load equal" true (Graph.equal g mm);
+      let d = Graph_io.load_packed_exn path in
+      (* the materialized copy must survive the file vanishing *)
+      Sys.remove path;
+      check_bool "materialized equal" true (Graph.equal g d);
+      Alcotest.(check (list string)) "materialized audit" [] (Graph.audit d);
+      (* probe accounting works on loaded graphs *)
+      Graph.reset_probes d;
+      Graph.iter_neighbors d 0 (fun _ -> ());
+      check "probes count on loaded graph" 11 (Graph.probes d))
+
+let test_msgr_rejects_garbage () =
+  (* wrong bytes entirely *)
+  let path = Filename.temp_file "mspar" ".msgr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "definitely not a graph container";
+      close_out oc;
+      (match Graph_io.load_mmap path with
+      | Ok _ -> Alcotest.fail "garbage must not load"
+      | Error e -> check_bool "error is descriptive" true (String.length e > 0));
+      check_bool "exn wrapper raises Failure" true
+        (try
+           ignore (Graph_io.load_mmap_exn path);
+           false
+         with Failure _ -> true));
+  (* missing file is an Error, not an exception *)
+  match Graph_io.load_mmap "/nonexistent/definitely/missing.msgr" with
+  | Ok _ -> Alcotest.fail "missing file must not load"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -697,6 +767,103 @@ let qcheck_parse_never_raises_on_mangled =
     ~count:500 mangled_edge_list (fun s ->
       match Graph_io.parse s with Ok _ | Error _ -> true)
 
+(* the off-heap Bigarray CSR must be bit-for-bit the structure the heap
+   reference builder produces: same canonical edge set, same checksum *)
+let qcheck_checksum_parity =
+  QCheck.Test.make
+    ~name:"bigarray CSR checksum matches the heap reference builder"
+    ~count:200 messy_edges
+    (fun (n, edges) ->
+      let reference = Graph.of_edges_reference ~n edges in
+      let want = Graph.checksum reference in
+      match Graph.pack_shift ~n with
+      | None -> QCheck.Test.fail_report "small n must be packable"
+      | Some shift ->
+          let codes =
+            Array.of_list (List.map (fun (u, v) -> Graph.pack ~shift u v) edges)
+          in
+          Int64.equal want (Graph.checksum (Graph.of_packed ~n (Array.copy codes)))
+          && Int64.equal want (Graph.checksum (Graph.of_edges ~n edges))
+          && List.for_all
+               (fun pool ->
+                 Int64.equal want
+                   (Graph.checksum
+                      (Graph.of_packed_par ~pool ~n (Array.copy codes))))
+               (Lazy.force test_pools))
+
+let qcheck_msgr_roundtrip =
+  QCheck.Test.make ~name:".msgr save / load_mmap preserves checksum and audit"
+    ~count:60
+    QCheck.(pair (int_range 0 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
+      with_msgr g (fun path ->
+          match Graph_io.load_mmap path with
+          | Error e -> QCheck.Test.fail_report e
+          | Ok g' ->
+              Graph.equal g g'
+              && Int64.equal (Graph.checksum g) (Graph.checksum g')
+              && Graph.audit g' = []))
+
+(* fuzz: valid .msgr containers then truncated, grown, byte-inserted or
+   bit-flipped.  [load_mmap] must never raise and never read out of
+   bounds; with [~verify:true] a mutated file either Errors or decodes
+   to the semantically identical graph (Bigarray's int kind drops bit 63
+   of each stored word on load, so a flip of that bit is invisible — the
+   checksum equality below pins exactly that case and nothing more). *)
+let mangled_msgr =
+  QCheck.make
+    ~print:(fun (seed, mode, pos, bit) ->
+      Printf.sprintf "seed=%d mode=%d pos=%d bit=%d" seed mode pos bit)
+    QCheck.Gen.(
+      int_range 0 10_000 >>= fun seed ->
+      int_range 0 3 >>= fun mode ->
+      int_range 0 1_000_000 >>= fun pos ->
+      int_range 0 7 >>= fun bit -> return (seed, mode, pos, bit))
+
+let qcheck_msgr_fuzz =
+  QCheck.Test.make
+    ~name:".msgr load_mmap is total on truncated/corrupted containers"
+    ~count:200 mangled_msgr
+    (fun (seed, mode, pos, bit) ->
+      let n = 1 + (seed mod 30) in
+      let g = Gen.gnp (Rng.create seed) ~n ~p:0.3 in
+      let original = Graph.checksum g in
+      with_msgr g (fun path ->
+          let bytes =
+            In_channel.with_open_bin path (fun ic ->
+                Bytes.of_string (In_channel.input_all ic))
+          in
+          let len = Bytes.length bytes in
+          let mutated =
+            match mode with
+            | 0 -> Bytes.sub bytes 0 (pos mod (len + 1)) (* truncate *)
+            | 1 ->
+                let i = pos mod len in
+                Bytes.set bytes i
+                  (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl bit)));
+                bytes (* flip one bit *)
+            | 2 -> Bytes.cat bytes (Bytes.make (1 + (pos mod 16)) '\x7f')
+            | _ ->
+                let i = pos mod (len + 1) in
+                Bytes.concat Bytes.empty
+                  [ Bytes.sub bytes 0 i; Bytes.make 1 '\x42';
+                    Bytes.sub bytes i (len - i) ] (* insert a byte *)
+          in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_bytes oc mutated);
+          (* plain load: total, and any Ok graph is structurally sound
+             (audit reads every lane index, all inside the mapping) *)
+          (match Graph_io.load_mmap path with
+          | Error _ -> ()
+          | Ok g' -> ignore (Graph.audit g'));
+          (* verified load: Error, or the mutation was semantically
+             invisible (header-CRC-survivable no-op or a bit-63 flip) *)
+          match Graph_io.load_mmap ~verify:true path with
+          | Error _ -> true
+          | Ok g' ->
+              Int64.equal (Graph.checksum g') original && Graph.audit g' = []))
+
 let qcheck_density_le_degeneracy =
   QCheck.Test.make ~name:"density lower bound <= degeneracy" ~count:100
     QCheck.(pair (int_range 2 30) (int_range 0 10_000))
@@ -722,6 +889,9 @@ let () =
         qcheck_io_roundtrip;
         qcheck_parse_never_raises_on_junk;
         qcheck_parse_never_raises_on_mangled;
+        qcheck_checksum_parity;
+        qcheck_msgr_roundtrip;
+        qcheck_msgr_fuzz;
       ]
   in
   Alcotest.run "mspar_graph"
@@ -800,6 +970,11 @@ let () =
             test_graph_io_parse_errors;
           Alcotest.test_case "trailing whitespace" `Quick
             test_graph_io_trailing_whitespace;
+          Alcotest.test_case "msgr roundtrip" `Quick test_msgr_roundtrip;
+          Alcotest.test_case "msgr verify and materialize" `Quick
+            test_msgr_verify_and_materialize;
+          Alcotest.test_case "msgr rejects garbage" `Quick
+            test_msgr_rejects_garbage;
         ] );
       ("properties", qsuite);
     ]

@@ -190,6 +190,32 @@ let test_msp009 () =
        "let f path = Journal.open_writer ~sync_every:1 path")
 
 (* ---------------------------------------------------------------- *)
+(* MSP010: raw Bigarray unsafe access outside the blessed lanes      *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp010 () =
+  check_fires "unsafe_get in library code" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "let f a i = Bigarray.Array1.unsafe_get a i");
+  check_fires "unsafe_set" "MSP010"
+    (lint ~file:"lib/dynamic/foo.ml" "let f a i v = Bigarray.Array1.unsafe_set a i v");
+  check_fires "unqualified Array1 (open Bigarray)" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "open Bigarray\nlet f a i = Array1.unsafe_get a i");
+  check_fires "Genarray" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "let f a i = Bigarray.Genarray.unsafe_get a i");
+  check_fires "test code is not exempt" "MSP010"
+    (lint ~file:"test/foo.ml" "let f a i = Bigarray.Array1.unsafe_get a i");
+  check_silent "bigvec.ml is a blessed lane" "MSP010"
+    (lint ~file:"lib/prelude/bigvec.ml" "let f a i = Bigarray.Array1.unsafe_get a i");
+  check_silent "graph.ml is a blessed lane" "MSP010"
+    (lint ~file:"lib/graph/graph.ml" "let f a i = Bigarray.Array1.unsafe_get a i");
+  check_silent "checked Array1.get is fine" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "let f a i = Bigarray.Array1.get a i");
+  check_silent "Bigvec's own unsafe accessor states its contract" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "let f a i = Bigvec.unsafe_get a i");
+  check_silent "heap Array.unsafe_get is out of scope" "MSP010"
+    (lint ~file:"lib/core/foo.ml" "let f a i = Array.unsafe_get a i")
+
+(* ---------------------------------------------------------------- *)
 (* suppression: [@lint.allow] and the baseline                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -274,6 +300,7 @@ let () =
           Alcotest.test_case "MSP007 raise contract" `Quick test_msp007;
           Alcotest.test_case "MSP008 domain spawn" `Quick test_msp008;
           Alcotest.test_case "MSP009 file io" `Quick test_msp009;
+          Alcotest.test_case "MSP010 bigarray unsafe" `Quick test_msp010;
         ] );
       ( "suppression",
         [

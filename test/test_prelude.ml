@@ -171,6 +171,39 @@ let test_sparse_array_reset_stress () =
         end
   done
 
+let test_rng_fill_bits62 () =
+  (* the batch fill is the same stream as repeated bits62 calls — words
+     and final state both *)
+  let a = Rng.create 77 and b = Rng.create 77 in
+  let buf = Array.make 100 0 in
+  Rng.fill_bits62 a buf ~pos:0 ~len:100;
+  for i = 0 to 99 do
+    if buf.(i) <> Rng.bits62 b then Alcotest.fail "batched word diverges"
+  done;
+  check_bool "final states agree" true (Rng.state a = Rng.state b);
+  Rng.fill_bits62 a buf ~pos:10 ~len:5;
+  for i = 10 to 14 do
+    if buf.(i) <> Rng.bits62 b then Alcotest.fail "offset fill diverges"
+  done;
+  Array.iter (fun w -> check_bool "62-bit nonneg" true (w >= 0)) buf;
+  Alcotest.check_raises "oob range"
+    (Invalid_argument "Rng.fill_bits62: range out of bounds") (fun () ->
+      Rng.fill_bits62 a buf ~pos:90 ~len:20)
+
+let qcheck_int_with_matches_int =
+  QCheck.Test.make
+    ~name:"int_with over the raw word stream reproduces int, state included"
+    ~count:300
+    QCheck.(pair (int_range 1 1_000_000) (int_range 0 10_000))
+    (fun (bound, seed) ->
+      let a = Rng.create seed and b = Rng.create seed in
+      let next () = Rng.bits62 b in
+      let ok = ref true in
+      for _ = 0 to 19 do
+        if Rng.int a bound <> Rng.int_with ~next bound then ok := false
+      done;
+      !ok && Rng.state a = Rng.state b)
+
 (* ------------------------------------------------------------------ *)
 (* Sampling                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -217,6 +250,30 @@ let test_sampling_uniform () =
   Array.iter
     (fun c -> check_bool "inclusion near 1/3" true (abs (c - (trials / 3)) < trials / 15))
     counts
+
+let qcheck_sampling_batched_equals_unbatched =
+  QCheck.Test.make
+    ~name:"batched sample_indices matches the unbatched draw loop bit for bit"
+    ~count:300
+    QCheck.(triple (int_range 0 60) (int_range 0 80) (int_range 0 10_000))
+    (fun (n, k, seed) ->
+      let s = Sampling.create ~capacity:60 in
+      let a = Rng.create seed and b = Rng.create seed in
+      let batched = ref [] in
+      Sampling.sample_indices s a ~n ~k ~f:(fun i -> batched := i :: !batched);
+      (* the pre-batching reference: one Rng.int per draw, emulated
+         Fisher–Yates over a plain positions array *)
+      let pos = Array.make (Int.max n 1) (-1) in
+      let value_at i = if pos.(i) = -1 then i else pos.(i) in
+      let k = Int.min k n in
+      let reference = ref [] in
+      for step = 0 to k - 1 do
+        let last = n - 1 - step in
+        let j = Rng.int b (last + 1) in
+        reference := value_at j :: !reference;
+        pos.(j) <- value_at last
+      done;
+      !batched = !reference && Rng.state a = Rng.state b)
 
 let test_sampling_capacity_check () =
   let s = Sampling.create ~capacity:4 in
@@ -404,7 +461,60 @@ let test_edgebuf () =
   Edgebuf.clear b;
   check "clear" 0 (Edgebuf.length b);
   Edgebuf.push b 42;
-  check "reusable after clear" 42 (Edgebuf.get b 0)
+  check "reusable after clear" 42 (Edgebuf.get b 0);
+  (* push_unchecked after an explicit reservation (the marking hot path) *)
+  let u = Edgebuf.create ~initial_capacity:1 () in
+  Edgebuf.ensure_capacity u 64;
+  for i = 0 to 63 do
+    Edgebuf.push_unchecked u i
+  done;
+  check "unchecked length" 64 (Edgebuf.length u);
+  check "unchecked content" 63 (Edgebuf.get u 63);
+  check_bool "no reallocation happened" true (Edgebuf.capacity u = 64)
+
+let test_bigvec () =
+  let v = Bigvec.create 8 in
+  check "length" 8 (Bigvec.length v);
+  check "zero-filled" 0 (Bigvec.get v 3);
+  Bigvec.set v 3 42;
+  check "set/get" 42 (Bigvec.get v 3);
+  check_bool "checked get raises on oob" true
+    (try
+       ignore (Bigvec.get v 8);
+       false
+     with Invalid_argument _ -> true);
+  let a = Bigvec.of_array [| 5; 4; 3; 2; 1 |] in
+  check_bool "of_array/to_array roundtrip" true
+    (Bigvec.to_array a = [| 5; 4; 3; 2; 1 |]);
+  let c = Bigvec.copy a in
+  Bigvec.set c 0 9;
+  check "copy is detached" 5 (Bigvec.get a 0);
+  check_bool "equal" true (Bigvec.equal a (Bigvec.of_array [| 5; 4; 3; 2; 1 |]));
+  check_bool "not equal" false (Bigvec.equal a c);
+  check_bool "length mismatch unequal" false (Bigvec.equal a (Bigvec.create 3));
+  let dst = Bigvec.create 5 in
+  Bigvec.blit ~src:a ~src_pos:1 ~dst ~dst_pos:2 ~len:3;
+  check "blit" 4 (Bigvec.get dst 2);
+  (* sub shares storage — mutating the window is visible in the parent *)
+  let sub = Bigvec.sub a ~pos:1 ~len:2 in
+  Bigvec.set sub 0 77;
+  check "sub shares storage" 77 (Bigvec.get a 1);
+  Bigvec.fill dst 6;
+  check "fill" 6 (Bigvec.get dst 0);
+  check "fold" (5 + 77 + 3 + 2 + 1) (Bigvec.fold_left ( + ) 0 a);
+  let seen = ref 0 in
+  Bigvec.iter (fun _ -> incr seen) a;
+  check "iter" 5 !seen;
+  check "empty length" 0 (Bigvec.length (Bigvec.create 0));
+  Alcotest.check_raises "negative create"
+    (Invalid_argument "Bigvec.create: negative length") (fun () ->
+      ignore (Bigvec.create (-1)));
+  Alcotest.check_raises "sub oob"
+    (Invalid_argument "Bigvec.sub: range out of bounds") (fun () ->
+      ignore (Bigvec.sub a ~pos:4 ~len:3));
+  Alcotest.check_raises "blit oob"
+    (Invalid_argument "Bigvec.blit: range out of bounds") (fun () ->
+      Bigvec.blit ~src:a ~src_pos:0 ~dst ~dst_pos:3 ~len:3)
 
 let test_isort_known () =
   let a = [| 5; 3; 1; 4; 2 |] in
@@ -581,6 +691,8 @@ let () =
         qcheck_sample_distinct_valid;
         qcheck_sparse_array_semantics;
         qcheck_isort_matches_stdlib;
+        qcheck_int_with_matches_int;
+        qcheck_sampling_batched_equals_unbatched;
       ]
   in
   Alcotest.run "mspar_prelude"
@@ -597,6 +709,7 @@ let () =
           Alcotest.test_case "sample_distinct uniform" `Quick
             test_rng_sample_distinct_uniform;
           Alcotest.test_case "perm" `Quick test_rng_perm;
+          Alcotest.test_case "fill_bits62" `Quick test_rng_fill_bits62;
         ] );
       ( "sparse-array",
         [
@@ -618,6 +731,7 @@ let () =
           Alcotest.test_case "vec" `Quick test_vec;
           Alcotest.test_case "bitset" `Quick test_bitset;
           Alcotest.test_case "edgebuf" `Quick test_edgebuf;
+          Alcotest.test_case "bigvec" `Quick test_bigvec;
         ] );
       ( "isort",
         [

@@ -43,6 +43,8 @@ let default =
         ("MSP008", "lib/prelude/pool.ml");
         ("MSP009", "lib/prelude/journal.ml");
         ("MSP009", "lib/graph/graph_io.ml");
+        ("MSP010", "lib/prelude");
+        ("MSP010", "lib/graph/graph.ml");
       ];
   }
 

@@ -24,6 +24,12 @@
                                   journal (lib/prelude/journal.ml) and
                                   Graph_io, so framing/CRC/fsync decisions
                                   stay in one reviewable place
+   MSP010  off-heap bounds      — raw Bigarray unsafe_get/unsafe_set only
+                                  in lib/prelude (the Bigvec wrapper) and
+                                  lib/graph/graph.ml, where every index is
+                                  derived from a validated offsets lane;
+                                  unlike a heap array an out-of-bounds
+                                  Bigarray access is a silent wild read
 
    All detection is on the Parsetree (no typing pass), so the rules are
    deliberately syntactic approximations; [@lint.allow "MSPxxx"] exists for
@@ -131,6 +137,18 @@ let is_file_io_path p =
       true
   | _ -> false
 
+(* Raw Bigarray unsafe accessors ([Bigarray.Array1.unsafe_get] and kin,
+   at any qualification depth).  [Bigvec.unsafe_get] is deliberately not
+   matched: the wrapper is the sanctioned surface and states its
+   precondition. *)
+let is_bigarray_unsafe_path p =
+  (String.ends_with ~suffix:".unsafe_get" p || String.ends_with ~suffix:".unsafe_set" p)
+  && (contains_substring ~needle:"Array1." p
+     || contains_substring ~needle:"Array2." p
+     || contains_substring ~needle:"Array3." p
+     || contains_substring ~needle:"Genarray." p
+     || contains_substring ~needle:"Bigarray." p)
+
 let check_ident ctx p loc =
   if is_random_path p then
     add ctx ~code:"MSP001" ~loc
@@ -161,6 +179,13 @@ let check_ident ctx p loc =
          "%s: raw file I/O in lib/ is reserved for the durability layer (lib/prelude/journal.ml) \
           and Graph_io; route bytes through Mspar_prelude.Journal so framing, CRC and fsync \
           policy stay in one place"
+         p);
+  if is_bigarray_unsafe_path p then
+    add ctx ~code:"MSP010" ~loc
+      (Printf.sprintf
+         "%s: raw Bigarray unsafe access outside the blessed lanes; an out-of-bounds index here \
+          is a silent wild read, not an exception — go through Mspar_prelude.Bigvec, or keep the \
+          index discipline inside lib/graph/graph.ml"
          p);
   if ctx.congest && List.exists (String.equal p) ctx.cfg.congest_forbidden then
     add ctx ~code:"MSP003" ~loc
