@@ -3,7 +3,8 @@
 # gate still runs on minimal toolchains), and the test suite, which
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
-.PHONY: all build fmt lint test check ci bench bench-construction bench-smoke
+.PHONY: all build fmt lint test check ci bench bench-construction bench-smoke \
+  bench-serve
 
 all: build
 
@@ -49,3 +50,11 @@ bench-construction:
 # small size on every `dune runtest` / `make ci`)
 bench-smoke:
 	dune exec bench/main.exe -- --csv bench_csv msgr-smoke
+
+# full serve suite: the complete socket fault-injection sweep (hostile
+# frames, backpressure, seeded kill -9 crash points with bit-for-bit
+# recovery, SIGTERM drain) plus the >=100k-op load run against a forked
+# `mspar serve` (smoke-size legs run on every `dune runtest` / `make ci`)
+bench-serve:
+	dune exec bench/main.exe -- --csv bench_csv serve-faults
+	dune exec bench/main.exe -- --csv bench_csv serve-load

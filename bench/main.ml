@@ -25,6 +25,22 @@
      dune exec bench/main.exe -- msgr-smoke-small - the same legs at
                                               runtest size (the dune
                                               runtest hook)
+     dune exec bench/main.exe -- serve-load  - load generator against a
+                                              forked mspar serve (8 conns,
+                                              >=100k ops, p50/p99 +
+                                              updates/sec, zero acked loss)
+     dune exec bench/main.exe -- serve-load-smoke - the same at runtest size
+     dune exec bench/main.exe -- serve-faults - socket fault injection:
+                                              hostile frames, backpressure,
+                                              seeded kill -9 crash points
+                                              (recovery must match the
+                                              uncrashed run bit-for-bit),
+                                              SIGTERM drain
+     dune exec bench/main.exe -- serve-faults-smoke - one leg per family
+                                              (the dune runtest hook)
+     dune exec bench/main.exe -- serve-smoke - SIGTERM-mid-load drain
+                                              contract only (the dune
+                                              runtest hook)
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -98,6 +114,28 @@ let () =
     incr ran;
     Msgr_smoke.run ~full:false ()
   end;
+  (* the serve benches fork real server processes, so they also must be
+     asked for by name and never join the default sweep *)
+  if explicit "serve-load" then begin
+    incr ran;
+    Serve_load.run ()
+  end;
+  if explicit "serve-load-smoke" then begin
+    incr ran;
+    Serve_load.smoke ()
+  end;
+  if explicit "serve-faults" then begin
+    incr ran;
+    Serve_faults.run ()
+  end;
+  if explicit "serve-faults-smoke" then begin
+    incr ran;
+    Serve_faults.smoke ()
+  end;
+  if explicit "serve-smoke" then begin
+    incr ran;
+    Serve_faults.drain_smoke ()
+  end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
     List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) Experiments.all;
@@ -110,5 +148,10 @@ let () =
     prerr_endline "  crash-smoke";
     prerr_endline "  msgr-smoke";
     prerr_endline "  msgr-smoke-small";
+    prerr_endline "  serve-load";
+    prerr_endline "  serve-load-smoke";
+    prerr_endline "  serve-faults";
+    prerr_endline "  serve-faults-smoke";
+    prerr_endline "  serve-smoke";
     exit 1
   end

@@ -5,7 +5,11 @@
      sparsify  build G_delta and report size / arboricity / approximation
      run       the sequential (1+eps) pipeline (Theorem 3.1)
      dist      the distributed pipeline on the network simulator (Thm 3.2/3.3)
-     dynamic   a dynamic scenario with an adaptive adversary (Theorem 3.5) *)
+     dynamic   a dynamic scenario with an adaptive adversary (Theorem 3.5)
+     serve     long-running matching service over Unix/TCP sockets
+
+   Exit codes (shared with serve): 0 ok, 1 runtime failure, 2 bad CLI
+   usage (cmdliner), 3 config error, 4 bind failure, 5 recovery failure. *)
 
 open Mspar_prelude
 open Mspar_graph
@@ -351,7 +355,8 @@ let dynamic_cmd =
             match Durable.recover ?snapshot_every ?audit_every dir with
             | Error msg ->
                 Printf.eprintf "recover failed: %s\n" msg;
-                exit 1
+                (* same code as serve --recover: exit-code hygiene *)
+                exit Mspar_server.Server.exit_recovery_failure
             | Ok d ->
                 let s = Durable.stats d in
                 Printf.printf "recovered: ops=%d epoch=%s replayed=%d\n"
@@ -439,6 +444,199 @@ let dynamic_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket port host journal recover n beta eps multiplier seed
+      sync_every snapshot_every audit_every max_conns max_pending idle_timeout
+      frame_timeout max_frame busy_retry_ms crash_after_ops =
+    let open Mspar_dynamic in
+    let open Mspar_server in
+    let fail_config msg =
+      Printf.eprintf "mspar serve: %s\n" msg;
+      exit Server.exit_config_error
+    in
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Wire.Unix_path path
+      | None, Some p -> Wire.Tcp (host, p)
+      | Some _, Some _ ->
+          fail_config "--socket and --port are mutually exclusive"
+      | None, None -> fail_config "one of --socket or --port is required"
+    in
+    (match journal with
+    | "" -> fail_config "--journal DIR is required"
+    | _ -> ());
+    (* --recover reads n/beta/eps back from the journal's Meta record, so
+       the fresh-create parameters are only validated on a fresh start *)
+    if not recover then begin
+      if n < 1 then fail_config "--n must be >= 1";
+      if beta < 1 then
+        fail_config
+          "--beta must be >= 1 (serve has no graph family to derive it)";
+      if not (eps > 0.0 && eps < 1.0) then fail_config "--eps must be in (0,1)"
+    end;
+    if max_conns < 1 || max_pending < 1 || max_frame < 16 || busy_retry_ms < 1
+    then fail_config "server limits must be positive (and --max-frame >= 16)";
+    let durable =
+      if recover then (
+        match
+          Durable.recover ?sync_every ?snapshot_every ?audit_every journal
+        with
+        | Error msg ->
+            Printf.eprintf "mspar serve: recovery failed: %s\n" msg;
+            exit Server.exit_recovery_failure
+        | Ok d ->
+            let s = Durable.stats d in
+            Printf.printf "recovered: ops=%d epoch=%s replayed=%d\n%!"
+              s.Durable.ops
+              (match s.Durable.recovered_epoch with
+              | Some e -> string_of_int e
+              | None -> "none")
+              s.Durable.replayed;
+            d)
+      else begin
+        let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+        match
+          Durable.create ?sync_every ?snapshot_every ?audit_every ~dir:journal
+            { Durable.n; delta; beta; eps; multiplier; seed }
+        with
+        | d -> d
+        | exception Invalid_argument msg -> fail_config msg
+      end
+    in
+    let cfg =
+      {
+        (Server.default_config addr) with
+        Server.max_conns;
+        max_pending;
+        max_frame;
+        idle_timeout;
+        frame_timeout;
+        busy_retry_ms;
+        seed;
+        crash_after_ops;
+      }
+    in
+    match Server.bind_listen addr with
+    | Error msg ->
+        Durable.close durable;
+        Printf.eprintf "mspar serve: %s\n" msg;
+        exit Server.exit_bind_failure
+    | Ok listen -> (
+        Fmt.pr "mspar serve: listening on %a (journal %s)\n%!" Wire.pp_addr
+          addr journal;
+        match Server.run cfg ~listen ~durable with
+        | Ok () ->
+            let s = Durable.stats durable in
+            Durable.close durable;
+            Printf.printf "drained: ops=%d snapshots=%d\n%!" s.Durable.ops
+              s.Durable.snapshots
+        | Error msg ->
+            Durable.close durable;
+            Printf.eprintf "mspar serve: %s\n" msg;
+            exit 1)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on TCP port $(docv) (see --host)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address for --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let journal_arg =
+    let doc = "Journal directory (WAL + snapshots); required." in
+    Arg.(value & opt string "" & info [ "journal" ] ~docv:"DIR" ~doc)
+  in
+  let recover_arg =
+    let doc = "Recover from the existing journal instead of starting fresh." in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let sync_every_arg =
+    let doc =
+      "Journal fsync batch (1 = fsync every op; the serve loop additionally \
+       group-commits before acknowledging, so acks are always durable)."
+    in
+    Arg.(value & opt (some int) None & info [ "sync-every" ] ~docv:"N" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Write a snapshot blob every $(docv) journaled updates." in
+    Arg.(value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let audit_every_arg =
+    let doc = "Run the invariant audit every $(docv) updates." in
+    Arg.(value & opt (some int) None & info [ "audit-every" ] ~docv:"K" ~doc)
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "max-conns" ] ~docv:"C" ~doc:"Maximum concurrent connections.")
+  in
+  let max_pending_arg =
+    let doc =
+      "Requests served per connection per event-loop round; the excess is \
+       answered Busy with a jittered retry-after."
+    in
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"B" ~doc)
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:"Drop connections silent for this long.")
+  in
+  let frame_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "frame-timeout" ] ~docv:"SECS"
+          ~doc:"Drop connections dribbling one frame for this long (slowloris).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Mspar_prelude.Codec.Frames.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest frame body accepted on the wire.")
+  in
+  let busy_retry_ms_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "busy-retry-ms" ] ~docv:"MS"
+          ~doc:"Base of the jittered Busy retry-after.")
+  in
+  let crash_after_ops_arg =
+    let doc =
+      "Fault-injection hook: _exit(137) after the Nth applied update \
+       (simulated kill -9; used by the crash suites)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after-ops" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ journal_arg $ recover_arg
+      $ n_arg $ beta_arg $ eps_arg $ multiplier_arg $ seed_arg $ sync_every_arg
+      $ snapshot_every_arg $ audit_every_arg $ max_conns_arg $ max_pending_arg
+      $ idle_timeout_arg $ frame_timeout_arg $ max_frame_arg $ busy_retry_ms_arg
+      $ crash_after_ops_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running matching service over Unix/TCP sockets: durable \
+          updates with at-most-once semantics, point queries, backpressure, \
+          graceful drain on SIGTERM")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* stream                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -518,10 +716,12 @@ let () =
     Cmd.info "mspar" ~version:"1.0.0"
       ~doc:"Matching sparsifiers for graphs of bounded neighborhood independence"
   in
+  (* term_err: cmdliner's default CLI-error code is 124; the documented
+     contract (shared with serve's 3/4/5) uses 2 *)
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:2
        (Cmd.group info
           [
-            gen_cmd; sparsify_cmd; run_cmd; dist_cmd; dynamic_cmd; stream_cmd;
-            mpc_cmd;
+            gen_cmd; sparsify_cmd; run_cmd; dist_cmd; dynamic_cmd; serve_cmd;
+            stream_cmd; mpc_cmd;
           ]))

@@ -32,14 +32,21 @@ type stats = {
   repairs : int;
   recovered_epoch : int option;
   replayed : int;
+  dedup_hits : int;
 }
 
 type t = {
   dir : string;
   config : config;
   writer : Journal.writer;
+  lock : Journal.lock;
   sp : Dyn_sparsifier.t;
   dm : Dyn_matching.t;
+  (* at-most-once: client id -> (last applied request id, its result).
+     Request ids are client-assigned and strictly increasing per client,
+     so one entry per client suffices: a resend after a lost ack carries
+     the same rid and is answered from here without re-applying. *)
+  dedup : (int, int * bool) Hashtbl.t;
   snapshot_every : int option;
   audit_every : int option;
   mutable ops : int;
@@ -47,6 +54,7 @@ type t = {
   mutable audits : int;
   mutable audit_failures : int;
   mutable repairs : int;
+  mutable dedup_hits : int;
   recovered_epoch : int option;
   replayed : int;
 }
@@ -116,6 +124,38 @@ let audit_now t =
   end;
   failures
 
+let encode_dedup buf dedup =
+  let entries =
+    Hashtbl.fold (fun client (rid, res) acc -> (client, rid, res) :: acc) dedup []
+  in
+  (* sorted by client id so the snapshot bytes are deterministic *)
+  let entries =
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) entries
+  in
+  Codec.add_uvarint buf (List.length entries);
+  List.iter
+    (fun (client, rid, res) ->
+      Codec.add_uvarint buf client;
+      Codec.add_uvarint buf rid;
+      Buffer.add_char buf (if res then '\001' else '\000'))
+    entries
+
+let decode_dedup r =
+  let count = Codec.read_uvarint r in
+  let dedup = Hashtbl.create (Int.max 16 count) in
+  for _ = 1 to count do
+    let client = Codec.read_uvarint r in
+    let rid = Codec.read_uvarint r in
+    let res =
+      match Codec.read_byte r with
+      | 0 -> false
+      | 1 -> true
+      | b -> failwith (Printf.sprintf "bad dedup result byte %d" b)
+    in
+    Hashtbl.replace dedup client (rid, res)
+  done;
+  dedup
+
 let snapshot_now t =
   (* Journal first: every op covered by the snapshot must be durable
      before the Epoch record claims the snapshot supersedes it. *)
@@ -124,6 +164,7 @@ let snapshot_now t =
   Codec.add_uvarint buf t.ops;
   Dyn_sparsifier.encode t.sp buf;
   Dyn_matching.encode t.dm buf;
+  encode_dedup buf t.dedup;
   Journal.write_blob (snap_path t.dir t.ops) (Buffer.contents buf);
   Journal.append t.writer (Journal.Epoch t.ops);
   Journal.sync t.writer;
@@ -134,7 +175,8 @@ let decode_snapshot payload =
   let epoch = Codec.read_uvarint r in
   let sp = Dyn_sparsifier.decode r in
   let dm = Dyn_matching.decode r in
-  (epoch, sp, dm)
+  let dedup = decode_dedup r in
+  (epoch, sp, dm, dedup)
 
 (* ------------------------------------------------------------------ *)
 (* ops                                                                *)
@@ -165,18 +207,54 @@ let delete t u v =
   after_op t;
   changed
 
+(* At-most-once variants for the server: the op is journaled as [Tagged]
+   so replay rebuilds the dedup table.  A resend of the last applied rid
+   answers from the cache; an rid from the past (client restarted a
+   sequence, or an out-of-order duplicate) is refused as a duplicate
+   rather than re-applied. *)
+let apply_req t ~client ~rid op u v =
+  match Hashtbl.find_opt t.dedup client with
+  | Some (last, res) when rid = last ->
+      t.dedup_hits <- t.dedup_hits + 1;
+      `Duplicate res
+  | Some (last, _) when rid < last ->
+      t.dedup_hits <- t.dedup_hits + 1;
+      `Duplicate false
+  | Some _ | None ->
+      Journal.append t.writer (Journal.Tagged (client, rid, op));
+      let changed_sp, changed =
+        match op with
+        | Journal.Insert _ ->
+            (Dyn_sparsifier.insert t.sp u v, Dyn_matching.insert t.dm u v)
+        | _ -> (Dyn_sparsifier.delete t.sp u v, Dyn_matching.delete t.dm u v)
+      in
+      assert (Bool.equal changed changed_sp);
+      Hashtbl.replace t.dedup client (rid, changed);
+      after_op t;
+      `Applied changed
+
+let insert_req t ~client ~rid u v =
+  apply_req t ~client ~rid (Journal.Insert (u, v)) u v
+
+let delete_req t ~client ~rid u v =
+  apply_req t ~client ~rid (Journal.Delete (u, v)) u v
+
+let sync t = Journal.sync t.writer
+
 (* ------------------------------------------------------------------ *)
 (* create / recover                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let make ~dir ~config ~writer ~sp ~dm ~snapshot_every ~audit_every ~ops
-    ~recovered_epoch ~replayed =
+let make ~dir ~config ~writer ~lock ~sp ~dm ~dedup ~snapshot_every ~audit_every
+    ~ops ~recovered_epoch ~replayed =
   {
     dir;
     config;
     writer;
+    lock;
     sp;
     dm;
+    dedup;
     snapshot_every;
     audit_every;
     ops;
@@ -184,6 +262,7 @@ let make ~dir ~config ~writer ~sp ~dm ~snapshot_every ~audit_every ~ops
     audits = 0;
     audit_failures = 0;
     repairs = 0;
+    dedup_hits = 0;
     recovered_epoch;
     replayed;
   }
@@ -192,82 +271,125 @@ let create ?sync_every ?snapshot_every ?audit_every ~dir config =
   if Sys.file_exists (journal_path dir) then
     invalid_arg "Durable.create: journal already exists (use recover)";
   Journal.ensure_dir dir;
-  let writer = Journal.open_writer ?sync_every (journal_path dir) in
-  Journal.append writer (Journal.Meta (encode_config config));
-  Journal.sync writer;
-  let sp, dm = fresh_state config in
-  make ~dir ~config ~writer ~sp ~dm ~snapshot_every ~audit_every ~ops:0
-    ~recovered_epoch:None ~replayed:0
+  let lock =
+    match Journal.acquire_lock dir with
+    | Ok l -> l
+    | Error msg -> invalid_arg ("Durable.create: " ^ msg)
+  in
+  match
+    let writer = Journal.open_writer ?sync_every (journal_path dir) in
+    Journal.append writer (Journal.Meta (encode_config config));
+    Journal.sync writer;
+    let sp, dm = fresh_state config in
+    make ~dir ~config ~writer ~lock ~sp ~dm ~dedup:(Hashtbl.create 16)
+      ~snapshot_every ~audit_every ~ops:0 ~recovered_epoch:None ~replayed:0
+  with
+  | t -> t
+  | exception e ->
+      Journal.release_lock lock;
+      raise e
 
 let recover ?sync_every ?snapshot_every ?audit_every dir =
   let path = journal_path dir in
   if not (Sys.file_exists path) then Error "no journal found"
   else begin
-    let result = Journal.read path in
-    (* chop any torn/corrupt suffix so the writer can append cleanly;
-       everything past the last valid frame was never acknowledged *)
-    Journal.truncate_torn path result;
-    match result.Journal.records with
-    | [] -> Error "journal holds no valid records"
-    | Journal.Meta meta :: rest -> (
-        match decode_config meta with
-        | exception _ -> Error "corrupt config record"
-        | config ->
-            let records = Array.of_list rest in
-            (* newest Epoch whose blob is intact wins; a damaged or
-               missing blob falls back to the next older one, and with no
-               usable snapshot we replay the whole journal from scratch *)
-            let start = ref None in
-            (try
-               for i = Array.length records - 1 downto 0 do
-                 match records.(i) with
-                 | Journal.Epoch e when Option.is_none !start -> (
-                     match Journal.read_blob (snap_path dir e) with
-                     | None -> ()
-                     | Some payload -> (
-                         match decode_snapshot payload with
-                         | epoch, sp, dm when epoch = e ->
-                             start := Some (i, e, sp, dm);
-                             raise Exit
-                         | _ -> ()
-                         | exception _ -> ()))
-                 | _ -> ()
-               done
-             with Exit -> ());
-            let (first, epoch, sp, dm), recovered_epoch =
-              match !start with
-              | Some (i, e, sp, dm) -> ((i + 1, e, sp, dm), Some e)
-              | None ->
-                  let sp, dm = fresh_state config in
-                  ((0, 0, sp, dm), None)
-            in
-            let replayed = ref 0 in
-            let replay_error = ref None in
-            (try
-               for i = first to Array.length records - 1 do
-                 match records.(i) with
-                 | Journal.Insert (u, v) ->
-                     ignore (Dyn_sparsifier.insert sp u v);
-                     ignore (Dyn_matching.insert dm u v);
-                     incr replayed
-                 | Journal.Delete (u, v) ->
-                     ignore (Dyn_sparsifier.delete sp u v);
-                     ignore (Dyn_matching.delete dm u v);
-                     incr replayed
-                 | Journal.Epoch _ | Journal.Meta _ -> ()
-               done
-             with e -> replay_error := Some (Printexc.to_string e));
-            match !replay_error with
-            | Some msg -> Error ("replay failed: " ^ msg)
-            | None ->
-                (* ops before the snapshot point are counted by the epoch
-                   itself; the replayed ops come after it *)
-                let ops = epoch + !replayed in
-                let writer = Journal.open_writer ?sync_every path in
-                Ok
-                  (make ~dir ~config ~writer ~sp ~dm ~snapshot_every
-                     ~audit_every ~ops ~recovered_epoch ~replayed:!replayed))
-    | _ :: _ -> Error "journal does not start with a config record"
+    match Journal.acquire_lock dir with
+    | Error msg -> Error msg
+    | Ok lock -> (
+        let fail msg =
+          Journal.release_lock lock;
+          Error msg
+        in
+        let result = Journal.read path in
+        (* chop any torn/corrupt suffix so the writer can append cleanly;
+           everything past the last valid frame was never acknowledged *)
+        Journal.truncate_torn path result;
+        match result.Journal.records with
+        | [] -> fail "journal holds no valid records"
+        | Journal.Meta meta :: rest -> (
+            match decode_config meta with
+            | exception _ -> fail "corrupt config record"
+            | config -> (
+                let records = Array.of_list rest in
+                (* newest Epoch whose blob is intact wins; a damaged or
+                   missing blob falls back to the next older one, and with
+                   no usable snapshot we replay the whole journal from
+                   scratch *)
+                let start = ref None in
+                (try
+                   for i = Array.length records - 1 downto 0 do
+                     match records.(i) with
+                     | Journal.Epoch e when Option.is_none !start -> (
+                         match Journal.read_blob (snap_path dir e) with
+                         | None -> ()
+                         | Some payload -> (
+                             match decode_snapshot payload with
+                             | epoch, sp, dm, dedup when epoch = e ->
+                                 start := Some (i, e, sp, dm, dedup);
+                                 raise Exit
+                             | _ -> ()
+                             | exception _ -> ()))
+                     | _ -> ()
+                   done
+                 with Exit -> ());
+                let (first, epoch, sp, dm, dedup), recovered_epoch =
+                  match !start with
+                  | Some (i, e, sp, dm, dedup) ->
+                      ((i + 1, e, sp, dm, dedup), Some e)
+                  | None ->
+                      let sp, dm = fresh_state config in
+                      ((0, 0, sp, dm, Hashtbl.create 16), None)
+                in
+                let replayed = ref 0 in
+                let replay_error = ref None in
+                let apply op =
+                  let changed =
+                    match op with
+                    | Journal.Insert (u, v) ->
+                        ignore (Dyn_sparsifier.insert sp u v);
+                        Dyn_matching.insert dm u v
+                    | Journal.Delete (u, v) ->
+                        ignore (Dyn_sparsifier.delete sp u v);
+                        Dyn_matching.delete dm u v
+                    | Journal.Epoch _ | Journal.Meta _ | Journal.Tagged _ ->
+                        assert false
+                  in
+                  incr replayed;
+                  changed
+                in
+                (try
+                   for i = first to Array.length records - 1 do
+                     match records.(i) with
+                     | (Journal.Insert _ | Journal.Delete _) as op ->
+                         ignore (apply op)
+                     | Journal.Tagged (client, rid, op) ->
+                         (* same dedup guard as the live path, so a journal
+                            that (impossibly) repeats an rid replays the op
+                            exactly once *)
+                         let skip =
+                           match Hashtbl.find_opt dedup client with
+                           | Some (last, _) -> rid <= last
+                           | None -> false
+                         in
+                         if not skip then begin
+                           let changed = apply op in
+                           Hashtbl.replace dedup client (rid, changed)
+                         end
+                     | Journal.Epoch _ | Journal.Meta _ -> ()
+                   done
+                 with e -> replay_error := Some (Printexc.to_string e));
+                match !replay_error with
+                | Some msg -> fail ("replay failed: " ^ msg)
+                | None ->
+                    (* ops before the snapshot point are counted by the
+                       epoch itself; the replayed ops come after it *)
+                    let ops = epoch + !replayed in
+                    let writer = Journal.open_writer ?sync_every path in
+                    Ok
+                      (make ~dir ~config ~writer ~lock ~sp ~dm ~dedup
+                         ~snapshot_every ~audit_every ~ops ~recovered_epoch
+                         ~replayed:!replayed)))
+        | _ :: _ -> fail "journal does not start with a config record")
   end
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +410,9 @@ let stats t =
     repairs = t.repairs;
     recovered_epoch = t.recovered_epoch;
     replayed = t.replayed;
+    dedup_hits = t.dedup_hits;
   }
 
-let close t = Journal.close t.writer
+let close t =
+  Journal.close t.writer;
+  Journal.release_lock t.lock

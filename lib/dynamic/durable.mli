@@ -36,6 +36,8 @@ type stats = {
   recovered_epoch : int option;
       (** snapshot epoch this process recovered from, if any *)
   replayed : int;  (** ops replayed from the journal at recovery *)
+  dedup_hits : int;
+      (** duplicate requests answered from the at-most-once cache *)
 }
 
 type t
@@ -47,12 +49,14 @@ val create :
   dir:string ->
   config ->
   t
-(** Start a fresh durable pipeline in [dir] (created if missing): write
+(** Start a fresh durable pipeline in [dir] (created if missing): claim
+    the directory lockfile ({!Mspar_prelude.Journal.acquire_lock}), write
     the journal header and the [Meta] config record, derive the
     sparsifier and matcher RNG streams from [config.seed].  [sync_every]
     is the journal fsync batch (default 32; 1 = lose nothing).
     @raise Invalid_argument if [dir] already holds a journal (use
-    {!recover}) or a parameter is out of range.
+    {!recover}), is locked by a live process, or a parameter is out of
+    range.
     @raise Unix.Unix_error on filesystem errors. *)
 
 val recover :
@@ -61,11 +65,14 @@ val recover :
   ?audit_every:int ->
   string ->
   (t, string) result
-(** Recover from the journal in the given directory.  Never raises on
-    corrupt state: torn tails are truncated, damaged snapshot blobs are
-    skipped in favour of older ones or full replay, and any structural
-    problem is returned as [Error].  On [Ok t], [t] continues exactly
-    where the durable prefix of the journal left off. *)
+(** Recover from the journal in the given directory.  Claims the
+    directory lockfile first — a dir held by a live process is an
+    [Error], a stale lock (dead owner) is broken automatically.  Never
+    raises on corrupt state: torn tails are truncated, damaged snapshot
+    blobs are skipped in favour of older ones or full replay, and any
+    structural problem is returned as [Error].  On [Ok t], [t] continues
+    exactly where the durable prefix of the journal left off, including
+    the at-most-once dedup table rebuilt from [Tagged] records. *)
 
 val insert : t -> int -> int -> bool
 (** Journal then apply an insertion; returns [false] if the edge was
@@ -77,6 +84,27 @@ val insert : t -> int -> int -> bool
 val delete : t -> int -> int -> bool
 (** Journal then apply a deletion; returns [false] if absent.
     @raise Invalid_argument on out-of-range endpoints.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val insert_req :
+  t -> client:int -> rid:int -> int -> int -> [ `Applied of bool | `Duplicate of bool ]
+(** At-most-once insert on behalf of server client [client] with
+    client-assigned request id [rid] (strictly increasing per client).
+    A fresh rid journals a [Tagged] record then applies; [rid] equal to
+    the last applied one answers [`Duplicate] with the cached result
+    (the resend-after-lost-ack case); an older rid is [`Duplicate false].
+    @raise Invalid_argument on out-of-range endpoints.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val delete_req :
+  t -> client:int -> rid:int -> int -> int -> [ `Applied of bool | `Duplicate of bool ]
+(** At-most-once delete; same contract as {!insert_req}.
+    @raise Invalid_argument on out-of-range endpoints.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val sync : t -> unit
+(** Flush and fsync the journal now — the server's group-commit point:
+    acknowledgements may be sent only after this returns.
     @raise Unix.Unix_error on filesystem errors. *)
 
 val audit_now : t -> string list
@@ -97,5 +125,6 @@ val op_count : t -> int
 val stats : t -> stats
 
 val close : t -> unit
-(** Flush and close the journal.  Idempotent.
+(** Flush and close the journal, then release the directory lock.
+    Idempotent.
     @raise Unix.Unix_error on filesystem errors. *)

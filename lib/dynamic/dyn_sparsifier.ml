@@ -96,6 +96,7 @@ let sparsifier t =
       Hashtbl.iter (fun (u, v) _count -> push u v) t.multiplicity)
 
 let sparsifier_edge_count t = t.distinct
+let in_sparsifier t u v = Hashtbl.mem t.multiplicity (key u v)
 
 let stats t =
   {

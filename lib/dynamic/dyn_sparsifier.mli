@@ -43,6 +43,10 @@ val sparsifier : t -> Graph.t
 val sparsifier_edge_count : t -> int
 (** Number of distinct currently marked edges, O(1). *)
 
+val in_sparsifier : t -> int -> int -> bool
+(** Is the (undirected) edge currently marked into G_Δ?  O(1) — the
+    point-query read path for the service daemon; no materialisation. *)
+
 val stats : t -> stats
 
 val check_invariants : t -> bool

@@ -103,6 +103,8 @@ let read_string r =
 (* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
 (* ------------------------------------------------------------------ *)
 
+(* placed above Frames so the frame codec can use it *)
+
 let crc_table =
   lazy
     (Array.init 256 (fun i ->
@@ -128,3 +130,169 @@ let crc32 ?(pos = 0) ?len s =
     c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
   done;
   Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Frames: the shared frame discipline, incrementally decodable        *)
+(* ------------------------------------------------------------------ *)
+
+(* One frame is
+
+     <uvarint body-len> <body> <crc32-le of body>
+
+   — exactly the journal's record framing, reused verbatim on the
+   `mspar serve` wire so a torn or bit-flipped frame is detected the
+   same way in both places.  The incremental reader accepts arbitrary
+   partial-read chunks (a socket delivers bytes, not frames) and is
+   total: any input either yields frames, asks for more bytes, or lands
+   in a sticky [`Corrupt] state — it never raises and never hangs on a
+   finite input.  Corruption is unrecoverable by design (no resync):
+   after a bad frame the connection/file is dropped, mirroring the
+   journal's stop-at-first-bad-frame rule. *)
+
+module Frames = struct
+  type tail = Clean | Short | Bad of string
+
+  type t = {
+    max_frame : int;
+    mutable data : string;  (* unconsumed bytes are data.[start ..] *)
+    mutable start : int;
+    mutable bad : string option;  (* sticky corruption verdict *)
+  }
+
+  let default_max_frame = 1 lsl 20
+
+  let create ?(max_frame = default_max_frame) () =
+    if max_frame < 1 then invalid_arg "Codec.Frames.create: max_frame >= 1";
+    { max_frame; data = ""; start = 0; bad = None }
+
+  let buffered t = String.length t.data - t.start
+
+  let feed t ?(pos = 0) ?len chunk =
+    let len =
+      match len with None -> String.length chunk - pos | Some l -> l
+    in
+    if pos < 0 || len < 0 || pos + len > String.length chunk then
+      invalid_arg "Codec.Frames.feed: range out of bounds";
+    match t.bad with
+    | Some _ -> ()  (* corrupt readers ignore further input *)
+    | None ->
+        let keep = buffered t in
+        let b = Bytes.create (keep + len) in
+        Bytes.blit_string t.data t.start b 0 keep;
+        Bytes.blit_string chunk pos b keep len;
+        t.data <- Bytes.unsafe_to_string b;
+        t.start <- 0
+
+  let corrupt t msg =
+    t.bad <- Some msg;
+    t.data <- "";
+    t.start <- 0;
+    `Corrupt msg
+
+  (* A frame length is a uvarint; 9 continuation bytes already overflow
+     the 62-bit value range, so a length field that is still incomplete
+     after 9 bytes can never become valid. *)
+  let max_len_bytes = 9
+
+  let read_crc_le r =
+    let x = ref 0l in
+    for i = 0 to 3 do
+      x :=
+        Int32.logor !x (Int32.shift_left (Int32.of_int (read_byte r)) (8 * i))
+    done;
+    !x
+
+  let next t =
+    match t.bad with
+    | Some msg -> `Corrupt msg
+    | None ->
+        if buffered t = 0 then `Need_more
+        else begin
+          let total = String.length t.data in
+          let r = reader ~pos:t.start t.data in
+          match read_uvarint r with
+          | exception Truncated ->
+              if pos r - t.start >= max_len_bytes then
+                corrupt t "over-long frame length"
+              else `Need_more
+          | body_len ->
+              if body_len > t.max_frame then
+                corrupt t
+                  (Printf.sprintf "oversized frame (%d > max %d)" body_len
+                     t.max_frame)
+              else begin
+                let body_start = pos r in
+                if total - body_start < body_len + 4 then `Need_more
+                else begin
+                  let body = String.sub t.data body_start body_len in
+                  let trailer = reader ~pos:(body_start + body_len) t.data in
+                  let stored = read_crc_le trailer in
+                  if not (Int32.equal stored (crc32 body)) then
+                    corrupt t "frame crc mismatch"
+                  else begin
+                    t.start <- body_start + body_len + 4;
+                    if t.start = total then begin
+                      (* cheap compaction at a frame boundary *)
+                      t.data <- "";
+                      t.start <- 0
+                    end;
+                    `Frame body
+                  end
+                end
+              end
+        end
+
+  let encode buf body =
+    add_uvarint buf (String.length body);
+    Buffer.add_string buf body;
+    let crc = crc32 body in
+    for i = 0 to 3 do
+      Buffer.add_char buf
+        (Char.chr
+           (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
+    done
+
+  (* Reference whole-buffer decoder, written independently of the
+     incremental reader so the QCheck chunk-boundary property compares
+     two implementations rather than one against itself. *)
+  let decode_all ?(max_frame = default_max_frame) s =
+    let total = String.length s in
+    let frames = ref [] in
+    let off = ref 0 in
+    let tail = ref Clean in
+    (try
+       while !off < total do
+         let r = reader ~pos:!off s in
+         let body_len =
+           match read_uvarint r with
+           | n -> n
+           | exception Truncated ->
+               if pos r - !off >= max_len_bytes then
+                 tail := Bad "over-long frame length"
+               else tail := Short;
+               raise Exit
+         in
+         if body_len > max_frame then begin
+           tail :=
+             Bad
+               (Printf.sprintf "oversized frame (%d > max %d)" body_len
+                  max_frame);
+           raise Exit
+         end;
+         let body_start = pos r in
+         if total - body_start < body_len + 4 then begin
+           tail := Short;
+           raise Exit
+         end;
+         let body = String.sub s body_start body_len in
+         let trailer = reader ~pos:(body_start + body_len) s in
+         if not (Int32.equal (read_crc_le trailer) (crc32 body)) then begin
+           tail := Bad "frame crc mismatch";
+           raise Exit
+         end;
+         frames := body :: !frames;
+         off := body_start + body_len + 4
+       done
+     with Exit -> ());
+    (List.rev !frames, !tail)
+end

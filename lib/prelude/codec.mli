@@ -66,3 +66,55 @@ val crc32 : ?pos:int -> ?len:int -> string -> int32
     range (default: the whole string).  Guards every journal record and
     snapshot blob.
     @raise Invalid_argument if the range is out of bounds. *)
+
+(** {2 Frames}
+
+    The shared frame discipline — [<uvarint body-len> <body> <crc32-le of
+    body>] — exactly the journal's record framing, reused on the
+    [mspar serve] wire.  {!Frames.t} is an incremental reader: feed it
+    arbitrary partial-read chunks (a socket delivers bytes, not frames)
+    and pop complete, CRC-verified frame bodies.  It is total on any
+    input: every byte sequence either yields frames, asks for more, or
+    lands in a sticky [`Corrupt] state — it never raises on malformed
+    input and never hangs on a finite one. *)
+module Frames : sig
+  type t
+
+  (** Verdict on the unconsumed tail of a whole-buffer decode. *)
+  type tail =
+    | Clean  (** input ended exactly on a frame boundary *)
+    | Short  (** trailing bytes form an incomplete (torn) frame *)
+    | Bad of string  (** trailing bytes are corrupt beyond truncation *)
+
+  val default_max_frame : int
+  (** 1 MiB — default bound on a single frame body. *)
+
+  val create : ?max_frame:int -> unit -> t
+  (** Fresh incremental reader.  [max_frame] bounds the body length a
+      frame may declare; a larger declaration is corruption, which stops
+      a hostile peer from making us buffer unbounded input.
+      @raise Invalid_argument if [max_frame < 1]. *)
+
+  val feed : t -> ?pos:int -> ?len:int -> string -> unit
+  (** Append [chunk.[pos .. pos+len)] (default: the whole string) to the
+      reader's buffer.  No-op once the reader is corrupt.
+      @raise Invalid_argument if the range is out of bounds. *)
+
+  val next : t -> [ `Frame of string | `Need_more | `Corrupt of string ]
+  (** Pop the next complete frame body.  [`Need_more] means the buffered
+      bytes are a (possibly empty) prefix of a valid frame; [`Corrupt]
+      means they can never become one (over-long or oversized length,
+      CRC mismatch) — the verdict is sticky and the buffer is dropped. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed (0 after corruption). *)
+
+  val encode : Buffer.t -> string -> unit
+  (** Append one frame carrying [body] — the exact inverse of {!next}. *)
+
+  val decode_all : ?max_frame:int -> string -> string list * tail
+  (** Whole-buffer decode: every complete valid frame in order, plus the
+      verdict on what remains.  Implemented independently of the
+      incremental reader so the two can be property-tested against each
+      other. *)
+end

@@ -27,6 +27,10 @@ type record =
   | Delete of int * int
   | Epoch of int  (* snapshot boundary: state up to here is in snapshot [e] *)
   | Meta of string  (* opaque configuration payload, written once at creation *)
+  | Tagged of int * int * record
+      (* (client, request id, op): an update journaled on behalf of a
+         server client, so replay can rebuild the at-most-once dedup
+         table.  The nested record must itself be Insert/Delete. *)
 
 let magic = "MSPARWAL"
 let version = '\001'
@@ -37,7 +41,7 @@ let header_len = String.length header
 (* record codec                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let encode_body buf r =
+let rec encode_body buf r =
   match r with
   | Insert (u, v) ->
       Buffer.add_char buf '\001';
@@ -53,10 +57,19 @@ let encode_body buf r =
   | Meta s ->
       Buffer.add_char buf '\004';
       Codec.add_string buf s
+  | Tagged (client, rid, op) ->
+      (match op with
+      | Insert _ | Delete _ -> ()
+      | Epoch _ | Meta _ | Tagged _ ->
+          invalid_arg "Journal: Tagged may only wrap Insert/Delete");
+      Buffer.add_char buf '\005';
+      Codec.add_uvarint buf client;
+      Codec.add_uvarint buf rid;
+      encode_body buf op
 
 let decode_body body =
   let r = Codec.reader body in
-  let rec_ =
+  let rec go () =
     match Codec.read_byte r with
     | 1 ->
         let u = Codec.read_uvarint r in
@@ -68,22 +81,23 @@ let decode_body body =
         Delete (u, v)
     | 3 -> Epoch (Codec.read_uvarint r)
     | 4 -> Meta (Codec.read_string r)
+    | 5 ->
+        let client = Codec.read_uvarint r in
+        let rid = Codec.read_uvarint r in
+        (match go () with
+        | (Insert _ | Delete _) as op -> Tagged (client, rid, op)
+        | Epoch _ | Meta _ | Tagged _ ->
+            failwith "Tagged record wraps a non-update")
     | t -> failwith (Printf.sprintf "unknown record tag %d" t)
   in
+  let rec_ = go () in
   if not (Codec.at_end r) then failwith "trailing bytes in record body";
   rec_
 
 let frame buf r =
   let body = Buffer.create 16 in
   encode_body body r;
-  let body = Buffer.contents body in
-  Codec.add_uvarint buf (String.length body);
-  Buffer.add_string buf body;
-  let crc = Codec.crc32 body in
-  for i = 0 to 3 do
-    Buffer.add_char buf
-      (Char.chr (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
-  done
+  Codec.Frames.encode buf (Buffer.contents body)
 
 let read_crc_le r =
   let x = ref 0l in
@@ -278,6 +292,79 @@ let read_blob path =
       | res -> res
       | exception Codec.Truncated -> None
     end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* directory lockfile                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two live Durable instances over the same journal dir would interleave
+   WAL frames and corrupt each other's replay, so a dir is claimed with
+   an O_CREAT|O_EXCL pid file before any WAL fd is opened.  A lock left
+   behind by a kill -9'd owner is detected by probing the recorded pid
+   (kill 0): if the process is gone — or the file is unparsable — the
+   lock is stale and is broken, once.  This is advisory single-host
+   locking; it is not meant to survive shared network filesystems. *)
+
+type lock = { lock_path : string; mutable held : bool }
+
+let lock_path dir = Filename.concat dir "lock.pid"
+
+(* Lock paths held live by this process.  A lockfile recording our own
+   pid but absent from this registry was left behind by an abandoned
+   in-process incarnation (the crash-simulation suites "kill" a Durable
+   without process death) and counts as stale, while a registered path
+   is genuinely contended. *)
+let live_locks : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let holder_alive ~path pid =
+  if pid = Unix.getpid () then Hashtbl.mem live_locks path
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EPERM, _, _) -> true  (* alive, not ours *)
+    | exception Unix.Unix_error (_, _, _) -> false
+
+let try_claim path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let s = string_of_int (Unix.getpid ()) in
+          let n = Unix.write_substring fd s 0 (String.length s) in
+          if n <> String.length s then failwith "short write to lockfile");
+      true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+let acquire_lock dir =
+  let path = lock_path dir in
+  let claimed () =
+    Hashtbl.replace live_locks path ();
+    Ok { lock_path = path; held = true }
+  in
+  if try_claim path then claimed ()
+  else begin
+    let holder =
+      match read_file path with
+      | s -> int_of_string_opt (String.trim s)
+      | exception Sys_error _ -> None
+    in
+    match holder with
+    | Some pid when holder_alive ~path pid ->
+        Error (Printf.sprintf "journal dir locked by pid %d (%s)" pid path)
+    | _ ->
+        (* stale: owner is dead or the file is garbage — break it once *)
+        (try Sys.remove path with Sys_error _ -> ());
+        if try_claim path then claimed ()
+        else Error (Printf.sprintf "journal dir lock contended (%s)" path)
+  end
+
+let release_lock l =
+  if l.held then begin
+    l.held <- false;
+    Hashtbl.remove live_locks l.lock_path;
+    try Sys.remove l.lock_path with Sys_error _ -> ()
   end
 
 let ensure_dir path =

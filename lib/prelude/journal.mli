@@ -21,12 +21,18 @@
 
 (** One logical journal record.  [Epoch e] marks that a snapshot blob
     numbered [e] captures all state up to this point; [Meta] carries an
-    opaque configuration payload written once at journal creation. *)
+    opaque configuration payload written once at journal creation.
+    [Tagged (client, rid, op)] is an update journaled on behalf of a
+    server client together with its client-assigned request id, so
+    replay can rebuild the at-most-once dedup table; the nested record
+    must be [Insert] or [Delete] (encoding anything else raises
+    [Invalid_argument], decoding it is a malformed record). *)
 type record =
   | Insert of int * int
   | Delete of int * int
   | Epoch of int
   | Meta of string
+  | Tagged of int * int * record
 
 (** {2 Writing} *)
 
@@ -100,3 +106,22 @@ val read_blob : string -> string option
 val ensure_dir : string -> unit
 (** [mkdir -p]: create [path] and any missing parents.
     @raise Unix.Unix_error on filesystem errors other than [EEXIST]. *)
+
+(** {2 Directory lockfile}
+
+    Advisory single-host lock claiming a journal directory, so two
+    {!Durable} instances cannot open the same dir and interleave WAL
+    frames.  The lock is a [lock.pid] file created with
+    [O_CREAT|O_EXCL] holding the owner's pid; a lock whose recorded pid
+    no longer exists (or whose contents are unparsable) is stale and is
+    broken automatically, once. *)
+
+type lock
+
+val acquire_lock : string -> (lock, string) result
+(** [acquire_lock dir] claims [dir] (which must exist).  [Error reason]
+    if another live process holds it.
+    @raise Unix.Unix_error on filesystem errors other than [EEXIST]. *)
+
+val release_lock : lock -> unit
+(** Remove the lockfile.  Idempotent; never raises. *)

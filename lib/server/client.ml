@@ -1,0 +1,111 @@
+open Mspar_prelude
+
+(* Blocking client for tests, the load generator, and ad-hoc tooling.
+   [send]/[recv] are split so a driver can pipeline several requests per
+   connection; [request] is the one-shot convenience wrapper. *)
+
+type t = {
+  fd : Unix.file_descr;
+  frames : Codec.Frames.t;
+  scratch : Buffer.t;
+  read_buf : bytes;
+}
+
+let sockaddr = function
+  | Wire.Unix_path p -> Unix.ADDR_UNIX p
+  | Wire.Tcp (host, port) ->
+      let inet =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (inet, port)
+
+let connect addr =
+  let domain =
+    match addr with Wire.Unix_path _ -> Unix.PF_UNIX | Wire.Tcp _ -> Unix.PF_INET
+  in
+  match
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr addr) with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        raise e
+  with
+  | fd ->
+      Ok
+        {
+          fd;
+          frames = Codec.Frames.create ();
+          scratch = Buffer.create 256;
+          read_buf = Bytes.create 4096;
+        }
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Fmt.str "connect %a: %s" Wire.pp_addr addr (Unix.error_message e))
+  | exception Not_found ->
+      Error (Fmt.str "connect %a: cannot resolve host" Wire.pp_addr addr)
+(* total by construction: the inner [raise e] only re-routes a connect
+   failure past the fd cleanup into the [match ... with exception]
+   arms above, which the MSP007 heuristic cannot see through *)
+[@@lint.allow "MSP007"]
+
+let connect_retry ?(attempts = 8) ?(base_delay = 0.02) addr =
+  let rec go i delay =
+    match connect addr with
+    | Ok t -> Ok t
+    | Error _ when i + 1 < attempts ->
+        Unix.sleepf delay;
+        go (i + 1) (delay *. 2.)  (* exponential backoff *)
+    | Error _ as e -> e
+  in
+  go 0 base_delay
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+let fd t = t.fd
+
+let send t req =
+  Buffer.clear t.scratch;
+  let body = Buffer.create 32 in
+  Wire.encode_request body req;
+  Codec.Frames.encode t.scratch (Buffer.contents body);
+  let s = Buffer.contents t.scratch in
+  let len = String.length s in
+  match
+    let written = ref 0 in
+    while !written < len do
+      written := !written + Unix.write_substring t.fd s !written (len - !written)
+    done
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+let rec recv ?(timeout = 5.0) t =
+  match Codec.Frames.next t.frames with
+  | `Corrupt msg -> Error ("corrupt response stream: " ^ msg)
+  | `Frame body -> (
+      match Wire.decode_response body with
+      | Ok r -> Ok r
+      | Error msg -> Error msg)
+  | `Need_more -> (
+      if timeout <= 0. then Error "recv: timeout"
+      else
+        let t0 = Unix.gettimeofday () in
+        match Unix.select [ t.fd ] [] [] timeout with
+        | [], _, _ -> Error "recv: timeout"
+        | _ :: _, _, _ -> (
+            match Unix.read t.fd t.read_buf 0 (Bytes.length t.read_buf) with
+            | 0 -> Error "recv: connection closed"
+            | n ->
+                Codec.Frames.feed t.frames (Bytes.sub_string t.read_buf 0 n);
+                recv ~timeout:(timeout -. (Unix.gettimeofday () -. t0)) t
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                recv ~timeout:(timeout -. (Unix.gettimeofday () -. t0)) t
+            | exception Unix.Unix_error (e, _, _) ->
+                Error ("recv: " ^ Unix.error_message e))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            recv ~timeout:(timeout -. (Unix.gettimeofday () -. t0)) t)
+
+let request ?timeout t req =
+  match send t req with Error _ as e -> e | Ok () -> recv ?timeout t

@@ -1,0 +1,27 @@
+(** Blocking client for the [mspar serve] protocol — used by the smoke
+    tests, the fault harness, and the load generator.  [send]/[recv] are
+    split so a driver can pipeline several requests per connection. *)
+
+type t
+
+val connect : Wire.addr -> (t, string) result
+val connect_retry : ?attempts:int -> ?base_delay:float -> Wire.addr -> (t, string) result
+(** Retry [connect] with exponential backoff (default 8 attempts from
+    20 ms) — covers both waiting for a fresh server to bind and
+    reconnecting across a server restart. *)
+
+val send : t -> Wire.request -> (unit, string) result
+(** Write one request frame (blocking until fully written). *)
+
+val recv : ?timeout:float -> t -> (Wire.response, string) result
+(** Read one response frame (default timeout 5 s).  Timeouts, EOF, and
+    corrupt streams are [Error]s. *)
+
+val request : ?timeout:float -> t -> Wire.request -> (Wire.response, string) result
+(** [send] then [recv]. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket, for select-based drivers. *)
+
+val close : t -> unit
+(** Close the socket.  Never raises. *)

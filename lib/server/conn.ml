@@ -1,0 +1,89 @@
+open Mspar_prelude
+
+(* Per-connection state: an incremental frame reader on the inbound
+   side and a bounded byte buffer on the outbound side.  All fds are
+   non-blocking; the event loop drives [read_into]/[flush] off select
+   readiness, so a slow or dead peer can stall only its own buffers. *)
+
+type state = Open | Closing
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  frames : Codec.Frames.t;
+  out : Buffer.t;
+  mutable out_pos : int;  (* prefix of [out] already written to the fd *)
+  mutable client : int option;  (* set by Hello; required for updates *)
+  mutable last_activity : float;
+  mutable partial_since : float option;
+      (* when the oldest buffered incomplete frame started arriving —
+         the slowloris clock *)
+  mutable state : state;
+}
+
+let create ?(max_frame = Codec.Frames.default_max_frame) ~id ~now fd =
+  Unix.set_nonblock fd;
+  {
+    fd;
+    id;
+    frames = Codec.Frames.create ~max_frame ();
+    out = Buffer.create 512;
+    out_pos = 0;
+    client = None;
+    last_activity = now;
+    partial_since = None;
+    state = Open;
+  }
+
+let pending_out t = Buffer.length t.out - t.out_pos
+
+let feed t ~now chunk len =
+  t.last_activity <- now;
+  Codec.Frames.feed t.frames ~len chunk
+
+let next_frame t ~now =
+  let r = Codec.Frames.next t.frames in
+  (match r with
+  | `Frame _ | `Corrupt _ -> t.partial_since <- None
+  | `Need_more ->
+      if Codec.Frames.buffered t.frames = 0 then t.partial_since <- None
+      else if Option.is_none t.partial_since then t.partial_since <- Some now);
+  r
+
+let queue t scratch resp =
+  Buffer.clear scratch;
+  Wire.encode_response scratch resp;
+  Codec.Frames.encode t.out (Buffer.contents scratch)
+
+let read_into t bytes =
+  match Unix.read t.fd bytes 0 (Bytes.length bytes) with
+  | 0 -> `Eof
+  | n -> `Data n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      `Blocked
+  | exception Unix.Unix_error (_, _, _) -> `Eof
+
+let flush t =
+  let len = pending_out t in
+  if len = 0 then `Done
+  else begin
+    let s = Buffer.contents t.out in
+    match Unix.write_substring t.fd s t.out_pos len with
+    | n ->
+        t.out_pos <- t.out_pos + n;
+        if pending_out t = 0 then begin
+          Buffer.clear t.out;
+          t.out_pos <- 0;
+          `Done
+        end
+        else `Partial n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        `Partial 0
+    | exception Unix.Unix_error (_, _, _) -> `Error
+  end
+
+let close t =
+  (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
+  t.state <- Closing

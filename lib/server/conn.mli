@@ -1,0 +1,48 @@
+(** Per-connection state for the serve loop: incremental frame reader
+    inbound, bounded byte buffer outbound, non-blocking fd throughout. *)
+
+open Mspar_prelude
+
+type state = Open | Closing
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  frames : Codec.Frames.t;
+  out : Buffer.t;
+  mutable out_pos : int;
+  mutable client : int option;  (** set by [Hello]; required for updates *)
+  mutable last_activity : float;
+  mutable partial_since : float option;
+      (** since when an incomplete frame has been pending — drives the
+          slowloris timeout *)
+  mutable state : state;
+}
+
+val create : ?max_frame:int -> id:int -> now:float -> Unix.file_descr -> t
+(** Wrap an accepted fd (switched to non-blocking).
+    @raise Unix.Unix_error on fd errors. *)
+
+val pending_out : t -> int
+(** Outbound bytes queued but not yet written. *)
+
+val feed : t -> now:float -> string -> int -> unit
+(** Push [len] freshly read bytes into the frame reader and refresh the
+    activity clock.
+    @raise Invalid_argument if [len] overruns the chunk. *)
+
+val next_frame :
+  t -> now:float -> [ `Frame of string | `Need_more | `Corrupt of string ]
+(** Pop the next complete frame, maintaining [partial_since]. *)
+
+val queue : t -> Buffer.t -> Wire.response -> unit
+(** Encode a response (via the [scratch] buffer) onto the out queue. *)
+
+val read_into : t -> bytes -> [ `Data of int | `Eof | `Blocked ]
+(** One non-blocking read.  Hard fd errors read as [`Eof]. *)
+
+val flush : t -> [ `Done | `Partial of int | `Error ]
+(** Write as much queued output as the socket accepts right now. *)
+
+val close : t -> unit
+(** Close the fd (errors ignored) and mark the connection [Closing]. *)

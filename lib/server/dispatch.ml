@@ -1,0 +1,106 @@
+open Mspar_graph
+open Mspar_matching
+open Mspar_dynamic
+
+(* Request semantics, independent of any socket: the event loop hands
+   decoded requests here and queues whatever comes back.  Updates are
+   journaled immediately but only become acknowledgeable after
+   [sync_if_dirty] — the loop's group-commit point — so an Ack on the
+   wire always means "survives kill -9". *)
+
+type t = {
+  durable : Durable.t;
+  metrics : Metrics.t;
+  mutable draining : bool;
+  mutable dirty : bool;  (* ops journaled since the last group commit *)
+  crash_after_ops : int option;
+  mutable applied : int;
+}
+
+let create ?crash_after_ops ~metrics durable =
+  { durable; metrics; draining = false; dirty = false; crash_after_ops; applied = 0 }
+
+let digest t =
+  let dm = Durable.matching t.durable in
+  let sp = Durable.sparsifier t.durable in
+  {
+    Wire.op_count = Durable.op_count t.durable;
+    graph = Graph.checksum (Dyn_graph.snapshot (Dyn_matching.graph dm));
+    sparsifier = Graph.checksum (Dyn_sparsifier.sparsifier sp);
+    matching = Dyn_matching.size dm;
+  }
+
+let crash_point t =
+  (* test hook: simulated kill -9 — the process vanishes with the op
+     journaled (maybe unsynced) and the ack never flushed *)
+  match t.crash_after_ops with
+  | Some k when t.applied >= k -> Unix._exit 137
+  | Some _ | None -> ()
+
+let update t ~client result =
+  ignore client;
+  t.dirty <- true;
+  match result with
+  | `Applied changed ->
+      t.applied <- t.applied + 1;
+      t.metrics.Metrics.ops_applied <- t.metrics.Metrics.ops_applied + 1;
+      crash_point t;
+      Wire.Ack changed
+  | `Duplicate changed ->
+      t.metrics.Metrics.dedup_hits <- t.metrics.Metrics.dedup_hits + 1;
+      Wire.Ack changed
+
+let handle t ~client (req : Wire.request) : Wire.response =
+  match req with
+  | Wire.Hello _ -> Wire.Ok  (* binding handled by the loop *)
+  | Wire.Insert { rid; u; v } -> (
+      if t.draining then Wire.Draining
+      else
+        match client with
+        | None -> Wire.Error "updates require Hello first"
+        | Some client -> (
+            match Durable.insert_req t.durable ~client ~rid u v with
+            | result -> update t ~client result
+            | exception Invalid_argument msg -> Wire.Error msg))
+  | Wire.Delete { rid; u; v } -> (
+      if t.draining then Wire.Draining
+      else
+        match client with
+        | None -> Wire.Error "updates require Hello first"
+        | Some client -> (
+            match Durable.delete_req t.durable ~client ~rid u v with
+            | result -> update t ~client result
+            | exception Invalid_argument msg -> Wire.Error msg))
+  | Wire.Query_matched v -> (
+      t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
+      let m = Dyn_matching.matching (Durable.matching t.durable) in
+      match Matching.is_matched m v with
+      | b -> Wire.Bool b
+      | exception Invalid_argument msg -> Wire.Error msg)
+  | Wire.Query_edge (u, v) -> (
+      t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
+      let g = Dyn_matching.graph (Durable.matching t.durable) in
+      match Dyn_graph.has_edge g u v with
+      | b -> Wire.Bool b
+      | exception Invalid_argument msg -> Wire.Error msg)
+  | Wire.Query_sparsifier (u, v) -> (
+      t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
+      match Dyn_sparsifier.in_sparsifier (Durable.sparsifier t.durable) u v with
+      | b -> Wire.Bool b
+      | exception Invalid_argument msg -> Wire.Error msg)
+  | Wire.Checksum -> Wire.Digest (digest t)
+  | Wire.Snapshot ->
+      Durable.snapshot_now t.durable;
+      t.dirty <- false;
+      Wire.Ok
+  | Wire.Drain ->
+      t.draining <- true;
+      Wire.Ok
+  | Wire.Stats -> Wire.Stats_reply (Metrics.summary t.metrics)
+  | Wire.Ping -> Wire.Ok
+
+let sync_if_dirty t =
+  if t.dirty then begin
+    Durable.sync t.durable;
+    t.dirty <- false
+  end

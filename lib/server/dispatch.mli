@@ -1,0 +1,38 @@
+(** Request semantics, socket-free: decoded {!Wire.request}s in,
+    {!Wire.response}s out, against a {!Mspar_dynamic.Durable} pipeline.
+
+    Updates are journaled on [handle] but acknowledgements only become
+    durable at {!sync_if_dirty} — the event loop's group-commit point —
+    so the loop must call it before flushing Acks to any socket. *)
+
+open Mspar_dynamic
+
+type t = {
+  durable : Durable.t;
+  metrics : Metrics.t;
+  mutable draining : bool;
+      (** once set (Drain request or SIGTERM), updates answer
+          [Draining]; queries keep working *)
+  mutable dirty : bool;
+  crash_after_ops : int option;
+  mutable applied : int;
+}
+
+val create : ?crash_after_ops:int -> metrics:Metrics.t -> Durable.t -> t
+(** [crash_after_ops] is a fault-injection hook: the process [_exit]s
+    with status 137 (simulated kill -9) immediately after the Nth
+    applied update, before any ack reaches a socket. *)
+
+val handle : t -> client:int option -> Wire.request -> Wire.response
+(** Serve one request.  [client] is the connection's Hello-bound id;
+    updates without one are protocol errors.  Total: domain errors come
+    back as [Wire.Error], not exceptions.
+    @raise Unix.Unix_error on journal I/O errors. *)
+
+val digest : t -> Wire.digest
+(** Full-state digest (op count, graph/sparsifier checksums, |M|). *)
+
+val sync_if_dirty : t -> unit
+(** Group commit: fsync the WAL iff updates were journaled since the
+    last commit.
+    @raise Unix.Unix_error on journal I/O errors. *)

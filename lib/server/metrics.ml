@@ -1,0 +1,59 @@
+(* Plain mutable counters for the serve loop — single-threaded event
+   loop, so no atomics needed.  [summary] freezes them into the wire
+   record answered to a Stats request. *)
+
+type t = {
+  mutable accepted : int;
+  mutable active : int;
+  mutable dropped_protocol : int;
+  mutable dropped_idle : int;
+  mutable dropped_slowloris : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable malformed : int;
+  mutable busy_rejections : int;
+  mutable ops_applied : int;
+  mutable dedup_hits : int;
+  mutable queries : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+let create () =
+  {
+    accepted = 0;
+    active = 0;
+    dropped_protocol = 0;
+    dropped_idle = 0;
+    dropped_slowloris = 0;
+    frames_in = 0;
+    frames_out = 0;
+    malformed = 0;
+    busy_rejections = 0;
+    ops_applied = 0;
+    dedup_hits = 0;
+    queries = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+  }
+
+let summary t =
+  {
+    Wire.accepted = t.accepted;
+    active = t.active;
+    frames_in = t.frames_in;
+    frames_out = t.frames_out;
+    malformed = t.malformed;
+    busy_rejections = t.busy_rejections;
+    ops_applied = t.ops_applied;
+    dedup_hits = t.dedup_hits;
+    queries = t.queries;
+  }
+
+let to_string t =
+  Printf.sprintf
+    "accepted=%d active=%d dropped(proto/idle/slow)=%d/%d/%d frames=%d/%d \
+     malformed=%d busy=%d ops=%d dedup=%d queries=%d bytes=%d/%d"
+    t.accepted t.active t.dropped_protocol t.dropped_idle t.dropped_slowloris
+    t.frames_in t.frames_out t.malformed t.busy_rejections t.ops_applied
+    t.dedup_hits t.queries t.bytes_in t.bytes_out

@@ -1,0 +1,23 @@
+(** Serve-loop counters.  The event loop is single-threaded, so these
+    are plain mutable fields, exposed for direct bumping. *)
+
+type t = {
+  mutable accepted : int;  (** connections accepted, lifetime *)
+  mutable active : int;  (** connections currently open *)
+  mutable dropped_protocol : int;  (** closed for malformed/corrupt input *)
+  mutable dropped_idle : int;  (** closed by the idle timeout *)
+  mutable dropped_slowloris : int;  (** closed by the partial-frame timeout *)
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable malformed : int;  (** frames/bodies that failed to decode *)
+  mutable busy_rejections : int;  (** requests answered [Busy] *)
+  mutable ops_applied : int;  (** updates applied into the pipeline *)
+  mutable dedup_hits : int;  (** updates answered from the dedup cache *)
+  mutable queries : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+val create : unit -> t
+val summary : t -> Wire.summary
+val to_string : t -> string

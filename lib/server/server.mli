@@ -1,0 +1,53 @@
+(** The [mspar serve] event loop: a single-threaded [Unix.select]
+    reactor over {!Conn} connections, dispatching into a
+    {!Mspar_dynamic.Durable} pipeline via {!Dispatch}.
+
+    Contracts (see DESIGN.md §10):
+    - an [Ack] is written to a socket only after the WAL fsync covering
+      the op (group commit per select round) — zero acknowledged-update
+      loss under kill -9;
+    - per-round request budget and out-queue soft cap bound every
+      buffer; excess requests answer [Busy] with jittered retry-after;
+    - corrupt/malformed frames close only the offending connection;
+      idle and slowloris timeouts reap silent or dribbling peers;
+    - SIGTERM/SIGINT (or a [Drain] request) triggers graceful drain:
+      stop accepting, answer buffered requests, fsync, snapshot, flush,
+      return [Ok ()]. *)
+
+open Mspar_dynamic
+
+type config = {
+  addr : Wire.addr;
+  max_conns : int;  (** accepted connections held concurrently *)
+  max_pending : int;  (** requests served per connection per round *)
+  max_frame : int;  (** largest frame body accepted on the wire *)
+  idle_timeout : float;  (** seconds of silence before a conn is reaped *)
+  frame_timeout : float;
+      (** seconds an incomplete frame may dribble (slowloris bound) *)
+  busy_retry_ms : int;  (** base of the jittered Busy retry-after *)
+  seed : int;  (** jitter RNG seed *)
+  crash_after_ops : int option;  (** fault-injection hook, see {!Dispatch} *)
+}
+
+val default_config : Wire.addr -> config
+
+val exit_config_error : int
+(** 3 — bad CLI arguments / configuration. *)
+
+val exit_bind_failure : int
+(** 4 — could not bind/listen on the requested address. *)
+
+val exit_recovery_failure : int
+(** 5 — journal recovery failed. *)
+
+val bind_listen : Wire.addr -> (Unix.file_descr, string) result
+(** Bind and listen.  A stale Unix socket file left by an unclean
+    shutdown is unlinked first; a path that exists but is not a socket
+    is an [Error]. *)
+
+val run : config -> listen:Unix.file_descr -> durable:Durable.t -> (unit, string) result
+(** Serve until SIGTERM/SIGINT or a [Drain] request, then drain
+    gracefully.  Installs (and restores) SIGTERM/SIGINT/SIGPIPE
+    handlers.  Closes [listen] and every connection before returning;
+    the caller still owns [durable] and should {!Durable.close} it.
+    @raise Unix.Unix_error on journal I/O errors. *)

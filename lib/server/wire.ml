@@ -1,0 +1,223 @@
+open Mspar_prelude
+
+(* Request/response payloads for the `mspar serve` protocol.  A message
+   on the socket is one Codec.Frames frame whose body is encoded here:
+   a tag byte followed by Codec varints.  Decoders are total — any
+   malformed body comes back as [Error], never an exception — because
+   the bytes arrive from an untrusted peer. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_path p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
+
+type request =
+  | Hello of int  (* client id: binds the connection for dedup *)
+  | Insert of { rid : int; u : int; v : int }
+  | Delete of { rid : int; u : int; v : int }
+  | Query_matched of int
+  | Query_edge of int * int
+  | Query_sparsifier of int * int
+  | Checksum
+  | Snapshot
+  | Drain
+  | Stats
+  | Ping
+
+type digest = {
+  op_count : int;
+  graph : int64;  (* Graph.checksum of the dynamic graph snapshot *)
+  sparsifier : int64;  (* Graph.checksum of the materialised G_Δ *)
+  matching : int;  (* matching size *)
+}
+
+type summary = {
+  accepted : int;
+  active : int;
+  frames_in : int;
+  frames_out : int;
+  malformed : int;
+  busy_rejections : int;
+  ops_applied : int;
+  dedup_hits : int;
+  queries : int;
+}
+
+type response =
+  | Ack of bool  (* update applied (or deduped); payload = "changed" *)
+  | Bool of bool
+  | Digest of digest
+  | Busy of int  (* backpressure: retry after this many milliseconds *)
+  | Draining
+  | Ok
+  | Stats_reply of summary
+  | Error of string
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let encode_request buf r =
+  match r with
+  | Hello client ->
+      Buffer.add_char buf '\001';
+      Codec.add_uvarint buf client
+  | Insert { rid; u; v } ->
+      Buffer.add_char buf '\002';
+      Codec.add_uvarint buf rid;
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Delete { rid; u; v } ->
+      Buffer.add_char buf '\003';
+      Codec.add_uvarint buf rid;
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Query_matched v ->
+      Buffer.add_char buf '\004';
+      Codec.add_uvarint buf v
+  | Query_edge (u, v) ->
+      Buffer.add_char buf '\005';
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Query_sparsifier (u, v) ->
+      Buffer.add_char buf '\006';
+      Codec.add_uvarint buf u;
+      Codec.add_uvarint buf v
+  | Checksum -> Buffer.add_char buf '\007'
+  | Snapshot -> Buffer.add_char buf '\008'
+  | Drain -> Buffer.add_char buf '\009'
+  | Stats -> Buffer.add_char buf '\010'
+  | Ping -> Buffer.add_char buf '\011'
+
+let encode_response buf r =
+  match r with
+  | Ack changed ->
+      Buffer.add_char buf '\001';
+      Buffer.add_char buf (if changed then '\001' else '\000')
+  | Bool b ->
+      Buffer.add_char buf '\002';
+      Buffer.add_char buf (if b then '\001' else '\000')
+  | Digest d ->
+      Buffer.add_char buf '\003';
+      Codec.add_uvarint buf d.op_count;
+      Codec.add_int64 buf d.graph;
+      Codec.add_int64 buf d.sparsifier;
+      Codec.add_uvarint buf d.matching
+  | Busy ms ->
+      Buffer.add_char buf '\004';
+      Codec.add_uvarint buf ms
+  | Draining -> Buffer.add_char buf '\005'
+  | Ok -> Buffer.add_char buf '\006'
+  | Stats_reply s ->
+      Buffer.add_char buf '\007';
+      Codec.add_uvarint buf s.accepted;
+      Codec.add_uvarint buf s.active;
+      Codec.add_uvarint buf s.frames_in;
+      Codec.add_uvarint buf s.frames_out;
+      Codec.add_uvarint buf s.malformed;
+      Codec.add_uvarint buf s.busy_rejections;
+      Codec.add_uvarint buf s.ops_applied;
+      Codec.add_uvarint buf s.dedup_hits;
+      Codec.add_uvarint buf s.queries
+  | Error msg ->
+      Buffer.add_char buf '\008';
+      Codec.add_string buf msg
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_bool r =
+  match Codec.read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> failwith (Printf.sprintf "bad bool byte %d" b)
+
+let total what go body =
+  let r = Codec.reader body in
+  match
+    let v = go r in
+    if not (Codec.at_end r) then failwith "trailing bytes";
+    v
+  with
+  | v -> Stdlib.Ok v
+  | exception Codec.Truncated -> Stdlib.Error ("short " ^ what)
+  | exception Failure msg -> Stdlib.Error ("malformed " ^ what ^ ": " ^ msg)
+
+let decode_request body =
+  total "request"
+    (fun r ->
+      match Codec.read_byte r with
+      | 1 -> Hello (Codec.read_uvarint r)
+      | 2 ->
+          let rid = Codec.read_uvarint r in
+          let u = Codec.read_uvarint r in
+          let v = Codec.read_uvarint r in
+          Insert { rid; u; v }
+      | 3 ->
+          let rid = Codec.read_uvarint r in
+          let u = Codec.read_uvarint r in
+          let v = Codec.read_uvarint r in
+          Delete { rid; u; v }
+      | 4 -> Query_matched (Codec.read_uvarint r)
+      | 5 ->
+          let u = Codec.read_uvarint r in
+          Query_edge (u, Codec.read_uvarint r)
+      | 6 ->
+          let u = Codec.read_uvarint r in
+          Query_sparsifier (u, Codec.read_uvarint r)
+      | 7 -> Checksum
+      | 8 -> Snapshot
+      | 9 -> Drain
+      | 10 -> Stats
+      | 11 -> Ping
+      | t -> failwith (Printf.sprintf "unknown request tag %d" t))
+    body
+(* total by construction: every [failwith] runs under [total], whose
+   [match ... with exception Failure] arm turns it into [Error] — a
+   shape the MSP007 heuristic cannot see through *)
+[@@lint.allow "MSP007"]
+
+let decode_response body =
+  total "response"
+    (fun r ->
+      match Codec.read_byte r with
+      | 1 -> Ack (read_bool r)
+      | 2 -> Bool (read_bool r)
+      | 3 ->
+          let op_count = Codec.read_uvarint r in
+          let graph = Codec.read_int64 r in
+          let sparsifier = Codec.read_int64 r in
+          let matching = Codec.read_uvarint r in
+          Digest { op_count; graph; sparsifier; matching }
+      | 4 -> Busy (Codec.read_uvarint r)
+      | 5 -> Draining
+      | 6 -> Ok
+      | 7 ->
+          let accepted = Codec.read_uvarint r in
+          let active = Codec.read_uvarint r in
+          let frames_in = Codec.read_uvarint r in
+          let frames_out = Codec.read_uvarint r in
+          let malformed = Codec.read_uvarint r in
+          let busy_rejections = Codec.read_uvarint r in
+          let ops_applied = Codec.read_uvarint r in
+          let dedup_hits = Codec.read_uvarint r in
+          let queries = Codec.read_uvarint r in
+          Stats_reply
+            {
+              accepted;
+              active;
+              frames_in;
+              frames_out;
+              malformed;
+              busy_rejections;
+              ops_applied;
+              dedup_hits;
+              queries;
+            }
+      | 8 -> Error (Codec.read_string r)
+      | t -> failwith (Printf.sprintf "unknown response tag %d" t))
+    body
+(* total by construction: same [total] wrapper as [decode_request] *)
+[@@lint.allow "MSP007"]

@@ -1,0 +1,71 @@
+(** Request/response payloads for the [mspar serve] binary protocol.
+
+    One message = one {!Mspar_prelude.Codec.Frames} frame whose body is a
+    tag byte plus Codec varints, encoded/decoded here.  Decoders are
+    total: bytes arrive from an untrusted peer, so a malformed body is an
+    [Error], never an exception. *)
+
+(** Listen/connect address. *)
+type addr = Unix_path of string | Tcp of string * int
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type request =
+  | Hello of int
+      (** Bind the connection to a client id.  Must precede updates: the
+          id keys the at-most-once dedup table across reconnects. *)
+  | Insert of { rid : int; u : int; v : int }
+      (** Insert edge [(u,v)]; [rid] is the client-assigned request id,
+          strictly increasing per client. *)
+  | Delete of { rid : int; u : int; v : int }
+  | Query_matched of int  (** is this vertex matched? *)
+  | Query_edge of int * int  (** is this edge in the dynamic graph? *)
+  | Query_sparsifier of int * int  (** is this edge marked into G_Δ? *)
+  | Checksum  (** full-state digest (op count + checksums + |M|) *)
+  | Snapshot  (** force a durable snapshot now *)
+  | Drain  (** begin graceful drain (same as SIGTERM) *)
+  | Stats  (** server counters *)
+  | Ping
+
+type digest = {
+  op_count : int;
+  graph : int64;  (** [Graph.checksum] of the dynamic graph snapshot *)
+  sparsifier : int64;  (** [Graph.checksum] of the materialised G_Δ *)
+  matching : int;  (** matching size *)
+}
+
+type summary = {
+  accepted : int;
+  active : int;
+  frames_in : int;
+  frames_out : int;
+  malformed : int;
+  busy_rejections : int;
+  ops_applied : int;
+  dedup_hits : int;
+  queries : int;
+}
+
+type response =
+  | Ack of bool
+      (** Update durably applied (or answered from the dedup cache);
+          payload says whether the graph changed.  Sent only after the
+          WAL fsync covering the op. *)
+  | Bool of bool  (** query answer *)
+  | Digest of digest
+  | Busy of int
+      (** Backpressure: batch budget exhausted — retry after the given
+          number of milliseconds (jittered server-side). *)
+  | Draining  (** server is draining; no further updates accepted *)
+  | Ok
+  | Stats_reply of summary
+  | Error of string  (** protocol violation; the connection will close *)
+
+val encode_request : Buffer.t -> request -> unit
+val encode_response : Buffer.t -> response -> unit
+
+val decode_request : string -> (request, string) result
+(** Total decode of a frame body. *)
+
+val decode_response : string -> (response, string) result
+(** Total decode of a frame body. *)

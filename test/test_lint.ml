@@ -218,6 +218,39 @@ let test_msp010 () =
 (* ---------------------------------------------------------------- *)
 (* suppression: [@lint.allow] and the baseline                       *)
 (* ---------------------------------------------------------------- *)
+(* MSP011: raw socket / fd I/O outside the serve funnel              *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp011 () =
+  check_fires "Unix.socket in library code" "MSP011"
+    (lint ~file:"lib/dynamic/foo.ml"
+       "let f () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0");
+  check_fires "Unix.connect" "MSP011"
+    (lint ~file:"lib/core/foo.ml" "let f fd a = Unix.connect fd a");
+  check_fires "Unix.read" "MSP011"
+    (lint ~file:"lib/dynamic/foo.ml" "let f fd b = Unix.read fd b 0 10");
+  check_fires "Unix.select" "MSP011"
+    (lint ~file:"lib/matching/foo.ml" "let f fd = Unix.select [ fd ] [] [] 1.0");
+  check_fires "UnixLabels spelling" "MSP011"
+    (lint ~file:"lib/core/foo.ml" "let f fd a = UnixLabels.bind fd ~addr:a");
+  check_silent "lib/server owns the socket surface" "MSP011"
+    (lint ~file:"lib/server/conn.ml" "let f fd b = Unix.read fd b 0 10");
+  check_silent "journal.ml writes its own fd" "MSP011"
+    (lint ~file:"lib/prelude/journal.ml"
+       "let f fd s = Unix.write_substring fd s 0 (String.length s)");
+  check_silent "graph_io.ml reads its own fd" "MSP011"
+    (lint ~file:"lib/graph/graph_io.ml" "let f fd b = Unix.read fd b 0 10");
+  check_silent "bench code may use sockets" "MSP011"
+    (lint ~file:"bench/serve_faults.ml"
+       "let f () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0");
+  check_silent "bin code may use sockets" "MSP011"
+    (lint ~file:"bin/main.ml" "let f fd a = Unix.connect fd a");
+  check_silent "test code may use sockets" "MSP011"
+    (lint ~file:"test/foo.ml" "let f fd b = Unix.read fd b 0 10");
+  check_silent "non-fd Unix calls are out of scope" "MSP011"
+    (lint ~file:"lib/prelude/clock.ml" "let f () = Unix.gettimeofday ()")
+
+(* ---------------------------------------------------------------- *)
 
 let test_allow () =
   check_silent "binding-level [@@lint.allow]" "MSP002"
@@ -301,6 +334,7 @@ let () =
           Alcotest.test_case "MSP008 domain spawn" `Quick test_msp008;
           Alcotest.test_case "MSP009 file io" `Quick test_msp009;
           Alcotest.test_case "MSP010 bigarray unsafe" `Quick test_msp010;
+          Alcotest.test_case "MSP011 socket io" `Quick test_msp011;
         ] );
       ( "suppression",
         [

@@ -684,6 +684,155 @@ let test_pool_get_default () =
   check_bool "process-wide singleton" true (a == b);
   check_bool "sized by default_size" true (Pool.size a >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Codec.Frames — the incremental frame reader under the serve wire    *)
+(* ------------------------------------------------------------------ *)
+
+(* drain every complete frame currently buffered; returns frames in
+   arrival order plus the corrupt verdict if one fired *)
+let frames_drain t =
+  let rec go acc =
+    match Codec.Frames.next t with
+    | `Frame b -> go (b :: acc)
+    | `Need_more -> (List.rev acc, None)
+    | `Corrupt msg -> (List.rev acc, Some msg)
+  in
+  go []
+
+let test_frames_roundtrip () =
+  let bodies = [ ""; "a"; "hello"; String.make 300 '\x00'; "\xff\x00\xfe" ] in
+  let buf = Buffer.create 256 in
+  List.iter (Codec.Frames.encode buf) bodies;
+  let t = Codec.Frames.create () in
+  Codec.Frames.feed t (Buffer.contents buf);
+  let got, corrupt = frames_drain t in
+  check_bool "no corruption" true (corrupt = None);
+  Alcotest.(check (list string)) "bodies round-trip" bodies got;
+  check "nothing left buffered" 0 (Codec.Frames.buffered t)
+
+let test_frames_byte_at_a_time () =
+  let bodies = [ "x"; "incremental"; "" ] in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.Frames.encode buf) bodies;
+  let s = Buffer.contents buf in
+  let t = Codec.Frames.create () in
+  let got = ref [] in
+  String.iteri
+    (fun i _ ->
+      Codec.Frames.feed t ~pos:i ~len:1 s;
+      let fs, corrupt = frames_drain t in
+      check_bool "never corrupt" true (corrupt = None);
+      got := !got @ fs)
+    s;
+  Alcotest.(check (list string)) "bodies survive 1-byte chunks" bodies !got
+
+let test_frames_bad_crc_is_sticky () =
+  let buf = Buffer.create 64 in
+  Codec.Frames.encode buf "doomed";
+  let s = Bytes.of_string (Buffer.contents buf) in
+  let last = Bytes.length s - 1 in
+  Bytes.set s last (Char.chr (Char.code (Bytes.get s last) lxor 1));
+  let t = Codec.Frames.create () in
+  Codec.Frames.feed t (Bytes.to_string s);
+  (match Codec.Frames.next t with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "flipped CRC must be corrupt");
+  check "corrupt drops the buffer" 0 (Codec.Frames.buffered t);
+  (* sticky: feeding a perfectly valid frame afterwards changes nothing *)
+  let ok = Buffer.create 16 in
+  Codec.Frames.encode ok "fine";
+  Codec.Frames.feed t (Buffer.contents ok);
+  (match Codec.Frames.next t with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "corrupt state must be sticky");
+  check "feed after corrupt is a no-op" 0 (Codec.Frames.buffered t)
+
+let test_frames_hostile_lengths () =
+  (* a declared body length above max_frame is corruption, not a request
+     to buffer it *)
+  let buf = Buffer.create 64 in
+  Codec.add_uvarint buf 1024;
+  let t = Codec.Frames.create ~max_frame:64 () in
+  Codec.Frames.feed t (Buffer.contents buf);
+  (match Codec.Frames.next t with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "oversized length must be corrupt");
+  (* an over-long varint (9+ continuation bytes) can never finish *)
+  let t = Codec.Frames.create () in
+  Codec.Frames.feed t (String.make 9 '\xff');
+  (match Codec.Frames.next t with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "over-long varint must be corrupt");
+  (* but 8 high-bit bytes are still a legal prefix: keep waiting *)
+  let t = Codec.Frames.create () in
+  Codec.Frames.feed t (String.make 8 '\xff');
+  match Codec.Frames.next t with
+  | `Need_more -> ()
+  | `Frame _ | `Corrupt _ -> Alcotest.fail "8 continuation bytes is a prefix"
+
+let test_frames_decode_all_tails () =
+  let buf = Buffer.create 64 in
+  Codec.Frames.encode buf "one";
+  Codec.Frames.encode buf "two";
+  let s = Buffer.contents buf in
+  (match Codec.Frames.decode_all s with
+  | [ "one"; "two" ], Codec.Frames.Clean -> ()
+  | _ -> Alcotest.fail "clean decode");
+  (match Codec.Frames.decode_all (String.sub s 0 (String.length s - 2)) with
+  | [ "one" ], Codec.Frames.Short -> ()
+  | _ -> Alcotest.fail "torn tail is Short");
+  match Codec.Frames.decode_all (s ^ String.make 9 '\xff') with
+  | [ "one"; "two" ], Codec.Frames.Bad _ -> ()
+  | _ -> Alcotest.fail "junk tail is Bad"
+
+(* the load-bearing property: however the byte stream is chopped up, the
+   incremental reader never raises and agrees bit-for-bit with the
+   independent whole-buffer decoder — on valid input, torn input, and
+   junk-suffixed input alike *)
+let qcheck_frames_incremental_matches_whole_buffer =
+  QCheck.Test.make
+    ~name:"Frames: incremental == decode_all under any chunking" ~count:500
+    QCheck.(pair (small_list (string_of_size (Gen.int_range 0 40)))
+              (int_range 0 1_000_000))
+    (fun (bodies, seed) ->
+      let rng = Rng.create seed in
+      let buf = Buffer.create 256 in
+      List.iter (Codec.Frames.encode buf) bodies;
+      let s = Buffer.contents buf in
+      (* mutate the tail: 0 = leave clean, 1 = truncate, 2 = append junk *)
+      let s =
+        match Rng.int rng 3 with
+        | 1 when String.length s > 0 -> String.sub s 0 (Rng.int rng (String.length s))
+        | 2 ->
+            s
+            ^ String.init
+                (1 + Rng.int rng 12)
+                (fun _ -> Char.chr (Rng.int rng 256))
+        | _ -> s
+      in
+      let expect, tail = Codec.Frames.decode_all s in
+      let t = Codec.Frames.create () in
+      let got = ref [] in
+      let corrupt = ref None in
+      let i = ref 0 in
+      let n = String.length s in
+      while !i < n do
+        let len = Int.min (1 + Rng.int rng 7) (n - !i) in
+        Codec.Frames.feed t ~pos:!i ~len s;
+        i := !i + len;
+        let fs, c = frames_drain t in
+        got := !got @ fs;
+        if !corrupt = None then corrupt := c
+      done;
+      List.equal String.equal expect !got
+      &&
+      match tail with
+      | Codec.Frames.Bad _ -> !corrupt <> None
+      | Codec.Frames.Short ->
+          !corrupt = None && Codec.Frames.buffered t > 0
+      | Codec.Frames.Clean ->
+          !corrupt = None && Codec.Frames.buffered t = 0)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -693,6 +842,7 @@ let () =
         qcheck_isort_matches_stdlib;
         qcheck_int_with_matches_int;
         qcheck_sampling_batched_equals_unbatched;
+        qcheck_frames_incremental_matches_whole_buffer;
       ]
   in
   Alcotest.run "mspar_prelude"
@@ -743,6 +893,18 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "table" `Quick test_table_smoke;
           Alcotest.test_case "clock" `Quick test_clock;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "round trip" `Quick test_frames_roundtrip;
+          Alcotest.test_case "byte-at-a-time chunks" `Quick
+            test_frames_byte_at_a_time;
+          Alcotest.test_case "bad CRC is sticky" `Quick
+            test_frames_bad_crc_is_sticky;
+          Alcotest.test_case "hostile lengths" `Quick
+            test_frames_hostile_lengths;
+          Alcotest.test_case "decode_all tail verdicts" `Quick
+            test_frames_decode_all_tails;
         ] );
       ( "pool",
         [

@@ -386,6 +386,118 @@ let test_durable_audit_repairs () =
       Durable.close d)
 
 (* ------------------------------------------------------------------ *)
+(* journal directory lockfile                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_lock_contended () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let l =
+        match Journal.acquire_lock dir with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "first acquire: %s" e
+      in
+      (match Journal.acquire_lock dir with
+      | Error msg ->
+          check_bool "error names the lock" true
+            (is_substring (String.lowercase_ascii msg) "lock")
+      | Ok _ -> Alcotest.fail "second acquire must fail while held");
+      Journal.release_lock l;
+      (* released: a fresh claim succeeds *)
+      match Journal.acquire_lock dir with
+      | Ok l' -> Journal.release_lock l'
+      | Error e -> Alcotest.failf "acquire after release: %s" e)
+
+let test_lock_stale_dead_pid () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      (* a pid that is genuinely dead: fork a child that exits at once *)
+      let pid = Unix.fork () in
+      if pid = 0 then Unix._exit 0;
+      ignore (Unix.waitpid [] pid);
+      write_file (Filename.concat dir "lock.pid") (string_of_int pid);
+      (match Journal.acquire_lock dir with
+      | Ok l -> Journal.release_lock l
+      | Error e -> Alcotest.failf "stale (dead pid) lock must break: %s" e);
+      (* unparsable lockfiles are stale too *)
+      write_file (Filename.concat dir "lock.pid") "not-a-pid";
+      match Journal.acquire_lock dir with
+      | Ok l -> Journal.release_lock l
+      | Error e -> Alcotest.failf "stale (garbage) lock must break: %s" e)
+
+let test_lock_guards_durable () =
+  with_dir (fun dir ->
+      let d = Durable.create ~sync_every:1 ~dir (durable_config 16 5) in
+      ignore (Durable.insert d 0 1);
+      (* the live lock must turn concurrent recover into an Error *)
+      (match Durable.recover dir with
+      | Error msg -> check_bool "recover refused" true (is_substring msg "lock")
+      | Ok d' ->
+          Durable.close d';
+          Alcotest.fail "recover must refuse a locked live dir");
+      Durable.close d;
+      (* close released the lock: recovery now proceeds *)
+      match Durable.recover dir with
+      | Ok d' ->
+          check_int "state intact" 1 (Durable.op_count d');
+          Durable.close d'
+      | Error e -> Alcotest.failf "recover after close: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* at-most-once request dedup                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dedup_basics () =
+  with_dir (fun dir ->
+      let d = Durable.create ~sync_every:1 ~dir (durable_config 16 6) in
+      check_bool "fresh rid applies" true
+        (Durable.insert_req d ~client:1 ~rid:1 0 1 = `Applied true);
+      check_bool "resend answers the cached result" true
+        (Durable.insert_req d ~client:1 ~rid:1 0 1 = `Duplicate true);
+      check_bool "stale rid is a no-op" true
+        (Durable.insert_req d ~client:1 ~rid:0 2 3 = `Duplicate false);
+      check_bool "cached result tracks the op outcome" true
+        (* inserting the same edge again: applied, but the graph did not
+           change, and the cache must remember exactly that *)
+        (Durable.insert_req d ~client:1 ~rid:2 0 1 = `Applied false);
+      check_bool "resend of a false outcome stays false" true
+        (Durable.insert_req d ~client:1 ~rid:2 0 1 = `Duplicate false);
+      check_bool "clients are independent" true
+        (Durable.delete_req d ~client:2 ~rid:1 0 1 = `Applied true);
+      check_int "dedup hits counted" 3 (Durable.stats d).Durable.dedup_hits;
+      check_int "only fresh rids hit the journal" 3 (Durable.op_count d);
+      Durable.close d)
+
+let test_dedup_survives_recover () =
+  with_dir (fun dir ->
+      let d =
+        Durable.create ~sync_every:1 ~snapshot_every:4 ~dir
+          (durable_config 16 7)
+      in
+      ignore (Durable.insert_req d ~client:9 ~rid:1 0 1);
+      ignore (Durable.insert_req d ~client:9 ~rid:2 1 2);
+      ignore (Durable.insert_req d ~client:9 ~rid:3 2 3);
+      ignore (Durable.insert_req d ~client:9 ~rid:4 3 4);
+      (* snapshot fired at 4 ops: the dedup table must live in the blob *)
+      ignore (Durable.delete_req d ~client:9 ~rid:5 2 3);
+      Durable.close d;
+      match Durable.recover dir with
+      | Error e -> Alcotest.failf "recover: %s" e
+      | Ok d ->
+          check_bool "last rid still deduped after recover" true
+            (Durable.delete_req d ~client:9 ~rid:5 2 3 = `Duplicate true);
+          check_bool "older rid stays stale" true
+            (Durable.insert_req d ~client:9 ~rid:2 1 2 = `Duplicate false);
+          check_bool "the stream continues" true
+            (Durable.insert_req d ~client:9 ~rid:6 4 5 = `Applied true);
+          Durable.close d)
+
+(* ------------------------------------------------------------------ *)
 (* the recover-equivalence property (satellite of Theorem 3.5's         *)
 (* dynamic pipeline: crashes are unobservable)                          *)
 (* ------------------------------------------------------------------ *)
@@ -495,6 +607,18 @@ let () =
           Alcotest.test_case "recover empty dir" `Quick
             test_durable_recover_empty;
           Alcotest.test_case "audit repairs" `Quick test_durable_audit_repairs;
+        ] );
+      ( "lockfile",
+        [
+          Alcotest.test_case "contended" `Quick test_lock_contended;
+          Alcotest.test_case "stale detection" `Quick test_lock_stale_dead_pid;
+          Alcotest.test_case "guards durable" `Quick test_lock_guards_durable;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "at-most-once basics" `Quick test_dedup_basics;
+          Alcotest.test_case "survives recover" `Quick
+            test_dedup_survives_recover;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_crash_recover_equivalence ]

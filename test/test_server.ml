@@ -1,0 +1,171 @@
+(* The serve wire codec: every request/response round-trips through its
+   frame body, and the decoders are total — junk bodies, truncations,
+   unknown tags, and trailing bytes are [Error]s, never exceptions.
+   (The full daemon — sockets, backpressure, crash recovery — is
+   exercised end-to-end by the serve-smoke / serve-faults-smoke runtest
+   rules in bench/.) *)
+
+open Mspar_server
+
+let check_bool = Alcotest.(check bool)
+
+let encode_req r =
+  let buf = Buffer.create 32 in
+  Wire.encode_request buf r;
+  Buffer.contents buf
+
+let encode_resp r =
+  let buf = Buffer.create 32 in
+  Wire.encode_response buf r;
+  Buffer.contents buf
+
+let sample_requests =
+  [
+    Wire.Hello 0;
+    Wire.Hello 123456;
+    Wire.Insert { rid = 1; u = 0; v = 1 };
+    Wire.Insert { rid = max_int; u = 17; v = 300 };
+    Wire.Delete { rid = 2; u = 5; v = 9 };
+    Wire.Query_matched 0;
+    Wire.Query_matched 4093;
+    Wire.Query_edge (3, 7);
+    Wire.Query_sparsifier (0, 0);
+    Wire.Checksum;
+    Wire.Snapshot;
+    Wire.Drain;
+    Wire.Stats;
+    Wire.Ping;
+  ]
+
+let sample_responses =
+  [
+    Wire.Ack true;
+    Wire.Ack false;
+    Wire.Bool true;
+    Wire.Bool false;
+    Wire.Digest
+      {
+        Wire.op_count = 42;
+        graph = 0x0123_4567_89ab_cdefL;
+        sparsifier = -1L;
+        matching = 7;
+      };
+    Wire.Busy 25;
+    Wire.Draining;
+    Wire.Ok;
+    Wire.Stats_reply
+      {
+        Wire.accepted = 1;
+        active = 2;
+        frames_in = 3;
+        frames_out = 4;
+        malformed = 5;
+        busy_rejections = 6;
+        ops_applied = 7;
+        dedup_hits = 8;
+        queries = 9;
+      };
+    Wire.Error "";
+    Wire.Error "updates require Hello first";
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_request (encode_req r) with
+      | Ok r' -> check_bool "request round-trips" true (r = r')
+      | Error e -> Alcotest.failf "decode_request: %s" e)
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_response (encode_resp r) with
+      | Ok r' -> check_bool "response round-trips" true (r = r')
+      | Error e -> Alcotest.failf "decode_response: %s" e)
+    sample_responses
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: hostile body must not decode" what
+
+let test_hostile_bodies () =
+  (* empty body *)
+  expect_error "empty req" (Wire.decode_request "");
+  expect_error "empty resp" (Wire.decode_response "");
+  (* unknown tags *)
+  expect_error "tag 0" (Wire.decode_request "\x00");
+  expect_error "tag 200" (Wire.decode_request "\xc8");
+  expect_error "resp tag 99" (Wire.decode_response "\x63");
+  (* truncated payloads *)
+  expect_error "Hello w/o id" (Wire.decode_request "\x01");
+  expect_error "Insert w/ 2 of 3 fields" (Wire.decode_request "\x02\x01\x02");
+  expect_error "Digest cut mid-int64"
+    (Wire.decode_response (String.sub (encode_resp (Wire.Digest
+       { Wire.op_count = 1; graph = 99L; sparsifier = 3L; matching = 0 })) 0 6));
+  (* trailing bytes after a valid message are a protocol violation *)
+  expect_error "trailing junk on Ping"
+    (Wire.decode_request (encode_req Wire.Ping ^ "\x00"));
+  expect_error "trailing junk on Ok"
+    (Wire.decode_response (encode_resp Wire.Ok ^ "zz"));
+  (* a bool byte that is neither 0 nor 1 *)
+  expect_error "bad bool" (Wire.decode_response "\x01\x07")
+
+(* totality under arbitrary bytes: decode never raises, whatever arrives *)
+let qcheck_decoders_total =
+  QCheck.Test.make ~name:"wire decoders are total on arbitrary bodies"
+    ~count:1000
+    QCheck.(string_of_size (Gen.int_range 0 24))
+    (fun body ->
+      (match Wire.decode_request body with Ok _ | Error _ -> ());
+      (match Wire.decode_response body with Ok _ | Error _ -> ());
+      true)
+
+(* round-trip property over generated requests *)
+let qcheck_request_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun c -> Wire.Hello c) (int_range 0 1_000_000);
+          map3
+            (fun rid u v -> Wire.Insert { rid; u; v })
+            (int_range 0 1_000_000) (int_range 0 10_000) (int_range 0 10_000);
+          map3
+            (fun rid u v -> Wire.Delete { rid; u; v })
+            (int_range 0 1_000_000) (int_range 0 10_000) (int_range 0 10_000);
+          map (fun v -> Wire.Query_matched v) (int_range 0 10_000);
+          map2 (fun u v -> Wire.Query_edge (u, v)) (int_range 0 10_000)
+            (int_range 0 10_000);
+          map2
+            (fun u v -> Wire.Query_sparsifier (u, v))
+            (int_range 0 10_000) (int_range 0 10_000);
+          return Wire.Checksum;
+          return Wire.Snapshot;
+          return Wire.Drain;
+          return Wire.Stats;
+          return Wire.Ping;
+        ])
+  in
+  QCheck.Test.make ~name:"generated requests round-trip" ~count:500
+    (QCheck.make gen)
+    (fun r ->
+      match Wire.decode_request (encode_req r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "mspar_server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trips" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "response round-trips" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "hostile bodies" `Quick test_hostile_bodies;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_decoders_total; qcheck_request_roundtrip ] );
+    ]

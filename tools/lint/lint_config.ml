@@ -45,6 +45,9 @@ let default =
         ("MSP009", "lib/graph/graph_io.ml");
         ("MSP010", "lib/prelude");
         ("MSP010", "lib/graph/graph.ml");
+        ("MSP011", "lib/server");
+        ("MSP011", "lib/prelude/journal.ml");
+        ("MSP011", "lib/graph/graph_io.ml");
       ];
   }
 

@@ -30,6 +30,13 @@
                                   derived from a validated offsets lane;
                                   unlike a heap array an out-of-bounds
                                   Bigarray access is a silent wild read
+   MSP011  socket funnel        — raw Unix socket / file-descriptor I/O
+                                  (socket, bind, listen, accept, connect,
+                                  read, write, select, ...) in lib/ only
+                                  inside lib/server (the reactor and its
+                                  client), the journal, and Graph_io;
+                                  everywhere else byte-level I/O bypasses
+                                  the frame/CRC/backpressure discipline
 
    All detection is on the Parsetree (no typing pass), so the rules are
    deliberately syntactic approximations; [@lint.allow "MSPxxx"] exists for
@@ -137,6 +144,33 @@ let is_file_io_path p =
       true
   | _ -> false
 
+(* Raw Unix socket / file-descriptor I/O: the syscalls through which
+   bytes enter or leave the process outside the durability funnel.
+   [Unix.openfile] is MSP009's business; this list is the socket surface
+   plus the read/write/select family, which is only meaningful on an fd
+   someone already opened raw. *)
+let is_socket_io_path p =
+  let base =
+    if String.starts_with ~prefix:"Unix." p then
+      Some (String.sub p 5 (String.length p - 5))
+    else if String.starts_with ~prefix:"UnixLabels." p then
+      Some (String.sub p 11 (String.length p - 11))
+    else if String.starts_with ~prefix:"Stdlib.Unix." p then
+      Some (String.sub p 12 (String.length p - 12))
+    else None
+  in
+  match base with
+  | None -> false
+  | Some f -> (
+      match f with
+      | "socket" | "bind" | "listen" | "accept" | "connect" | "read"
+      | "write" | "write_substring" | "single_write"
+      | "single_write_substring" | "recv" | "send" | "send_substring"
+      | "recvfrom" | "sendto" | "select" | "pipe" | "socketpair"
+      | "shutdown" | "setsockopt" | "getsockopt" ->
+          true
+      | _ -> false)
+
 (* Raw Bigarray unsafe accessors ([Bigarray.Array1.unsafe_get] and kin,
    at any qualification depth).  [Bigvec.unsafe_get] is deliberately not
    matched: the wrapper is the sanctioned surface and states its
@@ -179,6 +213,13 @@ let check_ident ctx p loc =
          "%s: raw file I/O in lib/ is reserved for the durability layer (lib/prelude/journal.ml) \
           and Graph_io; route bytes through Mspar_prelude.Journal so framing, CRC and fsync \
           policy stay in one place"
+         p);
+  if ctx.in_lib && is_socket_io_path p then
+    add ctx ~code:"MSP011" ~loc
+      (Printf.sprintf
+         "%s: raw Unix socket/fd I/O in lib/ is reserved for lib/server, the journal, and \
+          Graph_io; anywhere else it bypasses the frame + CRC + backpressure discipline — go \
+          through Mspar_server or Mspar_prelude.Journal"
          p);
   if is_bigarray_unsafe_path p then
     add ctx ~code:"MSP010" ~loc

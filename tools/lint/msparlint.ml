@@ -4,7 +4,7 @@
      msparlint [--config FILE] [--baseline FILE] [--json] [--list-rules] PATH...
 
    Parses every .ml/.mli under the given paths with compiler-libs, runs the
-   MSP001–MSP009 rule set (doc/LINTS.md) and exits nonzero when any finding
+   MSP001–MSP011 rule set (doc/LINTS.md) and exits nonzero when any finding
    is neither [@lint.allow]-suppressed nor covered by the baseline file. *)
 
 open Msparlint_lib
@@ -21,6 +21,8 @@ let rules_summary =
     ("MSP007", "exported raising function lacking _exn suffix or @raise doc");
     ("MSP008", "Domain.spawn outside lib/prelude/pool.ml (pooled parallelism)");
     ("MSP009", "raw file I/O in lib/ outside the journal and Graph_io (durability funnel)");
+    ("MSP010", "raw Bigarray unsafe access outside Bigvec and the CSR core (off-heap bounds)");
+    ("MSP011", "raw Unix socket/fd I/O in lib/ outside lib/server, the journal and Graph_io");
   ]
 
 let usage () =
