@@ -3,8 +3,8 @@
 # gate still runs on minimal toolchains), and the test suite, which
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
-.PHONY: all build fmt lint test check ci bench bench-construction bench-smoke \
-  bench-serve
+.PHONY: all build fmt lint lint-fixtures test check ci bench \
+  bench-construction bench-smoke bench-serve
 
 all: build
 
@@ -19,9 +19,16 @@ fmt:
 	fi
 
 # msparlint: the compiler-libs lint pass over lib/ bin/ bench/ test/
-# (see doc/LINTS.md; also wired into dune runtest via the @lint alias)
+# (see doc/LINTS.md; also wired into dune runtest via the @lint alias).
+# The @lint rule runs with --ci --timings, so per-phase timings land on
+# stderr and the typed pass is held to its 30s budget.
 lint:
 	dune build @lint
+
+# the lint engine's own fixture suite (rule true/false positives,
+# typed-rule fixtures, suppression, SARIF shape)
+lint-fixtures:
+	dune exec test/test_lint.exe
 
 test:
 	dune runtest

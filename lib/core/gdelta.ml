@@ -26,6 +26,7 @@ let marks_bound rule g ~delta lo hi =
     total := !total + (if d <= keep then d else delta)
   done;
   !total
+[@@hot]
 
 (* The adjacency span (in CSR words) a marking block may touch before the
    loop moves on: ~256 KiB of 8-byte entries, an L2-sized working set, so
@@ -51,18 +52,22 @@ let collect_packed ~rule rng g ~delta ~shift =
   (* per-vertex sample landing zone: [sample_indices_into] avoids a
      closure call per draw, the dominant per-mark overhead at high degree *)
   let idx = Array.make (Int.max 1 delta) 0 in
+  (* hoisted out of the block closure so no ref cell is allocated per
+     block — reset at block entry, charged at block exit *)
+  let probes = ref 0 in
   Graph.iter_vertex_blocks g ~extent:l2_block_words (fun blo bhi ->
       Edgebuf.ensure_capacity buf
         (Edgebuf.length buf + marks_bound rule g ~delta blo bhi);
-      let probes = ref 0 in
+      probes := 0;
       for v = blo to bhi - 1 do
         let d = Graph.degree g v in
         let base = v lsl shift in
         if d <= keep then begin
-          (* low degree: the whole neighborhood enters the sparsifier *)
+          (* low degree: the whole neighborhood enters the sparsifier;
+             the copy loop lives in Graph so no closure is allocated (or
+             called) per vertex *)
           probes := !probes + d;
-          Graph.iter_neighbors_uncounted g v (fun u ->
-              Edgebuf.push_unchecked buf (base lor u))
+          Graph.append_neighbors_uncounted g v ~base buf
         end
         else begin
           (* d > keep >= delta, so exactly delta reads happen below *)
@@ -76,6 +81,7 @@ let collect_packed ~rule rng g ~delta ~shift =
       done;
       Graph.add_probes g !probes);
   buf
+[@@hot]
 
 (* Boxed fallback for vertex counts beyond the packable range. *)
 let collect_list ~rule rng g ~delta =

@@ -332,6 +332,10 @@ let build_packed_par ~pool ~n ~shift chunks =
         done
       done);
   { n; offsets; adj; maxdeg = !maxdeg; probe_count = Atomic.make 0 }
+[@@domain_safe
+  "phases write disjoint index windows: each chunk owns hist.(k)/lens.(k), \
+   each range owns its major slots and per-range minor cursor windows (see \
+   the Races note above)"]
 
 (* ------------------------------------------------------------------ *)
 (* Reference (seed) list-based builder                                *)
@@ -557,6 +561,13 @@ let iter_neighbors_uncounted t v f =
   for i = lo to hi - 1 do
     f (au t.adj i)
   done
+
+let append_neighbors_uncounted t v ~base buf =
+  let lo = og t.offsets v and hi = og t.offsets (v + 1) in
+  for i = lo to hi - 1 do
+    Edgebuf.push_unchecked buf (base lor au t.adj i)
+  done
+[@@hot]
 
 let iter_neighbors t v f =
   let lo = og t.offsets v and hi = og t.offsets (v + 1) in

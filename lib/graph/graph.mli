@@ -141,6 +141,15 @@ val iter_neighbors_uncounted : t -> int -> (int -> unit) -> unit
     {!add_probes} so cache-blocked traversals can charge one atomic
     update per block instead of one per vertex. *)
 
+val append_neighbors_uncounted :
+  t -> int -> base:int -> Mspar_prelude.Edgebuf.t -> unit
+(** Push [base lor u] for every neighbour [u] of the vertex into [buf] —
+    the closure-free twin of {!iter_neighbors_uncounted} for the marking
+    loops, which would otherwise allocate a closure per vertex.  Uses
+    unchecked pushes: the caller must have reserved capacity
+    ({!Mspar_prelude.Edgebuf.ensure_capacity}) and remains responsible
+    for probe accounting via {!add_probes}. *)
+
 val iter_vertex_blocks :
   t -> ?lo:int -> ?hi:int -> extent:int -> (int -> int -> unit) -> unit
 (** [iter_vertex_blocks g ~extent f] partitions [\[lo, hi)] (default: all

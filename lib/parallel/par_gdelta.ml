@@ -20,6 +20,7 @@ let marks_in_range g ~delta lo hi =
     total := !total + (if d <= 2 * delta then d else delta)
   done;
   !total
+[@@hot]
 
 (* Adjacency span (in CSR words) a marking block may touch before moving
    on — an L2-sized working set; see the Gdelta twin of this constant. *)
@@ -42,17 +43,21 @@ let collect_range_packed g ~seed ~delta ~shift lo hi =
       ()
   in
   let idx = Array.make (Int.max 1 delta) 0 in
+  (* hoisted out of the block closure so no ref cell is allocated per
+     block — reset at block entry, charged at block exit *)
+  let probes = ref 0 in
   Graph.iter_vertex_blocks g ~lo ~hi ~extent:l2_block_words (fun blo bhi ->
       Edgebuf.ensure_capacity buf
         (Edgebuf.length buf + marks_in_range g ~delta blo bhi);
-      let probes = ref 0 in
+      probes := 0;
       for v = blo to bhi - 1 do
         let d = Graph.degree g v in
         let base = v lsl shift in
         if d <= 2 * delta then begin
+          (* the copy loop lives in Graph: no closure allocated or called
+             per vertex *)
           probes := !probes + d;
-          Graph.iter_neighbors_uncounted g v (fun u ->
-              Edgebuf.push_unchecked buf (base lor u))
+          Graph.append_neighbors_uncounted g v ~base buf
         end
         else begin
           let rng = vertex_rng ~seed v in
@@ -66,6 +71,7 @@ let collect_range_packed g ~seed ~delta ~shift lo hi =
       done;
       Graph.add_probes g !probes);
   buf
+[@@hot]
 
 (* Boxed fallback for vertex counts beyond the packable range.  The final
    [List.rev] restores emission order (v ascending, then adjacency/draw
@@ -133,6 +139,9 @@ let sparsify ?pool ?num_domains ~seed g ~delta =
            concatenation copy, no sequential counting sort *)
         Graph.of_edgebufs_par ~pool ~n:nv bufs
   end
+[@@domain_safe
+  "each chunk writes only its own parts.(chunk)/bufs.(chunk) slot; the \
+   collectors read shared CSR lanes and charge probes atomically"]
 
 let time_comparison ~seed g ~delta ~domains =
   List.map

@@ -27,26 +27,31 @@ let add_uvarint_word buf n =
     end
   in
   go n
+[@@hot]
 
 let add_uvarint buf n =
   if n < 0 then invalid_arg "Codec.add_uvarint: negative";
   add_uvarint_word buf n
+[@@hot]
 
 (* zigzag: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... *)
 let add_int buf n =
   add_uvarint_word buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+[@@hot]
 
 let add_int64 buf x =
   for i = 0 to 7 do
     Buffer.add_char buf
       (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff))
   done
+[@@hot]
 
 let add_float buf f = add_int64 buf (Int64.bits_of_float f)
 
 let add_string buf s =
   add_uvarint buf (String.length s);
   Buffer.add_string buf s
+[@@hot]
 
 (* ------------------------------------------------------------------ *)
 (* reader                                                             *)
@@ -69,6 +74,7 @@ let read_byte r =
   let c = Char.code (String.unsafe_get r.src r.pos) in
   r.pos <- r.pos + 1;
   c
+[@@hot]
 
 let read_uvarint r =
   let rec go shift acc =
@@ -78,10 +84,12 @@ let read_uvarint r =
     if b land 0x80 = 0 then acc else go (shift + 7) acc
   in
   go 0 0
+[@@hot]
 
 let read_int r =
   let z = read_uvarint r in
   (z lsr 1) lxor (-(z land 1))
+[@@hot]
 
 let read_int64 r =
   let x = ref 0L in
@@ -89,6 +97,7 @@ let read_int64 r =
     x := Int64.logor !x (Int64.shift_left (Int64.of_int (read_byte r)) (8 * i))
   done;
   !x
+[@@hot]
 
 let read_float r = Int64.float_of_bits (read_int64 r)
 
@@ -130,6 +139,24 @@ let crc32 ?(pos = 0) ?len s =
     c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
   done;
   Int32.logxor !c 0xFFFFFFFFl
+[@@hot]
+
+(* twin over [bytes] so writers staging output in a reusable scratch
+   buffer (Conn) can checksum without a [Bytes.to_string] copy *)
+let crc32_bytes ?(pos = 0) ?len b =
+  let len = match len with None -> Bytes.length b - pos | Some l -> l in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Codec.crc32_bytes: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+[@@hot]
 
 (* ------------------------------------------------------------------ *)
 (* Frames: the shared frame discipline, incrementally decodable        *)
@@ -182,6 +209,7 @@ module Frames = struct
         Bytes.blit_string chunk pos b keep len;
         t.data <- Bytes.unsafe_to_string b;
         t.start <- 0
+  [@@hot]
 
   let corrupt t msg =
     t.bad <- Some msg;
@@ -242,15 +270,30 @@ module Frames = struct
               end
         end
 
-  let encode buf body =
-    add_uvarint buf (String.length body);
-    Buffer.add_string buf body;
-    let crc = crc32 body in
+  let add_crc_le buf crc =
     for i = 0 to 3 do
       Buffer.add_char buf
         (Char.chr
            (Int32.to_int (Int32.shift_right_logical crc (8 * i)) land 0xff))
     done
+  [@@hot]
+
+  let encode buf body =
+    add_uvarint buf (String.length body);
+    Buffer.add_string buf body;
+    add_crc_le buf (crc32 body)
+  [@@hot]
+
+  (* [encode] for a body staged in a [bytes] scratch region — no
+     intermediate string is built; the body is appended and checksummed
+     in place *)
+  let encode_bytes buf b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      invalid_arg "Codec.Frames.encode_bytes: range out of bounds";
+    add_uvarint buf len;
+    Buffer.add_subbytes buf b pos len;
+    add_crc_le buf (crc32_bytes ~pos ~len b)
+  [@@hot]
 
   (* Reference whole-buffer decoder, written independently of the
      incremental reader so the QCheck chunk-boundary property compares

@@ -67,6 +67,11 @@ val crc32 : ?pos:int -> ?len:int -> string -> int32
     snapshot blob.
     @raise Invalid_argument if the range is out of bounds. *)
 
+val crc32_bytes : ?pos:int -> ?len:int -> bytes -> int32
+(** {!crc32} over a [bytes] range — lets writers that stage output in a
+    reusable scratch buffer checksum it without a copy.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 (** {2 Frames}
 
     The shared frame discipline — [<uvarint body-len> <body> <crc32-le of
@@ -111,6 +116,12 @@ module Frames : sig
 
   val encode : Buffer.t -> string -> unit
   (** Append one frame carrying [body] — the exact inverse of {!next}. *)
+
+  val encode_bytes : Buffer.t -> bytes -> pos:int -> len:int -> unit
+  (** {!encode} for a body staged in [b.[pos .. pos+len)] — appends and
+      checksums in place, building no intermediate string.  The server's
+      per-response path uses this to stay allocation-free.
+      @raise Invalid_argument if the range is out of bounds. *)
 
   val decode_all : ?max_frame:int -> string -> string list * tail
   (** Whole-buffer decode: every complete valid frame in order, plus the

@@ -14,52 +14,54 @@ let swap a i j =
   Array.unsafe_set a i (Array.unsafe_get a j);
   Array.unsafe_set a j t
 
+(* scan left from [j], shifting entries greater than [v] one slot right;
+   returns the slot where [v] belongs.  Tail-recursive so the insertion
+   loop allocates nothing per element. *)
+let rec shift_right a lo j v =
+  if j >= lo && Array.unsafe_get a j > v then begin
+    Array.unsafe_set a (j + 1) (Array.unsafe_get a j);
+    shift_right a lo (j - 1) v
+  end
+  else j + 1
+
 (* straight insertion over the inclusive range [lo, hi] *)
 let insertion a lo hi =
   for i = lo + 1 to hi do
     let v = Array.unsafe_get a i in
-    let j = ref (i - 1) in
-    while !j >= lo && Array.unsafe_get a !j > v do
-      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
-      decr j
-    done;
-    Array.unsafe_set a (!j + 1) v
+    Array.unsafe_set a (shift_right a lo (i - 1) v) v
   done
+[@@hot]
+
+(* sift the element at [root] down its max-heap (of [len] elements based
+   at [lo]).  Tail-recursive for the same reason as [shift_right]: the
+   heapsort loops call this once per element. *)
+let rec sift a lo len root =
+  let child = (2 * root) + 1 in
+  if child < len then begin
+    let child =
+      if
+        child + 1 < len
+        && Array.unsafe_get a (lo + child) < Array.unsafe_get a (lo + child + 1)
+      then child + 1
+      else child
+    in
+    if Array.unsafe_get a (lo + root) < Array.unsafe_get a (lo + child) then begin
+      swap a (lo + root) (lo + child);
+      sift a lo len child
+    end
+  end
 
 (* max-heapsort over the inclusive range [lo, hi] *)
 let heapsort a lo hi =
-  let sift root len =
-    let root = ref root in
-    let live = ref true in
-    while !live do
-      let child = (2 * !root) + 1 in
-      if child >= len then live := false
-      else begin
-        let child =
-          if
-            child + 1 < len
-            && Array.unsafe_get a (lo + child)
-               < Array.unsafe_get a (lo + child + 1)
-          then child + 1
-          else child
-        in
-        if Array.unsafe_get a (lo + !root) < Array.unsafe_get a (lo + child)
-        then begin
-          swap a (lo + !root) (lo + child);
-          root := child
-        end
-        else live := false
-      end
-    done
-  in
   let n = hi - lo + 1 in
   for i = (n / 2) - 1 downto 0 do
-    sift i n
+    sift a lo n i
   done;
   for i = n - 1 downto 1 do
     swap a lo (lo + i);
-    sift 0 i
+    sift a lo i 0
   done
+[@@hot]
 
 let rec intro a lo hi depth =
   if hi - lo >= cutoff then
@@ -97,6 +99,7 @@ let rec intro a lo hi depth =
         intro a lo p (depth - 1)
       end
     end
+[@@hot]
 
 let sort_range a ~pos ~len =
   if pos < 0 || len < 0 || pos > Array.length a - len then
@@ -110,6 +113,7 @@ let sort_range a ~pos ~len =
     intro a pos (pos + len - 1) (2 * !depth);
     insertion a pos (pos + len - 1)
   end
+[@@hot]
 
 let sort a = sort_range a ~pos:0 ~len:(Array.length a)
 

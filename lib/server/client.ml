@@ -45,10 +45,6 @@ let connect addr =
       Error (Fmt.str "connect %a: %s" Wire.pp_addr addr (Unix.error_message e))
   | exception Not_found ->
       Error (Fmt.str "connect %a: cannot resolve host" Wire.pp_addr addr)
-(* total by construction: the inner [raise e] only re-routes a connect
-   failure past the fd cleanup into the [match ... with exception]
-   arms above, which the MSP007 heuristic cannot see through *)
-[@@lint.allow "MSP007"]
 
 let connect_retry ?(attempts = 8) ?(base_delay = 0.02) addr =
   let rec go i delay =

@@ -17,6 +17,11 @@ type t = {
       (** since when an incomplete frame has been pending — drives the
           slowloris timeout *)
   mutable state : state;
+  mutable wbuf : bytes;
+      (** reusable write-side scratch (grown on demand): response bodies
+          are staged here for [Codec.Frames.encode_bytes], and [flush]
+          carries the pending output suffix through it, so neither path
+          allocates a string per call *)
 }
 
 val create : ?max_frame:int -> id:int -> now:float -> Unix.file_descr -> t

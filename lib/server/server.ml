@@ -91,10 +91,6 @@ let bind_listen addr =
         (Fmt.str "cannot bind %a: %s (%s)" Wire.pp_addr addr
            (Unix.error_message e) fn)
   | exception Failure msg -> Error (Fmt.str "cannot bind %a: %s" Wire.pp_addr addr msg)
-(* total by construction: every [failwith] above is caught by the
-   [exception Failure] arm of the enclosing [match ... with exception],
-   which the MSP007 heuristic cannot see through *)
-[@@lint.allow "MSP007"]
 
 (* ------------------------------------------------------------------ *)
 (* the loop                                                           *)

@@ -286,6 +286,275 @@ let test_baseline () =
   Alcotest.(check (list string)) "stale entry reported" [ "lib/nowhere.ml [MSP001] ghost" ] unused
 
 (* ---------------------------------------------------------------- *)
+(* MSP007: match-with-exception is recognised as a handler           *)
+(* ---------------------------------------------------------------- *)
+
+let test_msp007_match_exception () =
+  (* a raise inside the scrutinee of a [match ... with exception] is
+     routed into the exception arms, not out of the function *)
+  check_silent "raise in scrutinee of match-with-exception" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : int -> int"
+       "let find x =\n\
+        \  match (if x < 0 then failwith \"neg\" else x) with\n\
+        \  | v -> v\n\
+        \  | exception Failure _ -> 0");
+  (* ...but a raise in a result arm still escapes *)
+  check_fires "raise in arm of match-with-exception" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : (unit -> int) -> int"
+       "let find f =\n\
+        \  match f () with\n\
+        \  | exception Failure _ -> 0\n\
+        \  | v -> if v = 0 then failwith \"zero\" else v");
+  (* a plain match (no exception arm) does not swallow scrutinee raises *)
+  check_fires "plain match is not a handler" "MSP007"
+    (lint ~file:"lib/core/foo.ml" ~intf:"val find : int -> int"
+       "let find x = match (if x < 0 then failwith \"neg\" else x) with v -> v")
+
+(* ---------------------------------------------------------------- *)
+(* typed rules: MSP012/13/14 over type-checked fixtures              *)
+(* ---------------------------------------------------------------- *)
+
+(* Type-check a fixture with the in-memory frontend, run the three typed
+   rules, and apply the same [@lint.allow] suppression the driver does. *)
+let typed_lint ~file source =
+  match Lint_typed.typecheck_impl ~file source with
+  | Error e -> Alcotest.failf "fixture %s does not type-check: %s" file e
+  | Ok u ->
+      Lint_engine.suppress_in_file ~file ~source
+        (Lint_typed_rules.run cfg [ u ])
+
+(* Minimal Pool signature: [norm_path] reduces both the real
+   [Mspar_prelude__Pool] and this local stub to ["Pool.parallel_for_ranges"],
+   so the fixture exercises the same entry-point match as production code. *)
+let pool_stub =
+  "module Pool = struct\n\
+  \  let parallel_for_ranges _t ~chunks:_ ~n:_ f = f ~chunk:0 ~lo:0 ~hi:0\n\
+   end\n"
+
+let test_msp012 () =
+  check_fires "captured array written in worker closure" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let bad p n =\n\
+         \  let acc = Array.make 4 0 in\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk:_ ~lo ~hi -> acc.(0) <- acc.(0) + hi - lo);\n\
+         \  acc.(0)"));
+  check_silent "closure-local state is private to the worker" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let good p n =\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk:_ ~lo ~hi ->\n\
+         \      let local = Array.make 4 0 in\n\
+         \      local.(0) <- hi - lo)"));
+  check_silent "Atomic is the blessed shared-state primitive" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let counter = Atomic.make 0\n\
+         let good p n =\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk:_ ~lo:_ ~hi:_ -> Atomic.incr counter)"));
+  check_silent "justified [@@domain_safe] allowlists the binding" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let safe p n =\n\
+         \  let acc = Array.make 4 0 in\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk ~lo:_ ~hi -> acc.(chunk) <- hi);\n\
+         \  acc.(0)\n\
+         [@@domain_safe \"each chunk writes only its own slot\"]"));
+  check_fires "[@@domain_safe] without a justification still fires" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let unsafe p n =\n\
+         \  let acc = Array.make 4 0 in\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk ~lo:_ ~hi -> acc.(chunk) <- hi);\n\
+         \  acc.(0)\n\
+         [@@domain_safe]"));
+  check_silent "[@lint.allow] suppresses a typed finding" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let bad p n =\n\
+         \  let acc = Array.make 4 0 in\n\
+         \  Pool.parallel_for_ranges p ~chunks:4 ~n\n\
+         \    (fun ~chunk:_ ~lo ~hi -> acc.(0) <- acc.(0) + hi - lo);\n\
+         \  acc.(0)\n\
+         [@@lint.allow \"MSP012\"]"));
+  (* part B: the write hides one call away from the closure *)
+  check_fires "global write reachable from worker closure" "MSP012"
+    (typed_lint ~file:"lib/core/fix.ml"
+       (pool_stub
+      ^ "let tally = ref 0\n\
+         let bump n = tally := !tally + n\n\
+         let bad p n =\n\
+         \  Pool.parallel_for_ranges p ~chunks:2 ~n\n\
+         \    (fun ~chunk:_ ~lo ~hi -> bump (hi - lo))"));
+  (* reactor context: a global written both under Server.run and outside *)
+  check_fires "global written inside and outside the reactor" "MSP012"
+    (typed_lint ~file:"lib/server/fix.ml"
+       "let pending = ref 0\n\
+        let enqueue n = pending := !pending + n\n\
+        module Server = struct\n\
+        \  let run () = pending := 0\n\
+        end\n\
+        let tick () = enqueue 1")
+
+let test_msp013 () =
+  check_fires "tuple allocated per element in a hot map" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let pairs xs = List.map (fun x -> (x, x)) xs [@@hot]");
+  check_silent "same code without [@@hot] is out of scope" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let pairs xs = List.map (fun x -> (x, x)) xs");
+  check_silent "allocation-free hot loop" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let sum a =\n\
+        \  let s = ref 0 in\n\
+        \  for i = 0 to Array.length a - 1 do\n\
+        \    s := !s + Array.unsafe_get a i\n\
+        \  done;\n\
+        \  !s\n\
+        [@@hot]");
+  (* regression: a curried local helper is ONE closure, not a nest *)
+  check_silent "curried local rec helper at depth 0" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let tri n =\n\
+        \  let rec go s i = if i = 0 then s else go (s + i) (i - 1) in\n\
+        \  go 0 n\n\
+        [@@hot]");
+  check_silent "optional-argument chain is the entry, not an allocation"
+    "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let scale ?(k = 2) a =\n\
+        \  for i = 0 to Array.length a - 1 do\n\
+        \    Array.unsafe_set a i (k * Array.unsafe_get a i)\n\
+        \  done\n\
+        [@@hot]");
+  check_fires "ref cell allocated inside a hot loop" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let scan a =\n\
+        \  let t = ref 0 in\n\
+        \  for i = 0 to Array.length a - 1 do\n\
+        \    let c = ref a.(i) in\n\
+        \    t := !t + !c\n\
+        \  done;\n\
+        \  !t\n\
+        [@@hot]");
+  check_fires "Printf formats (and allocates) anywhere in a hot fn" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let trace x = Printf.printf \"%d\\n\" x [@@hot]");
+  check_silent "depth-0 result construction is fine" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let mk n = Bytes.create n [@@hot]");
+  check_silent "[@lint.allow] suppresses a hot-alloc finding" "MSP013"
+    (typed_lint ~file:"lib/core/fix.ml"
+       "let pairs xs = List.map (fun x -> (x, x)) xs\n\
+        [@@hot] [@@lint.allow \"MSP013\"]")
+
+(* Minimal Graph surface: same [norm_path] story as the Pool stub. *)
+let graph_stub =
+  "module Graph = struct\n\
+  \  let iter_neighbors_uncounted _g _v _f = ()\n\
+  \  let add_probes _g _n = ()\n\
+   end\n"
+
+let test_msp014 () =
+  check_fires "uncharged uncounted adjacency access" "MSP014"
+    (typed_lint ~file:"lib/distsim/fix.ml"
+       (graph_stub
+      ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())"));
+  check_silent "same-function charge dominates the access" "MSP014"
+    (typed_lint ~file:"lib/distsim/fix.ml"
+       (graph_stub
+      ^ "let scan g v =\n\
+         \  Graph.add_probes g 1;\n\
+         \  Graph.iter_neighbors_uncounted g v (fun _ -> ())"));
+  check_silent "charged-on-entry: every caller charges first" "MSP014"
+    (typed_lint ~file:"lib/distsim/fix.ml"
+       (graph_stub
+      ^ "let inner g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())\n\
+         let outer g v =\n\
+         \  Graph.add_probes g 1;\n\
+         \  inner g v"));
+  check_fires "one uncharged caller demotes the callee" "MSP014"
+    (typed_lint ~file:"lib/distsim/fix.ml"
+       (graph_stub
+      ^ "let inner g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())\n\
+         let charged g v =\n\
+         \  Graph.add_probes g 1;\n\
+         \  inner g v\n\
+         let uncharged g v = inner g v"));
+  check_silent "network.ml is the substrate, not protocol code" "MSP014"
+    (typed_lint ~file:"lib/distsim/network.ml"
+       (graph_stub
+      ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())"));
+  check_silent "outside the CONGEST scope" "MSP014"
+    (typed_lint ~file:"lib/matching/fix.ml"
+       (graph_stub
+      ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())"));
+  check_silent "[@lint.allow] suppresses a probe finding" "MSP014"
+    (typed_lint ~file:"lib/distsim/fix.ml"
+       (graph_stub
+      ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())\n\
+         [@@lint.allow \"MSP014\"]"))
+
+(* ---------------------------------------------------------------- *)
+(* discovery agreement and SARIF shape                               *)
+(* ---------------------------------------------------------------- *)
+
+let test_coverage () =
+  (* the typed pass must account for every file the parsetree pass saw *)
+  Alcotest.(check (list string))
+    "typed pass missing a unit is a gap"
+    [ "lib/core/b.ml" ]
+    (Lint_typed.coverage_gaps
+       ~sources:[ "lib/core/a.ml"; "lib/core/b.ml"; "lib/core/a.mli" ]
+       ~covered:[ "lib/core/a.ml" ]);
+  Alcotest.(check (list string))
+    "full coverage has no gaps" []
+    (Lint_typed.coverage_gaps
+       ~sources:[ "lib/core/a.ml" ]
+       ~covered:[ "lib/core/a.ml" ]);
+  (* extra typed units (e.g. generated wrappers) are not gaps *)
+  Alcotest.(check (list string))
+    "extra covered files are fine" []
+    (Lint_typed.coverage_gaps ~sources:[]
+       ~covered:[ "lib/core/wrapper.ml" ])
+
+let test_sarif () =
+  let f =
+    {
+      Lint_types.file = "lib/core/a.ml";
+      line = 3;
+      col = 7;
+      cnum = 40;
+      code = "MSP012";
+      message = "racy \"write\"";
+    }
+  in
+  let sarif =
+    Lint_sarif.render
+      ~rules:[ ("MSP012", "domain-race analysis") ]
+      ~findings:[ f ]
+  in
+  let has needle =
+    let nl = String.length needle and sl = String.length sarif in
+    let rec go i = i + nl <= sl && (String.sub sarif i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "declares SARIF 2.1.0" true (has {|"version": "2.1.0"|});
+  Alcotest.(check bool) "links the 2.1.0 schema" true (has "sarif-schema-2.1.0");
+  Alcotest.(check bool) "names the driver" true (has {|"name": "msparlint"|});
+  Alcotest.(check bool) "carries the rule id" true (has {|"ruleId": "MSP012"|});
+  Alcotest.(check bool) "1-based line" true (has {|"startLine": 3|});
+  Alcotest.(check bool) "1-based column" true (has {|"startColumn": 8|});
+  Alcotest.(check bool) "escapes the message" true (has {|racy \"write\"|});
+  Alcotest.(check bool) "repo-relative artifact uri" true
+    (has {|"uri": "lib/core/a.ml"|})
+
+(* ---------------------------------------------------------------- *)
 (* engine plumbing                                                   *)
 (* ---------------------------------------------------------------- *)
 
@@ -335,6 +604,16 @@ let () =
           Alcotest.test_case "MSP009 file io" `Quick test_msp009;
           Alcotest.test_case "MSP010 bigarray unsafe" `Quick test_msp010;
           Alcotest.test_case "MSP011 socket io" `Quick test_msp011;
+          Alcotest.test_case "MSP007 match-with-exception" `Quick
+            test_msp007_match_exception;
+        ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "MSP012 domain race" `Quick test_msp012;
+          Alcotest.test_case "MSP013 hot alloc" `Quick test_msp013;
+          Alcotest.test_case "MSP014 probe accounting" `Quick test_msp014;
+          Alcotest.test_case "coverage agreement" `Quick test_coverage;
+          Alcotest.test_case "sarif shape" `Quick test_sarif;
         ] );
       ( "suppression",
         [

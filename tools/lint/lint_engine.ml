@@ -101,6 +101,22 @@ let parse_signature ~file source =
   | sg -> Ok sg
   | exception exn -> Error (parse_error_finding ~file exn)
 
+(* The typed rules produce findings from .cmt data; their suppression
+   spans still come from parsing the source text, exactly like the
+   parsetree rules'.  Findings for other files pass through untouched;
+   so does everything when [file] does not parse (its own lint run
+   reports MSP000). *)
+let suppress_in_file ~file ~source findings =
+  match parse_structure ~file source with
+  | Error _ -> findings
+  | Ok str ->
+      let spans = collect_allow_spans str in
+      List.filter
+        (fun (f : Lint_types.finding) ->
+          (not (String.equal f.file file))
+          || not (List.exists (fun s -> span_matches s f) spans))
+        findings
+
 (* ---------------------------------------------------------------- *)
 (* per-file entry points                                             *)
 (* ---------------------------------------------------------------- *)

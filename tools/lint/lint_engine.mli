@@ -19,6 +19,14 @@ val lint_impl :
 val lint_intf : Lint_config.t -> file:string -> source:string -> Lint_types.finding list
 (** Interfaces only get the parse check (MSP000). *)
 
+val suppress_in_file :
+  file:string -> source:string -> Lint_types.finding list -> Lint_types.finding list
+(** Drop findings for [file] that fall inside one of its [@lint.allow]
+    spans — how typed-rule findings (whose locations come from [.cmt]
+    data) get the same suppression story as parsetree findings.  Findings
+    for other files, and everything when [source] does not parse, pass
+    through unchanged. *)
+
 val lint_path : Lint_config.t -> string -> Lint_types.finding list
 (** Lint one on-disk [.ml] (pairing its sibling [.mli] if present) or
     [.mli] file. *)

@@ -339,13 +339,24 @@ let raising_apply e =
   | _ -> false
 
 (* A raise syntactically under a [try] is assumed caught; handlers still
-   count (re-raises escape). *)
+   count (re-raises escape).  [match ... with exception] is the same
+   construct spelled differently: raises in the scrutinee are assumed
+   caught by the [exception] arms, raises in any arm's body escape. *)
+let rec has_exception_case p =
+  match p.ppat_desc with
+  | Ppat_exception _ -> true
+  | Ppat_or (a, b) -> has_exception_case a || has_exception_case b
+  | _ -> false
+
 let body_raises body =
   let open Ast_iterator in
   let expr it e =
     if raising_apply e then raise Found;
     match e.pexp_desc with
     | Pexp_try (_, handlers) -> List.iter (fun c -> it.case it c) handlers
+    | Pexp_match (_, cases)
+      when List.exists (fun c -> has_exception_case c.pc_lhs) cases ->
+        List.iter (fun c -> it.case it c) cases
     | _ -> default_iterator.expr it e
   in
   let it = { default_iterator with expr } in

@@ -1,0 +1,69 @@
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rule_json (code, description) =
+  Printf.sprintf
+    {|        { "id": "%s", "shortDescription": { "text": "%s" } }|}
+    (escape code) (escape description)
+
+let result_json rule_index (f : Lint_types.finding) =
+  let idx = match rule_index f.code with Some i -> i | None -> -1 in
+  let rule_index_field =
+    if idx >= 0 then Printf.sprintf {| "ruleIndex": %d,|} idx else ""
+  in
+  Printf.sprintf
+    {|        {
+          "ruleId": "%s",%s
+          "level": "error",
+          "message": { "text": "%s" },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": { "uri": "%s", "uriBaseId": "SRCROOT" },
+                "region": { "startLine": %d, "startColumn": %d }
+              }
+            }
+          ]
+        }|}
+    (escape f.code) rule_index_field (escape f.message) (escape f.file) f.line
+    (f.col + 1)
+
+let render ~rules ~findings =
+  let rule_index code =
+    let rec go i = function
+      | [] -> None
+      | (c, _) :: rest -> if c = code then Some i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf {|  "$schema": "%s",|} schema_uri);
+  Buffer.add_string b "\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n";
+  Buffer.add_string b
+    "      \"tool\": {\n        \"driver\": {\n          \"name\": \
+     \"msparlint\",\n          \"rules\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n" (List.map (fun r -> "    " ^ rule_json r) rules));
+  Buffer.add_string b "\n          ]\n        }\n      },\n";
+  Buffer.add_string b "      \"results\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n" (List.map (result_json rule_index) findings));
+  Buffer.add_string b "\n      ]\n    }\n  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** SARIF 2.1.0 rendering for GitHub code-scanning ingestion.
+
+    One run, driver ["msparlint"], every catalogued rule listed under
+    [tool.driver.rules], one [result] per live finding with a
+    [physicalLocation] (1-based line and column).  The schema mapping is
+    documented in doc/LINTS.md. *)
+
+val render :
+  rules:(string * string) list -> findings:Lint_types.finding list -> string
+(** [rules] pairs rule codes with their one-line descriptions; [findings]
+    are the live (post-baseline) findings.  Returns the serialized SARIF
+    log, newline-terminated. *)

@@ -1,0 +1,134 @@
+type t = {
+  file : string;
+  modname : string;
+  str : Typedtree.structure;
+}
+
+(* ------------------------------------------------------------------ *)
+(* path normalisation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Dune mangles modules of a wrapped library as [Lib__Module]; drop
+   everything up to the last "__" so call-graph keys line up between the
+   real tree ([Mspar_prelude__Pool]) and fixtures ([module Pool = ...]). *)
+let demangle s =
+  let n = String.length s in
+  let rec last_mangle i best =
+    if i + 1 >= n then best
+    else if s.[i] = '_' && s.[i + 1] = '_' then last_mangle (i + 1) (i + 2)
+    else last_mangle (i + 1) best
+  in
+  let b = last_mangle 0 0 in
+  if b = 0 || b >= n then s else String.sub s b (n - b)
+
+let norm_path p =
+  let parts = String.split_on_char '.' (Path.name p) in
+  match List.rev_map demangle parts with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: y :: _ -> y ^ "." ^ x
+
+(* ------------------------------------------------------------------ *)
+(* cmt discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trim_root r =
+  let r = if String.length r > 2 && String.sub r 0 2 = "./" then String.sub r 2 (String.length r - 2) else r in
+  if r <> "/" && String.length r > 1 && r.[String.length r - 1] = '/' then
+    String.sub r 0 (String.length r - 1)
+  else r
+
+let under_root ~root file =
+  file = root || Lint_config.under_prefix ~prefix:root file
+
+let rec walk_cmts dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then
+            (* descend into dune's .objs/.eobjs dot-directories, but never
+               into a nested build tree *)
+            if entry = "_build" then acc else walk_cmts path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+
+let modname_of_cmt (cmt : Cmt_format.cmt_infos) = demangle cmt.cmt_modname
+
+let load_units ~roots =
+  let roots = List.map trim_root roots in
+  let dirs =
+    List.concat_map
+      (fun r ->
+        List.filter
+          (fun d -> Sys.file_exists d && Sys.is_directory d)
+          [ r; Filename.concat "_build/default" r ])
+      roots
+  in
+  let cmts = List.sort compare (List.fold_left (fun acc d -> walk_cmts d acc) [] dirs) in
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.filter_map
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception _ -> None
+        | cmt -> (
+            match (cmt.cmt_annots, cmt.cmt_sourcefile) with
+            | Implementation str, Some src
+              when Filename.check_suffix src ".ml"
+                   && List.exists (fun r -> under_root ~root:r src) roots
+                   && not (Hashtbl.mem seen src) ->
+                Hashtbl.replace seen src ();
+                Some { file = src; modname = modname_of_cmt cmt; str }
+            | _ -> None))
+      cmts
+  in
+  List.sort (fun a b -> compare a.file b.file) units
+
+(* ------------------------------------------------------------------ *)
+(* fixture type-checking                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_env =
+  lazy
+    (ignore (Warnings.parse_options false "-a");
+     Compmisc.init_path ();
+     Compmisc.initial_env ())
+
+let modname_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let describe_exn e =
+  match Location.error_of_exn e with
+  | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+  | _ -> Printexc.to_string e
+
+let typecheck_impl ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception e -> Error (describe_exn e)
+  | pstr -> (
+      let env = Lazy.force fixture_env in
+      match Typemod.type_structure env pstr with
+      | str, _sig, _names, _shape, _env ->
+          Ok { file; modname = modname_of_file file; str }
+      | exception e -> Error (describe_exn e))
+
+(* ------------------------------------------------------------------ *)
+(* discovery agreement                                                *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_gaps ~sources ~covered =
+  let have = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace have f ()) covered;
+  (* only implementations need typed coverage: interfaces have no .cmt of
+     their own in this pipeline *)
+  List.sort compare
+    (List.filter
+       (fun f -> Filename.check_suffix f ".ml" && not (Hashtbl.mem have f))
+       sources)

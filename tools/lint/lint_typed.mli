@@ -1,0 +1,40 @@
+(** Typed-AST frontend for the interprocedural rules (MSP012/13/14).
+
+    Two ways to obtain a typed unit:
+    - {!load_units} reads the [-bin-annot] [.cmt] files dune emits under
+      each root's [.objs]/[.eobjs] directories (also checked under
+      [_build/default/<root>] when linting from the repo root);
+    - {!typecheck_impl} drives [Typemod.type_structure] over an in-memory
+      fixture, which is how the test suite exercises the typed rules
+      without a dune build.
+
+    Both produce the same {!t}, so rule logic never cares which frontend
+    fed it. *)
+
+type t = {
+  file : string;  (** repo-relative source path, e.g. ["lib/core/gdelta.ml"] *)
+  modname : string;  (** unwrapped module name, e.g. ["Gdelta"] *)
+  str : Typedtree.structure;
+}
+
+val norm_path : Path.t -> string
+(** Normalise a resolved path to its last two components, stripping dune's
+    wrapped-library mangling: both ["Mspar_prelude__Pool.parallel_for_ranges"]
+    and a fixture's local [module Pool] yield ["Pool.parallel_for_ranges"];
+    ["Stdlib.Array.unsafe_set"] yields ["Array.unsafe_set"].  Single-component
+    paths are returned as-is (after demangling). *)
+
+val load_units : roots:string list -> t list
+(** All typed implementations whose [cmt_sourcefile] is a [.ml] under one of
+    [roots].  Unreadable or interface-only [.cmt]s are skipped; duplicates
+    (same source built into several stanzas) keep the first occurrence.
+    Deterministic order (sorted by source path). *)
+
+val typecheck_impl : file:string -> string -> (t, string) result
+(** Type-check fixture [source] against the standard library alone.
+    [Error] carries a compiler diagnostic when the fixture does not parse
+    or type-check. *)
+
+val coverage_gaps : sources:string list -> covered:string list -> string list
+(** [.ml] files the parsetree pass saw but the typed pass has no unit for,
+    sorted.  Pure so the discovery-agreement contract is unit-testable. *)

@@ -1,0 +1,22 @@
+(** Interprocedural rules over the typed AST (see doc/LINTS.md):
+
+    - MSP012 — writes to shared mutable state reachable from more than one
+      domain context (Pool worker closures, the Server.run reactor);
+    - MSP013 — per-element allocation inside [\[@@hot\]] functions;
+    - MSP014 — probe accounting: every uncounted adjacency access in the
+      CONGEST simulator must be dominated by a [Graph.add_probes] charge.
+
+    Findings are raw — the driver applies [\[@lint.allow\]] spans via
+    {!Lint_engine.suppress_in_file} and then the baseline. *)
+
+type analysis
+
+val prepare : Lint_typed.t list -> analysis
+(** Build the call graph once; the three rules share it. *)
+
+val msp012 : Lint_config.t -> analysis -> Lint_types.finding list
+val msp013 : Lint_config.t -> analysis -> Lint_types.finding list
+val msp014 : Lint_config.t -> analysis -> Lint_types.finding list
+
+val run : Lint_config.t -> Lint_typed.t list -> Lint_types.finding list
+(** All three rules, merged and sorted (convenience for tests). *)

@@ -1,11 +1,21 @@
 (* msparlint — model-fidelity / determinism / hot-path lint for mspar.
 
    Usage:
-     msparlint [--config FILE] [--baseline FILE] [--json] [--list-rules] PATH...
+     msparlint [--config FILE] [--baseline FILE] [--json | --sarif]
+               [--ci] [--timings] [--list-rules] PATH...
 
-   Parses every .ml/.mli under the given paths with compiler-libs, runs the
-   MSP001–MSP011 rule set (doc/LINTS.md) and exits nonzero when any finding
-   is neither [@lint.allow]-suppressed nor covered by the baseline file. *)
+   Parses every .ml/.mli under the given paths with compiler-libs and runs
+   the MSP001–MSP011 rule set (doc/LINTS.md).  Paths under lib/, bin/ and
+   bench/ additionally get the typed pass: the .cmt files dune emitted for
+   them are loaded, an intra-package call graph is built, and the
+   interprocedural rules MSP012 (domain races), MSP013 (hot-path
+   allocation) and MSP014 (probe accounting) run on top.  Exits nonzero
+   when any finding is neither [@lint.allow]-suppressed nor covered by the
+   baseline file.
+
+   --ci hardens the run for continuous integration: stale baseline entries
+   and missing .cmt coverage become errors, and the typed pass is gated to
+   30 s wall clock.  --timings prints a per-phase breakdown to stderr. *)
 
 open Msparlint_lib
 
@@ -23,17 +33,59 @@ let rules_summary =
     ("MSP009", "raw file I/O in lib/ outside the journal and Graph_io (durability funnel)");
     ("MSP010", "raw Bigarray unsafe access outside Bigvec and the CSR core (off-heap bounds)");
     ("MSP011", "raw Unix socket/fd I/O in lib/ outside lib/server, the journal and Graph_io");
+    ("MSP012", "write to shared mutable state reachable from more than one domain context");
+    ("MSP013", "per-element allocation inside a [@@hot] function");
+    ("MSP014", "uncounted CONGEST adjacency access not dominated by a probe charge");
+    ("MSP015", "source file missing from the typed pass (no .cmt found)");
   ]
+
+(* The typed pass covers the trees that run concurrent or hot code; test/
+   is deliberately out of scope — test fixtures write captured state from
+   pool closures on purpose. *)
+let typed_roots = [ "lib"; "bin"; "bench" ]
+
+let typed_pass_budget_s = 30.0
 
 let usage () =
   prerr_endline
-    "usage: msparlint [--config FILE] [--baseline FILE] [--json] [--list-rules] PATH...";
+    "usage: msparlint [--config FILE] [--baseline FILE] [--json | --sarif] \
+     [--ci] [--timings] [--list-rules] PATH...";
   exit 2
+
+let is_typed_root p =
+  List.exists
+    (fun r -> String.equal p r || Lint_config.under_prefix ~prefix:r p)
+    typed_roots
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Apply [@lint.allow] spans to typed findings: group per file, parse that
+   file's source (present on disk both in the repo and in _build), filter. *)
+let suppress_typed findings =
+  let by_file = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Lint_types.finding) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_file f.file) in
+      Hashtbl.replace by_file f.file (f :: prev))
+    findings;
+  Hashtbl.fold
+    (fun file fs acc ->
+      let fs = List.rev fs in
+      let fs =
+        match read_file file with
+        | source -> Lint_engine.suppress_in_file ~file ~source fs
+        | exception Sys_error _ -> fs
+      in
+      fs @ acc)
+    by_file []
 
 let () =
   let config = ref None in
   let baseline = ref None in
   let json = ref false in
+  let sarif = ref false in
+  let ci = ref false in
+  let timings = ref false in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -45,6 +97,15 @@ let () =
         parse_args rest
     | "--json" :: rest ->
         json := true;
+        parse_args rest
+    | "--sarif" :: rest ->
+        sarif := true;
+        parse_args rest
+    | "--ci" :: rest ->
+        ci := true;
+        parse_args rest
+    | "--timings" :: rest ->
+        timings := true;
         parse_args rest
     | "--list-rules" :: _ ->
         List.iter (fun (c, d) -> Printf.printf "%s  %s\n" c d) rules_summary;
@@ -60,6 +121,10 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let paths = List.rev !paths in
   (match paths with [] -> usage () | _ -> ());
+  if !json && !sarif then begin
+    prerr_endline "msparlint: --json and --sarif are mutually exclusive";
+    exit 2
+  end;
   List.iter
     (fun p ->
       if not (Sys.file_exists p) then begin
@@ -76,8 +141,73 @@ let () =
           Printf.eprintf "msparlint: %s: %s\n" f msg;
           exit 2)
   in
-  let findings = Lint_engine.lint_paths cfg paths in
-  let base = match !baseline with None -> Lint_baseline.of_string "" | Some f -> Lint_baseline.load f in
+  let phases = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+    r
+  in
+  let parse_findings =
+    timed "parsetree MSP001-011" (fun () -> Lint_engine.lint_paths cfg paths)
+  in
+  (* typed pass *)
+  let typed_t0 = Unix.gettimeofday () in
+  let roots = List.filter is_typed_root paths in
+  let typed_findings =
+    if roots = [] then []
+    else begin
+      let units = timed "cmt discovery" (fun () -> Lint_typed.load_units ~roots) in
+      if units = [] then begin
+        Printf.eprintf
+          "msparlint: no .cmt files under %s; typed rules (MSP012-014) \
+           skipped — run `dune build @check` first\n"
+          (String.concat " " roots);
+        if !ci then exit 2;
+        []
+      end
+      else begin
+        let sources =
+          List.filter
+            (fun f -> Filename.check_suffix f ".ml")
+            (Lint_engine.collect_files roots)
+        in
+        let covered = List.map (fun (u : Lint_typed.t) -> u.file) units in
+        let gaps = Lint_typed.coverage_gaps ~sources ~covered in
+        let gap_findings =
+          List.map
+            (fun file ->
+              {
+                Lint_types.file;
+                line = 1;
+                col = 0;
+                cnum = 0;
+                code = "MSP015";
+                message =
+                  "no .cmt for this file: the typed rules (MSP012-014) did \
+                   not see it; make sure it is attached to a dune stanza";
+              })
+            gaps
+        in
+        let analysis =
+          timed "call graph" (fun () -> Lint_typed_rules.prepare units)
+        in
+        let f12 = timed "MSP012 domain-race" (fun () -> Lint_typed_rules.msp012 cfg analysis) in
+        let f13 = timed "MSP013 hot-alloc" (fun () -> Lint_typed_rules.msp013 cfg analysis) in
+        let f14 = timed "MSP014 probe-accounting" (fun () -> Lint_typed_rules.msp014 cfg analysis) in
+        gap_findings @ suppress_typed (f12 @ f13 @ f14)
+      end
+    end
+  in
+  let typed_elapsed = Unix.gettimeofday () -. typed_t0 in
+  let findings =
+    List.sort Lint_types.compare_finding (parse_findings @ typed_findings)
+  in
+  let base =
+    match !baseline with
+    | None -> Lint_baseline.of_string ""
+    | Some f -> Lint_baseline.load f
+  in
   let live, baselined, unused = Lint_baseline.apply base findings in
   if !json then begin
     print_string "[";
@@ -88,13 +218,31 @@ let () =
       live;
     print_string (match live with [] -> "]\n" | _ -> "\n]\n")
   end
+  else if !sarif then
+    print_string (Lint_sarif.render ~rules:rules_summary ~findings:live)
   else List.iter (fun f -> print_endline (Lint_types.to_string f)) live;
+  if !timings then
+    List.iter
+      (fun (name, dt) -> Printf.eprintf "msparlint: %-24s %6.0f ms\n" name (dt *. 1000.))
+      (List.rev !phases);
   if List.length baselined > 0 then
-    Printf.eprintf "msparlint: %d finding(s) suppressed by the baseline\n" (List.length baselined);
+    Printf.eprintf "msparlint: %d finding(s) suppressed by the baseline\n"
+      (List.length baselined);
+  let failed = ref (List.length live > 0) in
   List.iter
-    (fun e -> Printf.eprintf "msparlint: stale baseline entry (matches nothing): %s\n" e)
+    (fun e ->
+      if !ci then begin
+        Printf.eprintf
+          "msparlint: stale baseline entry (matches nothing, error under --ci): %s\n" e;
+        failed := true
+      end
+      else Printf.eprintf "msparlint: stale baseline entry (matches nothing): %s\n" e)
     unused;
-  if List.length live > 0 then begin
+  if !ci && typed_elapsed > typed_pass_budget_s then begin
+    Printf.eprintf "msparlint: typed pass took %.1f s (budget %.0f s)\n"
+      typed_elapsed typed_pass_budget_s;
+    failed := true
+  end;
+  if List.length live > 0 then
     Printf.eprintf "msparlint: %d finding(s)\n" (List.length live);
-    exit 1
-  end
+  if !failed then exit 1
