@@ -4,7 +4,7 @@
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
 .PHONY: all build fmt lint lint-fixtures test check ci bench \
-  bench-construction bench-smoke bench-serve
+  bench-construction bench-smoke bench-serve bench-lca
 
 all: build
 
@@ -65,3 +65,10 @@ bench-smoke:
 bench-serve:
 	dune exec bench/main.exe -- --csv bench_csv serve-faults
 	dune exec bench/main.exe -- --csv bench_csv serve-load
+
+# full-size point-query oracle rows (100k vertices, ~5M edges): cold
+# O(delta) probe gate, >=100x query-vs-build crossover, and the Zipfian
+# warm-replay >=10x probe reduction, all asserted inline (a smoke-size
+# leg with the same parity + probe gates runs on every `dune runtest`)
+bench-lca:
+	dune exec bench/main.exe -- --csv bench_csv lca-query

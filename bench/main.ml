@@ -41,6 +41,18 @@
      dune exec bench/main.exe -- serve-smoke - SIGTERM-mid-load drain
                                               contract only (the dune
                                               runtest hook)
+     dune exec bench/main.exe -- lca-query   - point-query oracle vs the
+                                              materialized G_Delta build at
+                                              100k vertices: cold O(delta)
+                                              probe gate, 100x crossover,
+                                              Zipfian warm-replay >=10x
+     dune exec bench/main.exe -- lca-smoke   - the same gates (weakened
+                                              warm gate) at tiny sizes
+                                              (the dune runtest hook)
+
+   serve-load / serve-load-smoke also accept --query-frac F (0..0.95):
+   reshape the same total action count into an F-fraction point-query
+   workload, reporting update and query latencies separately.
 
    Experiment ids correspond to DESIGN.md's experiment index; every table
    regenerates the quantitative content of one claim of the paper. *)
@@ -56,6 +68,19 @@ let () =
         rest
     | args -> args
   in
+  (* --query-frac F: mixed-workload knob for the serve-load benches *)
+  let query_frac = ref None in
+  let args =
+    let rec strip = function
+      | "--query-frac" :: f :: rest ->
+          query_frac := Some (float_of_string f);
+          strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  let query_frac = !query_frac in
   let wants name =
     (* exact id, or a prefix ending at the id's underscore: "e6" selects
        e6_sequential but not e11_ablations *)
@@ -118,11 +143,11 @@ let () =
      asked for by name and never join the default sweep *)
   if explicit "serve-load" then begin
     incr ran;
-    Serve_load.run ()
+    Serve_load.run ?query_frac ()
   end;
   if explicit "serve-load-smoke" then begin
     incr ran;
-    Serve_load.smoke ()
+    Serve_load.smoke ?query_frac ()
   end;
   if explicit "serve-faults" then begin
     incr ran;
@@ -135,6 +160,14 @@ let () =
   if explicit "serve-smoke" then begin
     incr ran;
     Serve_faults.drain_smoke ()
+  end;
+  if explicit "lca-query" then begin
+    incr ran;
+    Lca_query.run ~full:true ()
+  end;
+  if explicit "lca-smoke" then begin
+    incr ran;
+    Lca_query.run ~full:false ()
   end;
   if !ran = 0 then begin
     prerr_endline "no experiment matched; available:";
@@ -153,5 +186,7 @@ let () =
     prerr_endline "  serve-faults";
     prerr_endline "  serve-faults-smoke";
     prerr_endline "  serve-smoke";
+    prerr_endline "  lca-query";
+    prerr_endline "  lca-smoke";
     exit 1
   end

@@ -29,7 +29,8 @@ type client_state = {
   mutable acked_updates : int;
   mutable busy_retries : int;
   mutable reconnects : int;
-  mutable latencies : float list;
+  mutable latencies : float list;  (* acked updates *)
+  mutable query_latencies : float list;  (* Bool-answered point queries *)
 }
 
 let key u v = if u < v then (u, v) else (v, u)
@@ -122,7 +123,7 @@ let handle_response c resp now =
           ()
       | Wire.Bool _ ->
           c.inflight <- rest;
-          c.latencies <- (now -. p.first_send) :: c.latencies
+          c.query_latencies <- (now -. p.first_send) :: c.query_latencies
       | Wire.Error msg -> failwith ("serve_load: server error: " ^ msg)
       | Wire.Draining -> failwith "serve_load: unexpected Draining"
       | Wire.Ok | Wire.Digest _ | Wire.Stats_reply _ ->
@@ -144,13 +145,25 @@ let percentile sorted p =
   if n = 0 then 0.
   else sorted.(Int.min (n - 1) (int_of_float (p *. float_of_int n)))
 
-let run ?(smoke = false) () =
+let run ?(smoke = false) ?query_frac () =
   Serve_util.ignore_sigpipe ();
   let nclients = if smoke then 4 else 8 in
   let window = 4 in
   let span = 64 in
   let updates = if smoke then 300 else 13_000 in
   let queries = if smoke then 150 else 5_000 in
+  (* --query-frac F reshapes the same total action count into an
+     F-queries mixed workload, so read-heavy serve profiles (the oracle
+     path) are one flag away *)
+  let updates, queries =
+    match query_frac with
+    | None -> (updates, queries)
+    | Some f ->
+        let f = Float.max 0.0 (Float.min 0.95 f) in
+        let total = updates + queries in
+        let q = int_of_float (f *. float_of_int total) in
+        (total - q, q)
+  in
   let seed = 42 in
   let n = nclients * span in
   let dir = Serve_util.fresh_dir "serve-load" in
@@ -182,6 +195,7 @@ let run ?(smoke = false) () =
           busy_retries = 0;
           reconnects = 0;
           latencies = [];
+          query_latencies = [];
         })
   in
   let t0 = Unix.gettimeofday () in
@@ -248,6 +262,12 @@ let run ?(smoke = false) () =
     |> Array.of_list
   in
   Array.sort Float.compare lats;
+  let qlats =
+    Array.to_list clients
+    |> List.concat_map (fun c -> c.query_latencies)
+    |> Array.of_list
+  in
+  Array.sort Float.compare qlats;
   let total_updates =
     Array.fold_left (fun a c -> a + c.acked_updates) 0 clients
   in
@@ -258,11 +278,13 @@ let run ?(smoke = false) () =
     Table.create
       ~title:
         "serve-load (N concurrent connections against mspar serve; \
-         latencies per request, zero acked-update loss asserted)"
+         update and point-query latencies split, zero acked-update loss \
+         asserted)"
       ~columns:
         [
           "clients"; "window"; "updates"; "queries"; "busy"; "reconnects";
-          "elapsed-s"; "updates/s"; "p50-ms"; "p99-ms"; "lost-acked";
+          "elapsed-s"; "updates/s"; "p50-ms"; "p99-ms"; "q-p50-ms";
+          "q-p99-ms"; "lost-acked";
         ]
   in
   Table.add_row t
@@ -277,8 +299,10 @@ let run ?(smoke = false) () =
       Table.cell_f (float_of_int total_updates /. elapsed);
       Table.cell_f (1000. *. percentile lats 0.50);
       Table.cell_f (1000. *. percentile lats 0.99);
+      Table.cell_f (1000. *. percentile qlats 0.50);
+      Table.cell_f (1000. *. percentile qlats 0.99);
       Table.cell_i !lost;
     ];
   Experiments.emit t
 
-let smoke () = run ~smoke:true ()
+let smoke ?query_frac () = run ~smoke:true ?query_frac ()

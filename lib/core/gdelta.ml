@@ -9,17 +9,14 @@ type stats = {
   build_ns : int64;
 }
 
-type mark_rule = Mark_all_at_most_delta | Mark_all_at_most_two_delta
-
-let threshold rule delta =
-  match rule with
-  | Mark_all_at_most_delta -> delta
-  | Mark_all_at_most_two_delta -> 2 * delta
+type mark_rule = Mark_kernel.rule =
+  | Mark_all_at_most_delta
+  | Mark_all_at_most_two_delta
 
 (* Upper bound on the marks a range of vertices will emit — lets the packed
    collector allocate its buffer once instead of growing by doubling. *)
 let marks_bound rule g ~delta lo hi =
-  let keep = threshold rule delta in
+  let keep = Mark_kernel.threshold rule delta in
   let total = ref 0 in
   for v = lo to hi - 1 do
     let d = Graph.degree g v in
@@ -38,8 +35,12 @@ let l2_block_words = 32768
    [v lsl shift lor u] codes.  Vertices are visited in CSR-contiguous
    cache-sized blocks ([Graph.iter_vertex_blocks]); per block, the buffer
    is grown once ([ensure_capacity] + [push_unchecked], no growth branch
-   per mark) and the probe counter is charged once. *)
-let collect_packed ~rule rng g ~delta ~shift =
+   per mark) and the probe counter is charged once.  The per-vertex
+   decision is [Mark_kernel]'s: with a [Stream] source the shared
+   generator is consumed in vertex order exactly as before the kernel
+   factoring (bit-identical codes), with a [Split] source each vertex
+   draws from its own derived stream — the form the LCA oracle replays. *)
+let collect_packed ~rule source g ~delta ~shift =
   if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
   let nv = Graph.n g in
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
@@ -48,87 +49,133 @@ let collect_packed ~rule rng g ~delta ~shift =
       ~initial_capacity:(Int.max 16 (marks_bound rule g ~delta 0 nv))
       ()
   in
-  let keep = threshold rule delta in
+  let keep = Mark_kernel.threshold rule delta in
   (* per-vertex sample landing zone: [sample_indices_into] avoids a
      closure call per draw, the dominant per-mark overhead at high degree *)
   let idx = Array.make (Int.max 1 delta) 0 in
   (* hoisted out of the block closure so no ref cell is allocated per
      block — reset at block entry, charged at block exit *)
   let probes = ref 0 in
-  Graph.iter_vertex_blocks g ~extent:l2_block_words (fun blo bhi ->
-      Edgebuf.ensure_capacity buf
-        (Edgebuf.length buf + marks_bound rule g ~delta blo bhi);
-      probes := 0;
-      for v = blo to bhi - 1 do
-        let d = Graph.degree g v in
-        let base = v lsl shift in
-        if d <= keep then begin
-          (* low degree: the whole neighborhood enters the sparsifier;
-             the copy loop lives in Graph so no closure is allocated (or
-             called) per vertex *)
-          probes := !probes + d;
-          Graph.append_neighbors_uncounted g v ~base buf
-        end
-        else begin
-          (* d > keep >= delta, so exactly delta reads happen below *)
-          probes := !probes + delta;
-          Sampling.sample_indices_into sampler rng ~n:d ~k:delta ~out:idx;
-          for s = 0 to delta - 1 do
-            Edgebuf.push_unchecked buf
-              (base lor Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
-          done
-        end
-      done;
-      Graph.add_probes g !probes);
+  (* The block loop is specialized per source, once, outside the hot
+     path: the [Stream] body is instruction-for-instruction the
+     pre-kernel collector (shared generator handed straight to the
+     sampler — the gdelta-mark perf baseline), the [Split] body
+     re-derives each vertex's stream ([Mark_kernel.rng_for], the form
+     the LCA oracle replays).  [Mark_kernel.sampled_indices_into] is
+     definitionally [Sampling.sample_indices_into], so both bodies run
+     the one kernel decision; the QCheck parity suite pins the two
+     sources and the oracle to bit-identical marks. *)
+  (match source with
+  | Mark_kernel.Stream rng ->
+      Graph.iter_vertex_blocks g ~extent:l2_block_words (fun blo bhi ->
+          Edgebuf.ensure_capacity buf
+            (Edgebuf.length buf + marks_bound rule g ~delta blo bhi);
+          probes := 0;
+          for v = blo to bhi - 1 do
+            let d = Graph.degree g v in
+            let base = v lsl shift in
+            if d <= keep then begin
+              (* low degree: the whole neighborhood enters the
+                 sparsifier; the copy loop lives in Graph so no closure
+                 is allocated (or called) per vertex *)
+              probes := !probes + d;
+              Graph.append_neighbors_uncounted g v ~base buf
+            end
+            else begin
+              (* d > keep >= delta, so exactly delta reads happen below *)
+              probes := !probes + delta;
+              Sampling.sample_indices_into sampler rng ~n:d ~k:delta ~out:idx;
+              for s = 0 to delta - 1 do
+                Edgebuf.push_unchecked buf
+                  (base
+                  lor Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
+              done
+            end
+          done;
+          Graph.add_probes g !probes)
+  | Mark_kernel.Split _ ->
+      Graph.iter_vertex_blocks g ~extent:l2_block_words (fun blo bhi ->
+          Edgebuf.ensure_capacity buf
+            (Edgebuf.length buf + marks_bound rule g ~delta blo bhi);
+          probes := 0;
+          for v = blo to bhi - 1 do
+            let d = Graph.degree g v in
+            let base = v lsl shift in
+            if d <= keep then begin
+              probes := !probes + d;
+              Graph.append_neighbors_uncounted g v ~base buf
+            end
+            else begin
+              probes := !probes + delta;
+              Mark_kernel.sampled_indices_into sampler
+                (Mark_kernel.rng_for source v)
+                ~delta ~degree:d ~out:idx;
+              for s = 0 to delta - 1 do
+                Edgebuf.push_unchecked buf
+                  (base
+                  lor Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
+              done
+            end
+          done;
+          Graph.add_probes g !probes));
   buf
 [@@hot]
 
 (* Boxed fallback for vertex counts beyond the packable range. *)
-let collect_list ~rule rng g ~delta =
+let collect_list ~rule source g ~delta =
   if delta < 1 then invalid_arg "Gdelta: delta must be >= 1";
   let nv = Graph.n g in
   let sampler = Sampling.create ~capacity:(Graph.max_degree g) in
   let pairs = ref [] in
-  let keep = threshold rule delta in
+  let keep = Mark_kernel.threshold rule delta in
   for v = 0 to nv - 1 do
     let d = Graph.degree g v in
     if d <= keep then
       Graph.iter_neighbors g v (fun u -> pairs := (v, u) :: !pairs)
     else
-      Sampling.sample_indices sampler rng ~n:d ~k:delta ~f:(fun i ->
-          pairs := (v, Graph.neighbor g v i) :: !pairs)
+      Sampling.sample_indices sampler
+        (Mark_kernel.rng_for source v)
+        ~n:d ~k:delta
+        ~f:(fun i -> pairs := (v, Graph.neighbor g v i) :: !pairs)
   done;
   !pairs
 
-let marked_codes ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+let marked_codes_of ~rule source g ~delta =
   match Graph.pack_shift ~n:(Graph.n g) with
-  | Some shift -> (collect_packed ~rule rng g ~delta ~shift, shift)
+  | Some shift -> (collect_packed ~rule source g ~delta ~shift, shift)
   | None ->
       invalid_arg "Gdelta.marked_codes: vertex count exceeds packable range"
 
+let marked_codes ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  marked_codes_of ~rule (Mark_kernel.Stream rng) g ~delta
+
+let marked_codes_seeded ?(rule = Mark_all_at_most_two_delta) ~seed g ~delta =
+  marked_codes_of ~rule (Mark_kernel.Split { seed }) g ~delta
+
 let marked_pairs ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  let source = Mark_kernel.Stream rng in
   match Graph.pack_shift ~n:(Graph.n g) with
   | Some shift ->
-      let buf = collect_packed ~rule rng g ~delta ~shift in
+      let buf = collect_packed ~rule source g ~delta ~shift in
       List.rev
         (Edgebuf.fold_left
            (fun acc c ->
              (Graph.unpack_u ~shift c, Graph.unpack_v ~shift c) :: acc)
            [] buf)
-  | None -> collect_list ~rule rng g ~delta
+  | None -> collect_list ~rule source g ~delta
 
-let sparsify ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+let sparsify_of ~rule source g ~delta =
   Graph.reset_probes g;
   let t0 = Clock.now_ns () in
   let nv = Graph.n g in
   let sparsifier, marks =
     match Graph.pack_shift ~n:nv with
     | Some shift ->
-        let buf = collect_packed ~rule rng g ~delta ~shift in
+        let buf = collect_packed ~rule source g ~delta ~shift in
         let marks = Edgebuf.length buf in
         (Graph.of_edgebuf ~n:nv buf, marks)
     | None ->
-        let pairs = collect_list ~rule rng g ~delta in
+        let pairs = collect_list ~rule source g ~delta in
         (Graph.of_edges ~n:nv pairs, List.length pairs)
   in
   let probes = Graph.probes g in
@@ -141,6 +188,12 @@ let sparsify ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
       probes;
       build_ns = Int64.sub t1 t0;
     } )
+
+let sparsify ?(rule = Mark_all_at_most_two_delta) rng g ~delta =
+  sparsify_of ~rule (Mark_kernel.Stream rng) g ~delta
+
+let sparsify_seeded ?(rule = Mark_all_at_most_two_delta) ~seed g ~delta =
+  sparsify_of ~rule (Mark_kernel.Split { seed }) g ~delta
 
 let deterministic_first_k g ~delta =
   if delta < 1 then invalid_arg "Gdelta.deterministic_first_k: delta >= 1";

@@ -33,7 +33,7 @@ type stats = {
   build_ns : int64;  (** wall-clock construction time *)
 }
 
-type mark_rule =
+type mark_rule = Mark_kernel.rule =
   | Mark_all_at_most_delta  (** §2 convention: full neighborhood iff deg ≤ Δ *)
   | Mark_all_at_most_two_delta  (** §3.1 tweak: full neighborhood iff deg ≤ 2Δ *)
 
@@ -41,7 +41,19 @@ val sparsify :
   ?rule:mark_rule -> Rng.t -> Graph.t -> delta:int -> Graph.t * stats
 (** [sparsify rng g ~delta] builds G_Δ.  Probes counted on [g] are reset
     and measured across the call.  Default rule:
-    {!Mark_all_at_most_two_delta}. *)
+    {!Mark_all_at_most_two_delta}.  Consumes [rng] as one sequential
+    stream in vertex order (the historical discipline — fast, but a
+    vertex's marks can only be recomputed by replaying the whole
+    prefix); see {!sparsify_seeded} for the locally replayable form. *)
+
+val sparsify_seeded :
+  ?rule:mark_rule -> seed:int -> Graph.t -> delta:int -> Graph.t * stats
+(** {!sparsify} under the split-seed discipline: vertex [v] draws from
+    {!Mspar_prelude.Rng.derive}[ ~seed v], so any single vertex's marks
+    can be replayed in isolation — the contract the LCA oracle
+    ([Mspar_lca.Oracle]) queries against.  With the default rule this is
+    graph-for-graph identical to [Par_gdelta.sequential ~seed]
+    (QCheck-pinned). *)
 
 val marked_pairs :
   ?rule:mark_rule -> Rng.t -> Graph.t -> delta:int -> (int * int) list
@@ -58,6 +70,14 @@ val marked_codes :
     separately from construction.
     @raise Invalid_argument if [delta < 1] or the vertex count exceeds
     the packable range ({!Graph.pack_shift}). *)
+
+val marked_codes_seeded :
+  ?rule:mark_rule -> seed:int -> Graph.t -> delta:int -> Edgebuf.t * int
+(** {!marked_codes} under the split-seed discipline of
+    {!sparsify_seeded} — the materialized reference the oracle parity
+    tests compare against, mark-for-mark.
+    @raise Invalid_argument if [delta < 1] or the vertex count exceeds
+    the packable range. *)
 
 val deterministic_first_k : Graph.t -> delta:int -> Graph.t
 (** The strawman of Lemma 2.13: every vertex deterministically marks its

@@ -569,6 +569,21 @@ let append_neighbors_uncounted t v ~base buf =
   done
 [@@hot]
 
+(* The oracle-surface gather: v's whole (sorted) adjacency block into a
+   caller-owned landing array, no closure per neighbor.  Uncounted — the
+   LCA read path replays a vertex with one batched [add_probes] charge,
+   and msparlint's MSP014 proves every call site is dominated by one. *)
+let neighbors_into_uncounted t v ~out =
+  let lo = og t.offsets v and hi = og t.offsets (v + 1) in
+  let d = hi - lo in
+  if Array.length out < d then
+    invalid_arg "Graph.neighbors_into_uncounted: out shorter than degree";
+  for i = 0 to d - 1 do
+    Array.unsafe_set out i (au t.adj (lo + i))
+  done;
+  d
+[@@hot]
+
 let iter_neighbors t v f =
   let lo = og t.offsets v and hi = og t.offsets (v + 1) in
   add_probes t (hi - lo);

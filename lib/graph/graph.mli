@@ -150,6 +150,15 @@ val append_neighbors_uncounted :
     ({!Mspar_prelude.Edgebuf.ensure_capacity}) and remains responsible
     for probe accounting via {!add_probes}. *)
 
+val neighbors_into_uncounted : t -> int -> out:int array -> int
+(** [neighbors_into_uncounted g v ~out] copies [v]'s adjacency block
+    (sorted) into [out.(0 .. d-1)] and returns [d = degree g v] — the
+    read-only oracle surface the LCA query engine replays a vertex
+    through.  Uncounted like its [_uncounted] siblings: the caller
+    charges the reads in one {!add_probes} batch, and the MSP014 lint
+    extends its dominated-by-charge proof to this accessor.
+    @raise Invalid_argument if [out] is shorter than the degree. *)
+
 val iter_vertex_blocks :
   t -> ?lo:int -> ?hi:int -> extent:int -> (int -> int -> unit) -> unit
 (** [iter_vertex_blocks g ~extent f] partitions [\[lo, hi)] (default: all

@@ -1,0 +1,101 @@
+open Mspar_prelude
+open Mspar_graph
+open Mspar_dynamic
+
+(* Probe-metered adjacency surface for the oracle: one abstraction over
+   the static sorted-CSR [Graph.t] and the serve daemon's mutable
+   [Dyn_graph.t].  Every read is charged to the underlying probe
+   counter in the same function that performs it, so the MSP014
+   dominated-by-charge discipline holds for this whole module.
+
+   Positional reads ([read_positions]) index into the *canonical sorted*
+   adjacency — the order [Dyn_graph.snapshot] produces — because that is
+   the order the batch G_Delta builder samples against; bit-for-bit
+   replay parity depends on it.  Static CSR is already sorted, so the
+   static branch reads positions directly in O(k) probes.  The dynamic
+   structure permutes neighbors under deletion, so its branch first
+   materializes the sorted neighborhood (O(degree) probes, the honest
+   cost of canonical order over a mutable adjacency). *)
+
+type t =
+  | Static of Graph.t
+  | Dyn of { g : Dyn_graph.t; mutable scratch : int array }
+
+let of_static g = Static g
+let of_dyn g = Dyn { g; scratch = Array.make 16 0 }
+
+let n = function Static g -> Graph.n g | Dyn { g; _ } -> Dyn_graph.n g
+
+let degree t v =
+  match t with
+  | Static g -> Graph.degree g v
+  | Dyn { g; _ } -> Dyn_graph.degree g v
+
+let max_sample_degree = function
+  (* tight for static; for dyn only [n] bounds a future degree *)
+  | Static g -> Graph.max_degree g
+  | Dyn { g; _ } -> Dyn_graph.n g
+
+let sorted_dyn g scratch v =
+  let d = Dyn_graph.degree g v in
+  for i = 0 to d - 1 do
+    Array.unsafe_set scratch i (Dyn_graph.neighbor g v i)
+  done;
+  Isort.sort_range scratch ~pos:0 ~len:d;
+  d
+
+let ensure_scratch t d =
+  match t with
+  | Static _ -> [||]
+  | Dyn r ->
+      if Array.length r.scratch < d then
+        r.scratch <- Array.make (Int.max d (2 * Array.length r.scratch)) 0;
+      r.scratch
+
+let neighbors_into t v ~out =
+  match t with
+  | Static g ->
+      let d = Graph.neighbors_into_uncounted g v ~out in
+      Graph.add_probes g d;
+      d
+  | Dyn { g; _ } ->
+      let d = Dyn_graph.degree g v in
+      if Array.length out < d then
+        invalid_arg "Adj.neighbors_into: out shorter than degree";
+      for i = 0 to d - 1 do
+        Array.unsafe_set out i (Dyn_graph.neighbor g v i)
+      done;
+      Isort.sort_range out ~pos:0 ~len:d;
+      d
+[@@hot]
+
+let read_positions t v ~idx ~k ~out =
+  match t with
+  | Static g ->
+      for s = 0 to k - 1 do
+        Array.unsafe_set out s
+          (Graph.neighbor_uncounted g v (Array.unsafe_get idx s))
+      done;
+      Graph.add_probes g k
+  | Dyn { g; _ } as t ->
+      let scratch = ensure_scratch t (Dyn_graph.degree g v) in
+      let d = sorted_dyn g scratch v in
+      for s = 0 to k - 1 do
+        let i = Array.unsafe_get idx s in
+        if i < 0 || i >= d then invalid_arg "Adj.read_positions: bad index";
+        Array.unsafe_set out s (Array.unsafe_get scratch i)
+      done
+[@@hot]
+
+let has_edge t u v =
+  match t with
+  | Static g -> Graph.has_edge g u v
+  | Dyn { g; _ } -> Dyn_graph.has_edge g u v
+
+let probes = function
+  | Static g -> Graph.probes g
+  | Dyn { g; _ } -> Dyn_graph.probes g
+
+let reset_probes = function
+  | Static g -> Graph.reset_probes g
+  | Dyn { g; _ } -> Dyn_graph.reset_probes g

@@ -1,0 +1,61 @@
+(** Probe-metered adjacency surface for the local-access oracle.
+
+    One read-only abstraction over the static sorted-CSR
+    {!Mspar_graph.Graph.t} and the serve daemon's mutable
+    {!Mspar_dynamic.Dyn_graph.t}.  Every adjacency read charges the
+    underlying probe counter in the same function that performs it, so
+    the oracle's O(Δ)-probes-per-query claim is measured against the
+    same meter as the batch builders (and the MSP014 lint discipline
+    extends over this module).
+
+    Positional reads index into the {e canonical sorted} neighbor order —
+    the order [Dyn_graph.snapshot] materializes — because that is the
+    order the batch G_Δ builder samples against; bit-for-bit replay
+    parity depends on it.  Static CSR is already sorted (O(k) probes per
+    k positions); the dynamic structure permutes neighbors under
+    deletion, so its positional reads first materialize the sorted
+    neighborhood at O(degree) probes — the honest cost of canonical
+    order over a mutable adjacency. *)
+
+type t
+
+val of_static : Mspar_graph.Graph.t -> t
+val of_dyn : Mspar_dynamic.Dyn_graph.t -> t
+
+val n : t -> int
+(** Vertex count (free: metadata, not a probe). *)
+
+val degree : t -> int -> int
+(** Degree (free: metadata, not a probe). *)
+
+val max_sample_degree : t -> int
+(** Upper bound on any degree a positional sample may index into —
+    sizes the oracle's {!Mspar_prelude.Sampling.t} scratch.  Tight
+    ([Graph.max_degree]) for static graphs; the vertex count for
+    dynamic ones, whose degrees can grow after the oracle is built. *)
+
+val neighbors_into : t -> int -> out:int array -> int
+(** [neighbors_into t v ~out] writes the neighbors of [v] in canonical
+    sorted order into [out] and returns the degree; charges [degree]
+    probes.
+
+    @raise Invalid_argument if [out] is shorter than the degree of [v]. *)
+
+val read_positions : t -> int -> idx:int array -> k:int -> out:int array -> unit
+(** [read_positions t v ~idx ~k ~out] writes the neighbors of [v] at
+    sorted-order positions [idx.(0..k-1)] into [out.(0..k-1)].  Charges
+    [k] probes on static graphs and [degree] on dynamic ones (see the
+    module preamble).
+
+    @raise Invalid_argument if some index is outside [0, degree). *)
+
+val has_edge : t -> int -> int -> bool
+(** Edge membership.  Static graphs binary-search the smaller adjacency
+    list and charge the probes read; the dynamic structure answers from
+    its O(1) hash index without charging — its membership check is not
+    an adjacency-list probe. *)
+
+val probes : t -> int
+(** Underlying probe counter. *)
+
+val reset_probes : t -> unit

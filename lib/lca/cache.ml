@@ -1,0 +1,154 @@
+(* Bounded LRU memoization for the replay oracle: int keys (vertices, or
+   packed edge codes) to arbitrary payloads, O(1) expected per
+   operation.  The recency list is threaded through two int arrays over
+   fixed slots — no per-access allocation, so [find] can sit on the
+   query hot path — and every hit/miss/eviction/invalidation is counted,
+   because the whole point of the cache is a measurable amortization
+   claim (bench_csv/lca-query.csv). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  invalidations : int;
+}
+
+type 'a t = {
+  capacity : int;
+  index : (int, int) Hashtbl.t; (* key -> slot *)
+  keys : int array;
+  values : 'a option array;
+  (* doubly-linked recency list over slots; free slots threaded through
+     [next] *)
+  prev : int array;
+  next : int array;
+  mutable head : int; (* most recently used; -1 when empty *)
+  mutable tail : int; (* least recently used *)
+  mutable free : int; (* free-list head; -1 when full *)
+  mutable len : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  let next = Array.init capacity (fun i -> if i + 1 < capacity then i + 1 else -1) in
+  {
+    capacity;
+    index = Hashtbl.create (2 * capacity);
+    keys = Array.make capacity 0;
+    values = Array.make capacity None;
+    prev = Array.make capacity (-1);
+    next;
+    head = -1;
+    tail = -1;
+    free = 0;
+    len = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.len
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+  }
+
+(* recency-list surgery: all O(1), no allocation *)
+
+let unlink t s =
+  let p = t.prev.(s) and n = t.next.(s) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t s =
+  t.prev.(s) <- -1;
+  t.next.(s) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- s else t.tail <- s;
+  t.head <- s
+
+let find t k =
+  match Hashtbl.find t.index k with
+  | exception Not_found ->
+      t.misses <- t.misses + 1;
+      None
+  | s ->
+      t.hits <- t.hits + 1;
+      if t.head <> s then begin
+        unlink t s;
+        push_front t s
+      end;
+      (* the stored option itself: a hit allocates nothing *)
+      Array.unsafe_get t.values s
+[@@hot]
+
+let put t k v =
+  match Hashtbl.find t.index k with
+  | s ->
+      t.values.(s) <- Some v;
+      if t.head <> s then begin
+        unlink t s;
+        push_front t s
+      end
+  | exception Not_found ->
+      let s =
+        if t.free >= 0 then begin
+          let s = t.free in
+          t.free <- t.next.(s);
+          t.len <- t.len + 1;
+          s
+        end
+        else begin
+          (* full: evict the least recently used slot *)
+          let s = t.tail in
+          Hashtbl.remove t.index t.keys.(s);
+          t.evictions <- t.evictions + 1;
+          unlink t s;
+          s
+        end
+      in
+      t.keys.(s) <- k;
+      t.values.(s) <- Some v;
+      Hashtbl.replace t.index k s;
+      push_front t s;
+      t.insertions <- t.insertions + 1
+
+let remove t k =
+  match Hashtbl.find t.index k with
+  | exception Not_found -> ()
+  | s ->
+      Hashtbl.remove t.index k;
+      unlink t s;
+      t.values.(s) <- None;
+      t.next.(s) <- t.free;
+      t.free <- s;
+      t.len <- t.len - 1;
+      t.invalidations <- t.invalidations + 1
+
+let clear t =
+  if t.len > 0 then begin
+    t.invalidations <- t.invalidations + t.len;
+    Hashtbl.reset t.index;
+    Array.fill t.values 0 t.capacity None;
+    for i = 0 to t.capacity - 1 do
+      t.prev.(i) <- -1;
+      t.next.(i) <- (if i + 1 < t.capacity then i + 1 else -1)
+    done;
+    t.head <- -1;
+    t.tail <- -1;
+    t.free <- 0;
+    t.len <- 0
+  end

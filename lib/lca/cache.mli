@@ -1,0 +1,47 @@
+(** Bounded LRU memoization for the replay oracle.
+
+    Int keys (vertices, or packed edge codes) to arbitrary payloads;
+    O(1) expected find/put/remove with least-recently-used eviction at a
+    fixed capacity.  The recency list lives in two int arrays over fixed
+    slots, so a {!find} hit touches no allocator — it can sit on the
+    query hot path — and every hit, miss, insertion, eviction and
+    invalidation is counted: the oracle's amortization claim
+    ([bench_csv/lca-query.csv]) is measured off these counters, not
+    asserted. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;  (** capacity displacements (LRU victim dropped) *)
+  invalidations : int;
+      (** entries dropped by {!remove}/{!clear} — the dynamic-update
+          invalidation traffic *)
+}
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Entries currently held. *)
+
+val find : 'a t -> int -> 'a option
+(** Lookup; a hit refreshes the entry's recency and returns the stored
+    option without allocating. *)
+
+val put : 'a t -> int -> 'a -> unit
+(** Insert or overwrite; evicts the least recently used entry when at
+    capacity. *)
+
+val remove : 'a t -> int -> unit
+(** Drop one key (no-op when absent) — the per-vertex invalidation hook. *)
+
+val clear : 'a t -> unit
+(** Drop everything — the epoch-style invalidation hook for entries
+    whose dependencies cannot be tracked per key (matching state). *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,274 @@
+open Mspar_prelude
+open Mspar_graph
+open Mspar_core
+
+(* Local-access oracle for the G_Delta sparsifier and its random-greedy
+   maximal matching, after Nguyen-Onak style local simulation.
+
+   The whole construction rests on one discipline: the batch builder's
+   per-vertex coin flips are a pure function of [(seed, v)]
+   ([Rng.derive], shared through [Mark_kernel.Split]), so any single
+   vertex's marks can be replayed on demand against probe-metered
+   adjacency access ([Adj]) without touching the rest of the graph.  A
+   cold [out_marks] costs at most [keep <= 2*delta] probes (low degree:
+   copy the neighborhood; high degree: replay the emulated Fisher-Yates
+   and read [delta] sampled positions), so a cold [in_gdelta] is
+   O(delta) probes — independent of n — plus the O(log max_degree)
+   binary search inside [Adj.has_edge].
+
+   The matching side simulates random-greedy maximal matching on
+   G_Delta: edges carry deterministic 62-bit ranks (a splitmix-style
+   finalizer over [(seed, a, b)], total order by [(rank, a, b)]), and an
+   edge is in the matching iff no adjacent G_Delta edge of strictly
+   lower rank is.  The recursion only ever descends to strictly lower
+   ranks, so it terminates; memoization ([mm] cache) makes repeated
+   queries cheap, and correctness never depends on the memo because LRU
+   eviction only forces recomputation.
+
+   Invalidation rule (the serve daemon's read-your-writes contract):
+   flipping edge (u,v) changes the adjacency — and hence the replayed
+   marks — of u and v only, so [invalidate_edge] drops exactly those two
+   mark entries; the edge-level G_Delta memo and the matching memo are
+   dropped wholesale (their entries cannot be scanned by endpoint, and
+   matching membership cascades along rank chains arbitrarily far). *)
+
+type stats = {
+  mark_cache : Cache.stats;
+  edge_cache : Cache.stats;
+  mm_cache : Cache.stats;
+  probes : int;
+}
+
+type t = {
+  adj : Adj.t;
+  seed : int;
+  delta : int;
+  rule : Mark_kernel.rule;
+  keep : int; (* Mark_kernel.threshold rule delta *)
+  shift : int; (* packing shift for mm-cache edge codes *)
+  source : Mark_kernel.source; (* always Split; replay discipline *)
+  sampler : Sampling.t;
+  idx : int array; (* delta-sized landing zone for sampled positions *)
+  marks : int array Cache.t; (* v -> sorted out-marks of v *)
+  edge : bool Cache.t; (* packed (a,b), a < b -> edge in G_Delta *)
+  mm : bool Cache.t; (* packed (a,b), a < b -> edge in greedy MM *)
+}
+
+let default_mark_capacity = 4096
+let default_edge_capacity = 65536
+let default_mm_capacity = 65536
+
+let create ?(rule = Mark_kernel.Mark_all_at_most_two_delta)
+    ?(mark_capacity = default_mark_capacity)
+    ?(edge_capacity = default_edge_capacity)
+    ?(mm_capacity = default_mm_capacity) adj ~seed ~delta =
+  if delta < 1 then invalid_arg "Oracle.create: delta must be >= 1";
+  let n = Adj.n adj in
+  let shift =
+    match Graph.pack_shift ~n:(Int.max 1 n) with
+    | Some s -> s
+    | None -> invalid_arg "Oracle.create: vertex count exceeds packable range"
+  in
+  {
+    adj;
+    seed;
+    delta;
+    rule;
+    keep = Mark_kernel.threshold rule delta;
+    shift;
+    source = Mark_kernel.Split { seed };
+    sampler = Sampling.create ~capacity:(Int.max 1 (Adj.max_sample_degree adj));
+    idx = Array.make delta 0;
+    marks = Cache.create ~capacity:mark_capacity;
+    edge = Cache.create ~capacity:edge_capacity;
+    mm = Cache.create ~capacity:mm_capacity;
+  }
+
+let delta t = t.delta
+let seed t = t.seed
+let rule t = t.rule
+
+(* Membership in a sorted int array; branchless-ish lower-bound binary
+   search, O(log len) and allocation-free. *)
+let mem_sorted a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !hi > !lo do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if Array.unsafe_get a mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && Array.unsafe_get a !lo = x
+[@@hot]
+
+(* The neighbors v marks, replayed from (seed, v) and returned sorted.
+   Cold cost: min(degree, keep) <= 2*delta probes (static; a dynamic
+   high-degree vertex pays degree to canonicalize order, see Adj). *)
+let out_marks t v =
+  match Cache.find t.marks v with
+  | Some a -> a
+  | None ->
+      let d = Adj.degree t.adj v in
+      let a =
+        if d <= t.keep then begin
+          let out = Array.make (Int.max 1 d) 0 in
+          let d' = Adj.neighbors_into t.adj v ~out in
+          if d' = 0 then [||] else out
+        end
+        else begin
+          Mark_kernel.sampled_indices_into t.sampler
+            (Mark_kernel.rng_for t.source v)
+            ~delta:t.delta ~degree:d ~out:t.idx;
+          let out = Array.make t.delta 0 in
+          Adj.read_positions t.adj v ~idx:t.idx ~k:t.delta ~out;
+          Isort.sort out;
+          out
+        end
+      in
+      Cache.put t.marks v a;
+      a
+
+let marked_neighbors t v = Array.copy (out_marks t v)
+
+let marks_edge t x y = mem_sorted (out_marks t x) y [@@hot]
+
+(* Edge-level memo on top of the mark replay: the cold path still pays
+   the [has_edge] binary search, which would otherwise floor the probe
+   cost of *every* repeated query — with the memo a warm hit costs zero
+   probes.  Both positive and negative answers are cached (a Zipfian
+   query mix repeats non-edges too). *)
+let in_gdelta t ~u ~v =
+  u <> v
+  &&
+  let a = Int.min u v and b = Int.max u v in
+  let code = (a lsl t.shift) lor b in
+  match Cache.find t.edge code with
+  | Some r -> r
+  | None ->
+      let r =
+        Adj.has_edge t.adj a b && (marks_edge t a b || marks_edge t b a)
+      in
+      Cache.put t.edge code r;
+      r
+[@@hot]
+
+(* Deterministic 62-bit edge rank: splitmix-style finalizer over
+   (seed, a, b) with a < b.  Ties (astronomically unlikely) break by
+   (a, b), giving a total order on edges. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let edge_rank ~seed u v =
+  let a = Int.min u v and b = Int.max u v in
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.add
+         (Int64.mul (Int64.of_int (a + 1)) 0xBF58476D1CE4E5B9L)
+         (Int64.mul (Int64.of_int (b + 1)) 0x94D049BB133111EBL))
+  in
+  Int64.to_int (Int64.shift_right_logical (mix64 z) 2)
+
+let rank_before r1 a1 b1 r2 a2 b2 =
+  r1 < r2 || (r1 = r2 && (a1 < a2 || (a1 = a2 && b1 < b2)))
+
+(* Random-greedy MM membership for G_Delta edge (a,b), a < b: in the
+   matching iff no adjacent G_Delta edge of strictly lower (rank,a,b)
+   is.  Recursion descends only to strictly lower ranks, so it
+   terminates regardless of memo state.  Worst-case probe cost is
+   polynomial in the degrees along the rank chain (each level scans one
+   neighborhood and replays its marks) — the classical local-simulation
+   price; the [mm] memo is what makes the serve daemon's repeated
+   queries cheap. *)
+let rec edge_in_mm t a b =
+  let code = (a lsl t.shift) lor b in
+  match Cache.find t.mm code with
+  | Some r -> r
+  | None ->
+      let ra = edge_rank ~seed:t.seed a b in
+      let r =
+        (not (blocked_via t a b ra a)) && not (blocked_via t a b ra b)
+      in
+      Cache.put t.mm code r;
+      r
+
+(* Does some G_Delta edge at endpoint [x], other than (a,b) itself, with
+   strictly lower rank sit in the matching?  Fresh neighbor buffer per
+   level: the recursion below would clobber a shared scratch. *)
+and blocked_via t a b ra x =
+  let d = Adj.degree t.adj x in
+  if d = 0 then false
+  else begin
+    let nbrs = Array.make d 0 in
+    let d = Adj.neighbors_into t.adj x ~out:nbrs in
+    let om = out_marks t x in
+    try
+      for i = 0 to d - 1 do
+        let y = Array.unsafe_get nbrs i in
+        let ea = Int.min x y and eb = Int.max x y in
+        if
+          (not (ea = a && eb = b))
+          && (mem_sorted om y || marks_edge t y x)
+        then begin
+          let ry = edge_rank ~seed:t.seed ea eb in
+          if rank_before ry ea eb ra a b && edge_in_mm t ea eb then
+            raise Exit
+        end
+      done;
+      false
+    with Exit -> true
+  end
+
+let in_matching t ~u ~v =
+  in_gdelta t ~u ~v && edge_in_mm t (Int.min u v) (Int.max u v)
+
+let is_matched t v =
+  let d = Adj.degree t.adj v in
+  if d = 0 then false
+  else begin
+    let nbrs = Array.make d 0 in
+    let d = Adj.neighbors_into t.adj v ~out:nbrs in
+    let om = out_marks t v in
+    try
+      for i = 0 to d - 1 do
+        let y = Array.unsafe_get nbrs i in
+        if
+          (mem_sorted om y || marks_edge t y v)
+          && edge_in_mm t (Int.min v y) (Int.max v y)
+        then raise Exit
+      done;
+      false
+    with Exit -> true
+  end
+
+let invalidate_edge t u v =
+  Cache.remove t.marks u;
+  Cache.remove t.marks v;
+  (* every cached G_Delta answer with u or v as an endpoint is stale,
+     and an LRU cannot be scanned by endpoint cheaply: drop it whole *)
+  Cache.clear t.edge;
+  (* rank chains propagate matching changes arbitrarily far: drop the
+     whole memo rather than track per-edge dependencies *)
+  Cache.clear t.mm
+
+let invalidate_all t =
+  Cache.clear t.marks;
+  Cache.clear t.edge;
+  Cache.clear t.mm
+
+let probes t = Adj.probes t.adj
+let reset_probes t = Adj.reset_probes t.adj
+
+let stats t =
+  {
+    mark_cache = Cache.stats t.marks;
+    edge_cache = Cache.stats t.edge;
+    mm_cache = Cache.stats t.mm;
+    probes = Adj.probes t.adj;
+  }

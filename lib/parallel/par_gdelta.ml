@@ -1,15 +1,9 @@
 open Mspar_prelude
 open Mspar_graph
 
-(* splitmix64-style finalizer over (seed, v): cheap, well-mixed, and
-   independent streams per vertex *)
-let vertex_rng ~seed v =
-  let mix =
-    Int64.add
-      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
-      (Int64.mul (Int64.of_int (v + 1)) 0xBF58476D1CE4E5B9L)
-  in
-  Rng.create (Int64.to_int mix)
+(* Split-seed per-vertex streams: the shared derivation lives in
+   [Rng.derive] so the LCA oracle replays exactly this stream. *)
+let vertex_rng ~seed v = Rng.derive ~seed v
 
 (* exact mark count for a vertex range under the §3.1 rule — sizes the
    packed buffer in one allocation *)

@@ -25,7 +25,10 @@ open Mspar_prelude
 open Mspar_graph
 
 val vertex_rng : seed:int -> int -> Rng.t
-(** The per-vertex generator; exposed so tests can pin the contract. *)
+(** The per-vertex generator — {!Mspar_prelude.Rng.derive} applied to
+    [(seed, v)]; exposed so tests can pin the contract that this module,
+    the seeded {!Mspar_core.Gdelta} builders and the LCA replay oracle
+    all consume the same stream. *)
 
 val collect_range_list :
   Graph.t -> seed:int -> delta:int -> int -> int -> (int * int) list

@@ -21,6 +21,19 @@ let of_seed64 seed64 =
   { s0; s1; s2; s3 }
 
 let create seed = of_seed64 (Int64.of_int seed)
+
+(* Split-seed derivation: a splitmix64-style finalizer over (seed, i).
+   Cheap, well-mixed, and — unlike [split] — a pure function of its
+   arguments, so the stream of entity [i] can be recreated at any time
+   without replaying the streams of entities 0..i-1.  This is the
+   discipline that makes per-vertex marking locally replayable (the LCA
+   oracle re-derives exactly the stream the batch builder consumed). *)
+let derive ~seed i =
+  create
+    (Int64.to_int
+       (Int64.add
+          (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+          (Int64.mul (Int64.of_int (i + 1)) 0xBF58476D1CE4E5B9L)))
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 let state t = [| t.s0; t.s1; t.s2; t.s3 |]
 

@@ -13,6 +13,16 @@ val create : int -> t
 (** [create seed] returns a fresh generator deterministically derived from
     [seed]. Different seeds yield independent-looking streams. *)
 
+val derive : seed:int -> int -> t
+(** [derive ~seed i] is the generator of entity [i] under master seed
+    [seed]: a splitmix64-style finalizer mixes the pair into a fresh
+    {!create}-style state.  Unlike {!split} it is a {e pure} function of
+    [(seed, i)] — deriving entity [i]'s stream never consumes anyone
+    else's randomness — so a local-access oracle can replay exactly the
+    stream a batch pass consumed for entity [i], in any order, at any
+    time.  [Par_gdelta] and the G_Δ replay oracle share this derivation
+    (bit-for-bit). *)
+
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state;
     advancing one does not affect the other. *)

@@ -1,16 +1,26 @@
 open Mspar_graph
-open Mspar_matching
 open Mspar_dynamic
+open Mspar_lca
 
 (* Request semantics, independent of any socket: the event loop hands
    decoded requests here and queues whatever comes back.  Updates are
    journaled immediately but only become acknowledgeable after
    [sync_if_dirty] — the loop's group-commit point — so an Ack on the
-   wire always means "survives kill -9". *)
+   wire always means "survives kill -9".
+
+   Point queries (Query_sparsifier / Query_matched) are answered by the
+   local-access oracle over the live dynamic graph: O(Δ)-probe replay of
+   the seeded G_Δ marking plus local simulation of its random-greedy
+   matching, memoized across requests.  Read-your-writes contract: an
+   applied update that changed the graph invalidates the oracle's
+   entries for its two endpoints (and the matching memo) before the ack
+   is enqueued, so a client that has seen its own Ack never reads a
+   stale pre-update answer — regression-tested in test_server.ml. *)
 
 type t = {
   durable : Durable.t;
   metrics : Metrics.t;
+  oracle : Oracle.t;
   mutable draining : bool;
   mutable dirty : bool;  (* ops journaled since the last group commit *)
   crash_after_ops : int option;
@@ -18,7 +28,22 @@ type t = {
 }
 
 let create ?crash_after_ops ~metrics durable =
-  { durable; metrics; draining = false; dirty = false; crash_after_ops; applied = 0 }
+  let cfg = Durable.config durable in
+  let g = Dyn_matching.graph (Durable.matching durable) in
+  let oracle =
+    Oracle.create (Adj.of_dyn g) ~seed:cfg.Durable.seed ~delta:cfg.Durable.delta
+  in
+  {
+    durable;
+    metrics;
+    oracle;
+    draining = false;
+    dirty = false;
+    crash_after_ops;
+    applied = 0;
+  }
+
+let oracle t = t.oracle
 
 let digest t =
   let dm = Durable.matching t.durable in
@@ -37,16 +62,31 @@ let crash_point t =
   | Some k when t.applied >= k -> Unix._exit 137
   | Some _ | None -> ()
 
-let update t ~client result =
+(* mirror the oracle's cumulative memo counters into the serve metrics;
+   called after every oracle-backed query *)
+let note_oracle t =
+  let s = Oracle.stats t.oracle in
+  t.metrics.Metrics.oracle_hits <-
+    s.Oracle.mark_cache.Cache.hits + s.Oracle.edge_cache.Cache.hits
+    + s.Oracle.mm_cache.Cache.hits;
+  t.metrics.Metrics.oracle_misses <-
+    s.Oracle.mark_cache.Cache.misses + s.Oracle.edge_cache.Cache.misses
+    + s.Oracle.mm_cache.Cache.misses
+
+let update t ~client ~u ~v result =
   ignore client;
   t.dirty <- true;
   match result with
   | `Applied changed ->
       t.applied <- t.applied + 1;
       t.metrics.Metrics.ops_applied <- t.metrics.Metrics.ops_applied + 1;
+      (* read-your-writes: drop oracle state the flipped edge can have
+         poisoned before the ack is enqueued *)
+      if changed then Oracle.invalidate_edge t.oracle u v;
       crash_point t;
       Wire.Ack changed
   | `Duplicate changed ->
+      (* already applied once (and invalidated then); replayed ack only *)
       t.metrics.Metrics.dedup_hits <- t.metrics.Metrics.dedup_hits + 1;
       Wire.Ack changed
 
@@ -60,7 +100,7 @@ let handle t ~client (req : Wire.request) : Wire.response =
         | None -> Wire.Error "updates require Hello first"
         | Some client -> (
             match Durable.insert_req t.durable ~client ~rid u v with
-            | result -> update t ~client result
+            | result -> update t ~client ~u ~v result
             | exception Invalid_argument msg -> Wire.Error msg))
   | Wire.Delete { rid; u; v } -> (
       if t.draining then Wire.Draining
@@ -69,13 +109,14 @@ let handle t ~client (req : Wire.request) : Wire.response =
         | None -> Wire.Error "updates require Hello first"
         | Some client -> (
             match Durable.delete_req t.durable ~client ~rid u v with
-            | result -> update t ~client result
+            | result -> update t ~client ~u ~v result
             | exception Invalid_argument msg -> Wire.Error msg))
   | Wire.Query_matched v -> (
       t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
-      let m = Dyn_matching.matching (Durable.matching t.durable) in
-      match Matching.is_matched m v with
-      | b -> Wire.Bool b
+      match Oracle.is_matched t.oracle v with
+      | b ->
+          note_oracle t;
+          Wire.Bool b
       | exception Invalid_argument msg -> Wire.Error msg)
   | Wire.Query_edge (u, v) -> (
       t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
@@ -85,8 +126,10 @@ let handle t ~client (req : Wire.request) : Wire.response =
       | exception Invalid_argument msg -> Wire.Error msg)
   | Wire.Query_sparsifier (u, v) -> (
       t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
-      match Dyn_sparsifier.in_sparsifier (Durable.sparsifier t.durable) u v with
-      | b -> Wire.Bool b
+      match Oracle.in_gdelta t.oracle ~u ~v with
+      | b ->
+          note_oracle t;
+          Wire.Bool b
       | exception Invalid_argument msg -> Wire.Error msg)
   | Wire.Checksum -> Wire.Digest (digest t)
   | Wire.Snapshot ->

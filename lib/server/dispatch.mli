@@ -3,13 +3,25 @@
 
     Updates are journaled on [handle] but acknowledgements only become
     durable at {!sync_if_dirty} — the event loop's group-commit point —
-    so the loop must call it before flushing Acks to any socket. *)
+    so the loop must call it before flushing Acks to any socket.
+
+    Point queries ([Query_sparsifier] / [Query_matched]) are answered by
+    a {!Mspar_lca.Oracle} over the live dynamic graph — O(Δ)-probe
+    replay of the seeded G_Δ marking and local simulation of its
+    random-greedy matching, memoized across requests.  Read-your-writes:
+    an applied update that changed the graph invalidates the oracle's
+    endpoint entries before its Ack is enqueued, so a client that has
+    seen its own Ack never reads a stale pre-update answer. *)
 
 open Mspar_dynamic
+open Mspar_lca
 
 type t = {
   durable : Durable.t;
   metrics : Metrics.t;
+  oracle : Oracle.t;
+      (** point-query oracle over the live dynamic graph, seeded from
+          the durable config's [(seed, delta)] *)
   mutable draining : bool;
       (** once set (Drain request or SIGTERM), updates answer
           [Draining]; queries keep working *)
@@ -31,6 +43,10 @@ val handle : t -> client:int option -> Wire.request -> Wire.response
 
 val digest : t -> Wire.digest
 (** Full-state digest (op count, graph/sparsifier checksums, |M|). *)
+
+val oracle : t -> Oracle.t
+(** The dispatcher's point-query oracle (tests inspect its cache
+    stats). *)
 
 val sync_if_dirty : t -> unit
 (** Group commit: fsync the WAL iff updates were journaled since the

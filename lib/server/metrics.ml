@@ -15,6 +15,8 @@ type t = {
   mutable ops_applied : int;
   mutable dedup_hits : int;
   mutable queries : int;
+  mutable oracle_hits : int;
+  mutable oracle_misses : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
 }
@@ -33,6 +35,8 @@ let create () =
     ops_applied = 0;
     dedup_hits = 0;
     queries = 0;
+    oracle_hits = 0;
+    oracle_misses = 0;
     bytes_in = 0;
     bytes_out = 0;
   }
@@ -48,12 +52,15 @@ let summary t =
     ops_applied = t.ops_applied;
     dedup_hits = t.dedup_hits;
     queries = t.queries;
+    oracle_hits = t.oracle_hits;
+    oracle_misses = t.oracle_misses;
   }
 
 let to_string t =
   Printf.sprintf
     "accepted=%d active=%d dropped(proto/idle/slow)=%d/%d/%d frames=%d/%d \
-     malformed=%d busy=%d ops=%d dedup=%d queries=%d bytes=%d/%d"
+     malformed=%d busy=%d ops=%d dedup=%d queries=%d oracle(hit/miss)=%d/%d \
+     bytes=%d/%d"
     t.accepted t.active t.dropped_protocol t.dropped_idle t.dropped_slowloris
     t.frames_in t.frames_out t.malformed t.busy_rejections t.ops_applied
-    t.dedup_hits t.queries t.bytes_in t.bytes_out
+    t.dedup_hits t.queries t.oracle_hits t.oracle_misses t.bytes_in t.bytes_out

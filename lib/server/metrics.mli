@@ -14,6 +14,10 @@ type t = {
   mutable ops_applied : int;  (** updates applied into the pipeline *)
   mutable dedup_hits : int;  (** updates answered from the dedup cache *)
   mutable queries : int;
+  mutable oracle_hits : int;
+      (** cumulative oracle memo hits (mark + matching caches), mirrored
+          from {!Mspar_lca.Oracle.stats} after each oracle-backed query *)
+  mutable oracle_misses : int;  (** cumulative oracle memo misses *)
   mutable bytes_in : int;
   mutable bytes_out : int;
 }

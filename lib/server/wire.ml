@@ -42,6 +42,8 @@ type summary = {
   ops_applied : int;
   dedup_hits : int;
   queries : int;
+  oracle_hits : int;
+  oracle_misses : int;
 }
 
 type response =
@@ -120,7 +122,9 @@ let encode_response buf r =
       Codec.add_uvarint buf s.busy_rejections;
       Codec.add_uvarint buf s.ops_applied;
       Codec.add_uvarint buf s.dedup_hits;
-      Codec.add_uvarint buf s.queries
+      Codec.add_uvarint buf s.queries;
+      Codec.add_uvarint buf s.oracle_hits;
+      Codec.add_uvarint buf s.oracle_misses
   | Error msg ->
       Buffer.add_char buf '\008';
       Codec.add_string buf msg
@@ -202,6 +206,8 @@ let response_payload r =
       let ops_applied = Codec.read_uvarint r in
       let dedup_hits = Codec.read_uvarint r in
       let queries = Codec.read_uvarint r in
+      let oracle_hits = Codec.read_uvarint r in
+      let oracle_misses = Codec.read_uvarint r in
       Stats_reply
         {
           accepted;
@@ -213,6 +219,8 @@ let response_payload r =
           ops_applied;
           dedup_hits;
           queries;
+          oracle_hits;
+          oracle_misses;
         }
   | 8 -> Error (Codec.read_string r)
   | t -> failwith (Printf.sprintf "unknown response tag %d" t)

@@ -44,6 +44,9 @@ type summary = {
   ops_applied : int;
   dedup_hits : int;
   queries : int;
+  oracle_hits : int;
+      (** oracle memo hits (mark + matching caches) on the query path *)
+  oracle_misses : int;  (** oracle memo misses — cold replays *)
 }
 
 type response =

@@ -1,0 +1,354 @@
+(* Tests for mspar_lca: the local-access oracle and its memo layer.
+
+   The load-bearing property is bit-for-bit parity: every oracle answer
+   must equal the materialized seeded batch construction on the same
+   (seed, graph, delta, rule) — [Gdelta.sparsify_seeded] for sparsifier
+   queries, rank-ordered greedy maximal matching on that sparsifier for
+   matching queries.  On top of parity, a hard probe gate pins the
+   whole point of the oracle: a cold [in_gdelta] costs O(delta) probes
+   plus a constant, independent of n. *)
+
+open Mspar_prelude
+open Mspar_graph
+open Mspar_core
+open Mspar_lca
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: bounded LRU semantics                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_basics () =
+  let c = Cache.create ~capacity:2 in
+  check_bool "miss on empty" true (Cache.find c 1 = None);
+  Cache.put c 1 "a";
+  Cache.put c 2 "b";
+  check_bool "hit 1" true (Cache.find c 1 = Some "a");
+  check_bool "hit 2" true (Cache.find c 2 = Some "b");
+  check_int "len" 2 (Cache.length c);
+  (* 1 was just touched via the hit order above: 2 is now LRU after
+     re-touching 1 *)
+  ignore (Cache.find c 1);
+  Cache.put c 3 "c";
+  check_bool "2 evicted (LRU)" true (Cache.find c 2 = None);
+  check_bool "1 kept (MRU)" true (Cache.find c 1 = Some "a");
+  check_bool "3 present" true (Cache.find c 3 = Some "c");
+  let s = Cache.stats c in
+  check_int "evictions" 1 s.Cache.evictions;
+  check_int "insertions" 3 s.Cache.insertions
+
+let test_cache_remove_clear () =
+  let c = Cache.create ~capacity:4 in
+  Cache.put c 10 1;
+  Cache.put c 20 2;
+  Cache.remove c 10;
+  check_bool "removed" true (Cache.find c 10 = None);
+  check_int "len after remove" 1 (Cache.length c);
+  Cache.remove c 999 (* no-op *);
+  Cache.put c 30 3;
+  Cache.put c 40 4;
+  Cache.put c 50 5;
+  check_int "len at capacity" 4 (Cache.length c);
+  Cache.clear c;
+  check_int "len after clear" 0 (Cache.length c);
+  check_bool "cleared" true (Cache.find c 20 = None);
+  let s = Cache.stats c in
+  check_bool "invalidations counted" true (s.Cache.invalidations >= 5);
+  (* slots recycle cleanly after clear *)
+  Cache.put c 60 6;
+  check_bool "usable after clear" true (Cache.find c 60 = Some 6)
+
+let test_cache_overwrite () =
+  let c = Cache.create ~capacity:2 in
+  Cache.put c 1 "a";
+  Cache.put c 1 "b";
+  check_int "overwrite keeps one entry" 1 (Cache.length c);
+  check_bool "overwritten value" true (Cache.find c 1 = Some "b");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Cache.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Replay discipline: Rng.derive is the shared split-seed stream      *)
+(* ------------------------------------------------------------------ *)
+
+let test_derive_agrees_with_par_gdelta () =
+  for seed = 0 to 4 do
+    for v = 0 to 50 do
+      let a = Rng.derive ~seed v in
+      let b = Mspar_parallel.Par_gdelta.vertex_rng ~seed v in
+      check_bool "same state" true (Rng.state a = Rng.state b);
+      check_bool "same draw" true (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+    done
+  done
+
+let test_seeded_builders_agree () =
+  let rng = Rng.create 11 in
+  for seed = 1 to 5 do
+    let g = Gen.gnp rng ~n:60 ~p:0.25 in
+    let s1, _ = Gdelta.sparsify_seeded ~seed g ~delta:3 in
+    let s2 = Mspar_parallel.Par_gdelta.sequential ~seed g ~delta:3 in
+    check_bool "sparsify_seeded = Par_gdelta.sequential" true
+      (Graph.equal s1 s2)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parity references                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy maximal matching on the materialized sparsifier, in the exact
+   (rank, a, b) order the oracle simulates locally. *)
+let reference_matching ~seed sg =
+  let edges = Array.to_list (Graph.edges sg) in
+  let ranked =
+    List.map (fun (u, v) -> (Oracle.edge_rank ~seed u v, u, v)) edges
+  in
+  let cmp (r1, a1, b1) (r2, a2, b2) =
+    if r1 <> r2 then compare r1 r2
+    else if a1 <> a2 then compare a1 a2
+    else compare b1 b2
+  in
+  let ranked = List.sort cmp ranked in
+  let matched = Array.make (Graph.n sg) false in
+  let in_mm = Hashtbl.create 64 in
+  List.iter
+    (fun (_, u, v) ->
+      if (not matched.(u)) && not matched.(v) then begin
+        matched.(u) <- true;
+        matched.(v) <- true;
+        Hashtbl.replace in_mm (u, v) ()
+      end)
+    ranked;
+  (matched, in_mm)
+
+let oracle_of_static ?rule g ~seed ~delta =
+  Oracle.create ?rule (Adj.of_static g) ~seed ~delta
+
+(* Every pairwise sparsifier answer and every per-vertex mark list must
+   match the batch build. *)
+let assert_sparsifier_parity ?rule g ~seed ~delta =
+  let o = oracle_of_static ?rule g ~seed ~delta in
+  let sg, _ = Gdelta.sparsify_seeded ?rule ~seed g ~delta in
+  let n = Graph.n g in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Oracle.in_gdelta o ~u ~v <> Graph.has_edge sg u v then
+        Alcotest.failf "in_gdelta mismatch at (%d,%d) seed=%d delta=%d" u v
+          seed delta
+    done
+  done;
+  (* directed mark lists against the raw marked codes *)
+  let buf, shift = Gdelta.marked_codes_seeded ?rule ~seed g ~delta in
+  let per_vertex = Array.make n [] in
+  Edgebuf.iter
+    (fun code ->
+      let v = code lsr shift and u = code land ((1 lsl shift) - 1) in
+      per_vertex.(v) <- u :: per_vertex.(v))
+    buf;
+  for v = 0 to n - 1 do
+    let want = List.sort_uniq Stdlib.compare per_vertex.(v) in
+    let got = Array.to_list (Oracle.marked_neighbors o v) in
+    if want <> got then Alcotest.failf "marked_neighbors mismatch at %d" v
+  done
+
+let assert_matching_parity ?rule g ~seed ~delta =
+  let o = oracle_of_static ?rule g ~seed ~delta in
+  let sg, _ = Gdelta.sparsify_seeded ?rule ~seed g ~delta in
+  let matched, in_mm = reference_matching ~seed sg in
+  for v = 0 to Graph.n g - 1 do
+    if Oracle.is_matched o v <> matched.(v) then
+      Alcotest.failf "is_matched mismatch at %d seed=%d" v seed
+  done;
+  Array.iter
+    (fun (u, v) ->
+      if Oracle.in_matching o ~u ~v <> Hashtbl.mem in_mm (u, v) then
+        Alcotest.failf "in_matching mismatch at (%d,%d) seed=%d" u v seed)
+    (Graph.edges sg)
+
+let test_sparsifier_parity_families () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun (g, name) ->
+      ignore name;
+      List.iter
+        (fun seed ->
+          assert_sparsifier_parity g ~seed ~delta:2;
+          assert_sparsifier_parity g ~seed ~delta:4;
+          assert_sparsifier_parity ~rule:Gdelta.Mark_all_at_most_delta g ~seed
+            ~delta:3)
+        [ 1; 7; 42 ])
+    [
+      (Gen.gnp rng ~n:35 ~p:0.2, "gnp");
+      (Gen.star 30, "star");
+      (Gen.complete 18, "complete");
+      (Gen.path 25, "path");
+      (Gen.disjoint_cliques rng ~n:30 ~k:5, "cliques");
+    ]
+
+let test_matching_parity_families () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun seed ->
+          assert_matching_parity g ~seed ~delta:3;
+          assert_matching_parity ~rule:Gdelta.Mark_all_at_most_delta g ~seed
+            ~delta:2)
+        [ 2; 13 ])
+    [
+      Gen.gnp rng ~n:24 ~p:0.25;
+      Gen.star 20;
+      Gen.complete 12;
+      Gen.perfect_matching 10;
+    ]
+
+let qcheck_oracle_parity =
+  QCheck.Test.make ~name:"oracle parity on random graphs" ~count:40
+    QCheck.(triple (int_range 2 30) (int_range 1 5) (int_range 0 10_000))
+    (fun (n, delta, seed) ->
+      let rng = Rng.create (seed + (31 * n)) in
+      let g = Gen.gnp rng ~n ~p:0.3 in
+      assert_sparsifier_parity g ~seed ~delta;
+      assert_matching_parity g ~seed ~delta;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* The probe gate: cold queries are O(delta), independent of n        *)
+(* ------------------------------------------------------------------ *)
+
+(* A cold [in_gdelta] replays at most 2*keep <= 4*delta adjacency reads
+   for the two endpoint mark lists, plus the binary search inside
+   [has_edge] — logarithmic, bounded by one word width.  The bound below
+   is absolute: the same constant must hold at every n, or the oracle
+   is quietly reading neighborhoods it shouldn't. *)
+let probe_budget ~delta = (4 * delta) + 64
+
+let test_cold_probe_budget () =
+  let delta = 4 in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (n + 1) in
+      List.iter
+        (fun g ->
+          let o = oracle_of_static g ~seed:9 ~delta in
+          (* query across an actual edge so both mark replays run *)
+          let u, v = (Graph.edges g).(0) in
+          Oracle.reset_probes o;
+          ignore (Oracle.in_gdelta o ~u ~v);
+          let cold = Oracle.probes o in
+          if cold > probe_budget ~delta then
+            Alcotest.failf "cold in_gdelta used %d probes (budget %d) at n=%d"
+              cold (probe_budget ~delta) n;
+          (* warm repeat: the edge-level memo answers at zero probes *)
+          Oracle.reset_probes o;
+          ignore (Oracle.in_gdelta o ~u ~v);
+          let warm = Oracle.probes o in
+          if warm <> 0 then
+            Alcotest.failf "warm in_gdelta used %d probes at n=%d" warm n;
+          let s = Oracle.stats o in
+          check_bool "warm repeat hit the memo" true
+            (s.Oracle.edge_cache.Cache.hits > 0))
+        [
+          Gen.gnp rng ~n ~p:(8.0 /. float_of_int n);
+          Gen.star n;
+          Gen.complete (Int.min n 64);
+        ])
+    [ 1_000; 4_000; 16_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic adjacency: parity under interleaved updates + invalidation *)
+(* ------------------------------------------------------------------ *)
+
+let test_dyn_parity_under_updates () =
+  let n = 28 and delta = 3 and seed = 17 in
+  let dg = Mspar_dynamic.Dyn_graph.create n in
+  let o = Oracle.create (Adj.of_dyn dg) ~seed ~delta in
+  let rng = Rng.create 23 in
+  let check_against_snapshot () =
+    let g = Mspar_dynamic.Dyn_graph.snapshot dg in
+    let sg, _ = Gdelta.sparsify_seeded ~seed g ~delta in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Oracle.in_gdelta o ~u ~v <> Graph.has_edge sg u v then
+          Alcotest.failf "dyn in_gdelta mismatch at (%d,%d)" u v
+      done
+    done;
+    let matched, _ = reference_matching ~seed sg in
+    for v = 0 to n - 1 do
+      if Oracle.is_matched o v <> matched.(v) then
+        Alcotest.failf "dyn is_matched mismatch at %d" v
+    done
+  in
+  for step = 1 to 400 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let changed =
+        if Rng.bool rng then Mspar_dynamic.Dyn_graph.insert dg u v
+        else Mspar_dynamic.Dyn_graph.delete dg u v
+      in
+      (* the serve daemon's rule: invalidate on every applied change *)
+      if changed then Oracle.invalidate_edge o u v
+    end;
+    if step mod 80 = 0 then check_against_snapshot ()
+  done;
+  Oracle.invalidate_all o;
+  check_against_snapshot ()
+
+(* Skipping invalidation must be observable: this is exactly the stale
+   read the dispatcher's read-your-writes contract rules out. *)
+let test_stale_without_invalidation () =
+  let n = 8 and delta = 1 and seed = 2 in
+  let dg = Mspar_dynamic.Dyn_graph.create n in
+  ignore (Mspar_dynamic.Dyn_graph.insert dg 0 1);
+  let o = Oracle.create (Adj.of_dyn dg) ~seed ~delta in
+  check_bool "edge present before delete" true (Oracle.in_gdelta o ~u:0 ~v:1);
+  ignore (Mspar_dynamic.Dyn_graph.delete dg 0 1);
+  (* without invalidation the mark memo is stale but has_edge already
+     answers false — the memo only poisons derived state; flip it back
+     on and the stale mark array must be refreshed by invalidation *)
+  ignore (Mspar_dynamic.Dyn_graph.insert dg 0 2);
+  let stale = Oracle.marked_neighbors o 0 in
+  Oracle.invalidate_edge o 0 2;
+  let fresh = Oracle.marked_neighbors o 0 in
+  check_bool "stale memo differs from refreshed replay" true (stale <> fresh);
+  check_bool "refreshed marks see the new edge" true
+    (Array.exists (fun y -> y = 2) fresh)
+
+let () =
+  Alcotest.run "mspar_lca"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "lru basics" `Quick test_cache_basics;
+          Alcotest.test_case "remove/clear" `Quick test_cache_remove_clear;
+          Alcotest.test_case "overwrite + bad capacity" `Quick
+            test_cache_overwrite;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "Rng.derive = Par_gdelta.vertex_rng" `Quick
+            test_derive_agrees_with_par_gdelta;
+          Alcotest.test_case "seeded builders agree" `Quick
+            test_seeded_builders_agree;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "sparsifier parity across families" `Quick
+            test_sparsifier_parity_families;
+          Alcotest.test_case "matching parity across families" `Quick
+            test_matching_parity_families;
+        ] );
+      ( "probes",
+        [ Alcotest.test_case "cold O(delta) gate" `Quick test_cold_probe_budget ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "parity under interleaved updates" `Quick
+            test_dyn_parity_under_updates;
+          Alcotest.test_case "stale without invalidation" `Quick
+            test_stale_without_invalidation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_oracle_parity ] );
+    ]

@@ -457,6 +457,7 @@ let test_msp013 () =
 let graph_stub =
   "module Graph = struct\n\
   \  let iter_neighbors_uncounted _g _v _f = ()\n\
+  \  let neighbors_into_uncounted _g _v ~out:_ = 0\n\
   \  let add_probes _g _n = ()\n\
    end\n"
 
@@ -498,7 +499,23 @@ let test_msp014 () =
     (typed_lint ~file:"lib/distsim/fix.ml"
        (graph_stub
       ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())\n\
-         [@@lint.allow \"MSP014\"]"))
+         [@@lint.allow \"MSP014\"]"));
+  (* probe-dirs extend the same discipline to the oracle layer *)
+  check_fires "probe-dir: uncharged oracle accessor" "MSP014"
+    (typed_lint ~file:"lib/lca/fix.ml"
+       (graph_stub
+      ^ "let gather g v ~out = Graph.neighbors_into_uncounted g v ~out"));
+  check_silent "probe-dir: charge in the same function" "MSP014"
+    (typed_lint ~file:"lib/lca/fix.ml"
+       (graph_stub
+      ^ "let gather g v ~out =\n\
+         \  let d = Graph.neighbors_into_uncounted g v ~out in\n\
+         \  Graph.add_probes g d;\n\
+         \  d"));
+  check_fires "probe-dir: bulk accessor is uncounted too" "MSP014"
+    (typed_lint ~file:"lib/lca/fix.ml"
+       (graph_stub
+      ^ "let peek g v = Graph.iter_neighbors_uncounted g v (fun _ -> ())"))
 
 (* ---------------------------------------------------------------- *)
 (* discovery agreement and SARIF shape                               *)

@@ -64,6 +64,8 @@ let sample_responses =
         ops_applied = 7;
         dedup_hits = 8;
         queries = 9;
+        oracle_hits = 10;
+        oracle_misses = 11;
       };
     Wire.Error "";
     Wire.Error "updates require Hello first";
@@ -154,6 +156,105 @@ let qcheck_request_roundtrip =
       | Ok r' -> r = r'
       | Error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Dispatch: read-your-writes through the point-query oracle           *)
+(* ------------------------------------------------------------------ *)
+
+(* The contract under test: once a client holds the Ack for an update,
+   every subsequent point query answers as if the oracle were built
+   fresh on the post-update graph — the dispatcher must invalidate its
+   memo before the ack, or cached pre-update answers leak. *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun e -> remove_tree (Filename.concat path e))
+        (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mspar-dispatch-%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) (fun () -> f dir)
+
+let bool_answer = function
+  | Wire.Bool b -> b
+  | Wire.Error msg -> Alcotest.failf "query answered Error %S" msg
+  | _ -> Alcotest.fail "query answered a non-Bool response"
+
+let test_dispatch_read_your_writes () =
+  with_dir (fun dir ->
+      let config =
+        {
+          Mspar_dynamic.Durable.n = 24;
+          delta = 3;
+          beta = 4;
+          eps = 0.4;
+          multiplier = 2.0;
+          seed = 7;
+        }
+      in
+      let durable = Mspar_dynamic.Durable.create ~sync_every:1 ~dir config in
+      Fun.protect
+        ~finally:(fun () -> Mspar_dynamic.Durable.close durable)
+        (fun () ->
+          let metrics = Metrics.create () in
+          let t = Dispatch.create ~metrics durable in
+          let client = Some 1 in
+          let rid = ref 0 in
+          let apply req_of =
+            incr rid;
+            match Dispatch.handle t ~client (req_of ~rid:!rid) with
+            | Wire.Ack _ -> Dispatch.sync_if_dirty t
+            | Wire.Error msg -> Alcotest.failf "update answered Error %S" msg
+            | _ -> Alcotest.fail "update answered a non-Ack response"
+          in
+          (* a freshly built dispatcher over the same durable state has a
+             cold oracle: its answers are by construction un-stale *)
+          let check_against_fresh () =
+            let fresh = Dispatch.create ~metrics:(Metrics.create ()) durable in
+            for u = 0 to 11 do
+              let q = Wire.Query_matched u in
+              if
+                bool_answer (Dispatch.handle t ~client q)
+                <> bool_answer (Dispatch.handle fresh ~client q)
+              then Alcotest.failf "stale Query_matched at %d" u;
+              for v = u + 1 to 11 do
+                let q = Wire.Query_sparsifier (u, v) in
+                if
+                  bool_answer (Dispatch.handle t ~client q)
+                  <> bool_answer (Dispatch.handle fresh ~client q)
+                then Alcotest.failf "stale Query_sparsifier at (%d,%d)" u v
+              done
+            done
+          in
+          let rng = Mspar_prelude.Rng.create 41 in
+          for step = 1 to 60 do
+            let u = Mspar_prelude.Rng.int rng 12
+            and v = Mspar_prelude.Rng.int rng 12 in
+            if u <> v then
+              if Mspar_prelude.Rng.bool rng then
+                apply (fun ~rid -> Wire.Insert { rid; u; v })
+              else apply (fun ~rid -> Wire.Delete { rid; u; v });
+            (* warm the memo between updates so staleness would show *)
+            ignore (Dispatch.handle t ~client (Wire.Query_sparsifier (u, v)));
+            ignore (Dispatch.handle t ~client (Wire.Query_matched u));
+            if step mod 12 = 0 then check_against_fresh ()
+          done;
+          check_against_fresh ();
+          (* the query path really went through the oracle, and the
+             counters surfaced in the wire summary *)
+          let s = Metrics.summary metrics in
+          check_bool "oracle misses counted" true (s.Wire.oracle_misses > 0);
+          check_bool "oracle hits counted" true (s.Wire.oracle_hits > 0)))
+
 let () =
   Alcotest.run "mspar_server"
     [
@@ -164,6 +265,11 @@ let () =
           Alcotest.test_case "response round-trips" `Quick
             test_response_roundtrip;
           Alcotest.test_case "hostile bodies" `Quick test_hostile_bodies;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "read your writes" `Quick
+            test_dispatch_read_your_writes;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -15,6 +15,11 @@ type t = {
       (* ... except for these files (the network substrate itself) *)
   congest_forbidden : string list;
       (* identifier paths that count as direct adjacency access *)
+  probe_dirs : string list;
+      (* MSP014 (uncounted access dominated by charge) is additionally
+         enforced under these prefixes: probe-metered query code that
+         reads adjacency through uncounted accessors must charge the
+         probe counter in the same function *)
   require_mli_dirs : string list;
       (* MSP006: every .ml under these prefixes needs a sibling .mli *)
   allows : (string * string) list;
@@ -35,7 +40,9 @@ let default =
         "Graph.has_edge";
         "Graph.edges";
         "Graph.iter_edges";
+        "Graph.neighbors_into_uncounted";
       ];
+    probe_dirs = [ "lib/lca" ];
     require_mli_dirs = [ "lib" ];
     allows =
       [
@@ -57,6 +64,7 @@ let empty =
     congest_dirs = [];
     congest_exempt = [];
     congest_forbidden = [];
+    probe_dirs = [];
     require_mli_dirs = [];
     allows = [];
   }
@@ -75,6 +83,8 @@ let in_hot_dir t file = matches_any t.hot_dirs file
 
 let in_congest_scope t file =
   matches_any t.congest_dirs file && not (matches_any t.congest_exempt file)
+
+let in_probe_scope t file = matches_any t.probe_dirs file
 
 let requires_mli t file = matches_any t.require_mli_dirs file
 
@@ -96,6 +106,7 @@ let parse_line cfg lineno line =
   | [ "congest-dir"; d ] -> { cfg with congest_dirs = cfg.congest_dirs @ [ d ] }
   | [ "congest-exempt"; f ] -> { cfg with congest_exempt = cfg.congest_exempt @ [ f ] }
   | [ "congest-forbid"; id ] -> { cfg with congest_forbidden = cfg.congest_forbidden @ [ id ] }
+  | [ "probe-dir"; d ] -> { cfg with probe_dirs = cfg.probe_dirs @ [ d ] }
   | [ "require-mli"; d ] -> { cfg with require_mli_dirs = cfg.require_mli_dirs @ [ d ] }
   | [ "allow"; code; path ] -> { cfg with allows = cfg.allows @ [ (code, path) ] }
   | directive :: _ ->

@@ -6,6 +6,7 @@
     congest-dir lib/distsim      # MSP003 scope
     congest-exempt lib/distsim/network.ml
     congest-forbid Graph.iter_neighbors
+    probe-dir lib/lca            # MSP014 scope beyond congest-dirs
     require-mli lib              # MSP006 scope
     allow MSP001 lib/prelude/rng.ml   # switch a rule off under a prefix
     v} *)
@@ -15,6 +16,7 @@ type t = {
   congest_dirs : string list;
   congest_exempt : string list;
   congest_forbidden : string list;
+  probe_dirs : string list;
   require_mli_dirs : string list;
   allows : (string * string) list;
 }
@@ -36,6 +38,12 @@ val load : string -> t
 
 val in_hot_dir : t -> string -> bool
 val in_congest_scope : t -> string -> bool
+
+val in_probe_scope : t -> string -> bool
+(** MSP014 (probe accounting) also applies under [probe_dirs] — the
+    oracle layer reads adjacency through uncounted accessors and must
+    charge the probe counter in the same function. *)
+
 val requires_mli : t -> string -> bool
 
 val rule_enabled : t -> code:string -> file:string -> bool

@@ -479,6 +479,7 @@ let uncounted_accessors =
     "Graph.neighbor_uncounted";
     "Graph.iter_neighbors_uncounted";
     "Graph.append_neighbors_uncounted";
+    "Graph.neighbors_into_uncounted";
     "Graph.edges";
     "Graph.iter_edges";
   ]
@@ -528,7 +529,8 @@ let msp014 cfg a =
   let findings = ref [] in
   Lint_callgraph.iter_nodes g (fun nd ->
       if
-        Lint_config.in_congest_scope cfg nd.file
+        (Lint_config.in_congest_scope cfg nd.file
+        || Lint_config.in_probe_scope cfg nd.file)
         && Lint_config.rule_enabled cfg ~code:"MSP014" ~file:nd.file
         && not (Hashtbl.find charged nd.key)
       then
