@@ -4,7 +4,7 @@
 # includes the construction-path micro-bench smoke run (see bench/dune).
 
 .PHONY: all build fmt lint lint-fixtures test check ci bench \
-  bench-construction bench-smoke bench-serve bench-lca
+  bench-construction bench-smoke bench-serve bench-lca bench-replication
 
 all: build
 
@@ -65,6 +65,15 @@ bench-smoke:
 bench-serve:
 	dune exec bench/main.exe -- --csv bench_csv serve-faults
 	dune exec bench/main.exe -- --csv bench_csv serve-load
+
+# full replication suite: all four hot-standby legs at full op counts —
+# kill -9 failover with Promote + client rediscovery, replica crash
+# catch-up over the surviving dir, stale-epoch fencing, and the
+# slow-follower lag/backpressure leg — writing
+# bench_csv/serve-replication.csv (the failover + fencing legs run at
+# smoke size on every `dune runtest` / `make ci`)
+bench-replication:
+	dune exec bench/main.exe -- --csv bench_csv serve-replication
 
 # full-size point-query oracle rows (100k vertices, ~5M edges): cold
 # O(delta) probe gate, >=100x query-vs-build crossover, and the Zipfian

@@ -13,7 +13,14 @@
      per query by >= 10x against cold (full size; the smoke gate is the
      weaker warm < cold);
    - parity: every answer is cross-checked against edge membership in
-     the materialized [Gdelta.sparsify_seeded] on the same seed.
+     the materialized [Gdelta.sparsify_seeded] on the same seed;
+   - matching tail: cold [Oracle.is_matched] runs the recursive
+     random-greedy simulation, whose probe tail is polynomial in the
+     degree and delta but must stay independent of n.  Measured on a
+     constant-average-degree companion graph (the main sizes sweep
+     density, which would conflate degree growth with n growth) and
+     gated per query at [64 * avg_deg * (delta + 8)] probes, with every
+     answer cross-checked against the materialized greedy matching.
 
    Every query batch is pre-sampled before timing so the measured loop
    is nothing but oracle calls. *)
@@ -48,6 +55,68 @@ let random_edge rng g =
 
 let gate name ok detail =
   if not ok then failwith (Printf.sprintf "lca-query gate failed: %s (%s)" name detail)
+
+(* ---- matching tail: cold [is_matched] on a bounded-density graph ---- *)
+
+(* The reference: the random-greedy maximal matching of the materialized
+   sparsifier, edges taken in the oracle's own (rank, a, b) order. *)
+let greedy_matched sg ~oseed =
+  let n = Graph.n sg in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    Graph.iter_neighbors sg u (fun v -> if u < v then edges := (u, v) :: !edges)
+  done;
+  let arr = Array.of_list !edges in
+  Array.sort
+    (fun (a1, b1) (a2, b2) ->
+      let r1 = Oracle.edge_rank ~seed:oseed a1 b1
+      and r2 = Oracle.edge_rank ~seed:oseed a2 b2 in
+      if r1 <> r2 then Int.compare r1 r2
+      else if a1 <> a2 then Int.compare a1 a2
+      else Int.compare b1 b2)
+    arr;
+  let matched = Array.make n false in
+  Array.iter
+    (fun (u, v) ->
+      if (not matched.(u)) && not matched.(v) then begin
+        matched.(u) <- true;
+        matched.(v) <- true
+      end)
+    arr;
+  matched
+
+(* Per-query probe ceiling for the recursive matching simulation: each
+   recursion level scans one neighborhood (~avg_deg probes) and replays
+   its marks (O(delta)), and the explored lower-rank chain is bounded by
+   the sparsifier degree — polynomial in (avg_deg, delta), with no n
+   term.  Measured headroom over the seeded runs is 2-5x; a regression
+   that makes the tail grow with n blows through it immediately. *)
+let mm_row ~full ~n ~delta =
+  let rng = Rng.create (seed + n) in
+  let m' = 3 * n in
+  let g = Graph.of_edge_array ~n (Micro.random_edge_array rng ~n ~m:m') in
+  let sg, _ = Gdelta.sparsify_seeded ~seed g ~delta in
+  let matched = greedy_matched sg ~oseed:seed in
+  let o = Oracle.create (Adj.of_static g) ~seed ~delta in
+  let q_mm = if full then 500 else 300 in
+  let avg_deg = 2 * m' / n in
+  let mm_budget = 64 * avg_deg * (delta + 8) in
+  let total = ref 0 and maxp = ref 0 in
+  for _ = 1 to q_mm do
+    let v = Rng.int rng n in
+    let p0 = Oracle.probes o in
+    let got = Oracle.is_matched o v in
+    let dp = Oracle.probes o - p0 in
+    total := !total + dp;
+    if dp > !maxp then maxp := dp;
+    if got <> matched.(v) then
+      failwith
+        (Printf.sprintf "lca-query is_matched parity failed at v=%d n=%d" v n)
+  done;
+  gate "is_matched probes <= 64 * avg_deg * (delta + 8)"
+    (!maxp <= mm_budget)
+    (Printf.sprintf "max=%d budget=%d n=%d" !maxp mm_budget n);
+  (float_of_int !total /. float_of_int q_mm, !maxp)
 
 let row ~full ~n ~m ~delta =
   let rng = Rng.create (seed + n) in
@@ -115,6 +184,7 @@ let row ~full ~n ~m ~delta =
     gate "warm replay cheaper than cold"
       (warm_mean_probes < cold_mean_probes)
       (Printf.sprintf "cold=%.1f warm=%.1f" cold_mean_probes warm_mean_probes);
+  let mm_mean_probes, mm_max_probes = mm_row ~full ~n ~delta in
   [
     Table.cell_i n;
     Table.cell_i (Graph.m g);
@@ -127,6 +197,8 @@ let row ~full ~n ~m ~delta =
     Table.cell_f speedup;
     Table.cell_f warm_mean_probes;
     Table.cell_f hit_ratio;
+    Table.cell_f mm_mean_probes;
+    Table.cell_i mm_max_probes;
     Table.cell_i (q_cold + q_warm);
   ]
 
@@ -140,7 +212,7 @@ let run ~full () =
         [
           "n"; "m"; "delta"; "build-ms"; "cold-probes/q"; "cold-probes-max";
           "cold-p50-us"; "cold-p99-us"; "speedup-vs-build"; "warm-probes/q";
-          "memo-hit-ratio"; "queries";
+          "memo-hit-ratio"; "mm-probes/q"; "mm-probes-max"; "queries";
         ]
   in
   let sizes =

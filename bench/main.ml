@@ -41,6 +41,15 @@
      dune exec bench/main.exe -- serve-smoke - SIGTERM-mid-load drain
                                               contract only (the dune
                                               runtest hook)
+     dune exec bench/main.exe -- serve-replication - hot-standby WAL
+                                              shipping: kill -9 failover
+                                              with Promote + client
+                                              rediscovery, replica crash
+                                              catch-up, epoch fencing,
+                                              slow-follower lag
+     dune exec bench/main.exe -- replication-smoke - failover + fencing
+                                              legs at runtest size (the
+                                              dune runtest hook)
      dune exec bench/main.exe -- lca-query   - point-query oracle vs the
                                               materialized G_Delta build at
                                               100k vertices: cold O(delta)
@@ -161,6 +170,14 @@ let () =
     incr ran;
     Serve_faults.drain_smoke ()
   end;
+  if explicit "serve-replication" then begin
+    incr ran;
+    Serve_replication.run ()
+  end;
+  if explicit "replication-smoke" then begin
+    incr ran;
+    Serve_replication.smoke ()
+  end;
   if explicit "lca-query" then begin
     incr ran;
     Lca_query.run ~full:true ()
@@ -186,6 +203,8 @@ let () =
     prerr_endline "  serve-faults";
     prerr_endline "  serve-faults-smoke";
     prerr_endline "  serve-smoke";
+    prerr_endline "  serve-replication";
+    prerr_endline "  replication-smoke";
     prerr_endline "  lca-query";
     prerr_endline "  lca-smoke";
     exit 1

@@ -84,7 +84,13 @@ let send_action c (p : pending) =
 let reconnect c =
   Client.close c.conn;
   c.reconnects <- c.reconnects + 1;
-  match Client.connect_retry ~attempts:10 ~base_delay:0.05 c.addr with
+  (* full-jitter backoff seeded per client: a herd of reconnecting
+     clients fans out instead of hammering the fresh listener in sync *)
+  match
+    Client.connect_retry ~attempts:10 ~base_delay:0.05 ~cap:2.0
+      ~seed:(0x5eed + c.id)
+      c.addr
+  with
   | Error msg -> failwith ("serve_load: reconnect: " ^ msg)
   | Ok conn ->
       c.conn <- conn;
@@ -126,7 +132,9 @@ let handle_response c resp now =
           c.query_latencies <- (now -. p.first_send) :: c.query_latencies
       | Wire.Error msg -> failwith ("serve_load: server error: " ^ msg)
       | Wire.Draining -> failwith "serve_load: unexpected Draining"
-      | Wire.Ok | Wire.Digest _ | Wire.Stats_reply _ ->
+      | Wire.Ok | Wire.Digest _ | Wire.Stats_reply _ | Wire.Repl_snapshot _
+      | Wire.Repl_frames _ | Wire.Repl_fence _ | Wire.Redirect _
+      | Wire.Role_reply _ ->
           failwith "serve_load: unexpected response")
 
 let top_up c ~window =

@@ -84,6 +84,51 @@ let fork_server ?(sync_every = 1) ?snapshot_every ?audit_every ?crash_after_ops
       Unix._exit code
   | pid -> pid
 
+(* Fork a replica child: bootstrap from the primary when [fresh],
+   otherwise recover the replica dir (catch-up restart), then run as a
+   hot standby of [upstream].  Same child discipline as [fork_server]. *)
+let fork_replica ?(sync_every = 1) ?snapshot_every ?(tune = fun c -> c) ~fresh
+    ~dir ~addr ~upstream () =
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        match
+          let recover () =
+            match Durable.recover ~sync_every ?snapshot_every dir with
+            | Ok d -> d
+            | Error msg -> failwith ("replica recover: " ^ msg)
+          in
+          let durable =
+            if fresh then
+              match Server.bootstrap_replica ~upstream ~dir with
+              | Ok () -> recover ()
+              | Error msg -> failwith ("replica bootstrap: " ^ msg)
+            else recover ()
+          in
+          match Server.bind_listen addr with
+          | Error msg ->
+              Durable.close durable;
+              prerr_endline ("replica child: " ^ msg);
+              Server.exit_bind_failure
+          | Ok listen -> (
+              let scfg = tune (Server.default_config addr) in
+              match Server.run ~replica_of:upstream scfg ~listen ~durable with
+              | Ok () ->
+                  Durable.close durable;
+                  0
+              | Error msg ->
+                  Durable.close durable;
+                  prerr_endline ("replica child: " ^ msg);
+                  1)
+        with
+        | code -> code
+        | exception e ->
+            prerr_endline ("replica child: " ^ Printexc.to_string e);
+            2
+      in
+      Unix._exit code
+  | pid -> pid
+
 let await addr =
   match Client.connect_retry ~attempts:60 ~base_delay:0.02 addr with
   | Ok c -> c

@@ -448,9 +448,9 @@ let dynamic_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket port host journal recover n beta eps multiplier seed
-      sync_every snapshot_every audit_every max_conns max_pending idle_timeout
-      frame_timeout max_frame busy_retry_ms crash_after_ops =
+  let run socket port host journal recover replica_of n beta eps multiplier
+      seed sync_every snapshot_every audit_every max_conns max_pending
+      idle_timeout frame_timeout max_frame busy_retry_ms crash_after_ops =
     let open Mspar_dynamic in
     let open Mspar_server in
     let fail_config msg =
@@ -468,9 +468,18 @@ let serve_cmd =
     (match journal with
     | "" -> fail_config "--journal DIR is required"
     | _ -> ());
-    (* --recover reads n/beta/eps back from the journal's Meta record, so
-       the fresh-create parameters are only validated on a fresh start *)
-    if not recover then begin
+    let replica_of =
+      match replica_of with
+      | None -> None
+      | Some s -> (
+          match Wire.addr_of_string s with
+          | Ok a -> Some a
+          | Error msg -> fail_config ("--replica-of: " ^ msg))
+    in
+    (* --recover reads n/beta/eps back from the journal's Meta record (and
+       a replica takes its config from the primary), so the fresh-create
+       parameters are only validated on a fresh primary start *)
+    if (not recover) && Option.is_none replica_of then begin
       if n < 1 then fail_config "--n must be >= 1";
       if beta < 1 then
         fail_config
@@ -479,32 +488,56 @@ let serve_cmd =
     end;
     if max_conns < 1 || max_pending < 1 || max_frame < 16 || busy_retry_ms < 1
     then fail_config "server limits must be positive (and --max-frame >= 16)";
+    let recover_or_die () =
+      match
+        Durable.recover ?sync_every ?snapshot_every ?audit_every journal
+      with
+      | Error msg ->
+          Printf.eprintf "mspar serve: recovery failed: %s\n" msg;
+          exit Server.exit_recovery_failure
+      | Ok d ->
+          let s = Durable.stats d in
+          Printf.printf "recovered: ops=%d epoch=%s replayed=%d\n%!"
+            s.Durable.ops
+            (match s.Durable.recovered_epoch with
+            | Some e -> string_of_int e
+            | None -> "none")
+            s.Durable.replayed;
+          d
+    in
     let durable =
-      if recover then (
-        match
-          Durable.recover ?sync_every ?snapshot_every ?audit_every journal
-        with
-        | Error msg ->
-            Printf.eprintf "mspar serve: recovery failed: %s\n" msg;
-            exit Server.exit_recovery_failure
-        | Ok d ->
-            let s = Durable.stats d in
-            Printf.printf "recovered: ops=%d epoch=%s replayed=%d\n%!"
-              s.Durable.ops
-              (match s.Durable.recovered_epoch with
-              | Some e -> string_of_int e
-              | None -> "none")
-              s.Durable.replayed;
-            d)
-      else begin
-        let delta = Delta_param.scaled ~multiplier ~beta ~eps in
-        match
-          Durable.create ?sync_every ?snapshot_every ?audit_every ~dir:journal
-            { Durable.n; delta; beta; eps; multiplier; seed }
-        with
-        | d -> d
-        | exception Invalid_argument msg -> fail_config msg
-      end
+      match replica_of with
+      | Some upstream -> (
+          (* replica: resume the local tail when the dir already holds a
+             journal, else bootstrap a fresh one from the primary *)
+          match
+            Durable.recover ?sync_every ?snapshot_every ?audit_every journal
+          with
+          | Ok d -> d
+          | Error "no journal found" -> (
+              match Server.bootstrap_replica ~upstream ~dir:journal with
+              | Error msg ->
+                  Printf.eprintf "mspar serve: %s\n" msg;
+                  exit Server.exit_recovery_failure
+              | Ok () ->
+                  Printf.printf "bootstrapped replica from %s\n%!"
+                    (Fmt.str "%a" Wire.pp_addr upstream);
+                  recover_or_die ())
+          | Error msg ->
+              Printf.eprintf "mspar serve: recovery failed: %s\n" msg;
+              exit Server.exit_recovery_failure)
+      | None ->
+          if recover then recover_or_die ()
+          else begin
+            let delta = Delta_param.scaled ~multiplier ~beta ~eps in
+            match
+              Durable.create ?sync_every ?snapshot_every ?audit_every
+                ~dir:journal
+                { Durable.n; delta; beta; eps; multiplier; seed }
+            with
+            | d -> d
+            | exception Invalid_argument msg -> fail_config msg
+          end
     in
     let cfg =
       {
@@ -525,9 +558,12 @@ let serve_cmd =
         Printf.eprintf "mspar serve: %s\n" msg;
         exit Server.exit_bind_failure
     | Ok listen -> (
-        Fmt.pr "mspar serve: listening on %a (journal %s)\n%!" Wire.pp_addr
-          addr journal;
-        match Server.run cfg ~listen ~durable with
+        Fmt.pr "mspar serve: listening on %a (journal %s%s)\n%!" Wire.pp_addr
+          addr journal
+          (match replica_of with
+          | Some a -> Fmt.str ", replica of %a" Wire.pp_addr a
+          | None -> "");
+        match Server.run ?replica_of cfg ~listen ~durable with
         | Ok () ->
             let s = Durable.stats durable in
             Durable.close durable;
@@ -557,6 +593,19 @@ let serve_cmd =
   let recover_arg =
     let doc = "Recover from the existing journal instead of starting fresh." in
     Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let replica_of_arg =
+    let doc =
+      "Run as a hot-standby replica of the primary at $(docv) \
+       (unix:PATH, tcp:HOST:PORT, or HOST:PORT): bootstrap or resume the \
+       local journal, tail the primary's WAL, serve read-only queries, \
+       redirect updates.  A Promote request turns the replica into the \
+       primary."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replica-of" ] ~docv:"ADDR" ~doc)
   in
   let sync_every_arg =
     let doc =
@@ -623,6 +672,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ journal_arg $ recover_arg
+      $ replica_of_arg
       $ n_arg $ beta_arg $ eps_arg $ multiplier_arg $ seed_arg $ sync_every_arg
       $ snapshot_every_arg $ audit_every_arg $ max_conns_arg $ max_pending_arg
       $ idle_timeout_arg $ frame_timeout_arg $ max_frame_arg $ busy_retry_ms_arg
@@ -634,6 +684,59 @@ let serve_cmd =
          "Long-running matching service over Unix/TCP sockets: durable \
           updates with at-most-once semantics, point queries, backpressure, \
           graceful drain on SIGTERM")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* promote                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* one Promote frame to a running replica: bumps its journaled epoch
+   past the upstream's and starts fencing the old primary (DESIGN.md
+   §13).  Idempotent against a server that is already primary. *)
+let promote_cmd =
+  let run addr =
+    let open Mspar_server in
+    let fail msg =
+      Printf.eprintf "mspar promote: %s\n" msg;
+      exit 1
+    in
+    let addr =
+      match Wire.addr_of_string addr with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "mspar promote: %s\n" msg;
+          exit 2
+    in
+    let c =
+      match Client.connect_retry addr with Ok c -> c | Error m -> fail m
+    in
+    (match Client.request c Wire.Promote with
+    | Ok Wire.Ok -> ()
+    | Ok (Wire.Error msg) -> fail msg
+    | Ok _ -> fail "unexpected response to Promote"
+    | Error msg -> fail msg);
+    (match Client.request c Wire.Role with
+    | Ok (Wire.Role_reply { primary; epoch; offset }) ->
+        Printf.printf "primary=%b epoch=%d durable-offset=%d\n" primary epoch
+          offset
+    | Ok _ | Error _ -> print_endline "promoted");
+    Client.close c
+  in
+  let addr_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Replica address: unix:PATH, tcp:HOST:PORT, HOST:PORT, or a \
+             bare socket path.")
+  in
+  let term = Term.(const run $ addr_arg) in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a running replica to primary (epoch-fenced failover): \
+          send one Promote frame and print the resulting role")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -723,5 +826,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; sparsify_cmd; run_cmd; dist_cmd; dynamic_cmd; serve_cmd;
-            stream_cmd; mpc_cmd;
+            promote_cmd; stream_cmd; mpc_cmd;
           ]))

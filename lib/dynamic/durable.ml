@@ -40,6 +40,14 @@ type t = {
   config : config;
   writer : Journal.writer;
   lock : Journal.lock;
+  mutable repl_epoch : int;
+      (* monotone replication epoch: bumped on promotion, persisted as a
+         Meta record and in the lockfile; fences stale primaries *)
+  mutable cursor : int option;
+      (* replica mode: the primary-WAL byte offset this dir has applied
+         up to.  [None] on primaries.  Maintained by [apply_shipped];
+         recomputed at recovery from the bootstrap marker plus the
+         byte-identical shipped suffix. *)
   sp : Dyn_sparsifier.t;
   dm : Dyn_matching.t;
   (* at-most-once: client id -> (last applied request id, its result).
@@ -85,6 +93,65 @@ let decode_config s =
   let multiplier = Codec.read_float r in
   let seed = Codec.read_int r in
   { n; delta; beta; eps; multiplier; seed }
+
+(* Replication metadata rides in [Journal.Meta] records so it shares the
+   WAL's durability and never-resync discipline:
+
+     "epoch!"   uvarint e             promotion bumped the repl epoch to e
+     "replica!" uvarint wal_offset    replica bootstrap marker: this dir
+                uvarint op_epoch      was seeded from a primary snapshot
+                uvarint repl_epoch    at op count [op_epoch] whose WAL was
+                                      durable through [wal_offset]
+
+   A replica journal is exactly: Meta config, Meta marker, Epoch
+   op_epoch, then the primary's shipped frames appended verbatim — so
+   the applied-up-to cursor needs no separate persistence: it is
+   [wal_offset + (local valid bytes - the 3-record prefix)]. *)
+
+let repl_meta_prefix = "epoch!"
+let marker_prefix = "replica!"
+
+let encode_repl_epoch e =
+  let buf = Buffer.create 12 in
+  Buffer.add_string buf repl_meta_prefix;
+  Codec.add_uvarint buf e;
+  Buffer.contents buf
+
+let payload_after_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    let pl = String.length prefix in
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let repl_epoch_of_meta s =
+  match payload_after_prefix ~prefix:repl_meta_prefix s with
+  | None -> None
+  | Some rest -> (
+      match Codec.read_uvarint (Codec.reader rest) with
+      | e -> Some e
+      | exception _ -> None)
+
+let encode_marker ~wal_offset ~op_epoch ~repl_epoch =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf marker_prefix;
+  Codec.add_uvarint buf wal_offset;
+  Codec.add_uvarint buf op_epoch;
+  Codec.add_uvarint buf repl_epoch;
+  Buffer.contents buf
+
+let marker_of_meta s =
+  match payload_after_prefix ~prefix:marker_prefix s with
+  | None -> None
+  | Some rest -> (
+      match
+        let r = Codec.reader rest in
+        let wal_offset = Codec.read_uvarint r in
+        let op_epoch = Codec.read_uvarint r in
+        let repl_epoch = Codec.read_uvarint r in
+        (wal_offset, op_epoch, repl_epoch)
+      with
+      | m -> Some m
+      | exception _ -> None)
 
 let fresh_state config =
   (* Two split streams off one base seed: the sparsifier and the matcher
@@ -156,16 +223,19 @@ let decode_dedup r =
   done;
   dedup
 
-let snapshot_now t =
-  (* Journal first: every op covered by the snapshot must be durable
-     before the Epoch record claims the snapshot supersedes it. *)
-  Journal.sync t.writer;
+let encode_state t =
   let buf = Buffer.create 4096 in
   Codec.add_uvarint buf t.ops;
   Dyn_sparsifier.encode t.sp buf;
   Dyn_matching.encode t.dm buf;
   encode_dedup buf t.dedup;
-  Journal.write_blob (snap_path t.dir t.ops) (Buffer.contents buf);
+  Buffer.contents buf
+
+let snapshot_now t =
+  (* Journal first: every op covered by the snapshot must be durable
+     before the Epoch record claims the snapshot supersedes it. *)
+  Journal.sync t.writer;
+  Journal.write_blob (snap_path t.dir t.ops) (encode_state t);
   Journal.append t.writer (Journal.Epoch t.ops);
   Journal.sync t.writer;
   t.snapshots <- t.snapshots + 1
@@ -245,13 +315,15 @@ let sync t = Journal.sync t.writer
 (* create / recover                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let make ~dir ~config ~writer ~lock ~sp ~dm ~dedup ~snapshot_every ~audit_every
-    ~ops ~recovered_epoch ~replayed =
+let make ~dir ~config ~writer ~lock ~repl_epoch ~cursor ~sp ~dm ~dedup
+    ~snapshot_every ~audit_every ~ops ~recovered_epoch ~replayed =
   {
     dir;
     config;
     writer;
     lock;
+    repl_epoch;
+    cursor;
     sp;
     dm;
     dedup;
@@ -281,8 +353,9 @@ let create ?sync_every ?snapshot_every ?audit_every ~dir config =
     Journal.append writer (Journal.Meta (encode_config config));
     Journal.sync writer;
     let sp, dm = fresh_state config in
-    make ~dir ~config ~writer ~lock ~sp ~dm ~dedup:(Hashtbl.create 16)
-      ~snapshot_every ~audit_every ~ops:0 ~recovered_epoch:None ~replayed:0
+    make ~dir ~config ~writer ~lock ~repl_epoch:0 ~cursor:None ~sp ~dm
+      ~dedup:(Hashtbl.create 16) ~snapshot_every ~audit_every ~ops:0
+      ~recovered_epoch:None ~replayed:0
   with
   | t -> t
   | exception e ->
@@ -311,6 +384,55 @@ let recover ?sync_every ?snapshot_every ?audit_every dir =
             | exception _ -> fail "corrupt config record"
             | config -> (
                 let records = Array.of_list rest in
+                (* highest replication epoch this dir has witnessed, from
+                   promotion records and the bootstrap marker *)
+                let repl_epoch =
+                  Array.fold_left
+                    (fun acc r ->
+                      match r with
+                      | Journal.Meta m -> (
+                          match repl_epoch_of_meta m with
+                          | Some e -> Int.max acc e
+                          | None -> (
+                              match marker_of_meta m with
+                              | Some (_, _, e) -> Int.max acc e
+                              | None -> acc))
+                      | _ -> acc)
+                    0 records
+                in
+                (* replica cursor: the marker layout pins the 3-record
+                   prefix; everything after it is the primary's shipped
+                   bytes verbatim, so the applied-up-to offset is implied
+                   by our own valid length.  A later promotion record
+                   means this dir became a primary — no cursor. *)
+                let cursor =
+                  match rest with
+                  | Journal.Meta m :: Journal.Epoch e :: tail_records -> (
+                      match marker_of_meta m with
+                      | Some (wal_offset, op_epoch, _) when e = op_epoch ->
+                          let promoted =
+                            List.exists
+                              (fun r ->
+                                match r with
+                                | Journal.Meta m' ->
+                                    Option.is_some (repl_epoch_of_meta m')
+                                | _ -> false)
+                              tail_records
+                          in
+                          if promoted then None
+                          else
+                            let prefix =
+                              Journal.header_bytes
+                              + Journal.frame_size (Journal.Meta meta)
+                              + Journal.frame_size (Journal.Meta m)
+                              + Journal.frame_size (Journal.Epoch e)
+                            in
+                            Some
+                              (wal_offset
+                              + (result.Journal.valid_bytes - prefix))
+                      | _ -> None)
+                  | _ -> None
+                in
                 (* newest Epoch whose blob is intact wins; a damaged or
                    missing blob falls back to the next older one, and with
                    no usable snapshot we replay the whole journal from
@@ -385,12 +507,166 @@ let recover ?sync_every ?snapshot_every ?audit_every dir =
                        epoch itself; the replayed ops come after it *)
                     let ops = epoch + !replayed in
                     let writer = Journal.open_writer ?sync_every path in
+                    (* stamp the fence on the lockfile so a claimant from
+                       an older epoch is refused even after we die *)
+                    Journal.refresh_lock_epoch lock repl_epoch;
                     Ok
-                      (make ~dir ~config ~writer ~lock ~sp ~dm ~dedup
-                         ~snapshot_every ~audit_every ~ops ~recovered_epoch
-                         ~replayed:!replayed)))
+                      (make ~dir ~config ~writer ~lock ~repl_epoch ~cursor
+                         ~sp ~dm ~dedup ~snapshot_every ~audit_every ~ops
+                         ~recovered_epoch ~replayed:!replayed)))
         | _ :: _ -> fail "journal does not start with a config record")
   end
+
+(* ------------------------------------------------------------------ *)
+(* replication                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let repl_epoch t = t.repl_epoch
+let replica_cursor t = t.cursor
+let durable_offset t = Journal.durable_offset t.writer
+let wal_path t = journal_path t.dir
+let config_bytes t = encode_config t.config
+
+let bootstrap_payload t =
+  (* sync first so the announced wal_offset covers every op baked into
+     the snapshot payload: ops <= wal_offset live in the payload, ops
+     after it arrive as shipped frames *)
+  Journal.sync t.writer;
+  (t.ops, encode_state t, Journal.durable_offset t.writer)
+
+let snapshot_blob_only t =
+  (* replica-side snapshot: the blob only, no Epoch append — the shipped
+     Epoch record already in our WAL is the marker, and appending our own
+     frames would break byte-identity with the primary's suffix *)
+  Journal.write_blob (snap_path t.dir t.ops) (encode_state t);
+  t.snapshots <- t.snapshots + 1
+
+let bump_repl_epoch t =
+  let e = t.repl_epoch + 1 in
+  Journal.append t.writer (Journal.Meta (encode_repl_epoch e));
+  Journal.sync t.writer;
+  t.repl_epoch <- e;
+  t.cursor <- None;
+  Journal.refresh_lock_epoch t.lock e;
+  e
+
+let bootstrap_replica ~dir ~config_bytes ~op_epoch ~wal_offset ~repl_epoch
+    ~snapshot =
+  match decode_config config_bytes with
+  | exception _ -> Error "bootstrap: corrupt config payload"
+  | _ -> (
+      match decode_snapshot snapshot with
+      | exception _ -> Error "bootstrap: corrupt snapshot payload"
+      | epoch, _, _, _ when epoch <> op_epoch ->
+          Error
+            (Printf.sprintf "bootstrap: snapshot epoch %d, primary announced %d"
+               epoch op_epoch)
+      | _ ->
+          if Sys.file_exists (journal_path dir) then
+            Error "bootstrap: journal already exists (remove the dir first)"
+          else begin
+            Journal.ensure_dir dir;
+            match Journal.acquire_lock dir with
+            | Error msg -> Error msg
+            | Ok lock ->
+                Fun.protect
+                  ~finally:(fun () -> Journal.release_lock lock)
+                  (fun () ->
+                    Journal.write_blob (snap_path dir op_epoch) snapshot;
+                    let w =
+                      Journal.open_writer ~sync_every:1 (journal_path dir)
+                    in
+                    Journal.append w (Journal.Meta config_bytes);
+                    Journal.append w
+                      (Journal.Meta
+                         (encode_marker ~wal_offset ~op_epoch ~repl_epoch));
+                    Journal.append w (Journal.Epoch op_epoch);
+                    Journal.close w;
+                    Ok ())
+          end)
+
+let apply_shipped t payload ~on_update =
+  match t.cursor with
+  | None -> Error "apply_shipped: not a replica journal"
+  | Some cursor -> (
+      let bodies, tail = Codec.Frames.decode_all payload in
+      match tail with
+      | Codec.Frames.Short | Codec.Frames.Bad _ ->
+          Error "apply_shipped: shipped bytes are not whole frames"
+      | Codec.Frames.Clean -> (
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | body :: more -> (
+                match Journal.record_of_body body with
+                | Ok r -> decode (r :: acc) more
+                | Error msg -> Error ("apply_shipped: " ^ msg))
+          in
+          match decode [] bodies with
+          | Error _ as e -> e
+          | Ok records -> (
+              (* every frame validated — append the bytes verbatim so the
+                 local WAL stays byte-identical to the primary's shipped
+                 suffix, then apply each record in order *)
+              Journal.append_raw t.writer payload;
+              let applied = ref 0 in
+              let apply op =
+                let u, v, changed =
+                  match op with
+                  | Journal.Insert (u, v) ->
+                      let changed_sp = Dyn_sparsifier.insert t.sp u v in
+                      let changed = Dyn_matching.insert t.dm u v in
+                      assert (Bool.equal changed changed_sp);
+                      (u, v, changed)
+                  | Journal.Delete (u, v) ->
+                      let changed_sp = Dyn_sparsifier.delete t.sp u v in
+                      let changed = Dyn_matching.delete t.dm u v in
+                      assert (Bool.equal changed changed_sp);
+                      (u, v, changed)
+                  | Journal.Epoch _ | Journal.Meta _ | Journal.Tagged _ ->
+                      assert false
+                in
+                t.ops <- t.ops + 1;
+                incr applied;
+                on_update ~u ~v ~changed;
+                changed
+              in
+              match
+                List.iter
+                  (fun r ->
+                    match r with
+                    | (Journal.Insert _ | Journal.Delete _) as op ->
+                        ignore (apply op)
+                    | Journal.Tagged (client, rid, op) ->
+                        (* the primary only journals Tagged records it
+                           actually applied, so the guard never fires on a
+                           healthy stream — it protects replay of a stream
+                           overlapping a recovered prefix *)
+                        let skip =
+                          match Hashtbl.find_opt t.dedup client with
+                          | Some (last, _) -> rid <= last
+                          | None -> false
+                        in
+                        if not skip then begin
+                          let changed = apply op in
+                          Hashtbl.replace t.dedup client (rid, changed)
+                        end
+                    | Journal.Epoch e ->
+                        (* the primary snapshotted here; our state is
+                           bit-for-bit the same, so a local blob at the
+                           same epoch is valid and bounds our replay *)
+                        if e = t.ops then snapshot_blob_only t
+                    | Journal.Meta m -> (
+                        match repl_epoch_of_meta m with
+                        | Some e when e > t.repl_epoch -> t.repl_epoch <- e
+                        | _ -> ()))
+                  records
+              with
+              | () ->
+                  t.cursor <- Some (cursor + String.length payload);
+                  Ok !applied
+              | exception e ->
+                  Error ("apply_shipped: apply failed: " ^ Printexc.to_string e)
+              )))
 
 (* ------------------------------------------------------------------ *)
 (* accessors                                                          *)

@@ -118,6 +118,91 @@ val snapshot_now : t -> unit
     append the [Epoch] record.
     @raise Unix.Unix_error on filesystem errors. *)
 
+(** {2 Replication}
+
+    A hot standby is a second [Durable] dir seeded from a primary
+    snapshot ({!bootstrap_payload} → {!bootstrap_replica}) that then
+    appends the primary's fsynced WAL frames {e verbatim}
+    ({!apply_shipped}).  Because journal frames and wire frames share
+    one codec, the replica's log is byte-identical to the primary's
+    shipped suffix, its replay position is implied by its own file
+    length, and recovery after a replica crash resumes from exactly the
+    right primary offset ({!replica_cursor}).  Promotion
+    ({!bump_repl_epoch}) appends a monotone epoch record and stamps the
+    directory lockfile, fencing any stale ex-primary. *)
+
+val repl_epoch : t -> int
+(** Current replication epoch: 0 at creation, bumped by every
+    {!bump_repl_epoch}, recovered as the maximum epoch recorded in the
+    journal. *)
+
+val replica_cursor : t -> int option
+(** [Some off] iff this dir is an un-promoted replica: [off] is the
+    primary-WAL byte offset it has applied through, i.e. the offset to
+    present in a replication hello.  [None] on primaries. *)
+
+val durable_offset : t -> int
+(** Journal bytes covered by the last fsync — the exact prefix a
+    primary may ship ({!Mspar_prelude.Journal.durable_offset}). *)
+
+val wal_path : t -> string
+(** Path of the journal file (for
+    {!Mspar_prelude.Journal.read_slice} by the shipping loop). *)
+
+val config_bytes : t -> string
+(** The encoded config record, as journaled — shipped to replicas at
+    bootstrap so both sides build identical state. *)
+
+val bootstrap_payload : t -> int * string * int
+(** Syncs the journal, then returns [(op_epoch, snapshot, wal_offset)]:
+    a snapshot of the current state (op count [op_epoch]) plus the
+    durable WAL offset covering it.  Every op after [wal_offset] reaches
+    the replica as shipped frames; no disk blob is written.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val bootstrap_replica :
+  dir:string ->
+  config_bytes:string ->
+  op_epoch:int ->
+  wal_offset:int ->
+  repl_epoch:int ->
+  snapshot:string ->
+  (unit, string) result
+(** Seed a fresh replica dir from a primary's {!bootstrap_payload}:
+    validates the payloads, writes the snapshot blob, and creates a
+    journal holding exactly [Meta config; Meta marker; Epoch op_epoch].
+    [Error] if the payloads are corrupt, the snapshot does not match
+    [op_epoch], the dir already holds a journal, or it is locked.
+    {!recover} the dir afterwards to obtain a [t] with
+    [replica_cursor = Some wal_offset].
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val apply_shipped :
+  t -> string -> on_update:(u:int -> v:int -> changed:bool -> unit) -> (int, string) result
+(** Apply a slice of primary WAL bytes (whole frames, starting at this
+    replica's cursor) shipped by the primary: validates every frame and
+    record up front, appends the bytes verbatim, applies each op in
+    order (firing [on_update] per graph update so derived read state can
+    be invalidated), maintains the dedup table from [Tagged] records,
+    writes a local snapshot blob at shipped [Epoch] points, and advances
+    the cursor.  Returns the number of ops applied.  [Error] without any
+    state change when validation fails; an [Error "apply failed"]
+    mid-application leaves the replica inconsistent — discard the dir
+    and re-bootstrap. *)
+
+val snapshot_blob_only : t -> unit
+(** Write a snapshot blob at the current op count {e without} appending
+    an [Epoch] record — the replica-side form of {!snapshot_now}, used
+    where the epoch marker already exists as a shipped frame.
+    @raise Unix.Unix_error on filesystem errors. *)
+
+val bump_repl_epoch : t -> int
+(** Promote: append a durable epoch record ([repl_epoch t + 1]), stamp
+    the lockfile fence, clear {!replica_cursor}, and return the new
+    epoch.  After this the dir is a primary; a stale ex-primary
+    presenting an older epoch is refused by lock and handshake alike.
+    @raise Unix.Unix_error on filesystem errors. *)
+
 val sparsifier : t -> Dyn_sparsifier.t
 val matching : t -> Dyn_matching.t
 val config : t -> config

@@ -36,6 +36,7 @@ let magic = "MSPARWAL"
 let version = '\001'
 let header = magic ^ String.make 1 version
 let header_len = String.length header
+let header_bytes = header_len
 
 (* ------------------------------------------------------------------ *)
 (* record codec                                                       *)
@@ -99,6 +100,17 @@ let frame buf r =
   encode_body body r;
   Codec.Frames.encode buf (Buffer.contents body)
 
+let frame_size r =
+  let buf = Buffer.create 32 in
+  frame buf r;
+  Buffer.length buf
+
+let record_of_body body =
+  match decode_body body with
+  | r -> Ok r
+  | exception (Failure msg | Invalid_argument msg) -> Error msg
+  | exception Codec.Truncated -> Error "short record body"
+
 let read_crc_le r =
   let x = ref 0l in
   for i = 0 to 3 do
@@ -116,11 +128,13 @@ type read_result = {
   torn : string option;  (* why parsing stopped before the end, if it did *)
 }
 
-let parse contents =
+(* shared parse core: every valid record with the byte offset its frame
+   starts at, plus the usual (valid_bytes, torn) verdict *)
+let parse_frames contents =
   if String.length contents < header_len then
-    { records = []; valid_bytes = 0; torn = Some "missing or short header" }
+    ([], 0, Some "missing or short header")
   else if not (String.equal (String.sub contents 0 header_len) header) then
-    { records = []; valid_bytes = 0; torn = Some "bad magic/version header" }
+    ([], 0, Some "bad magic/version header")
   else begin
     let total = String.length contents in
     let records = ref [] in
@@ -140,7 +154,7 @@ let parse contents =
            raise Exit
          end;
          (match decode_body body with
-         | rec_ -> records := rec_ :: !records
+         | rec_ -> records := (!valid, rec_) :: !records
          | exception (Failure msg | Invalid_argument msg) ->
              torn := Some ("malformed record: " ^ msg);
              raise Exit
@@ -152,8 +166,12 @@ let parse contents =
      with
     | Codec.Truncated -> torn := Some "truncated record (torn tail)"
     | Exit -> ());
-    { records = List.rev !records; valid_bytes = !valid; torn = !torn }
+    (List.rev !records, !valid, !torn)
   end
+
+let parse contents =
+  let records, valid_bytes, torn = parse_frames contents in
+  { records = List.map snd records; valid_bytes; torn }
 
 let read_file path =
   let ic = open_in_bin path in
@@ -166,6 +184,61 @@ let read path =
   if not (Sys.file_exists path) then
     { records = []; valid_bytes = 0; torn = None }
   else parse (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* position-addressed streaming read (replication tailing)            *)
+(* ------------------------------------------------------------------ *)
+
+type tail = {
+  tail_records : record list;  (* valid records from [offset] on *)
+  tail_next : int;  (* the next durable offset: header + all valid frames *)
+  tail_torn : string option;  (* same verdict [read] would report *)
+}
+
+let tail_from path ~offset =
+  if not (Sys.file_exists path) then Error ("no journal at " ^ path)
+  else begin
+    let frames, valid_bytes, torn = parse_frames (read_file path) in
+    if valid_bytes = 0 then
+      Error (Option.value torn ~default:"empty journal")
+    else begin
+      let offset = if offset = 0 then header_len else offset in
+      if offset = valid_bytes then
+        Ok { tail_records = []; tail_next = valid_bytes; tail_torn = torn }
+      else begin
+        let rec suffix = function
+          | (off, _) :: _ as fs when off = offset -> Some (List.map snd fs)
+          | _ :: rest -> suffix rest
+          | [] -> None
+        in
+        match suffix frames with
+        | Some records ->
+            Ok { tail_records = records; tail_next = valid_bytes; tail_torn = torn }
+        | None ->
+            Error
+              (Printf.sprintf
+                 "offset %d is not a frame boundary (durable end %d)" offset
+                 valid_bytes)
+      end
+    end
+  end
+
+let read_slice path ~pos ~len =
+  if len < 0 || pos < 0 then invalid_arg "Journal.read_slice: negative range";
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      let buf = Bytes.create len in
+      let got = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !got < len do
+        match Unix.read fd buf !got (len - !got) with
+        | 0 -> eof := true
+        | n -> got := !got + n
+      done;
+      Bytes.sub_string buf 0 !got)
 
 let truncate_torn path result =
   match result.torn with
@@ -188,6 +261,8 @@ type writer = {
   sync_every : int;
   mutable unsynced : int;  (* records appended since the last fsync *)
   mutable appended : int;
+  mutable written_bytes : int;  (* bytes pushed to the fd, fsynced or not *)
+  mutable durable_bytes : int;  (* bytes covered by the last fsync *)
   mutable closed : bool;
 }
 
@@ -199,33 +274,57 @@ let flush_buf w =
   while !written < len do
     written :=
       !written + Unix.write_substring w.fd s !written (len - !written)
-  done
+  done;
+  w.written_bytes <- w.written_bytes + len
 
 let sync w =
   if w.closed then invalid_arg "Journal.sync: writer is closed";
   flush_buf w;
   if w.unsynced > 0 then Unix.fsync w.fd;
-  w.unsynced <- 0
+  w.unsynced <- 0;
+  w.durable_bytes <- w.written_bytes
 
 let open_writer ?(sync_every = 32) path =
   if sync_every < 1 then invalid_arg "Journal.open_writer: sync_every >= 1";
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
-  let w = { fd; buf = Buffer.create 256; sync_every; unsynced = 0; appended = 0; closed = false } in
+  let w =
+    {
+      fd;
+      buf = Buffer.create 256;
+      sync_every;
+      unsynced = 0;
+      appended = 0;
+      written_bytes = size;
+      durable_bytes = size;
+      closed = false;
+    }
+  in
   if size < header_len then begin
     (* fresh (or header-torn) file: start from a clean header *)
     Unix.ftruncate fd 0;
+    w.written_bytes <- 0;
+    w.durable_bytes <- 0;
     Buffer.add_string w.buf header;
     flush_buf w;
-    Unix.fsync fd
+    Unix.fsync fd;
+    w.durable_bytes <- w.written_bytes
   end
   else ignore (Unix.lseek fd 0 Unix.SEEK_END);
   w
+
+let durable_offset w = w.durable_bytes
 
 let append w r =
   if w.closed then invalid_arg "Journal.append: writer is closed";
   frame w.buf r;
   w.appended <- w.appended + 1;
+  w.unsynced <- w.unsynced + 1;
+  if w.unsynced >= w.sync_every then sync w
+
+let append_raw w s =
+  if w.closed then invalid_arg "Journal.append_raw: writer is closed";
+  Buffer.add_string w.buf s;
   w.unsynced <- w.unsynced + 1;
   if w.unsynced >= w.sync_every then sync w
 
@@ -304,9 +403,26 @@ let read_blob path =
    behind by a kill -9'd owner is detected by probing the recorded pid
    (kill 0): if the process is gone — or the file is unparsable — the
    lock is stale and is broken, once.  This is advisory single-host
-   locking; it is not meant to survive shared network filesystems. *)
+   locking; it is not meant to survive shared network filesystems.
+
+   Replication fencing rides on the same file: the lockfile records a
+   replication epoch next to the pid ("pid epoch", old single-token
+   files read as epoch 0).  An epoch-claiming acquire compares epochs
+   before liveness: a claimant behind the recorded epoch is refused even
+   if the holder is dead (a demoted ex-primary must re-learn the world,
+   not seize its old dir), while a strictly newer epoch seizes the lock
+   even from a live holder (the promote-over-stale-primary fence). *)
 
 type lock = { lock_path : string; mutable held : bool }
+
+let lock_body ~epoch = Printf.sprintf "%d %d" (Unix.getpid ()) epoch
+
+let parse_lock s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ pid ] -> (int_of_string_opt pid, 0)
+  | pid :: epoch :: _ ->
+      (int_of_string_opt pid, Option.value (int_of_string_opt epoch) ~default:0)
+  | [] -> (None, 0)
 
 let lock_path dir = Filename.concat dir "lock.pid"
 
@@ -325,39 +441,66 @@ let holder_alive ~path pid =
     | exception Unix.Unix_error (Unix.EPERM, _, _) -> true  (* alive, not ours *)
     | exception Unix.Unix_error (_, _, _) -> false
 
-let try_claim path =
+let try_claim ~epoch path =
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
   | fd ->
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
-          let s = string_of_int (Unix.getpid ()) in
+          let s = lock_body ~epoch in
           let n = Unix.write_substring fd s 0 (String.length s) in
           if n <> String.length s then failwith "short write to lockfile");
       true
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
 
-let acquire_lock dir =
+let acquire_lock ?epoch dir =
   let path = lock_path dir in
+  let claim_epoch = Option.value epoch ~default:0 in
   let claimed () =
     Hashtbl.replace live_locks path ();
     Ok { lock_path = path; held = true }
   in
-  if try_claim path then claimed ()
+  let break_and_claim () =
+    (try Sys.remove path with Sys_error _ -> ());
+    if try_claim ~epoch:claim_epoch path then claimed ()
+    else Error (Printf.sprintf "journal dir lock contended (%s)" path)
+  in
+  if try_claim ~epoch:claim_epoch path then claimed ()
   else begin
-    let holder =
+    let holder, held_epoch =
       match read_file path with
-      | s -> int_of_string_opt (String.trim s)
-      | exception Sys_error _ -> None
+      | s -> parse_lock s
+      | exception Sys_error _ -> (None, 0)
     in
-    match holder with
-    | Some pid when holder_alive ~path pid ->
+    match (epoch, holder) with
+    | Some e, _ when e < held_epoch ->
+        (* fenced: the dir has moved to a newer epoch — even a dead
+           holder's lock refuses a claimant from the past *)
+        Error
+          (Printf.sprintf
+             "journal dir fenced: lock epoch %d ahead of claimed %d (%s)"
+             held_epoch e path)
+    | Some e, _ when e > held_epoch ->
+        (* promotion fence: a strictly newer epoch seizes the dir, live
+           holder or not — the stale primary has already been superseded *)
+        break_and_claim ()
+    | _, Some pid when holder_alive ~path pid ->
         Error (Printf.sprintf "journal dir locked by pid %d (%s)" pid path)
-    | _ ->
+    | _, _ ->
         (* stale: owner is dead or the file is garbage — break it once *)
-        (try Sys.remove path with Sys_error _ -> ());
-        if try_claim path then claimed ()
-        else Error (Printf.sprintf "journal dir lock contended (%s)" path)
+        break_and_claim ()
+  end
+
+let refresh_lock_epoch l epoch =
+  if l.held then begin
+    let fd =
+      Unix.openfile l.lock_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let s = lock_body ~epoch in
+        ignore (Unix.write_substring fd s 0 (String.length s)))
   end
 
 let release_lock l =

@@ -34,6 +34,22 @@ type record =
   | Meta of string
   | Tagged of int * int * record
 
+val header_bytes : int
+(** Size of the file header — the byte offset of the first frame, i.e.
+    the [offset = 0] meaning of {!tail_from}. *)
+
+val frame_size : record -> int
+(** Exact on-disk size of the frame encoding this record (length prefix
+    + body + CRC trailer).  Frame encoding is deterministic, so journal
+    byte offsets can be computed from record lists.
+    @raise Invalid_argument on a [Tagged] wrapping a non-update. *)
+
+val record_of_body : string -> (record, string) result
+(** Total decode of one frame {e body} (as yielded by
+    {!Mspar_prelude.Codec.Frames} over journal bytes) back into a
+    record.  Used by replication followers to validate shipped WAL
+    frames before appending them verbatim. *)
+
 (** {2 Writing} *)
 
 type writer
@@ -63,6 +79,22 @@ val appended : writer -> int
 (** Number of records appended through this writer (not counting
     pre-existing file contents). *)
 
+val durable_offset : writer -> int
+(** Total file bytes covered by the last fsync through this writer —
+    the exact prefix a replication primary may ship ("ship after
+    fsync").  Initialized to the file size at open, so run {!read} +
+    {!truncate_torn} first when the file may hold a torn tail. *)
+
+val append_raw : writer -> string -> unit
+(** Append already-framed journal bytes verbatim (replication follower
+    path: shipped WAL frames are byte-identical to the primary's, so
+    they are validated with {!Mspar_prelude.Codec.Frames.decode_all} +
+    {!record_of_body} and then appended without re-encoding).  Counts
+    as one record toward the [sync_every] batch.  The caller must have
+    validated the bytes — appending garbage poisons the journal.
+    @raise Invalid_argument if the writer is closed.
+    @raise Unix.Unix_error on filesystem errors. *)
+
 val close : writer -> unit
 (** [sync] then close the fd.  Idempotent.
     @raise Unix.Unix_error on filesystem errors. *)
@@ -88,6 +120,33 @@ val truncate_torn : string -> read_result -> unit
     again.  No-op when the journal parsed cleanly.
     @raise Unix.Unix_error on filesystem errors. *)
 
+(** {2 Position-addressed streaming read (replication tailing)} *)
+
+type tail = {
+  tail_records : record list;  (** valid records from [offset] on *)
+  tail_next : int;
+      (** the next durable offset — header plus every valid frame, the
+          same boundary {!read} reports as [valid_bytes] *)
+  tail_torn : string option;  (** the verdict {!read} would report *)
+}
+
+val tail_from : string -> offset:int -> (tail, string) result
+(** [tail_from path ~offset] parses the journal with the same
+    never-resync CRC discipline as {!read} and returns exactly the
+    durable suffix starting at byte [offset] ([0] means the first
+    frame, i.e. {!header_bytes}).  [offset] must be a frame boundary
+    within the valid prefix (or its end, yielding an empty tail) —
+    anything else, including a missing file or a bad header, is an
+    [Error].  A torn tail is reported, never included.
+    @raise Sys_error if the file exists but cannot be read. *)
+
+val read_slice : string -> pos:int -> len:int -> string
+(** Raw byte range [pos, pos+len) of the file (short at EOF).  The
+    replication primary ships WAL slices with this after trimming to a
+    frame boundary; it performs no validation of its own.
+    @raise Invalid_argument on a negative range.
+    @raise Unix.Unix_error if the file cannot be opened or read. *)
+
 (** {2 Snapshot blobs} *)
 
 val write_blob : string -> string -> unit
@@ -112,16 +171,30 @@ val ensure_dir : string -> unit
     Advisory single-host lock claiming a journal directory, so two
     {!Durable} instances cannot open the same dir and interleave WAL
     frames.  The lock is a [lock.pid] file created with
-    [O_CREAT|O_EXCL] holding the owner's pid; a lock whose recorded pid
-    no longer exists (or whose contents are unparsable) is stale and is
-    broken automatically, once. *)
+    [O_CREAT|O_EXCL] holding the owner's pid and a replication epoch
+    ("pid epoch"; legacy single-token files read as epoch 0); a lock
+    whose recorded pid no longer exists (or whose contents are
+    unparsable) is stale and is broken automatically, once. *)
 
 type lock
 
-val acquire_lock : string -> (lock, string) result
+val acquire_lock : ?epoch:int -> string -> (lock, string) result
 (** [acquire_lock dir] claims [dir] (which must exist).  [Error reason]
     if another live process holds it.
+
+    Without [?epoch] the claim is epoch-agnostic: only holder liveness
+    decides (crash recovery of one's own dir).  With [~epoch:e] the
+    claim is {e fenced}: it is refused when the lockfile records a
+    strictly newer epoch — even if the holder is dead — and it seizes
+    the lock (live holder or not) when [e] is strictly newer, which is
+    how a promoted node fences out a stale primary.  Equal epochs fall
+    back to the liveness rule.
     @raise Unix.Unix_error on filesystem errors other than [EEXIST]. *)
+
+val refresh_lock_epoch : lock -> int -> unit
+(** Rewrite the held lockfile with a new epoch (promotion bumps the
+    fence without releasing the dir).  No-op on a released lock.
+    @raise Unix.Unix_error on filesystem errors. *)
 
 val release_lock : lock -> unit
 (** Remove the lockfile.  Idempotent; never raises. *)

@@ -46,16 +46,29 @@ let connect addr =
   | exception Not_found ->
       Error (Fmt.str "connect %a: cannot resolve host" Wire.pp_addr addr)
 
-let connect_retry ?(attempts = 8) ?(base_delay = 0.02) addr =
-  let rec go i delay =
+(* Capped full-jitter backoff: the ceiling doubles per attempt up to
+   [cap] and the actual delay is drawn uniformly from [0, ceiling) —
+   a fleet of clients retrying after a failover spreads out instead of
+   reconnecting in synchronized waves.  Deterministic under a fixed
+   [Rng] (regression-tested in test_server.ml). *)
+let backoff_delay rng ~attempt ~base ~cap =
+  let ceiling = Float.min cap (base *. (2. ** float_of_int attempt)) in
+  Rng.float rng ceiling
+
+let default_retry_seed = 0x5eed
+
+let connect_retry ?(attempts = 8) ?(base_delay = 0.02) ?(cap = 1.0)
+    ?(seed = default_retry_seed) addr =
+  let rng = Rng.create seed in
+  let rec go i =
     match connect addr with
     | Ok t -> Ok t
     | Error _ when i + 1 < attempts ->
-        Unix.sleepf delay;
-        go (i + 1) (delay *. 2.)  (* exponential backoff *)
+        Unix.sleepf (backoff_delay rng ~attempt:i ~base:base_delay ~cap);
+        go (i + 1)
     | Error _ as e -> e
   in
-  go 0 base_delay
+  go 0
 
 let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
 let fd t = t.fd
@@ -105,3 +118,49 @@ let rec recv ?(timeout = 5.0) t =
 
 let request ?timeout t req =
   match send t req with Error _ as e -> e | Ok () -> recv ?timeout t
+
+(* Failover discovery: probe each address with Role until one answers as
+   the primary, following one Redirect hop per probe (a replica knows
+   its primary's address).  Sweeps are separated by the same full-jitter
+   backoff as [connect_retry]. *)
+let connect_primary ?(attempts = 8) ?(base_delay = 0.02) ?(cap = 1.0)
+    ?(seed = default_retry_seed) addrs =
+  if List.is_empty addrs then Error "connect_primary: empty address list"
+  else begin
+    let rng = Rng.create seed in
+    let probe_addr addr =
+      match connect addr with
+      | Error _ -> None
+      | Ok t -> (
+          match request t Wire.Role with
+          | Ok (Wire.Role_reply { primary = true; _ }) -> Some (t, addr)
+          | Ok (Wire.Redirect hint) when hint <> "" -> (
+              close t;
+              match Wire.addr_of_string hint with
+              | Error _ -> None
+              | Ok hinted -> (
+                  match connect hinted with
+                  | Error _ -> None
+                  | Ok t2 -> (
+                      match request t2 Wire.Role with
+                      | Ok (Wire.Role_reply { primary = true; _ }) ->
+                          Some (t2, hinted)
+                      | _ ->
+                          close t2;
+                          None)))
+          | _ ->
+              close t;
+              None)
+    in
+    let rec sweep i =
+      match List.find_map probe_addr addrs with
+      | Some found -> Ok found
+      | None ->
+          if i + 1 < attempts then begin
+            Unix.sleepf (backoff_delay rng ~attempt:i ~base:base_delay ~cap);
+            sweep (i + 1)
+          end
+          else Error "connect_primary: no live primary found"
+    in
+    sweep 0
+  end

@@ -5,10 +5,39 @@
 type t
 
 val connect : Wire.addr -> (t, string) result
-val connect_retry : ?attempts:int -> ?base_delay:float -> Wire.addr -> (t, string) result
-(** Retry [connect] with exponential backoff (default 8 attempts from
-    20 ms) — covers both waiting for a fresh server to bind and
-    reconnecting across a server restart. *)
+
+val backoff_delay :
+  Mspar_prelude.Rng.t -> attempt:int -> base:float -> cap:float -> float
+(** Capped full-jitter backoff: a delay drawn uniformly from
+    [\[0, min cap (base * 2^attempt))] — doubling ceilings with full
+    jitter, so retrying clients spread out instead of reconnecting in
+    synchronized waves.  Deterministic for a fixed [Rng] state. *)
+
+val connect_retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?cap:float ->
+  ?seed:int ->
+  Wire.addr ->
+  (t, string) result
+(** Retry [connect] under {!backoff_delay} (default 8 attempts, 20 ms
+    base, 1 s cap) — covers both waiting for a fresh server to bind and
+    reconnecting across a server restart.  [seed] fixes the jitter
+    stream for reproducible schedules. *)
+
+val connect_primary :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?cap:float ->
+  ?seed:int ->
+  Wire.addr list ->
+  (t * Wire.addr, string) result
+(** Failover discovery: probe the addresses in order with [Role] until
+    one answers as the primary (following one [Redirect] hint hop per
+    probe), sleeping a {!backoff_delay} between sweeps.  Returns the
+    connected client and the address that worked.  After a failover the
+    caller must re-send its [Hello] and replay unacked rids — at-most-once
+    dedup makes the replay exactly-once. *)
 
 val send : t -> Wire.request -> (unit, string) result
 (** Write one request frame (blocking until fully written). *)

@@ -7,6 +7,11 @@ open Mspar_prelude
 
 type state = Open | Closing
 
+type follower = {
+  mutable sent : int;  (* primary WAL offset shipped so far *)
+  mutable acked : int;  (* highest Repl_ack offset received *)
+}
+
 type t = {
   fd : Unix.file_descr;
   id : int;
@@ -19,6 +24,9 @@ type t = {
       (* when the oldest buffered incomplete frame started arriving —
          the slowloris clock *)
   mutable state : state;
+  mutable follower : follower option;
+      (* set by an accepted Repl_hello: this connection is a replication
+         out-stream and the shipping loop tracks it here *)
   mutable wbuf : bytes;
       (* reusable write-side scratch: stages response bodies for
          [Codec.Frames.encode_bytes] and carries the pending [out]
@@ -38,6 +46,7 @@ let create ?(max_frame = Codec.Frames.default_max_frame) ~id ~now fd =
     last_activity = now;
     partial_since = None;
     state = Open;
+    follower = None;
     wbuf = Bytes.create 4096;
   }
 
@@ -77,6 +86,16 @@ let queue t scratch resp =
   Buffer.blit scratch 0 t.wbuf 0 len;
   Codec.Frames.encode_bytes t.out t.wbuf ~pos:0 ~len
 [@@hot]
+
+(* same staging as [queue], for the client-role messages a replica sends
+   upstream (Repl_hello / Repl_ack) over its primary connection *)
+let queue_request t scratch req =
+  Buffer.clear scratch;
+  Wire.encode_request scratch req;
+  let len = Buffer.length scratch in
+  reserve_wbuf t len;
+  Buffer.blit scratch 0 t.wbuf 0 len;
+  Codec.Frames.encode_bytes t.out t.wbuf ~pos:0 ~len
 
 let read_into t bytes =
   match Unix.read t.fd bytes 0 (Bytes.length bytes) with

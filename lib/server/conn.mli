@@ -5,6 +5,13 @@ open Mspar_prelude
 
 type state = Open | Closing
 
+(** Replication out-stream bookkeeping, attached to a connection by an
+    accepted [Repl_hello]. *)
+type follower = {
+  mutable sent : int;  (** primary WAL offset shipped so far *)
+  mutable acked : int;  (** highest [Repl_ack] offset received *)
+}
+
 type t = {
   fd : Unix.file_descr;
   id : int;
@@ -17,6 +24,8 @@ type t = {
       (** since when an incomplete frame has been pending — drives the
           slowloris timeout *)
   mutable state : state;
+  mutable follower : follower option;
+      (** [Some _] iff this connection is a replication out-stream *)
   mutable wbuf : bytes;
       (** reusable write-side scratch (grown on demand): response bodies
           are staged here for [Codec.Frames.encode_bytes], and [flush]
@@ -42,6 +51,10 @@ val next_frame :
 
 val queue : t -> Buffer.t -> Wire.response -> unit
 (** Encode a response (via the [scratch] buffer) onto the out queue. *)
+
+val queue_request : t -> Buffer.t -> Wire.request -> unit
+(** Encode a request onto the out queue — the replica's upstream
+    connection speaks the client role ([Repl_hello] / [Repl_ack]). *)
 
 val read_into : t -> bytes -> [ `Data of int | `Eof | `Blocked ]
 (** One non-blocking read.  Hard fd errors read as [`Eof]. *)

@@ -23,11 +23,14 @@ type t = {
   oracle : Oracle.t;
   mutable draining : bool;
   mutable dirty : bool;  (* ops journaled since the last group commit *)
+  mutable redirect : string option;
+      (* replica mode: updates are refused with this primary hint;
+         point queries still served locally by the oracle *)
   crash_after_ops : int option;
   mutable applied : int;
 }
 
-let create ?crash_after_ops ~metrics durable =
+let create ?crash_after_ops ?redirect ~metrics durable =
   let cfg = Durable.config durable in
   let g = Dyn_matching.graph (Durable.matching durable) in
   let oracle =
@@ -39,11 +42,14 @@ let create ?crash_after_ops ~metrics durable =
     oracle;
     draining = false;
     dirty = false;
+    redirect;
     crash_after_ops;
     applied = 0;
   }
 
 let oracle t = t.oracle
+let is_primary t = Option.is_none t.redirect
+let set_primary t = t.redirect <- None
 
 let digest t =
   let dm = Durable.matching t.durable in
@@ -96,21 +102,27 @@ let handle t ~client (req : Wire.request) : Wire.response =
   | Wire.Insert { rid; u; v } -> (
       if t.draining then Wire.Draining
       else
-        match client with
-        | None -> Wire.Error "updates require Hello first"
-        | Some client -> (
-            match Durable.insert_req t.durable ~client ~rid u v with
-            | result -> update t ~client ~u ~v result
-            | exception Invalid_argument msg -> Wire.Error msg))
+        match t.redirect with
+        | Some hint -> Wire.Redirect hint
+        | None -> (
+            match client with
+            | None -> Wire.Error "updates require Hello first"
+            | Some client -> (
+                match Durable.insert_req t.durable ~client ~rid u v with
+                | result -> update t ~client ~u ~v result
+                | exception Invalid_argument msg -> Wire.Error msg)))
   | Wire.Delete { rid; u; v } -> (
       if t.draining then Wire.Draining
       else
-        match client with
-        | None -> Wire.Error "updates require Hello first"
-        | Some client -> (
-            match Durable.delete_req t.durable ~client ~rid u v with
-            | result -> update t ~client ~u ~v result
-            | exception Invalid_argument msg -> Wire.Error msg))
+        match t.redirect with
+        | Some hint -> Wire.Redirect hint
+        | None -> (
+            match client with
+            | None -> Wire.Error "updates require Hello first"
+            | Some client -> (
+                match Durable.delete_req t.durable ~client ~rid u v with
+                | result -> update t ~client ~u ~v result
+                | exception Invalid_argument msg -> Wire.Error msg)))
   | Wire.Query_matched v -> (
       t.metrics.Metrics.queries <- t.metrics.Metrics.queries + 1;
       match Oracle.is_matched t.oracle v with
@@ -132,15 +144,22 @@ let handle t ~client (req : Wire.request) : Wire.response =
           Wire.Bool b
       | exception Invalid_argument msg -> Wire.Error msg)
   | Wire.Checksum -> Wire.Digest (digest t)
-  | Wire.Snapshot ->
-      Durable.snapshot_now t.durable;
-      t.dirty <- false;
-      Wire.Ok
+  | Wire.Snapshot -> (
+      match t.redirect with
+      | Some hint -> Wire.Redirect hint
+      | None ->
+          Durable.snapshot_now t.durable;
+          t.dirty <- false;
+          Wire.Ok)
   | Wire.Drain ->
       t.draining <- true;
       Wire.Ok
   | Wire.Stats -> Wire.Stats_reply (Metrics.summary t.metrics)
   | Wire.Ping -> Wire.Ok
+  (* the replication plane is stateful per-connection, so the event loop
+     intercepts these before dispatch; reaching here is a violation *)
+  | Wire.Repl_hello _ | Wire.Repl_ack _ | Wire.Promote | Wire.Role ->
+      Wire.Error "replication message outside the serve loop"
 
 let sync_if_dirty t =
   if t.dirty then begin

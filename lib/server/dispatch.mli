@@ -26,14 +26,26 @@ type t = {
       (** once set (Drain request or SIGTERM), updates answer
           [Draining]; queries keep working *)
   mutable dirty : bool;
+  mutable redirect : string option;
+      (** replica mode: updates and Snapshot answer [Redirect] with this
+          primary-address hint; queries keep being served locally *)
   crash_after_ops : int option;
   mutable applied : int;
 }
 
-val create : ?crash_after_ops:int -> metrics:Metrics.t -> Durable.t -> t
+val create :
+  ?crash_after_ops:int -> ?redirect:string -> metrics:Metrics.t -> Durable.t -> t
 (** [crash_after_ops] is a fault-injection hook: the process [_exit]s
     with status 137 (simulated kill -9) immediately after the Nth
-    applied update, before any ack reaches a socket. *)
+    applied update, before any ack reaches a socket.  [redirect] starts
+    the dispatcher in replica (read-only) mode with the given
+    primary-address hint. *)
+
+val is_primary : t -> bool
+(** [true] iff updates are accepted here (no redirect in force). *)
+
+val set_primary : t -> unit
+(** Promotion: clear the redirect so updates are accepted locally. *)
 
 val handle : t -> client:int option -> Wire.request -> Wire.response
 (** Serve one request.  [client] is the connection's Hello-bound id;

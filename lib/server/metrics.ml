@@ -19,6 +19,13 @@ type t = {
   mutable oracle_misses : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable repl_followers : int;
+  mutable repl_lag : int;
+  mutable repl_fenced : int;
+  mutable repl_frames_out : int;
+  mutable repl_acks : int;
+  mutable repl_frames_in : int;
+  mutable repl_applied : int;
 }
 
 let create () =
@@ -39,6 +46,13 @@ let create () =
     oracle_misses = 0;
     bytes_in = 0;
     bytes_out = 0;
+    repl_followers = 0;
+    repl_lag = 0;
+    repl_fenced = 0;
+    repl_frames_out = 0;
+    repl_acks = 0;
+    repl_frames_in = 0;
+    repl_applied = 0;
   }
 
 let summary t =
@@ -54,13 +68,19 @@ let summary t =
     queries = t.queries;
     oracle_hits = t.oracle_hits;
     oracle_misses = t.oracle_misses;
+    repl_followers = t.repl_followers;
+    repl_lag = t.repl_lag;
+    repl_fenced = t.repl_fenced;
   }
 
 let to_string t =
   Printf.sprintf
     "accepted=%d active=%d dropped(proto/idle/slow)=%d/%d/%d frames=%d/%d \
      malformed=%d busy=%d ops=%d dedup=%d queries=%d oracle(hit/miss)=%d/%d \
-     bytes=%d/%d"
+     bytes=%d/%d repl(followers/lag/fenced)=%d/%d/%d \
+     repl_frames(out/in)=%d/%d repl_acks=%d repl_applied=%d"
     t.accepted t.active t.dropped_protocol t.dropped_idle t.dropped_slowloris
     t.frames_in t.frames_out t.malformed t.busy_rejections t.ops_applied
     t.dedup_hits t.queries t.oracle_hits t.oracle_misses t.bytes_in t.bytes_out
+    t.repl_followers t.repl_lag t.repl_fenced t.repl_frames_out t.repl_frames_in
+    t.repl_acks t.repl_applied

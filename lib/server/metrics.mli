@@ -20,6 +20,15 @@ type t = {
   mutable oracle_misses : int;  (** cumulative oracle memo misses *)
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable repl_followers : int;  (** replication out-streams attached *)
+  mutable repl_lag : int;
+      (** durable WAL bytes not yet acked by the slowest follower;
+          recomputed by the shipping loop *)
+  mutable repl_fenced : int;  (** stale-epoch hellos/frames refused *)
+  mutable repl_frames_out : int;  (** Repl_frames messages shipped *)
+  mutable repl_acks : int;  (** Repl_ack messages received *)
+  mutable repl_frames_in : int;  (** Repl_frames received (replica side) *)
+  mutable repl_applied : int;  (** ops applied from shipped frames *)
 }
 
 val create : unit -> t

@@ -45,9 +45,33 @@ val bind_listen : Wire.addr -> (Unix.file_descr, string) result
     shutdown is unlinked first; a path that exists but is not a socket
     is an [Error]. *)
 
-val run : config -> listen:Unix.file_descr -> durable:Durable.t -> (unit, string) result
+val bootstrap_replica :
+  upstream:Wire.addr -> dir:string -> (unit, string) result
+(** Seed an empty replica dir from a running primary: connect, send a
+    fresh [Repl_hello {epoch = 0; offset = 0}], collect the chunked
+    [Repl_snapshot] stream, and write the dir via
+    [Durable.bootstrap_replica].  Run before {!run} with [?replica_of]
+    when the dir has no journal yet.  All failure modes (unreachable
+    upstream, upstream not primary, fenced, corrupt payload) come back
+    as [Error]. *)
+
+val run :
+  ?replica_of:Wire.addr ->
+  config ->
+  listen:Unix.file_descr ->
+  durable:Durable.t ->
+  (unit, string) result
 (** Serve until SIGTERM/SIGINT or a [Drain] request, then drain
     gracefully.  Installs (and restores) SIGTERM/SIGINT/SIGPIPE
     handlers.  Closes [listen] and every connection before returning;
     the caller still owns [durable] and should {!Durable.close} it.
+
+    With [?replica_of] the node starts as a hot standby of the given
+    primary (see DESIGN.md §13): it tails the primary's WAL into its own
+    journal byte-for-byte (handshaking from [Durable.replica_cursor]),
+    acks each locally-fsynced extension, serves point queries from its
+    own oracle, answers updates with [Redirect], and keeps reconnecting
+    under jittered backoff while the primary is away.  A [Promote]
+    request (on this or any node) bumps the replication epoch and turns
+    the replica into a full primary; stale-epoch peers are fenced.
     @raise Unix.Unix_error on journal I/O errors. *)

@@ -12,6 +12,25 @@ let pp_addr ppf = function
   | Unix_path p -> Fmt.pf ppf "unix:%s" p
   | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
 
+let addr_of_string s =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | Some i when i > 0 && i < String.length rest - 1 -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+        | Some _ | None -> Stdlib.Error (Printf.sprintf "bad port in %S" s))
+    | _ -> Stdlib.Error (Printf.sprintf "expected HOST:PORT in %S" s)
+  in
+  if s = "" then Stdlib.Error "empty address"
+  else if String.starts_with ~prefix:"unix:" s then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.starts_with ~prefix:"tcp:" s then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if String.contains s ':' then tcp s
+  else Ok (Unix_path s)
+
 type request =
   | Hello of int  (* client id: binds the connection for dedup *)
   | Insert of { rid : int; u : int; v : int }
@@ -24,6 +43,12 @@ type request =
   | Drain
   | Stats
   | Ping
+  (* replication plane: a follower speaks these to its primary *)
+  | Repl_hello of { epoch : int; offset : int }
+      (* epoch 0 + offset 0 = fresh follower asking for a bootstrap *)
+  | Repl_ack of { offset : int }
+  | Promote
+  | Role
 
 type digest = {
   op_count : int;
@@ -44,6 +69,9 @@ type summary = {
   queries : int;
   oracle_hits : int;
   oracle_misses : int;
+  repl_followers : int;
+  repl_lag : int;
+  repl_fenced : int;
 }
 
 type response =
@@ -55,6 +83,20 @@ type response =
   | Ok
   | Stats_reply of summary
   | Error of string
+  | Repl_snapshot of {
+      epoch : int;  (* primary's replication epoch *)
+      op_epoch : int;  (* op count baked into the snapshot *)
+      wal_offset : int;  (* durable WAL bytes the snapshot covers *)
+      meta : string;  (* encoded Durable config, journaled verbatim *)
+      last : bool;  (* final chunk of this bootstrap *)
+      chunk : string;  (* snapshot payload slice *)
+    }
+  | Repl_frames of { epoch : int; start_offset : int; payload : string }
+    (* verbatim WAL bytes [start_offset, start_offset + |payload|) *)
+  | Repl_fence of { epoch : int }
+    (* refused: the primary's epoch is newer than the hello's *)
+  | Redirect of string  (* not the primary; retry at this address hint *)
+  | Role_reply of { primary : bool; epoch : int; offset : int }
 
 (* ------------------------------------------------------------------ *)
 (* encoding                                                           *)
@@ -91,6 +133,15 @@ let encode_request buf r =
   | Drain -> Buffer.add_char buf '\009'
   | Stats -> Buffer.add_char buf '\010'
   | Ping -> Buffer.add_char buf '\011'
+  | Repl_hello { epoch; offset } ->
+      Buffer.add_char buf '\012';
+      Codec.add_uvarint buf epoch;
+      Codec.add_uvarint buf offset
+  | Repl_ack { offset } ->
+      Buffer.add_char buf '\013';
+      Codec.add_uvarint buf offset
+  | Promote -> Buffer.add_char buf '\014'
+  | Role -> Buffer.add_char buf '\015'
 [@@hot]
 
 let encode_response buf r =
@@ -124,10 +175,37 @@ let encode_response buf r =
       Codec.add_uvarint buf s.dedup_hits;
       Codec.add_uvarint buf s.queries;
       Codec.add_uvarint buf s.oracle_hits;
-      Codec.add_uvarint buf s.oracle_misses
+      Codec.add_uvarint buf s.oracle_misses;
+      Codec.add_uvarint buf s.repl_followers;
+      Codec.add_uvarint buf s.repl_lag;
+      Codec.add_uvarint buf s.repl_fenced
   | Error msg ->
       Buffer.add_char buf '\008';
       Codec.add_string buf msg
+  | Repl_snapshot { epoch; op_epoch; wal_offset; meta; last; chunk } ->
+      Buffer.add_char buf '\009';
+      Codec.add_uvarint buf epoch;
+      Codec.add_uvarint buf op_epoch;
+      Codec.add_uvarint buf wal_offset;
+      Codec.add_string buf meta;
+      Buffer.add_char buf (if last then '\001' else '\000');
+      Codec.add_string buf chunk
+  | Repl_frames { epoch; start_offset; payload } ->
+      Buffer.add_char buf '\010';
+      Codec.add_uvarint buf epoch;
+      Codec.add_uvarint buf start_offset;
+      Codec.add_string buf payload
+  | Repl_fence { epoch } ->
+      Buffer.add_char buf '\011';
+      Codec.add_uvarint buf epoch
+  | Redirect hint ->
+      Buffer.add_char buf '\012';
+      Codec.add_string buf hint
+  | Role_reply { primary; epoch; offset } ->
+      Buffer.add_char buf '\013';
+      Buffer.add_char buf (if primary then '\001' else '\000');
+      Codec.add_uvarint buf epoch;
+      Codec.add_uvarint buf offset
 [@@hot]
 
 (* ------------------------------------------------------------------ *)
@@ -179,6 +257,13 @@ let request_payload r =
   | 9 -> Drain
   | 10 -> Stats
   | 11 -> Ping
+  | 12 ->
+      let epoch = Codec.read_uvarint r in
+      let offset = Codec.read_uvarint r in
+      Repl_hello { epoch; offset }
+  | 13 -> Repl_ack { offset = Codec.read_uvarint r }
+  | 14 -> Promote
+  | 15 -> Role
   | t -> failwith (Printf.sprintf "unknown request tag %d" t)
 
 let decode_request body = total "request" request_payload body
@@ -208,6 +293,9 @@ let response_payload r =
       let queries = Codec.read_uvarint r in
       let oracle_hits = Codec.read_uvarint r in
       let oracle_misses = Codec.read_uvarint r in
+      let repl_followers = Codec.read_uvarint r in
+      let repl_lag = Codec.read_uvarint r in
+      let repl_fenced = Codec.read_uvarint r in
       Stats_reply
         {
           accepted;
@@ -221,8 +309,31 @@ let response_payload r =
           queries;
           oracle_hits;
           oracle_misses;
+          repl_followers;
+          repl_lag;
+          repl_fenced;
         }
   | 8 -> Error (Codec.read_string r)
+  | 9 ->
+      let epoch = Codec.read_uvarint r in
+      let op_epoch = Codec.read_uvarint r in
+      let wal_offset = Codec.read_uvarint r in
+      let meta = Codec.read_string r in
+      let last = read_bool r in
+      let chunk = Codec.read_string r in
+      Repl_snapshot { epoch; op_epoch; wal_offset; meta; last; chunk }
+  | 10 ->
+      let epoch = Codec.read_uvarint r in
+      let start_offset = Codec.read_uvarint r in
+      let payload = Codec.read_string r in
+      Repl_frames { epoch; start_offset; payload }
+  | 11 -> Repl_fence { epoch = Codec.read_uvarint r }
+  | 12 -> Redirect (Codec.read_string r)
+  | 13 ->
+      let primary = read_bool r in
+      let epoch = Codec.read_uvarint r in
+      let offset = Codec.read_uvarint r in
+      Role_reply { primary; epoch; offset }
   | t -> failwith (Printf.sprintf "unknown response tag %d" t)
 
 let decode_response body = total "response" response_payload body

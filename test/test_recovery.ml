@@ -566,6 +566,353 @@ let qcheck_crash_recover_equivalence =
                   out = reference)))
 
 (* ------------------------------------------------------------------ *)
+(* lockfile epoch fencing (replication failover)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_epoch_dead_holder () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let dead_pid =
+        let pid = Unix.fork () in
+        if pid = 0 then Unix._exit 0;
+        ignore (Unix.waitpid [] pid);
+        pid
+      in
+      (* a dead ex-holder that had promoted to epoch 2 *)
+      write_file (Filename.concat dir "lock.pid")
+        (Printf.sprintf "%d 2" dead_pid);
+      (* a claimant from the past is refused even though the holder is
+         dead: the fence outlives the process that raised it *)
+      (match Journal.acquire_lock ~epoch:1 dir with
+      | Error msg -> check_bool "refusal names the fence" true
+          (is_substring msg "fenced")
+      | Ok _ -> Alcotest.fail "stale-epoch claim must be fenced");
+      (* a strictly newer epoch seizes the dir *)
+      (match Journal.acquire_lock ~epoch:3 dir with
+      | Ok l -> Journal.release_lock l
+      | Error e -> Alcotest.failf "newer epoch must seize: %s" e);
+      (* legacy single-token lockfiles read as epoch 0 *)
+      write_file (Filename.concat dir "lock.pid") (string_of_int dead_pid);
+      match Journal.acquire_lock ~epoch:1 dir with
+      | Ok l -> Journal.release_lock l
+      | Error e -> Alcotest.failf "legacy lockfile is epoch 0: %s" e)
+
+(* the contended failover race: a promoted node fences out a stale
+   primary that is still alive and still holding its lock *)
+let test_lock_promote_vs_stale_primary () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let stale =
+        match Journal.acquire_lock ~epoch:0 dir with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "stale primary's claim: %s" e
+      in
+      (* promotion: epoch 1 seizes the dir from the live epoch-0 holder *)
+      let promoted =
+        match Journal.acquire_lock ~epoch:1 dir with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "promotion must seize: %s" e
+      in
+      (* the stale primary retries with its old epoch: fenced, even
+         though it believes it still owns the dir *)
+      (match Journal.acquire_lock ~epoch:0 dir with
+      | Error msg -> check_bool "stale retry fenced" true
+          (is_substring msg "fenced")
+      | Ok _ -> Alcotest.fail "stale primary must not reclaim the dir");
+      (* refresh_lock_epoch raises the fence in place *)
+      Journal.refresh_lock_epoch promoted 5;
+      (match Journal.acquire_lock ~epoch:4 dir with
+      | Error msg -> check_bool "refreshed fence holds" true
+          (is_substring msg "fenced")
+      | Ok _ -> Alcotest.fail "epoch 4 must be fenced after refresh to 5");
+      Journal.release_lock promoted;
+      Journal.release_lock stale)
+
+(* ------------------------------------------------------------------ *)
+(* position-addressed tailing (replication shipping)                   *)
+(* ------------------------------------------------------------------ *)
+
+let tail_records = [
+  Journal.Meta "cfg";
+  Journal.Insert (0, 1);
+  Journal.Tagged (1, 1, Journal.Insert (2, 3));
+  Journal.Delete (0, 1);
+  Journal.Epoch 3;
+  Journal.Tagged (2, 9, Journal.Delete (2, 3));
+  Journal.Meta "note";
+]
+
+let write_journal path records =
+  let w = Journal.open_writer ~sync_every:1 path in
+  List.iter (Journal.append w) records;
+  Journal.close w
+
+(* every frame boundary of a journal, in order, ending at valid_bytes *)
+let boundaries records =
+  List.fold_left
+    (fun acc r -> (List.hd acc + Journal.frame_size r) :: acc)
+    [ Journal.header_bytes ] records
+  |> List.rev
+
+let test_tail_from_boundaries () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "journal.wal" in
+      write_journal path tail_records;
+      let r = Journal.read path in
+      check_bool "clean journal" true (r.Journal.torn = None);
+      let offs = boundaries tail_records in
+      check_int "last boundary is the durable end" r.Journal.valid_bytes
+        (List.nth offs (List.length tail_records));
+      List.iteri
+        (fun i off ->
+          match Journal.tail_from path ~offset:off with
+          | Error e -> Alcotest.failf "tail_from %d: %s" off e
+          | Ok t ->
+              check_int "suffix length" (List.length tail_records - i)
+                (List.length t.Journal.tail_records);
+              check_bool "suffix records" true
+                (t.Journal.tail_records
+                = List.filteri (fun j _ -> j >= i) tail_records);
+              check_int "tail_next is the durable end" r.Journal.valid_bytes
+                t.Journal.tail_next;
+              check_bool "no torn verdict" true (t.Journal.tail_torn = None))
+        offs;
+      (* offset 0 is sugar for the first frame *)
+      (match Journal.tail_from path ~offset:0 with
+      | Ok t ->
+          check_int "offset 0 = whole log" (List.length tail_records)
+            (List.length t.Journal.tail_records)
+      | Error e -> Alcotest.failf "tail_from 0: %s" e);
+      (* a mid-frame offset is an error, never a resync *)
+      (match Journal.tail_from path ~offset:(Journal.header_bytes + 1) with
+      | Error msg -> check_bool "names the boundary" true
+          (is_substring msg "boundary")
+      | Ok _ -> Alcotest.fail "mid-frame offset must be refused");
+      (* past the durable end is an error too *)
+      match Journal.tail_from path ~offset:(r.Journal.valid_bytes + 64) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "offset past the durable end must be refused")
+
+let test_tail_from_torn () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "journal.wal" in
+      write_journal path tail_records;
+      let clean = Journal.read path in
+      append_bytes path "\x07garbage-torn-suffix";
+      match Journal.tail_from path ~offset:Journal.header_bytes with
+      | Error e -> Alcotest.failf "torn tail_from: %s" e
+      | Ok t ->
+          check_bool "torn reported" true (t.Journal.tail_torn <> None);
+          check_int "stops at the old durable end" clean.Journal.valid_bytes
+            t.Journal.tail_next;
+          check_int "no phantom records" (List.length tail_records)
+            (List.length t.Journal.tail_records))
+
+(* the shipping invariant end-to-end at the journal layer: a raw
+   [read_slice] of whole frames appended verbatim with [append_raw]
+   reproduces the same records, byte for byte *)
+let test_ship_slice_roundtrip () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let src = Filename.concat dir "src.wal" in
+      let dst = Filename.concat dir "dst.wal" in
+      write_journal src tail_records;
+      let r = Journal.read src in
+      let body =
+        Journal.read_slice src ~pos:Journal.header_bytes
+          ~len:(r.Journal.valid_bytes - Journal.header_bytes)
+      in
+      let w = Journal.open_writer ~sync_every:1 dst in
+      Journal.append_raw w body;
+      Journal.close w;
+      let r' = Journal.read dst in
+      check_bool "records identical" true
+        (r.Journal.records = r'.Journal.records);
+      check_int "files identical" r.Journal.valid_bytes r'.Journal.valid_bytes;
+      check_bool "bytes identical" true (read_file src = read_file dst))
+
+let qcheck_tail_from_suffix =
+  let record_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun u v -> Journal.Insert (u, v)) (int_range 0 50)
+            (int_range 0 50);
+          map2 (fun u v -> Journal.Delete (u, v)) (int_range 0 50)
+            (int_range 0 50);
+          map (fun e -> Journal.Epoch e) (int_range 0 1000);
+          map (fun s -> Journal.Meta s) (string_size (int_range 0 12));
+          (let* c = int_range 1 9 in
+           let* rid = int_range 1 10_000 in
+           let* u = int_range 0 50 in
+           let* v = int_range 0 50 in
+           let* ins = bool in
+           return
+             (Journal.Tagged
+                (c, rid, if ins then Journal.Insert (u, v)
+                         else Journal.Delete (u, v))));
+        ])
+  in
+  QCheck.Test.make ~count:60
+    ~name:"tail_from at every boundary reproduces the durable suffix"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 25) record_gen))
+    (fun records ->
+      with_dir (fun dir ->
+          Unix.mkdir dir 0o755;
+          let path = Filename.concat dir "journal.wal" in
+          write_journal path records;
+          let r = Journal.read path in
+          if r.Journal.records <> records then
+            QCheck.Test.fail_reportf "journal does not round-trip";
+          List.for_all
+            (fun off ->
+              match Journal.tail_from path ~offset:off with
+              | Error e -> QCheck.Test.fail_reportf "tail_from %d: %s" off e
+              | Ok t ->
+                  (* the suffix is exactly what [read] reports past off *)
+                  let skip =
+                    List.length records - List.length t.Journal.tail_records
+                  in
+                  t.Journal.tail_records
+                  = List.filteri (fun j _ -> j >= skip) records
+                  && t.Journal.tail_next = r.Journal.valid_bytes)
+            (boundaries records)))
+
+(* ------------------------------------------------------------------ *)
+(* replica bootstrap + shipped-WAL application (in-process)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_replica_roundtrip () =
+  with_dir (fun dir_p ->
+      with_dir (fun dir_r ->
+          let n = 16 in
+          let d = Durable.create ~sync_every:1 ~dir:dir_p (durable_config n 8) in
+          let ops = ops_of_seed 21 ~n ~count:40 in
+          let apply_to d lo hi =
+            for i = lo to hi do
+              let ins, u, v = ops.(i) in
+              ignore
+                (if ins then Durable.insert_req d ~client:1 ~rid:(i + 1) u v
+                 else Durable.delete_req d ~client:1 ~rid:(i + 1) u v)
+            done
+          in
+          (* state exists before the replica does *)
+          apply_to d 0 19;
+          let op_epoch, snapshot, wal_offset = Durable.bootstrap_payload d in
+          (match
+             Durable.bootstrap_replica ~dir:dir_r
+               ~config_bytes:(Durable.config_bytes d) ~op_epoch ~wal_offset
+               ~repl_epoch:(Durable.repl_epoch d) ~snapshot
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "bootstrap_replica: %s" e);
+          let r =
+            match Durable.recover ~sync_every:1 dir_r with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "replica recover: %s" e
+          in
+          check_bool "cursor at the bootstrap offset" true
+            (Durable.replica_cursor r = Some wal_offset);
+          check_int "snapshot state restored" op_epoch (Durable.op_count r);
+          (* the primary moves on; ship the delta verbatim *)
+          apply_to d 20 39;
+          Durable.sync d;
+          let d_off = Durable.durable_offset d in
+          let payload =
+            Journal.read_slice (Durable.wal_path d) ~pos:wal_offset
+              ~len:(d_off - wal_offset)
+          in
+          let fired = ref 0 in
+          (match
+             Durable.apply_shipped r payload
+               ~on_update:(fun ~u:_ ~v:_ ~changed:_ -> incr fired)
+           with
+          | Ok applied -> check_int "ops applied" 20 applied
+          | Error e -> Alcotest.failf "apply_shipped: %s" e);
+          check_int "on_update fired per op" 20 !fired;
+          check_bool "cursor advanced to the shipped end" true
+            (Durable.replica_cursor r = Some d_off);
+          check_bool "replica state equals primary state" true
+            (observe r = observe d);
+          (* the replica's dedup table came along with the Tagged frames *)
+          let _, u, v = ops.(39) in
+          check_bool "shipped rid dedups" true
+            (match Durable.insert_req r ~client:1 ~rid:40 u v with
+            | `Duplicate _ -> true
+            | `Applied _ -> false);
+          Durable.close r;
+          (* a replica crash loses nothing: recover resumes at the same
+             cursor with the same state *)
+          let r2 =
+            match Durable.recover ~sync_every:1 dir_r with
+            | Ok r2 -> r2
+            | Error e -> Alcotest.failf "replica re-recover: %s" e
+          in
+          check_bool "cursor survives recovery" true
+            (Durable.replica_cursor r2 = Some d_off);
+          check_bool "state survives recovery" true (observe r2 = observe d);
+          (* promotion: epoch bumps, cursor clears, and a recover of the
+             promoted dir stays a primary *)
+          check_int "promotion returns epoch 1" 1 (Durable.bump_repl_epoch r2);
+          check_bool "promoted node has no cursor" true
+            (Durable.replica_cursor r2 = None);
+          Durable.close r2;
+          (match Durable.recover ~sync_every:1 dir_r with
+          | Ok r3 ->
+              check_int "epoch survives recovery" 1 (Durable.repl_epoch r3);
+              check_bool "promoted dir recovers as primary" true
+                (Durable.replica_cursor r3 = None);
+              Durable.close r3
+          | Error e -> Alcotest.failf "promoted recover: %s" e);
+          Durable.close d))
+
+(* shipped garbage must be rejected atomically: no bytes appended, no
+   ops applied, cursor unmoved *)
+let test_apply_shipped_rejects_garbage () =
+  with_dir (fun dir_p ->
+      with_dir (fun dir_r ->
+          let n = 16 in
+          let d = Durable.create ~sync_every:1 ~dir:dir_p (durable_config n 9) in
+          ignore (Durable.insert_req d ~client:1 ~rid:1 0 1);
+          let op_epoch, snapshot, wal_offset = Durable.bootstrap_payload d in
+          (match
+             Durable.bootstrap_replica ~dir:dir_r
+               ~config_bytes:(Durable.config_bytes d) ~op_epoch ~wal_offset
+               ~repl_epoch:0 ~snapshot
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "bootstrap_replica: %s" e);
+          let r =
+            match Durable.recover ~sync_every:1 dir_r with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "replica recover: %s" e
+          in
+          let before = observe r in
+          List.iter
+            (fun payload ->
+              match
+                Durable.apply_shipped r payload
+                  ~on_update:(fun ~u:_ ~v:_ ~changed:_ -> ())
+              with
+              | Ok _ -> Alcotest.fail "garbage payload must be rejected"
+              | Error _ ->
+                  check_bool "cursor unmoved" true
+                    (Durable.replica_cursor r = Some wal_offset);
+                  check_bool "state unmoved" true (observe r = before))
+            [
+              "not a frame";
+              "\x05abcde\xff\xff\xff\xff";
+              (* a valid frame shape whose body is not a record *)
+              (let b = Buffer.create 16 in
+               Mspar_prelude.Codec.Frames.encode b "zzzz";
+               Buffer.contents b);
+            ];
+          Durable.close r;
+          Durable.close d))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "mspar_recovery"
@@ -583,6 +930,11 @@ let () =
           Alcotest.test_case "crc corruption" `Quick test_journal_crc_corruption;
           Alcotest.test_case "header damage" `Quick test_journal_header_damage;
           Alcotest.test_case "snapshot blob" `Quick test_blob_roundtrip;
+          Alcotest.test_case "tail_from boundaries" `Quick
+            test_tail_from_boundaries;
+          Alcotest.test_case "tail_from torn" `Quick test_tail_from_torn;
+          Alcotest.test_case "ship-slice roundtrip" `Quick
+            test_ship_slice_roundtrip;
         ] );
       ( "snapshots",
         [
@@ -613,6 +965,17 @@ let () =
           Alcotest.test_case "contended" `Quick test_lock_contended;
           Alcotest.test_case "stale detection" `Quick test_lock_stale_dead_pid;
           Alcotest.test_case "guards durable" `Quick test_lock_guards_durable;
+          Alcotest.test_case "epoch fence vs dead holder" `Quick
+            test_lock_epoch_dead_holder;
+          Alcotest.test_case "promote vs stale primary" `Quick
+            test_lock_promote_vs_stale_primary;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "bootstrap + apply_shipped" `Quick
+            test_replica_roundtrip;
+          Alcotest.test_case "apply_shipped rejects garbage" `Quick
+            test_apply_shipped_rejects_garbage;
         ] );
       ( "dedup",
         [
@@ -621,6 +984,6 @@ let () =
             test_dedup_survives_recover;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ qcheck_crash_recover_equivalence ]
-      );
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_crash_recover_equivalence; qcheck_tail_from_suffix ] );
     ]

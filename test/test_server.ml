@@ -35,6 +35,11 @@ let sample_requests =
     Wire.Drain;
     Wire.Stats;
     Wire.Ping;
+    Wire.Repl_hello { epoch = 0; offset = 0 };
+    Wire.Repl_hello { epoch = 3; offset = 1_234_567 };
+    Wire.Repl_ack { offset = 42 };
+    Wire.Promote;
+    Wire.Role;
   ]
 
 let sample_responses =
@@ -66,9 +71,37 @@ let sample_responses =
         queries = 9;
         oracle_hits = 10;
         oracle_misses = 11;
+        repl_followers = 12;
+        repl_lag = 13;
+        repl_fenced = 14;
       };
     Wire.Error "";
     Wire.Error "updates require Hello first";
+    Wire.Repl_snapshot
+      {
+        epoch = 2;
+        op_epoch = 17;
+        wal_offset = 4096;
+        meta = "config-bytes";
+        last = false;
+        chunk = "snapshot-chunk-bytes";
+      };
+    Wire.Repl_snapshot
+      {
+        epoch = 0;
+        op_epoch = 0;
+        wal_offset = 0;
+        meta = "";
+        last = true;
+        chunk = "";
+      };
+    Wire.Repl_frames { epoch = 2; start_offset = 4096; payload = "\x00\xff raw frame bytes" };
+    Wire.Repl_frames { epoch = 1; start_offset = 0; payload = "" };
+    Wire.Repl_fence { epoch = 9 };
+    Wire.Redirect "";
+    Wire.Redirect "tcp:127.0.0.1:7070";
+    Wire.Role_reply { primary = true; epoch = 4; offset = 65536 };
+    Wire.Role_reply { primary = false; epoch = 0; offset = 0 };
   ]
 
 let test_request_roundtrip () =
@@ -147,6 +180,12 @@ let qcheck_request_roundtrip =
           return Wire.Drain;
           return Wire.Stats;
           return Wire.Ping;
+          map2
+            (fun epoch offset -> Wire.Repl_hello { epoch; offset })
+            (int_range 0 100) (int_range 0 1_000_000);
+          map (fun offset -> Wire.Repl_ack { offset }) (int_range 0 1_000_000);
+          return Wire.Promote;
+          return Wire.Role;
         ])
   in
   QCheck.Test.make ~name:"generated requests round-trip" ~count:500
@@ -155,6 +194,97 @@ let qcheck_request_roundtrip =
       match Wire.decode_request (encode_req r) with
       | Ok r' -> r = r'
       | Error _ -> false)
+
+(* round-trip property over generated replication responses: the codec
+   must survive arbitrary binary snapshot/frame payloads (lengths are
+   explicit on the wire, nothing is delimiter-based) *)
+let qcheck_repl_response_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          (let* epoch = int_range 0 50 in
+           let* op_epoch = int_range 0 100_000 in
+           let* wal_offset = int_range 0 10_000_000 in
+           let* meta = string_size (int_range 0 40) in
+           let* last = bool in
+           let* chunk = string_size (int_range 0 200) in
+           return
+             (Wire.Repl_snapshot { epoch; op_epoch; wal_offset; meta; last; chunk }));
+          (let* epoch = int_range 0 50 in
+           let* start_offset = int_range 0 10_000_000 in
+           let* payload = string_size (int_range 0 200) in
+           return (Wire.Repl_frames { epoch; start_offset; payload }));
+          map (fun epoch -> Wire.Repl_fence { epoch }) (int_range 0 50);
+          map (fun s -> Wire.Redirect s) (string_size (int_range 0 60));
+          (let* primary = bool in
+           let* epoch = int_range 0 50 in
+           let* offset = int_range 0 10_000_000 in
+           return (Wire.Role_reply { primary; epoch; offset }));
+        ])
+  in
+  QCheck.Test.make ~name:"generated replication responses round-trip"
+    ~count:500 (QCheck.make gen)
+    (fun r ->
+      match Wire.decode_response (encode_resp r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* addr_of_string: the --replica-of / Redirect-hint parser             *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_of_string () =
+  let ok s expected =
+    match Wire.addr_of_string s with
+    | Ok a -> check_bool s true (a = expected)
+    | Error e -> Alcotest.failf "addr_of_string %S: %s" s e
+  in
+  let err s =
+    match Wire.addr_of_string s with
+    | Ok _ -> Alcotest.failf "addr_of_string %S: must be an Error" s
+    | Error _ -> ()
+  in
+  ok "unix:/tmp/mspar.sock" (Wire.Unix_path "/tmp/mspar.sock");
+  ok "tcp:127.0.0.1:7070" (Wire.Tcp ("127.0.0.1", 7070));
+  ok "127.0.0.1:7070" (Wire.Tcp ("127.0.0.1", 7070));
+  ok "localhost:1" (Wire.Tcp ("localhost", 1));
+  ok "/var/run/mspar.sock" (Wire.Unix_path "/var/run/mspar.sock");
+  err "";
+  err "host:0";
+  err "host:65536";
+  err "host:notaport";
+  err "tcp:nocolon"
+
+(* ------------------------------------------------------------------ *)
+(* Client backoff: capped full jitter, deterministic under a seed      *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let schedule seed =
+    let rng = Mspar_prelude.Rng.create seed in
+    List.init 12 (fun attempt ->
+        Client.backoff_delay rng ~attempt ~base:0.02 ~cap:1.0)
+  in
+  (* deterministic: the same seed reproduces the same schedule *)
+  let a = schedule 0x5eed and b = schedule 0x5eed in
+  check_bool "same seed, same schedule" true (a = b);
+  (* a different seed jitters differently (full jitter, not fixed steps) *)
+  check_bool "different seed, different schedule" true (a <> schedule 99);
+  (* every delay is within [0, min cap (base * 2^attempt)) *)
+  List.iteri
+    (fun attempt d ->
+      let ceiling = Float.min 1.0 (0.02 *. (2. ** float_of_int attempt)) in
+      check_bool "delay non-negative" true (d >= 0.);
+      check_bool "delay under doubling ceiling" true (d <= ceiling);
+      check_bool "delay capped" true (d <= 1.0))
+    a;
+  (* late attempts saturate at the cap, never overflow past it *)
+  let rng = Mspar_prelude.Rng.create 7 in
+  for attempt = 20 to 60 do
+    let d = Client.backoff_delay rng ~attempt ~base:0.02 ~cap:0.5 in
+    check_bool "saturated attempts stay capped" true (d >= 0. && d <= 0.5)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch: read-your-writes through the point-query oracle           *)
@@ -265,7 +395,10 @@ let () =
           Alcotest.test_case "response round-trips" `Quick
             test_response_roundtrip;
           Alcotest.test_case "hostile bodies" `Quick test_hostile_bodies;
+          Alcotest.test_case "addr_of_string" `Quick test_addr_of_string;
         ] );
+      ( "client",
+        [ Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule ] );
       ( "dispatch",
         [
           Alcotest.test_case "read your writes" `Quick
@@ -273,5 +406,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_decoders_total; qcheck_request_roundtrip ] );
+          [
+            qcheck_decoders_total;
+            qcheck_request_roundtrip;
+            qcheck_repl_response_roundtrip;
+          ] );
     ]
